@@ -1,0 +1,84 @@
+"""Ablations: worker-count scaling and the cost of the backprop cache.
+
+1. **Worker sweep** — recursive TreeLSTM inference throughput vs virtual
+   worker count: throughput should rise with workers and saturate once
+   the available tree parallelism is exhausted (the resource-limit
+   mechanism behind the paper's TreeLSTM observations).
+
+2. **Cache on/off** — the same forward computation run in training mode
+   (record=True, every recursive frame writes its activations to the
+   concurrent cache) vs inference mode (record=False).  The gap is the
+   backpropagation-cache overhead the paper discusses in Sections 5/6.2.
+"""
+
+from __future__ import annotations
+
+import repro
+from benchmarks.common import STEPS, fresh_model, treebank, runner_config
+from repro.data import batch_trees
+from repro.harness import format_table, save_results
+from repro.models import TreeLSTMSentiment, tree_lstm_config
+
+WORKER_SWEEP = (1, 4, 16, 36, 72)
+BATCH = 10
+
+
+def collect():
+    bank = treebank()
+    batch = batch_trees(bank.train[:BATCH])
+    results = {"workers": {}, "cache": {}}
+
+    runtime = repro.Runtime()
+    model = TreeLSTMSentiment(tree_lstm_config(), runtime)
+    built = model.build_recursive(BATCH)
+    for workers in WORKER_SWEEP:
+        session = repro.Session(built.graph, runtime, num_workers=workers,
+                                record=False)
+        session.run(built.root_logits, built.feed_dict(batch))
+        total = 0.0
+        for _ in range(STEPS):
+            session.run(built.root_logits, built.feed_dict(batch))
+            total += session.last_stats.virtual_time
+        results["workers"][workers] = STEPS * BATCH / total
+
+    # cache on/off: identical fetches, record toggled.  record=True also
+    # requires the gradients to exist so the selective cache filter is
+    # installed; build them once.
+    from repro.core.autodiff import gradients
+    with built.graph.as_default():
+        gradients(built.loss, [])
+    for record in (False, True):
+        session = repro.Session(built.graph, runtime, num_workers=36,
+                                record=record)
+        session.run(built.loss, built.feed_dict(batch))
+        total = 0.0
+        for _ in range(STEPS):
+            session.run(built.loss, built.feed_dict(batch))
+            total += session.last_stats.virtual_time
+        results["cache"]["on" if record else "off"] = STEPS * BATCH / total
+    return results
+
+
+def test_ablation_workers_and_cache(benchmark):
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    rows = [[w, results["workers"][w]] for w in WORKER_SWEEP]
+    print()
+    print(format_table(
+        "Ablation — recursive TreeLSTM inference vs virtual workers",
+        ["workers", "instances/s"], rows))
+    print()
+    print(format_table(
+        "Ablation — backprop cache overhead (forward pass, b=10)",
+        ["cache", "instances/s"],
+        [["off (inference)", results["cache"]["off"]],
+         ["on (training mode)", results["cache"]["on"]]]))
+    save_results("ablation_workers_cache", {
+        "workers": {str(k): v for k, v in results["workers"].items()},
+        "cache": results["cache"]})
+
+    w = results["workers"]
+    assert w[4] > w[1]           # parallelism helps
+    assert w[36] > w[4]
+    assert w[72] <= w[36] * 1.5  # saturation: doubling workers ~no gain
+    assert results["cache"]["off"] > results["cache"]["on"]

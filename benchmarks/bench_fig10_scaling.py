@@ -1,0 +1,55 @@
+"""Figure 10: TreeLSTM training throughput vs number of machines.
+
+Paper result: data-parallel training of the recursive TreeLSTM scales
+almost linearly — 1.00x / 1.85x / 3.65x / 7.34x at 1 / 2 / 4 / 8 machines
+(synchronous data parallelism with a parameter server, fixed per-machine
+batch).
+
+Shape claims: monotone increase, >=1.6x at 2 machines, >=2.8x at 4,
+>=4.5x at 8 (near-linear with mild communication/straggler losses).
+"""
+
+from __future__ import annotations
+
+import repro
+from benchmarks.common import WORKERS, treebank
+from repro.distributed import DataParallelCluster
+from repro.harness import format_table, save_results
+from repro.models import TreeLSTMSentiment, tree_lstm_config
+from repro.nn import Adagrad
+
+MACHINES = (1, 2, 4, 8)
+PER_MACHINE_BATCH = 8
+STEPS = 2
+
+
+def collect():
+    bank = treebank()
+    throughputs = {}
+    for machines in MACHINES:
+        runtime = repro.Runtime()
+        model = TreeLSTMSentiment(tree_lstm_config(), runtime)
+        cluster = DataParallelCluster(
+            model, PER_MACHINE_BATCH * machines, machines, Adagrad(0.05),
+            runtime, session_kwargs={"num_workers": WORKERS})
+        throughputs[machines] = cluster.throughput(bank.train, steps=STEPS)
+    return throughputs
+
+
+def test_fig10_scaling(benchmark):
+    throughputs = benchmark.pedantic(collect, rounds=1, iterations=1)
+    base = throughputs[1]
+    rows = [[m, throughputs[m], throughputs[m] / base] for m in MACHINES]
+    print()
+    print(format_table(
+        "Figure 10 — TreeLSTM data-parallel scaling "
+        "(instances/s, virtual time)",
+        ["machines", "throughput", "speedup"], rows))
+    save_results("fig10_scaling",
+                 {str(m): throughputs[m] for m in MACHINES})
+
+    speedups = [throughputs[m] / base for m in MACHINES]
+    assert speedups == sorted(speedups), "throughput must increase"
+    assert speedups[1] >= 1.6   # paper: 1.85x
+    assert speedups[2] >= 2.8   # paper: 3.65x
+    assert speedups[3] >= 4.5   # paper: 7.34x

@@ -1,0 +1,78 @@
+"""Figure 11: per-instance processing time vs sentence length (TreeLSTM).
+
+Paper result: time grows with sentence length for both implementations,
+but the iterative implementation grows linearly (one cell at a time, O(N))
+while the recursive one grows much more slowly thanks to parallel
+execution of tree cells — close to O(log N) for inference, flatter than
+linear for training (framework overheads dilute the logarithmic trend).
+
+Shape claims: iterative time ~linear in N (20x words -> >=10x time);
+recursive inference strongly sublinear (20x words -> <=10x time);
+recursive is faster at every length, with a growing gap.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import fresh_model, runner_config, treebank
+from repro.harness import (format_table, make_runner, measure_latency_curve,
+                           save_results)
+
+LENGTHS = (10, 25, 50, 100, 200)
+TREES_PER_LENGTH = 2
+
+
+def collect():
+    bank = treebank()
+    by_length = {length: bank.trees_of_length(length, TREES_PER_LENGTH)
+                 for length in LENGTHS}
+    curves = {}
+    for kind in ("Recursive", "Iterative"):
+        runner = make_runner(kind, fresh_model("TreeLSTM"), 1,
+                             runner_config())
+        curves[(kind, "train")] = measure_latency_curve(runner, by_length,
+                                                        "train")
+        curves[(kind, "infer")] = measure_latency_curve(runner, by_length,
+                                                        "infer")
+    return curves
+
+
+def test_fig11_sentence_length(benchmark):
+    curves = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    rows = []
+    for length in LENGTHS:
+        rows.append([
+            length,
+            curves[("Recursive", "train")][length] * 1e3,
+            curves[("Iterative", "train")][length] * 1e3,
+            curves[("Recursive", "infer")][length] * 1e3,
+            curves[("Iterative", "infer")][length] * 1e3,
+        ])
+    print()
+    print(format_table(
+        "Figure 11 — per-instance time vs sentence length (TreeLSTM, ms)",
+        ["words", "rec train", "iter train", "rec infer", "iter infer"],
+        rows))
+    save_results("fig11_sentence_length", {
+        f"{kind}/{mode}": {str(k): v for k, v in curve.items()}
+        for (kind, mode), curve in curves.items()})
+
+    # recursive faster at every length, both modes
+    for mode in ("train", "infer"):
+        for length in LENGTHS:
+            assert (curves[("Recursive", mode)][length]
+                    < curves[("Iterative", mode)][length])
+    # iterative ~linear: 10 -> 200 words (20x) => >= 10x time
+    for mode in ("train", "infer"):
+        it = curves[("Iterative", mode)]
+        assert it[200] / it[10] >= 10.0
+    # recursive inference strongly sublinear: 20x words => <= 10x time
+    rec_infer = curves[("Recursive", "infer")]
+    assert rec_infer[200] / rec_infer[10] <= 10.0
+    # and the recursive/iterative gap widens with length (parallelism pays
+    # off more on larger trees)
+    gap_small = (curves[("Iterative", "infer")][10]
+                 / curves[("Recursive", "infer")][10])
+    gap_large = (curves[("Iterative", "infer")][200]
+                 / curves[("Recursive", "infer")][200])
+    assert gap_large > gap_small

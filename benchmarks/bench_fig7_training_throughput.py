@@ -1,0 +1,80 @@
+"""Figure 7: training throughput for TreeRNN / RNTN / TreeLSTM.
+
+Paper result (instances/s on the 36-core testbed):
+
+    model     batch   Recursive  Iterative  Unrolling
+    TreeRNN   1/10/25  46.6/125.2/129.7  17.3/38.1/55.9  4.1/4.3/4.3
+    RNTN      1/10/25  23.4/39.2/44.8     8.1/26.8/40.8  1.5/1.5/1.5
+    TreeLSTM  1/10/25   4.8/4.2/3.6       2.5/4.0/5.5    2.0/2.0/2.0
+
+Shape claims this bench asserts:
+  * Recursive beats Iterative and Unrolling for TreeRNN and RNTN at every
+    batch size;
+  * for TreeLSTM, Recursive wins at batch 1 and 10 but the Iterative
+    implementation overtakes it at batch 25 (resource saturation);
+  * Unrolling is flat in batch size and the slowest at batch >= 10.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import (BATCH_SIZES, STEPS, fresh_model,
+                               runner_config, treebank)
+from repro.harness import (format_table, make_runner, measure_throughput,
+                           save_results)
+
+KINDS = ("Recursive", "Iterative", "Unrolling")
+MODELS = ("TreeRNN", "RNTN", "TreeLSTM")
+
+
+def collect():
+    bank = treebank()
+    table = {}
+    for model_name in MODELS:
+        for kind in KINDS:
+            for batch_size in BATCH_SIZES:
+                runner = make_runner(kind, fresh_model(model_name),
+                                     batch_size, runner_config())
+                result = measure_throughput(runner, bank.train, batch_size,
+                                            "train", steps=STEPS, warmup=0,
+                                            seed=3)
+                table[(model_name, kind, batch_size)] = result.throughput
+    return table
+
+
+def test_fig7_training_throughput(benchmark):
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    rows = []
+    for model_name in MODELS:
+        for kind in KINDS:
+            rows.append([model_name, kind]
+                        + [table[(model_name, kind, b)]
+                           for b in BATCH_SIZES])
+    print()
+    print(format_table(
+        "Figure 7 — training throughput (instances/s, virtual testbed)",
+        ["model", "impl", "b=1", "b=10", "b=25"], rows))
+    save_results("fig7_training_throughput",
+                 {f"{m}/{k}/b{b}": v for (m, k, b), v in table.items()})
+
+    # --- paper shape assertions ---
+    for model_name in ("TreeRNN", "RNTN"):
+        for batch_size in BATCH_SIZES:
+            rec = table[(model_name, "Recursive", batch_size)]
+            for other in ("Iterative", "Unrolling"):
+                assert rec > table[(model_name, other, batch_size)], \
+                    f"{model_name} b={batch_size}: Recursive must win"
+    # TreeLSTM: recursive wins at small batch ...
+    for batch_size in (1, 10):
+        assert (table[("TreeLSTM", "Recursive", batch_size)]
+                > table[("TreeLSTM", "Iterative", batch_size)])
+    # ... but iterative overtakes at batch 25 (the paper's crossover)
+    assert (table[("TreeLSTM", "Iterative", 25)]
+            > table[("TreeLSTM", "Recursive", 25)])
+    # unrolling: flat and slowest at batch >= 10
+    for model_name in MODELS:
+        unrolled = [table[(model_name, "Unrolling", b)] for b in BATCH_SIZES]
+        assert max(unrolled) < 2.5 * min(unrolled), "unrolling ~flat"
+        for batch_size in (10, 25):
+            assert (table[(model_name, "Unrolling", batch_size)]
+                    < table[(model_name, "Iterative", batch_size)])

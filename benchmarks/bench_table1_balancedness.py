@@ -1,0 +1,62 @@
+"""Table 1: TreeRNN recursive throughput vs tree balancedness.
+
+Paper result (instances/s):
+
+    batch   balanced  moderate  linear
+    1       46.7      27.3      7.6
+    10      125.2     78.2      22.7
+    25      129.7     83.1      45.4
+
+Shape claims:
+  * at batch 1, balanced > moderate > linear (available parallelism of a
+    tree is bounded by its balancedness — a full binary tree exposes
+    (N+1)/2 concurrent leaves, a chain exposes ~1);
+  * the linear dataset scales best from batch 1 to 25 (it has the most
+    unexploited parallelism headroom), the balanced dataset the least.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import (BATCH_SIZES, STEPS, fresh_model,
+                               runner_config, treebank)
+from repro.harness import (format_table, make_runner, measure_throughput,
+                           save_results)
+
+SHAPES = ("balanced", "moderate", "linear")
+
+
+def collect():
+    bank = treebank()
+    table = {}
+    for shape in SHAPES:
+        shaped = bank.with_shape(shape)
+        for batch_size in BATCH_SIZES:
+            runner = make_runner("Recursive", fresh_model("TreeRNN"),
+                                 batch_size, runner_config())
+            result = measure_throughput(runner, shaped.train, batch_size,
+                                        "train", steps=STEPS, warmup=0,
+                                        seed=3)
+            table[(shape, batch_size)] = result.throughput
+    return table
+
+
+def test_table1_balancedness(benchmark):
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    rows = [[b] + [table[(s, b)] for s in SHAPES] for b in BATCH_SIZES]
+    print()
+    print(format_table(
+        "Table 1 — TreeRNN recursive training throughput by balancedness",
+        ["batch", "balanced", "moderate", "linear"], rows))
+    save_results("table1_balancedness",
+                 {f"{s}/b{b}": v for (s, b), v in table.items()})
+
+    # batch 1: parallelism bounded by balancedness
+    assert table[("balanced", 1)] > table[("moderate", 1)] > \
+        table[("linear", 1)]
+    # linear dataset scales best with batch size, balanced the least
+    def scaling(shape):
+        return table[(shape, 25)] / table[(shape, 1)]
+    assert scaling("linear") > scaling("moderate")
+    assert scaling("linear") > 1.5
+    assert scaling("linear") > scaling("balanced")

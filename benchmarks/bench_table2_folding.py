@@ -1,0 +1,68 @@
+"""Table 2: TreeLSTM — recursive vs iterative vs folding (dynamic batching).
+
+Paper result (instances/s):
+
+    batch   Inference: Iter/Recur/Fold    Training: Iter/Recur/Fold
+    1       19.2 / 81.4 / 16.5            2.5 / 4.8 / 9.0
+    10      49.3 / 217.9 / 52.2           4.0 / 4.2 / 37.5
+    25      72.1 / 269.9 / 61.6           5.5 / 3.6 / 54.7
+
+Shape claims:
+  * **inference**: the recursive implementation beats folding at every
+    batch size (up to 4.93x in the paper) — direct caller/callee value
+    passing vs per-level ungroup/regroup memory traffic;
+  * **training**: folding beats both CPU implementations at every batch
+    size (GPU batching amortizes the backward cost the recursive
+    implementation pays per frame).
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import (BATCH_SIZES, STEPS, fresh_model,
+                               runner_config, treebank)
+from repro.harness import (format_table, make_runner, measure_throughput,
+                           save_results)
+
+KINDS = ("Iterative", "Recursive", "Folding")
+
+
+def collect():
+    bank = treebank()
+    table = {}
+    for kind in KINDS:
+        for mode in ("infer", "train"):
+            for batch_size in BATCH_SIZES:
+                runner = make_runner(kind, fresh_model("TreeLSTM"),
+                                     batch_size, runner_config())
+                result = measure_throughput(runner, bank.train, batch_size,
+                                            mode, steps=STEPS, warmup=0,
+                                            seed=3)
+                table[(kind, mode, batch_size)] = result.throughput
+    return table
+
+
+def test_table2_folding(benchmark):
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    rows = []
+    for batch_size in BATCH_SIZES:
+        rows.append([batch_size]
+                    + [table[(k, "infer", batch_size)] for k in KINDS]
+                    + [table[(k, "train", batch_size)] for k in KINDS])
+    print()
+    print(format_table(
+        "Table 2 — TreeLSTM throughput: iterative / recursive / folding",
+        ["batch", "inf:Iter", "inf:Recur", "inf:Fold",
+         "trn:Iter", "trn:Recur", "trn:Fold"], rows))
+    save_results("table2_folding",
+                 {f"{k}/{m}/b{b}": v for (k, m, b), v in table.items()})
+
+    for batch_size in BATCH_SIZES:
+        # inference: recursive beats folding and iterative
+        rec_inf = table[("Recursive", "infer", batch_size)]
+        assert rec_inf > table[("Folding", "infer", batch_size)]
+        assert rec_inf > table[("Iterative", "infer", batch_size)]
+        # training: folding beats both
+        fold_trn = table[("Folding", "train", batch_size)]
+        assert fold_trn > table[("Recursive", "train", batch_size)]
+        assert fold_trn > table[("Iterative", "train", batch_size)]

@@ -1,0 +1,52 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Every benchmark measures **virtual testbed time** (the deterministic
+discrete-event simulation of the paper's 36-core machine / Titan X GPU),
+so reported instances/second are stable across host machines; wall-clock
+time of the bench process itself is what pytest-benchmark records.
+
+The dataset is a seeded synthetic treebank standing in for the Large Movie
+Review sentences (see DESIGN.md for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+import repro
+from repro.data import make_treebank
+from repro.harness import RunnerConfig
+from repro.models import (ModelConfig, RNTNSentiment, TreeLSTMSentiment,
+                          TreeRNNSentiment, tree_lstm_config)
+
+#: the paper's testbed: 2 x 18-core Xeon
+WORKERS = 36
+BATCH_SIZES = (1, 10, 25)
+STEPS = 2
+
+
+@lru_cache(maxsize=None)
+def treebank():
+    """The benchmark treebank (seeded; ~34 words/sentence, up to 250)."""
+    return make_treebank(num_train=60, num_val=20, vocab_size=200, seed=7)
+
+
+MODEL_FACTORIES = {
+    "TreeRNN": lambda runtime: TreeRNNSentiment(ModelConfig(), runtime),
+    "RNTN": lambda runtime: RNTNSentiment(ModelConfig(), runtime),
+    "TreeLSTM": lambda runtime: TreeLSTMSentiment(tree_lstm_config(),
+                                                  runtime),
+}
+
+
+def fresh_model(name: str):
+    """A freshly-initialized model on its own runtime."""
+    return MODEL_FACTORIES[name](repro.Runtime())
+
+
+def runner_config(**overrides) -> RunnerConfig:
+    defaults = dict(num_workers=WORKERS)
+    defaults.update(overrides)
+    return RunnerConfig(**defaults)

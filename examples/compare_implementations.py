@@ -1,0 +1,64 @@
+"""Compare the four execution strategies on the same TreeRNN model.
+
+Reproduces the paper's central comparison in miniature: the *same*
+parameters and the *same* batches run through
+
+  * Recursive  — the paper's SubGraph/InvokeOp implementation,
+  * Iterative  — batched topological while_loop (Figure 1),
+  * Unrolling  — a fresh static graph per batch (PyTorch-style),
+  * Folding    — depth-wise dynamic batching on a GPU profile (TF Fold),
+
+asserting they compute identical losses, then printing throughput in
+simulated-testbed time.
+
+Run:  python examples/compare_implementations.py
+"""
+
+import numpy as np
+
+import repro
+from repro.data import batch_trees, make_treebank
+from repro.harness import RunnerConfig, make_runner, measure_throughput
+from repro.models import ModelConfig, TreeRNNSentiment
+
+BATCH = 10
+KINDS = ("Recursive", "Iterative", "Unrolling", "Folding")
+
+
+def main():
+    bank = make_treebank(num_train=40, num_val=8, vocab_size=150, seed=2)
+    batch = batch_trees(bank.train[:BATCH])
+
+    print("== numerical equivalence (same initial parameters) ==")
+    losses = {}
+    for kind in KINDS:
+        model = TreeRNNSentiment(ModelConfig(), repro.Runtime())
+        runner = make_runner(kind, model, BATCH,
+                             RunnerConfig(num_workers=36))
+        loss, _ = runner.train_step(batch)
+        losses[kind] = loss
+        print(f"  {kind:10s} first-step loss = {loss:.6f}")
+    spread = max(losses.values()) - min(losses.values())
+    assert spread < 1e-4, "implementations must agree numerically"
+    print(f"  max spread: {spread:.2e}  -> identical computations\n")
+
+    print("== throughput (instances/s, simulated 36-core testbed + GPU) ==")
+    header = f"  {'impl':10s} {'train':>10s} {'inference':>10s}"
+    print(header)
+    for kind in KINDS:
+        model = TreeRNNSentiment(ModelConfig(), repro.Runtime())
+        runner = make_runner(kind, model, BATCH,
+                             RunnerConfig(num_workers=36))
+        train = measure_throughput(runner, bank.train, BATCH, "train",
+                                   steps=2, warmup=0)
+        infer = measure_throughput(runner, bank.train, BATCH, "infer",
+                                   steps=2, warmup=0)
+        print(f"  {kind:10s} {train.throughput:10.1f} "
+              f"{infer.throughput:10.1f}")
+    print("\nthe recursive implementation exploits intra-tree parallelism "
+          "the iterative one cannot,\nand avoids the per-step graph "
+          "construction the unrolling approach pays.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Dynamically structured models: top-down tree generation (TD-TreeLSTM).
+
+The model *generates* a tree at run time: growth gates computed from each
+node's state decide whether children exist, so the structure is unknown
+before execution.  Folding-style pre-batching is impossible here (paper
+Table 3) — but graph-native recursion handles it directly, and sibling
+subtrees still run in parallel.
+
+Run:  python examples/dynamic_generation.py
+"""
+
+import numpy as np
+
+import repro
+from repro.models import ModelConfig, TDTreeLSTM
+
+BATCH = 8
+
+
+def main():
+    runtime = repro.Runtime()
+    model = TDTreeLSTM(ModelConfig(vocab_size=120, hidden=24, seed=9),
+                       runtime, max_depth=6)
+
+    rec = model.build_recursive(BATCH)
+    it = model.build_iterative(BATCH)
+    seeds = np.arange(10, 10 + BATCH, dtype=np.int32)
+
+    rec_session = repro.Session(rec.graph, runtime, num_workers=36,
+                                record=False)
+    counts = rec_session.run(rec.node_counts, rec.feed_dict(seeds))
+    rec_time = rec_session.last_stats.virtual_time
+
+    print("== generated tree sizes (structure decided by computed gates) ==")
+    for seed, count in zip(seeds, counts):
+        bar = "#" * max(1, int(count) // 4)
+        print(f"  seed {seed:3d} -> {int(count):3d} nodes  {bar}")
+    print(f"\ndistinct structures: "
+          f"{len(set(int(c) for c in counts))} of {BATCH} "
+          "(folding cannot pre-batch this)\n")
+
+    it_session = repro.Session(it.graph, runtime, num_workers=36,
+                               record=False)
+    counts_iter = it_session.run(it.node_counts, it.feed_dict(seeds))
+    iter_time = it_session.last_stats.virtual_time
+    assert np.array_equal(counts, counts_iter), "implementations agree"
+
+    print("== recursive vs iterative frontier queue (virtual time) ==")
+    print(f"  recursive: {rec_time * 1e3:8.2f} ms  "
+          f"({BATCH / rec_time:7.1f} inst/s)")
+    print(f"  iterative: {iter_time * 1e3:8.2f} ms  "
+          f"({BATCH / iter_time:7.1f} inst/s)")
+    print(f"  speedup: {iter_time / rec_time:.1f}x — nodes discovered at "
+          "run time still execute in parallel")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Quickstart: recursive dataflow graphs in five minutes.
+
+Demonstrates the paper's core API surface:
+  1. plain dataflow graphs and sessions;
+  2. a recursive SubGraph (factorial) — graph-native recursion;
+  3. parallel recursion (fibonacci) with virtual-time speedup;
+  4. gradients through recursion via the backprop value cache.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+from repro import ops
+
+
+def plain_graphs():
+    print("== 1. plain dataflow graph ==")
+    graph = repro.Graph("intro")
+    with graph.as_default():
+        x = ops.placeholder(repro.float32, (2, 2), name="x")
+        y = ops.reduce_sum(ops.tanh(ops.matmul(x, x)))
+    session = repro.Session(graph)
+    value = session.run(y, {x: np.array([[1.0, 0.5], [0.25, 1.0]],
+                                        dtype=np.float32)})
+    print(f"sum(tanh(x @ x)) = {value:.4f}\n")
+
+
+def recursive_factorial():
+    print("== 2. recursion as a graph: factorial ==")
+    graph = repro.Graph("factorial")
+    with graph.as_default():
+        with repro.SubGraph("fact") as fact:
+            n = fact.input(repro.int32, ())
+            fact.declare_outputs([(repro.int32, ())])  # forward declaration
+            fact.output(repro.cond(ops.less_equal(n, 1),
+                                   lambda: ops.constant(1),
+                                   lambda: ops.multiply(n, fact(n - 1))))
+        out = fact(ops.constant(10))
+    session = repro.Session(graph)
+    print(f"10! = {session.run(out)}")
+    stats = session.last_stats
+    print(f"frames executed: {stats.frames_created}, "
+          f"max recursion depth: {stats.max_frame_depth}\n")
+
+
+def parallel_fibonacci():
+    print("== 3. parallel recursion: fibonacci ==")
+    graph = repro.Graph("fibonacci")
+    with graph.as_default():
+        with repro.SubGraph("fib") as fib:
+            n = fib.input(repro.int32, ())
+            fib.declare_outputs([(repro.int32, ())])
+            fib.output(repro.cond(
+                ops.less_equal(n, 1),
+                lambda: ops.identity(n),
+                lambda: ops.add(fib(n - 1), fib(n - 2))))
+        out = fib(ops.constant(15))
+    for workers in (1, 8):
+        session = repro.Session(graph, num_workers=workers)
+        value = session.run(out)
+        print(f"fib(15) = {value} on {workers} worker(s): "
+              f"{session.last_stats.virtual_time * 1e3:.2f} ms virtual")
+    print("(independent recursive calls run concurrently — the paper's "
+          "key win)\n")
+
+
+def gradients_through_recursion():
+    print("== 4. gradients through recursion ==")
+    graph = repro.Graph("gradients")
+    with graph.as_default():
+        with repro.SubGraph("power") as power:
+            x = power.input(repro.float32, ())
+            n = power.input(repro.int32, ())
+            power.declare_outputs([(repro.float32, ())])
+            power.output(repro.cond(
+                ops.less_equal(n, 0),
+                lambda: ops.constant(1.0),
+                lambda: ops.multiply(x, power(x, n - 1))))
+        xin = ops.placeholder(repro.float32, ())
+        y = power(xin, ops.constant(5))
+        grads, _ = repro.gradients(y, [xin])
+    session = repro.Session(graph, record=True)  # record=True: training mode
+    value, grad = session.run([y, grads[0]], {xin: 1.2})
+    print(f"x^5 at x=1.2: {value:.5f} (exact {1.2 ** 5:.5f})")
+    print(f"d/dx = {grad:.5f} (exact 5 x^4 = {5 * 1.2 ** 4:.5f})")
+    print("forward activations were cached per recursive frame and looked "
+          "up\nby the backward frames (the paper's concurrent hash table).")
+
+
+if __name__ == "__main__":
+    plain_graphs()
+    recursive_factorial()
+    parallel_fibonacci()
+    gradients_through_recursion()

@@ -1,0 +1,14 @@
+"""Legacy setup shim (the offline environment's setuptools predates PEP 660)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Recursive dataflow graphs for deep learning frameworks "
+                 "(reproduction of Jeong et al., EuroSys 2018)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,56 @@
+"""repro — Recursive dataflow graphs for deep learning frameworks.
+
+A from-scratch Python reproduction of *"Improving the Expressiveness of
+Deep Learning Frameworks with Recursion"* (Jeong et al., EuroSys 2018):
+an embedded-control-flow dataflow framework (graphs, kernels, automatic
+differentiation, a master/worker scheduler) extended with first-class
+recursion via ``SubGraph`` definitions and ``InvokeOp`` execution, plus
+the paper's complete evaluation stack (TreeRNN / RNTN / TreeLSTM /
+TD-TreeLSTM models, iterative / unrolled / folding baselines, a synthetic
+sentiment treebank, and a simulated multi-machine data-parallel trainer).
+
+Quickstart::
+
+    import repro
+    from repro import ops
+
+    with repro.SubGraph("fact") as fact:
+        n = fact.input(repro.int32, ())
+        fact.declare_outputs([(repro.int32, ())])
+        fact.output(repro.cond(ops.less_equal(n, 1),
+                               lambda: ops.constant(1),
+                               lambda: ops.multiply(n, fact(n - 1))))
+
+    out = fact(ops.constant(5))
+    print(repro.Session().run(out))   # 120
+"""
+
+from repro.graph import (DType, Graph, Operation, Shape, Tensor, as_dtype,
+                         bool_, float32, float64, get_default_graph, int32,
+                         int64, reset_default_graph, variant)
+from repro import ops
+from repro.core import SubGraph, SubGraphError, invoke
+from repro.core.autodiff import differentiate_subgraph, gradients
+from repro.ops.control_flow import cond, while_loop
+from repro.runtime import (CostModel, EngineError, RunStats, Runtime,
+                           Session, Variable, client_eager, default_runtime,
+                           gpu_profile, reset_default_runtime, testbed_cpu,
+                           unit_cost)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # graph substrate
+    "DType", "Graph", "Operation", "Shape", "Tensor", "as_dtype",
+    "bool_", "float32", "float64", "int32", "int64", "variant",
+    "get_default_graph", "reset_default_graph",
+    # functional ops
+    "ops", "cond", "while_loop",
+    # recursion (the paper's contribution)
+    "SubGraph", "SubGraphError", "invoke", "gradients",
+    "differentiate_subgraph",
+    # runtime
+    "CostModel", "EngineError", "RunStats", "Runtime", "Session", "Variable",
+    "client_eager", "default_runtime", "gpu_profile",
+    "reset_default_runtime", "testbed_cpu", "unit_cost",
+]

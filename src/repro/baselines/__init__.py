@@ -1,0 +1,11 @@
+"""Baseline execution strategies the paper compares against.
+
+The iterative (Figure 1) and static-unrolling builders live on the model
+classes themselves (:meth:`~repro.models.base.SentimentModelBase.
+build_iterative` / ``build_unrolled``); this package holds the folding
+(TensorFlow Fold) dynamic-batching executor.
+"""
+
+from .folding import FoldingExecutor, FoldingSchedule, build_schedule
+
+__all__ = ["FoldingExecutor", "FoldingSchedule", "build_schedule"]

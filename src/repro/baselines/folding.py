@@ -1,0 +1,237 @@
+"""Folding baseline: depth-wise dynamic batching (TensorFlow Fold [15]).
+
+Fold preprocesses the batch's tree structures into *levels* — all nodes
+whose children are already computed — and executes each level as one
+batched GPU kernel, regrouping (gathering/scattering) child states between
+levels.  This exploits GPU batching superbly for training, at the cost of
+
+* per-level regrouping (memory reallocation and copies, as the paper
+  discusses in Section 6.4), and
+* requiring the *complete* tree structure before execution — which is why
+  folding is inapplicable to dynamically-structured models such as
+  TD-TreeLSTM (Table 3).
+
+The executor runs on the model's numpy cell twins (values are exact and
+test-verified against the graph implementations) while virtual time is
+accounted with a GPU cost profile: high kernel-launch latency, very high
+arithmetic throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.data.batching import TreeBatch
+from repro.nn.losses import np_cross_entropy, np_cross_entropy_backward
+from repro.runtime.cost_model import GpuCostParams, gpu_profile
+
+__all__ = ["FoldingSchedule", "FoldingExecutor"]
+
+
+@dataclass
+class FoldingSchedule:
+    """Level-grouped flat view of a batch of trees."""
+
+    words: np.ndarray       # [total] int
+    labels: np.ndarray      # [total] int
+    left: np.ndarray        # [total] int (global slot, -1 for leaves)
+    right: np.ndarray       # [total] int
+    weight: np.ndarray      # [total] float: 1 / (B * n_nodes_of_instance)
+    levels: list            # list of np.ndarray of global slots
+    root_slots: np.ndarray  # [B] int
+    total: int
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+
+def build_schedule(batch: TreeBatch) -> FoldingSchedule:
+    """Assign every node a global slot and group slots by tree level."""
+    words, labels, left, right, weight, level = [], [], [], [], [], []
+    root_slots = []
+    offset = 0
+    for b, tree in enumerate(batch.trees):
+        arrays = tree.to_arrays()
+        n = arrays.num_nodes
+        node_level = np.zeros(n, dtype=np.int64)
+        for i in range(n):
+            if not arrays.is_leaf[i]:
+                l, r = arrays.children[i]
+                node_level[i] = 1 + max(node_level[l], node_level[r])
+        words.extend(int(w) for w in arrays.words)
+        labels.extend(int(x) for x in arrays.labels)
+        for i in range(n):
+            if arrays.is_leaf[i]:
+                left.append(-1)
+                right.append(-1)
+            else:
+                left.append(offset + int(arrays.children[i, 0]))
+                right.append(offset + int(arrays.children[i, 1]))
+        weight.extend([1.0 / (batch.size * n)] * n)
+        level.extend(int(x) for x in node_level)
+        root_slots.append(offset + arrays.root)
+        offset += n
+    level = np.asarray(level)
+    levels = [np.flatnonzero(level == d) for d in range(level.max() + 1)]
+    return FoldingSchedule(
+        words=np.asarray(words, dtype=np.int64),
+        labels=np.asarray(labels, dtype=np.int64),
+        left=np.asarray(left, dtype=np.int64),
+        right=np.asarray(right, dtype=np.int64),
+        weight=np.asarray(weight, dtype=np.float32),
+        levels=levels, root_slots=np.asarray(root_slots, dtype=np.int64),
+        total=offset)
+
+
+class FoldingExecutor:
+    """Runs a sentiment model with depth-wise dynamic batching."""
+
+    def __init__(self, model, gpu: Optional[GpuCostParams] = None):
+        self.model = model
+        self.cell = model.cell
+        self.gpu = gpu or gpu_profile()
+        self.runtime = model.runtime
+
+    def _params(self) -> dict[str, np.ndarray]:
+        names = [v.name for v in self.model.variables]
+        return {name: self.runtime.variables.read(name) for name in names}
+
+    # -- forward -------------------------------------------------------------------
+
+    def forward(self, batch: TreeBatch):
+        """Level-batched forward pass.
+
+        Returns ``(loss, root_logits, state, virtual_time)`` where ``state``
+        carries everything backward() needs.
+        """
+        schedule = build_schedule(batch)
+        params = self._params()
+        cell = self.cell
+        arity = cell.state_arity
+        H = self.model.config.hidden
+        states = [np.zeros((schedule.total, H), dtype=np.float32)
+                  for _ in range(arity)]
+        caches = []
+        vtime = 0.0
+
+        for depth, slots in enumerate(schedule.levels):
+            n = len(slots)
+            if depth == 0:
+                x = self.model.embedding.np_lookup(params,
+                                                   schedule.words[slots])
+                out, cache = cell.np_leaf(params, x)
+                flops = cell.leaf_flops(n)
+                kernels = cell.leaf_kernels
+            else:
+                left_slots = schedule.left[slots]
+                right_slots = schedule.right[slots]
+                left = tuple(s[left_slots] for s in states)
+                right = tuple(s[right_slots] for s in states)
+                out, cache = cell.np_internal(params, left, right)
+                flops = cell.internal_flops(n)
+                kernels = cell.internal_kernels
+                # regrouping: gather children states (2 per state component)
+                vtime += 2 * arity * (self.gpu.kernel_launch
+                                      + n * self.gpu.regroup_per_node
+                                      + cell.state_bytes(n)
+                                      / self.gpu.bytes_rate)
+            for s, o in zip(states, out):
+                s[slots] = o
+            caches.append(cache)
+            vtime += kernels * self.gpu.kernel_launch + flops / self.gpu.flops_rate
+            vtime += (self.gpu.kernel_launch
+                      + cell.state_bytes(n) / self.gpu.bytes_rate)  # scatter
+
+        cls_name = self.model.classifier.name
+        W, b = params[f"{cls_name}/W"], params[f"{cls_name}/b"]
+        logits = states[0] @ W + b
+        losses = np_cross_entropy(logits, schedule.labels)
+        loss = float((losses * schedule.weight).sum())
+        n_total = schedule.total
+        vtime += (2 * self.gpu.kernel_launch
+                  + 2 * n_total * H * self.model.config.classes
+                  / self.gpu.flops_rate)
+        root_logits = logits[schedule.root_slots]
+        state = {"schedule": schedule, "params": params, "states": states,
+                 "caches": caches, "logits": logits}
+        return loss, root_logits, state, vtime
+
+    # -- backward -----------------------------------------------------------------
+
+    def backward(self, state) -> tuple[dict[str, np.ndarray], float]:
+        """Level-batched backprop; returns (grads, virtual_time)."""
+        schedule: FoldingSchedule = state["schedule"]
+        params = state["params"]
+        states = state["states"]
+        caches = state["caches"]
+        cell = self.cell
+        arity = cell.state_arity
+        grads: dict[str, np.ndarray] = {}
+
+        def accumulate(partial: dict[str, np.ndarray]) -> None:
+            for name, g in partial.items():
+                grads[name] = grads.get(name, 0.0) + g
+
+        cls_name = self.model.classifier.name
+        W = params[f"{cls_name}/W"]
+        dlogits = np_cross_entropy_backward(state["logits"], schedule.labels,
+                                            schedule.weight)
+        accumulate({f"{cls_name}/W": states[0].T @ dlogits,
+                    f"{cls_name}/b": dlogits.sum(axis=0)})
+        d_states = [dlogits @ W.T]
+        d_states += [np.zeros_like(states[0]) for _ in range(arity - 1)]
+        vtime = (4 * self.gpu.kernel_launch
+                 + 4 * schedule.total * W.size / self.gpu.flops_rate)
+
+        for depth in range(schedule.depth - 1, -1, -1):
+            slots = schedule.levels[depth]
+            n = len(slots)
+            d_level = tuple(d[slots] for d in d_states)
+            if depth == 0:
+                dx, partial = cell.np_leaf_backward(params, caches[0],
+                                                    d_level)
+                accumulate(partial)
+                emb_name = f"{self.model.embedding.name}/table"
+                d_table = np.zeros_like(params[emb_name])
+                np.add.at(d_table, schedule.words[slots], dx)
+                accumulate({emb_name: d_table})
+                flops = 2 * cell.leaf_flops(n)
+                kernels = cell.leaf_kernels + 1
+            else:
+                d_left, d_right, partial = cell.np_internal_backward(
+                    params, caches[depth], d_level)
+                accumulate(partial)
+                left_slots = schedule.left[slots]
+                right_slots = schedule.right[slots]
+                for d_parent, d_child_l, d_child_r in zip(d_states, d_left,
+                                                          d_right):
+                    np.add.at(d_parent, left_slots, d_child_l)
+                    np.add.at(d_parent, right_slots, d_child_r)
+                flops = 2 * cell.internal_flops(n)
+                kernels = cell.internal_kernels + 2
+                vtime += 2 * arity * (self.gpu.kernel_launch
+                                      + n * self.gpu.regroup_per_node
+                                      + cell.state_bytes(n)
+                                      / self.gpu.bytes_rate)
+            vtime += kernels * self.gpu.kernel_launch + flops / self.gpu.flops_rate
+        return grads, vtime
+
+    # -- steps ----------------------------------------------------------------------
+
+    def infer_step(self, batch: TreeBatch):
+        loss, root_logits, _, vtime = self.forward(batch)
+        return loss, root_logits, vtime
+
+    def train_step(self, batch: TreeBatch, optimizer):
+        loss, _, state, vtime_f = self.forward(batch)
+        grads, vtime_b = self.backward(state)
+        optimizer.apply_numpy(self.runtime, grads)
+        apply_time = sum(2 * self.gpu.kernel_launch
+                         + 3 * g.size * 4 / self.gpu.bytes_rate
+                         for g in grads.values()
+                         if isinstance(g, np.ndarray))
+        return loss, grads, vtime_f + vtime_b + apply_time

@@ -1,0 +1,24 @@
+"""The paper's contribution: SubGraph, InvokeOp and recursive autodiff.
+
+``autodiff`` is loaded lazily: it attaches gradient functions to the
+control-flow op types, which are registered by :mod:`repro.ops` — importing
+it eagerly here would close an import cycle before those ops exist.
+:mod:`repro.__init__` imports it once everything else is loaded.
+"""
+
+from .cache import ROOT_KEY, ValueCache, child_key
+from .subgraph import SubGraph, SubGraphError
+from .invoke import invoke
+
+__all__ = ["GradContext", "differentiate_subgraph", "gradients", "ROOT_KEY",
+           "ValueCache", "child_key", "invoke", "SubGraph", "SubGraphError"]
+
+
+def __getattr__(name):
+    if name in ("GradContext", "differentiate_subgraph", "gradients",
+                "autodiff"):
+        from . import autodiff
+        if name == "autodiff":
+            return autodiff
+        return getattr(autodiff, name)
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")

@@ -1,0 +1,87 @@
+"""The backpropagation value cache (paper Section 5).
+
+During the forward pass every operation output produced inside a recursive
+frame is stored in a concurrent hash table, keyed by
+
+    (frame key, producing graph id, op id, output index)
+
+where the *frame key* combines the invocation's topological position (the
+call-site op id, plus the iteration index for loop frames) with the key of
+the parent frame — exactly the paper's uniqueness argument.  During the
+backward pass, ``CacheLookup`` operations inside backward SubGraph bodies
+retrieve the forward values by binding the backward frame to the matching
+forward frame key.
+
+Using a queue or stack instead would be incorrect: concurrent frames
+complete in nondeterministic order, so values could be routed to the wrong
+gradient operation (as the paper notes).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Hashable, Optional
+
+__all__ = ["ValueCache", "ROOT_KEY", "child_key"]
+
+#: Key of the root (main-graph) frame.
+ROOT_KEY: tuple = ()
+
+
+def child_key(parent_key: tuple, site: Hashable) -> tuple:
+    """Derive a child frame key from its parent key and call-site position.
+
+    ``site`` is the call-site op id for InvokeOp/CondOp frames, or an
+    ``(op id, iteration)`` pair for loop-body frames.
+    """
+    return parent_key + (site,)
+
+
+class ValueCache:
+    """A concurrent hash table of forward activation values."""
+
+    def __init__(self):
+        self._table: dict[tuple, Any] = {}
+        self._meta: dict[tuple, Any] = {}
+        self._lock = threading.Lock()
+        self.stores = 0
+        self.lookups = 0
+
+    def store(self, frame_key: tuple, graph_id: int, op_id: int,
+              out_idx: int, value: Any) -> None:
+        with self._lock:
+            self._table[(frame_key, graph_id, op_id, out_idx)] = value
+            self.stores += 1
+
+    def lookup(self, frame_key: tuple, graph_id: int, op_id: int,
+               out_idx: int) -> Any:
+        with self._lock:
+            self.lookups += 1
+            try:
+                return self._table[(frame_key, graph_id, op_id, out_idx)]
+            except KeyError:
+                raise KeyError(
+                    f"backprop cache miss: frame={frame_key} graph={graph_id} "
+                    f"op={op_id}:{out_idx}. Was the forward pass run with "
+                    "record=True?") from None
+
+    def store_meta(self, key: tuple, value: Any) -> None:
+        """Store control-flow metadata (e.g. a loop's iteration count)."""
+        with self._lock:
+            self._meta[key] = value
+
+    def lookup_meta(self, key: tuple) -> Any:
+        with self._lock:
+            try:
+                return self._meta[key]
+            except KeyError:
+                raise KeyError(f"no control-flow metadata under {key}") from None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._table.clear()
+            self._meta.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._table)

@@ -1,0 +1,125 @@
+"""InvokeOp: recursion in dataflow graphs (paper Section 3.2).
+
+An ``InvokeOp`` takes a set of tensors as input, runs its associated
+SubGraph with those inputs, and returns the SubGraph's outputs.  It is an
+ordinary graph operation — what differs is the kernel: instead of a
+mathematical computation it *initiates a new frame* over the SubGraph's
+body, processed by the same master scheduler and the same ready queue as
+every other operation (paper Figure 4, step (4)).
+
+``InvokeGrad`` is the backpropagation counterpart built by automatic
+differentiation: it runs the SubGraph's *backward* SubGraph in a frame
+bound to the same frame key as the forward call, so ``CacheLookup``
+operations inside the backward body retrieve the forward activations from
+the concurrent value cache (paper Section 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cache import child_key
+from repro.core.subgraph import SubGraph, SubGraphError
+from repro.graph import dtypes
+from repro.graph.registry import register_op
+from repro.graph.tensor import Tensor
+from repro.ops.common import build
+
+__all__ = ["invoke"]
+
+
+def _invoke_infer(op):
+    subgraph: SubGraph = op.attrs["subgraph"]
+    return list(subgraph.output_specs)
+
+
+def _invoke_starter(engine, inst, inputs):
+    op = inst.op
+    subgraph: SubGraph = op.attrs["subgraph"]
+    if not subgraph.finalized:
+        raise SubGraphError(
+            f"InvokeOp {op.name} executed before SubGraph "
+            f"{subgraph.name!r} was finalized")
+    n_args = op.attrs["n_args"]
+    bindings = {subgraph.input_tensors[i].op.id: inputs[i]
+                for i in range(n_args)}
+    for _, placeholder_id, position in op.attrs.get("capture_map", ()):
+        bindings[placeholder_id] = inputs[position]
+    key = child_key(inst.frame.key, op.id)
+
+    def on_complete(frame):
+        outputs = [frame.value_of(t) for t in subgraph.output_tensors]
+        engine.finish_async(inst, outputs)
+
+    engine.spawn_frame(subgraph, bindings, key, inst.frame.depth + 1,
+                       on_complete, inst)
+
+
+register_op("Invoke", infer=_invoke_infer, is_async=True,
+            starter=_invoke_starter, cost="invoke")
+# The gradient function is registered by repro.core.autodiff to avoid an
+# import cycle.
+
+
+def invoke(subgraph: SubGraph, args) -> Tensor | tuple[Tensor, ...]:
+    """Create an InvokeOp calling ``subgraph`` in the current default graph."""
+    if len(args) != len(subgraph.input_tensors):
+        raise SubGraphError(
+            f"SubGraph {subgraph.name!r} takes {len(subgraph.input_tensors)} "
+            f"inputs, got {len(args)}")
+    # Touch output_specs early: recursion requires a forward declaration.
+    subgraph.output_specs
+    attrs = {"subgraph": subgraph, "n_args": len(args), "capture_map": []}
+    outputs = build("Invoke", list(args), attrs, name=f"call_{subgraph.name}")
+    op = outputs[0].op if outputs else None
+    # Validate declared arg dtypes.
+    for i, (given, declared) in enumerate(zip(op.inputs,
+                                              subgraph.input_tensors)):
+        if given.dtype != declared.dtype:
+            raise SubGraphError(
+                f"argument {i} of {subgraph.name!r} has dtype "
+                f"{given.dtype.name}, expected {declared.dtype.name}")
+    if subgraph.finalized:
+        subgraph.register_site(op, "main")
+    else:
+        subgraph.register_site(op, "main")
+    if len(outputs) == 1:
+        return outputs[0]
+    return tuple(outputs)
+
+
+# -- InvokeGrad ---------------------------------------------------------------
+
+
+def _invoke_grad_infer(op):
+    subgraph: SubGraph = op.attrs["fwd_subgraph"]
+    specs = []
+    for kind, index in subgraph.differentiable_input_slots():
+        if kind == "arg":
+            t = subgraph.input_tensors[index]
+        else:
+            t = subgraph.captures[index][1]
+        specs.append((t.dtype, t.shape))
+    specs.append((dtypes.bool_, ()))  # completion signal
+    return specs
+
+
+def _invoke_grad_starter(engine, inst, inputs):
+    op = inst.op
+    subgraph: SubGraph = op.attrs["fwd_subgraph"]
+    grad_sg = subgraph.grad_subgraph  # resolved lazily: recursion-safe
+    bindings = {grad_sg.input_tensors[i].op.id: inputs[i]
+                for i in range(len(grad_sg.input_tensors))}
+    key = child_key(inst.frame.key, op.attrs["site_id"])
+
+    def on_complete(frame):
+        outputs = [frame.value_of(t) for t in grad_sg.output_tensors]
+        outputs.append(np.bool_(True))
+        engine.finish_async(inst, outputs)
+
+    engine.spawn_frame(grad_sg, bindings, key, inst.frame.depth + 1,
+                       on_complete, inst)
+
+
+register_op("InvokeGrad", infer=_invoke_grad_infer, is_async=True,
+            starter=_invoke_grad_starter, cost="invoke")

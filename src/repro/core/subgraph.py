@@ -1,0 +1,303 @@
+"""SubGraph: the unit of recursion (paper Section 3.1).
+
+A :class:`SubGraph` groups operations of a dataflow graph into a reusable,
+function-like fragment with declared inputs and outputs.  Calling a
+SubGraph object creates an ``InvokeOp`` in the *current* graph — including
+inside the SubGraph's own body, which is what makes recursion expressible::
+
+    with SubGraph("TreeLSTM") as tree:
+        idx = tree.input(repro.int32, ())
+        tree.declare_outputs([(repro.float32, (1, H))])
+
+        def leaf():
+            return lstm(embed(words[idx]))
+
+        def internal():
+            left = tree(children[idx][0])     # recursive call
+            right = tree(children[idx][1])    # recursive call
+            return lstm2(left, right)
+
+        tree.output(repro.cond(is_leaf, leaf, internal))
+
+    root_state = tree(root_idx)
+
+Three pieces of framework machinery live here:
+
+* **Forward declaration** (paper Section 5): a recursive call site is
+  created before the SubGraph body is complete.  Declaring the output
+  signature up front (``declare_outputs``) gives the call site its types;
+  the body is "registered" to the pending sites when the definition
+  episode closes.
+* **Outer references** (paper Section 5): operations inside a body may
+  refer to tensors of enclosing graphs.  Such references are routed
+  through *capture* placeholders, and every call site is automatically
+  patched to pass the captured values — iterated to a fixpoint because
+  patching one SubGraph's sites can add captures to another (nested
+  conditionals, mutual recursion).
+* **Definition episodes**: nested ``with SubGraph(...)`` blocks form an
+  episode; when the outermost block exits, all SubGraphs defined inside it
+  are finalized together, sites are patched, and their body graphs frozen.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, Sequence
+
+from repro.graph import dtypes
+from repro.graph.graph import Graph, get_default_graph
+from repro.graph.tensor import Shape, Tensor
+
+__all__ = ["SubGraph", "SubGraphError"]
+
+
+class SubGraphError(RuntimeError):
+    """Raised for malformed SubGraph definitions or invocations."""
+
+
+def _differentiable(dtype: dtypes.DType) -> bool:
+    return dtype.is_floating or dtype.is_opaque
+
+
+class _DefinitionState(threading.local):
+    def __init__(self):
+        self.stack: list["SubGraph"] = []
+        self.episode: list["SubGraph"] = []
+
+
+_defs = _DefinitionState()
+
+
+class _Site:
+    """A call site (InvokeOp/CondOp/LoopOp) to be patched with captures."""
+
+    __slots__ = ("op", "role", "appended")
+
+    def __init__(self, op, role: str):
+        self.op = op
+        self.role = role
+        self.appended = 0
+
+
+class SubGraph:
+    """A reusable, possibly recursive fragment of a dataflow graph."""
+
+    def __init__(self, name: str = "subgraph", *, backward: bool = False):
+        self.name = name
+        self.parent_graph = get_default_graph()
+        self.graph = Graph(name, is_subgraph_body=True)
+        self.graph.owning_subgraph = self
+        self.graph.is_backward_body = backward
+        self.is_backward = backward
+        self.input_tensors: list[Tensor] = []
+        self.output_tensors: Optional[list[Tensor]] = None
+        self._declared_outputs: Optional[list[tuple]] = None
+        #: list of (outer source tensor, body placeholder) pairs
+        self.captures: list[tuple[Tensor, Tensor]] = []
+        self._capture_memo: dict[tuple[int, int], Tensor] = {}
+        self._sites: list[_Site] = []
+        self._finalized = False
+        self._grad_subgraph: Optional["SubGraph"] = None
+        self._grad_in_progress = False
+        self._context_depth = 0
+
+    # -- definition ----------------------------------------------------------
+
+    def __enter__(self) -> "SubGraph":
+        if self._finalized:
+            raise SubGraphError(f"SubGraph {self.name!r} is already defined")
+        self._graph_ctx = self.graph.as_default()
+        self._graph_ctx.__enter__()
+        _defs.stack.append(self)
+        _defs.episode.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._graph_ctx.__exit__(exc_type, exc, tb)
+        popped = _defs.stack.pop()
+        assert popped is self, "unbalanced SubGraph definition nesting"
+        if exc_type is None and not _defs.stack:
+            episode, _defs.episode = _defs.episode, []
+            _close_episode(episode)
+        elif exc_type is not None and not _defs.stack:
+            _defs.episode = []
+
+    def input(self, dtype, shape: Shape = None,
+              name: str = "input") -> Tensor:
+        """Declare an input of this SubGraph (a placeholder in its body)."""
+        if self._finalized:
+            raise SubGraphError("cannot add inputs to a finalized SubGraph")
+        from repro.ops import math_ops
+        with self.graph.as_default():
+            tensor = math_ops.placeholder(dtype, shape, name=name)
+        self.input_tensors.append(tensor)
+        return tensor
+
+    def declare_outputs(self, specs: Sequence[tuple]) -> None:
+        """Predeclare the output signature: a list of (dtype, shape).
+
+        Required before any *recursive* call, because a call site must know
+        the callee's signature (the paper's forward declaration).
+        """
+        self._declared_outputs = [(dtypes.as_dtype(d), s) for d, s in specs]
+
+    def output(self, *tensors) -> None:
+        """Set the SubGraph outputs (ends the function body)."""
+        if self.output_tensors is not None:
+            raise SubGraphError(f"outputs of {self.name!r} already set")
+        from repro.ops.common import convert, to_graph
+        converted = []
+        with self.graph.as_default():
+            for t in tensors:
+                converted.append(to_graph(convert(t), self.graph))
+        if self._declared_outputs is not None:
+            if len(converted) != len(self._declared_outputs):
+                raise SubGraphError(
+                    f"{self.name!r} declared {len(self._declared_outputs)} "
+                    f"outputs but produced {len(converted)}")
+            for i, (t, (dtype, _)) in enumerate(
+                    zip(converted, self._declared_outputs)):
+                if t.dtype != dtype:
+                    raise SubGraphError(
+                        f"output {i} of {self.name!r} has dtype "
+                        f"{t.dtype.name}, declared {dtype.name}")
+        self.output_tensors = converted
+
+    def capture(self, outer: Tensor) -> Tensor:
+        """Route an enclosing-graph tensor into this body (outer reference).
+
+        The returned placeholder stands for ``outer``'s value; all call
+        sites are patched to pass it.  Memoized per source tensor.
+        """
+        if self.is_backward:
+            raise SubGraphError(
+                "backward SubGraphs must reference forward values through "
+                "the backprop cache, not captures — this is a framework bug")
+        if outer.graph is not self.parent_graph:
+            raise SubGraphError(
+                f"capture source {outer.name} must live in the parent graph "
+                f"{self.parent_graph.name}, got {outer.graph.name}")
+        memo_key = (id(outer.op), outer.index)
+        if memo_key in self._capture_memo:
+            return self._capture_memo[memo_key]
+        if self.graph.finalized:
+            raise SubGraphError(
+                f"SubGraph {self.name!r} is frozen; new outer references "
+                "are no longer allowed")
+        from repro.ops import math_ops
+        with self.graph.as_default():
+            placeholder = math_ops.placeholder(
+                outer.dtype, outer.shape, name=f"capture_{outer.op.name}")
+        self._capture_memo[memo_key] = placeholder
+        self.captures.append((outer, placeholder))
+        return placeholder
+
+    # -- signature helpers ----------------------------------------------------
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    @property
+    def output_specs(self) -> list[tuple]:
+        """(dtype, shape) per output, from the body or the declaration."""
+        if self.output_tensors is not None:
+            return [(t.dtype, t.shape) for t in self.output_tensors]
+        if self._declared_outputs is not None:
+            return list(self._declared_outputs)
+        raise SubGraphError(
+            f"SubGraph {self.name!r} has no outputs yet; call "
+            "declare_outputs(...) before recursive calls")
+
+    @property
+    def grad_subgraph(self) -> "SubGraph":
+        if self._grad_subgraph is None:
+            raise SubGraphError(
+                f"SubGraph {self.name!r} has no gradient; run "
+                "repro.gradients/differentiate_subgraph first")
+        return self._grad_subgraph
+
+    def differentiable_output_positions(self) -> list[int]:
+        return [i for i, (d, _) in enumerate(self.output_specs)
+                if _differentiable(d)]
+
+    def differentiable_input_slots(self) -> list[tuple[str, int]]:
+        """Gradient slots in canonical order: ("arg", i) then ("capture", j)."""
+        slots: list[tuple[str, int]] = []
+        for i, t in enumerate(self.input_tensors):
+            if _differentiable(t.dtype):
+                slots.append(("arg", i))
+        for j, (_, placeholder) in enumerate(self.captures):
+            if _differentiable(placeholder.dtype):
+                slots.append(("capture", j))
+        return slots
+
+    # -- invocation -----------------------------------------------------------
+
+    def __call__(self, *args):
+        """Create an InvokeOp calling this SubGraph in the current graph.
+
+        Returns a single tensor, or a tuple for multi-output SubGraphs.
+        """
+        from repro.core.invoke import invoke as invoke_fn
+        return invoke_fn(self, args)
+
+    def register_site(self, op, role: str) -> None:
+        """Record a call site; append captures now or when finalized."""
+        site = _Site(op, role)
+        self._sites.append(site)
+        if self._finalized:
+            self._patch_site(site)
+
+    def _patch_site(self, site: _Site) -> bool:
+        """Append any not-yet-passed captures to a call site's inputs."""
+        from repro.ops.common import to_graph
+        changed = False
+        while site.appended < len(self.captures):
+            source, placeholder = self.captures[site.appended]
+            value = to_graph(source, site.op.graph)
+            position = len(site.op.inputs)
+            site.op.inputs.append(value)
+            site.op.attrs.setdefault("capture_map", []).append(
+                (site.role, placeholder.op.id, position))
+            site.op.graph._invalidate_caches()
+            site.appended += 1
+            changed = True
+        return changed
+
+    def _patch_all_sites(self) -> bool:
+        changed = False
+        for site in self._sites:
+            changed |= self._patch_site(site)
+        return changed
+
+    def _validate_definition(self) -> None:
+        if self.output_tensors is None:
+            raise SubGraphError(
+                f"SubGraph {self.name!r} was defined without calling "
+                ".output(...)")
+        self.graph.validate()
+
+    def __repr__(self) -> str:
+        state = "finalized" if self._finalized else "defining"
+        return (f"<SubGraph {self.name!r} inputs={len(self.input_tensors)} "
+                f"captures={len(self.captures)} {state}>")
+
+
+def _close_episode(episode: list[SubGraph]) -> None:
+    """Finalize all SubGraphs of a definition episode together.
+
+    Capture patching is iterated to a fixpoint: patching the sites of one
+    SubGraph can introduce new captures on another (routing values through
+    nested bodies).  Only then are body graphs frozen.
+    """
+    for sg in episode:
+        sg._validate_definition()
+        sg._finalized = True
+    changed = True
+    while changed:
+        changed = False
+        for sg in episode:
+            changed |= sg._patch_all_sites()
+    for sg in episode:
+        sg.graph.finalize()

@@ -1,0 +1,12 @@
+"""Data substrate: trees, vocabulary, synthetic treebank, batching."""
+
+from .batching import TreeBatch, batch_trees, iterate_batches
+from .treebank import (SyntheticTreebank, TreebankConfig, build_shape,
+                       label_tree, make_treebank)
+from .trees import Tree, TreeArrays, TreeNode
+from .vocab import Vocabulary, WordKind
+
+__all__ = ["TreeBatch", "batch_trees", "iterate_batches",
+           "SyntheticTreebank", "TreebankConfig", "build_shape",
+           "label_tree", "make_treebank", "Tree", "TreeArrays", "TreeNode",
+           "Vocabulary", "WordKind"]

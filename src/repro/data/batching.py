@@ -1,0 +1,87 @@
+"""Padded batching of trees into feedable arrays.
+
+One graph per batch size handles arbitrary tree sizes: the node dimension
+is padded to the largest tree in the batch and the per-instance node count
+is fed alongside (this is precisely the reuse advantage of embedded
+control flow the paper leverages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .trees import Tree
+
+__all__ = ["TreeBatch", "batch_trees", "iterate_batches"]
+
+
+@dataclass
+class TreeBatch:
+    """Arrays for a batch of ``B`` trees padded to ``N`` nodes."""
+
+    words: np.ndarray      # int32 [B, N]
+    children: np.ndarray   # int32 [B, N, 2]
+    is_leaf: np.ndarray    # bool  [B, N]
+    labels: np.ndarray     # int32 [B, N]
+    n_nodes: np.ndarray    # int32 [B]
+    root: np.ndarray       # int32 [B]
+    trees: list
+
+    @property
+    def size(self) -> int:
+        return len(self.n_nodes)
+
+    @property
+    def max_nodes(self) -> int:
+        return self.words.shape[1]
+
+    @property
+    def total_nodes(self) -> int:
+        return int(self.n_nodes.sum())
+
+    def root_labels(self) -> np.ndarray:
+        return self.labels[np.arange(self.size), self.root]
+
+
+def batch_trees(trees: Sequence[Tree]) -> TreeBatch:
+    """Flatten and pad a list of trees into a :class:`TreeBatch`."""
+    if not trees:
+        raise ValueError("cannot batch zero trees")
+    arrays = [t.to_arrays() for t in trees]
+    batch_size = len(arrays)
+    max_nodes = max(a.num_nodes for a in arrays)
+    words = np.zeros((batch_size, max_nodes), dtype=np.int32)
+    children = np.zeros((batch_size, max_nodes, 2), dtype=np.int32)
+    is_leaf = np.ones((batch_size, max_nodes), dtype=np.bool_)
+    labels = np.zeros((batch_size, max_nodes), dtype=np.int32)
+    n_nodes = np.zeros(batch_size, dtype=np.int32)
+    root = np.zeros(batch_size, dtype=np.int32)
+    for b, a in enumerate(arrays):
+        n = a.num_nodes
+        words[b, :n] = np.maximum(a.words, 0)
+        children[b, :n] = np.maximum(a.children, 0)
+        is_leaf[b, :n] = a.is_leaf
+        labels[b, :n] = a.labels
+        n_nodes[b] = n
+        root[b] = a.root
+    return TreeBatch(words=words, children=children, is_leaf=is_leaf,
+                     labels=labels, n_nodes=n_nodes, root=root,
+                     trees=list(trees))
+
+
+def iterate_batches(trees: Sequence[Tree], batch_size: int,
+                    shuffle: bool = False,
+                    rng: np.random.Generator | None = None,
+                    drop_remainder: bool = True) -> Iterator[TreeBatch]:
+    """Yield :class:`TreeBatch` chunks of ``batch_size`` trees."""
+    order = np.arange(len(trees))
+    if shuffle:
+        (rng or np.random.default_rng(0)).shuffle(order)
+    for start in range(0, len(order), batch_size):
+        chunk = order[start:start + batch_size]
+        if drop_remainder and len(chunk) < batch_size:
+            return
+        yield batch_trees([trees[i] for i in chunk])

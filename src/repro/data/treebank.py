@@ -1,0 +1,202 @@
+"""Synthetic sentiment treebank generator.
+
+Stands in for the Large Movie Review / Stanford Sentiment Treebank data
+the paper uses (binary parse trees, every node labeled).  Generation is
+fully seeded and deterministic:
+
+1. sample a sentence length from a clipped log-normal (movie-review
+   sentences: most 10-60 words, a long tail up to ~250 — the range of the
+   paper's Figure 11 x-axis);
+2. sample words (content / negator / intensifier / neutral mix);
+3. build a binary parse shape over the words (natural = random splits
+   biased towards balance; see :mod:`repro.data.shapes` for the
+   balanced / moderate / linear variants of Table 1);
+4. label every node with the composed sentiment: leaves inherit their
+   word's polarity; an internal node sums its children, except that a
+   negator left-child flips and an intensifier left-child amplifies the
+   right phrase.  Binary label = (score > 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .trees import Tree, TreeNode
+from .vocab import Vocabulary, WordKind
+
+__all__ = ["TreebankConfig", "SyntheticTreebank", "label_tree",
+           "build_shape", "make_treebank"]
+
+
+@dataclass
+class TreebankConfig:
+    vocab_size: int = 200
+    num_train: int = 400
+    num_val: int = 100
+    min_words: int = 4
+    max_words: int = 250
+    mean_log_words: float = 3.3   # exp(3.3) ~ 27 words
+    sigma_log_words: float = 0.55
+    shape: str = "natural"        # natural | balanced | moderate | linear
+    seed: int = 7
+
+
+def _sample_length(rng: np.random.Generator, config: TreebankConfig) -> int:
+    length = int(np.exp(rng.normal(config.mean_log_words,
+                                   config.sigma_log_words)))
+    return int(np.clip(length, config.min_words, config.max_words))
+
+
+def _sample_words(rng: np.random.Generator, vocab: Vocabulary,
+                  length: int) -> list[int]:
+    """Sample a sentence with a consistent sentiment leaning.
+
+    Like a real movie review, each sentence leans positive or negative:
+    content words matching the sentence's leaning are drawn with higher
+    probability, so root sentiment is predictable from composed phrase
+    sentiment while node labels stay fully compositional.
+    """
+    leaning = 1.0 if rng.random() < 0.5 else -1.0
+    content = np.flatnonzero(vocab.kinds == WordKind.CONTENT)
+    matching = content[vocab.polarity[content] * leaning > 0]
+    words = []
+    for raw in rng.integers(0, vocab.size, size=length):
+        word = int(raw)
+        if (vocab.kinds[word] == WordKind.CONTENT
+                and vocab.polarity[word] * leaning < 0
+                and rng.random() < 0.55):
+            word = int(rng.choice(matching))
+        words.append(word)
+    # Avoid a negator/intensifier in the final position (it would have no
+    # right phrase to modify at any level).
+    if vocab.kinds[words[-1]] in (WordKind.NEGATOR, WordKind.INTENSIFIER):
+        words[-1] = vocab.sample_word(rng, WordKind.CONTENT)
+    return words
+
+
+def build_shape(words: Sequence[int], shape: str,
+                rng: np.random.Generator) -> TreeNode:
+    """Build an unlabeled binary tree of the given shape over ``words``."""
+    def natural(lo: int, hi: int) -> TreeNode:
+        if hi - lo == 1:
+            return TreeNode(word=words[lo])
+        # split near the middle with noise: yields realistically balanced
+        # parses (balancedness ~0.5-0.8)
+        span = hi - lo
+        mid = lo + 1 + int((span - 2) * rng.beta(2.0, 2.0)) if span > 2 \
+            else lo + 1
+        return TreeNode(left=natural(lo, mid), right=natural(mid, hi))
+
+    def balanced(lo: int, hi: int) -> TreeNode:
+        if hi - lo == 1:
+            return TreeNode(word=words[lo])
+        mid = (lo + hi) // 2
+        return TreeNode(left=balanced(lo, mid), right=balanced(mid, hi))
+
+    def moderate(lo: int, hi: int) -> TreeNode:
+        if hi - lo == 1:
+            return TreeNode(word=words[lo])
+        span = hi - lo
+        # strongly skewed splits: a thin left phrase, deep right spine —
+        # moderately balanced trees sitting between balanced and linear
+        frac = rng.uniform(0.04, 0.22)
+        mid = lo + max(1, min(span - 1, int(span * frac)))
+        return TreeNode(left=moderate(lo, mid), right=moderate(mid, hi))
+
+    def linear(lo: int, hi: int) -> TreeNode:
+        # left-leaning chain: ((((w0 w1) w2) w3) ...)
+        node = TreeNode(word=words[lo])
+        for i in range(lo + 1, hi):
+            node = TreeNode(left=node, right=TreeNode(word=words[i]))
+        return node
+
+    builders = {"natural": natural, "balanced": balanced,
+                "moderate": moderate, "linear": linear}
+    try:
+        builder = builders[shape]
+    except KeyError:
+        raise ValueError(f"unknown tree shape {shape!r}; "
+                         f"choose from {sorted(builders)}") from None
+    return builder(0, len(words))
+
+
+def label_tree(node: TreeNode, vocab: Vocabulary) -> float:
+    """Assign composed sentiment scores and binary labels bottom-up."""
+    if node.is_leaf:
+        node.score = float(vocab.polarity[node.word])
+    else:
+        left_score = label_tree(node.left, vocab)
+        right_score = label_tree(node.right, vocab)
+        if node.left.is_leaf and vocab.is_negator(node.left.word):
+            node.score = -right_score
+        elif node.left.is_leaf and vocab.is_intensifier(node.left.word):
+            node.score = 1.5 * right_score
+        else:
+            node.score = left_score + right_score
+    node.label = int(node.score > 0)
+    return node.score
+
+
+def _generate_tree(rng: np.random.Generator, vocab: Vocabulary,
+                   config: TreebankConfig,
+                   length: Optional[int] = None) -> Tree:
+    length = length if length is not None else _sample_length(rng, config)
+    words = _sample_words(rng, vocab, length)
+    root = build_shape(words, config.shape, rng)
+    label_tree(root, vocab)
+    return Tree(root)
+
+
+@dataclass
+class SyntheticTreebank:
+    """A generated dataset: train/validation trees plus its vocabulary."""
+
+    vocab: Vocabulary
+    train: list[Tree]
+    val: list[Tree]
+    config: TreebankConfig
+
+    def with_shape(self, shape: str) -> "SyntheticTreebank":
+        """The same word sequences re-parsed into a different tree shape
+        (the Table 1 balanced/moderate/linear datasets)."""
+        rng = np.random.default_rng(self.config.seed + 1)
+
+        def reparse(tree: Tree) -> Tree:
+            root = build_shape(tree.words(), shape, rng)
+            label_tree(root, self.vocab)
+            return Tree(root)
+
+        clone = SyntheticTreebank(
+            vocab=self.vocab,
+            train=[reparse(t) for t in self.train],
+            val=[reparse(t) for t in self.val],
+            config=TreebankConfig(**{**self.config.__dict__,
+                                     "shape": shape}))
+        return clone
+
+    def trees_of_length(self, length: int, count: int,
+                        seed: int = 0) -> list[Tree]:
+        """Generate fresh instances with exactly ``length`` words
+        (the Figure 11 sentence-length sweep)."""
+        rng = np.random.default_rng(self.config.seed + 1000 + seed)
+        return [_generate_tree(rng, self.vocab, self.config, length=length)
+                for _ in range(count)]
+
+
+def make_treebank(config: Optional[TreebankConfig] = None,
+                  **overrides) -> SyntheticTreebank:
+    """Generate a seeded synthetic treebank."""
+    if config is None:
+        config = TreebankConfig(**overrides)
+    elif overrides:
+        config = TreebankConfig(**{**config.__dict__, **overrides})
+    rng = np.random.default_rng(config.seed)
+    vocab = Vocabulary.build(config.vocab_size, rng)
+    train = [_generate_tree(rng, vocab, config)
+             for _ in range(config.num_train)]
+    val = [_generate_tree(rng, vocab, config) for _ in range(config.num_val)]
+    return SyntheticTreebank(vocab=vocab, train=train, val=val,
+                             config=config)

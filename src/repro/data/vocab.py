@@ -1,0 +1,71 @@
+"""Vocabulary with word polarities for the synthetic treebank.
+
+The paper evaluates on movie-review sentiment data, which we cannot ship
+offline.  The synthetic vocabulary preserves what the models must learn:
+content words carry a latent polarity, negators flip the polarity of the
+phrase to their right, and intensifiers amplify it.  Sentiment composes
+bottom-up exactly like the models compose representations bottom-up, so
+the task is genuinely learnable by the TreeRNN family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Vocabulary", "WordKind"]
+
+
+class WordKind:
+    CONTENT = 0
+    NEGATOR = 1
+    INTENSIFIER = 2
+    NEUTRAL = 3
+
+
+@dataclass
+class Vocabulary:
+    """Word ids 0..size-1 with per-word kind and polarity."""
+
+    size: int
+    kinds: np.ndarray       # int [size]
+    polarity: np.ndarray    # float [size], 0 for non-content words
+
+    @classmethod
+    def build(cls, size: int = 200, rng: np.random.Generator | None = None,
+              negator_fraction: float = 0.04,
+              intensifier_fraction: float = 0.04,
+              neutral_fraction: float = 0.25) -> "Vocabulary":
+        rng = rng or np.random.default_rng(0)
+        kinds = np.full(size, WordKind.CONTENT, dtype=np.int64)
+        polarity = np.zeros(size, dtype=np.float64)
+        n_neg = max(1, int(size * negator_fraction))
+        n_int = max(1, int(size * intensifier_fraction))
+        n_neu = max(1, int(size * neutral_fraction))
+        ids = rng.permutation(size)
+        neg_ids = ids[:n_neg]
+        int_ids = ids[n_neg:n_neg + n_int]
+        neu_ids = ids[n_neg + n_int:n_neg + n_int + n_neu]
+        kinds[neg_ids] = WordKind.NEGATOR
+        kinds[int_ids] = WordKind.INTENSIFIER
+        kinds[neu_ids] = WordKind.NEUTRAL
+        content = kinds == WordKind.CONTENT
+        # polarities in {-2,-1,1,2}: no neutral content words, so composed
+        # scores rarely cancel to exactly zero
+        raw = rng.choice([-2.0, -1.0, 1.0, 2.0], size=int(content.sum()))
+        polarity[content] = raw
+        return cls(size=size, kinds=kinds, polarity=polarity)
+
+    def sample_word(self, rng: np.random.Generator,
+                    kind: int | None = None) -> int:
+        if kind is None:
+            return int(rng.integers(0, self.size))
+        candidates = np.flatnonzero(self.kinds == kind)
+        return int(rng.choice(candidates))
+
+    def is_negator(self, word: int) -> bool:
+        return self.kinds[word] == WordKind.NEGATOR
+
+    def is_intensifier(self, word: int) -> bool:
+        return self.kinds[word] == WordKind.INTENSIFIER

@@ -1,0 +1,5 @@
+"""Simulated multi-machine data-parallel training."""
+
+from .cluster import CommunicationModel, DataParallelCluster
+
+__all__ = ["CommunicationModel", "DataParallelCluster"]

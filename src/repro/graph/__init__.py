@@ -1,0 +1,15 @@
+"""Graph substrate: dtypes, symbolic tensors, graphs and the op registry."""
+
+from .dtypes import (DType, as_dtype, bool_, float32, float64, from_numpy,
+                     int32, int64, variant)
+from .graph import Graph, Operation, get_default_graph, reset_default_graph
+from .registry import ExecContext, OpDef, op_def, register_grad, register_op
+from .tensor import Shape, Tensor
+
+__all__ = [
+    "DType", "as_dtype", "bool_", "float32", "float64", "from_numpy",
+    "int32", "int64", "variant",
+    "Graph", "Operation", "get_default_graph", "reset_default_graph",
+    "ExecContext", "OpDef", "op_def", "register_grad", "register_op",
+    "Shape", "Tensor",
+]

@@ -1,0 +1,119 @@
+"""Element types for dataflow graph tensors.
+
+A :class:`DType` wraps a numpy dtype and classifies it for the purposes of
+automatic differentiation (only floating types carry gradients) and kernel
+dispatch.  The special :data:`variant` dtype is used for opaque runtime
+values such as :class:`~repro.ops.tensor_array.TensorArrayValue` that flow
+along graph edges but are not numeric arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DType",
+    "float32",
+    "float64",
+    "int32",
+    "int64",
+    "bool_",
+    "variant",
+    "as_dtype",
+    "from_numpy",
+]
+
+
+class DType:
+    """An element type for tensors flowing through the graph."""
+
+    _by_name: dict[str, "DType"] = {}
+
+    def __init__(self, name: str, np_dtype, *, floating: bool = False,
+                 integer: bool = False, boolean: bool = False,
+                 opaque: bool = False):
+        self.name = name
+        self.np_dtype = np.dtype(np_dtype) if np_dtype is not None else None
+        self.is_floating = floating
+        self.is_integer = integer
+        self.is_bool = boolean
+        self.is_opaque = opaque
+        DType._by_name[name] = self
+
+    def __repr__(self) -> str:
+        return f"repro.{self.name}"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, DType):
+            return self.name == other.name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+float32 = DType("float32", np.float32, floating=True)
+float64 = DType("float64", np.float64, floating=True)
+int32 = DType("int32", np.int32, integer=True)
+int64 = DType("int64", np.int64, integer=True)
+bool_ = DType("bool", np.bool_, boolean=True)
+variant = DType("variant", None, opaque=True)
+
+_NUMPY_TO_DTYPE = {
+    np.dtype(np.float32): float32,
+    np.dtype(np.float64): float64,
+    np.dtype(np.int32): int32,
+    np.dtype(np.int64): int64,
+    np.dtype(np.bool_): bool_,
+}
+
+
+def as_dtype(value) -> DType:
+    """Coerce ``value`` (DType, string, or numpy dtype) to a :class:`DType`."""
+    if isinstance(value, DType):
+        return value
+    if isinstance(value, str):
+        try:
+            return DType._by_name[value]
+        except KeyError:
+            raise TypeError(f"unknown dtype name: {value!r}") from None
+    try:
+        np_dtype = np.dtype(value)
+    except TypeError:
+        raise TypeError(f"cannot interpret {value!r} as a dtype") from None
+    try:
+        return _NUMPY_TO_DTYPE[np_dtype]
+    except KeyError:
+        raise TypeError(f"unsupported numpy dtype: {np_dtype}") from None
+
+
+def from_numpy(array: np.ndarray) -> DType:
+    """Return the :class:`DType` matching a numpy array's dtype."""
+    try:
+        return _NUMPY_TO_DTYPE[array.dtype]
+    except KeyError:
+        raise TypeError(f"unsupported numpy dtype: {array.dtype}") from None
+
+
+def as_value(value, dtype: DType | None = None):
+    """Convert a Python/numpy value to a runtime tensor value.
+
+    Numeric values become numpy arrays of ``dtype`` (or an inferred dtype).
+    Opaque values (``variant`` dtype) are passed through untouched.
+    """
+    if dtype is not None and dtype.is_opaque:
+        return value
+    if isinstance(value, np.ndarray):
+        arr = value
+    else:
+        arr = np.asarray(value)
+    if arr.dtype == np.dtype(np.float16):
+        arr = arr.astype(np.float32)
+    if dtype is None:
+        # Normalize Python defaults: float -> float32, int -> int32.
+        if arr.dtype == np.dtype(np.float64) and not isinstance(value, np.ndarray):
+            arr = arr.astype(np.float32)
+        elif arr.dtype in (np.dtype(np.int64), np.dtype(int)) and not isinstance(value, np.ndarray):
+            arr = arr.astype(np.int32)
+        return arr
+    return arr.astype(dtype.np_dtype, copy=False)

@@ -1,0 +1,88 @@
+"""Operation registry: kernels, gradients and output inference.
+
+Every operation type used in a graph must be registered here.  An
+:class:`OpDef` bundles:
+
+* ``infer(op)``  -> list of (dtype, shape) output specs, run at graph
+  construction time;
+* ``kernel(op, inputs, ctx)`` -> list of output values, run by the engine
+  (``ctx`` is an :class:`ExecContext` giving access to the runtime);
+* ``grad(gb, op, out_grads)`` -> list of per-input gradient tensors (or
+  None), used by :mod:`repro.core.autodiff`;
+* ``is_async``: the kernel does not return values directly but installs
+  child frames (InvokeOp / CondOp / LoopOp);
+* ``stateful``: the kernel has side effects (variable writes, gradient
+  accumulation) and must never be deduplicated or pruned once fetched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["OpDef", "register_op", "register_grad", "op_def", "ExecContext",
+           "all_op_types"]
+
+
+@dataclass
+class ExecContext:
+    """Runtime services available to kernels."""
+
+    runtime: Any          # repro.runtime.session.Runtime
+    frame: Any            # repro.runtime.engine Frame executing this op
+    record: bool          # True when forward values must be cached
+
+    @property
+    def variables(self):
+        return self.runtime.variables
+
+    @property
+    def cache(self):
+        return self.runtime.cache
+
+    @property
+    def accumulators(self):
+        return self.runtime.accumulators
+
+
+@dataclass
+class OpDef:
+    name: str
+    infer: Callable[[Any], list]
+    kernel: Optional[Callable[[Any, list, ExecContext], list]] = None
+    grad: Optional[Callable[[Any, Any, list], list]] = None
+    is_async: bool = False
+    stateful: bool = False
+    #: Extra metadata, e.g. cost-model hints.
+    meta: dict = field(default_factory=dict)
+
+
+_REGISTRY: dict[str, OpDef] = {}
+
+
+def register_op(name: str, *, infer, kernel=None, grad=None,
+                is_async: bool = False, stateful: bool = False,
+                **meta) -> OpDef:
+    """Register an operation type.  Raises if ``name`` is already taken."""
+    if name in _REGISTRY:
+        raise ValueError(f"op type {name!r} already registered")
+    op = OpDef(name=name, infer=infer, kernel=kernel, grad=grad,
+               is_async=is_async, stateful=stateful, meta=dict(meta))
+    _REGISTRY[name] = op
+    return op
+
+
+def register_grad(name: str, grad_fn) -> None:
+    """Attach (or replace) the gradient function of an existing op type."""
+    _REGISTRY[name].grad = grad_fn
+
+
+def op_def(name: str) -> OpDef:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown op type {name!r}; is its module imported?") from None
+
+
+def all_op_types() -> list[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,122 @@
+"""Symbolic tensors: handles to operation outputs.
+
+A :class:`Tensor` does not hold data; it names output ``index`` of an
+:class:`~repro.graph.graph.Operation` together with its static dtype and
+(best-effort) static shape.  Tensors support the usual arithmetic operators,
+which build the corresponding graph operations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from . import dtypes
+
+__all__ = ["Tensor", "Shape"]
+
+#: A static shape: a tuple whose entries are ints or None (unknown), or
+#: None entirely when the rank itself is unknown.
+Shape = Optional[Tuple[Optional[int], ...]]
+
+
+class Tensor:
+    """A symbolic handle to one output of a graph operation."""
+
+    __slots__ = ("op", "index", "dtype", "shape")
+
+    def __init__(self, op, index: int, dtype: dtypes.DType, shape: Shape = None):
+        self.op = op
+        self.index = index
+        self.dtype = dtype
+        self.shape = tuple(shape) if shape is not None else None
+
+    @property
+    def graph(self):
+        """The graph that owns this tensor's producing operation."""
+        return self.op.graph
+
+    @property
+    def name(self) -> str:
+        return f"{self.op.name}:{self.index}"
+
+    @property
+    def ref(self) -> tuple[int, int]:
+        """A hashable (op id, output index) pair identifying this tensor."""
+        return (self.op.id, self.index)
+
+    def __repr__(self) -> str:
+        shape = "?" if self.shape is None else list(self.shape)
+        return f"<Tensor {self.name} dtype={self.dtype.name} shape={shape}>"
+
+    def __hash__(self) -> int:
+        return hash((id(self.op), self.index))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Tensor):
+            return self.op is other.op and self.index == other.index
+        return NotImplemented
+
+    # -- operator overloads (lazily import ops to avoid import cycles) ----
+
+    def _ops(self):
+        from repro import ops
+        return ops
+
+    def __add__(self, other):
+        return self._ops().add(self, other)
+
+    def __radd__(self, other):
+        return self._ops().add(other, self)
+
+    def __sub__(self, other):
+        return self._ops().subtract(self, other)
+
+    def __rsub__(self, other):
+        return self._ops().subtract(other, self)
+
+    def __mul__(self, other):
+        return self._ops().multiply(self, other)
+
+    def __rmul__(self, other):
+        return self._ops().multiply(other, self)
+
+    def __truediv__(self, other):
+        return self._ops().divide(self, other)
+
+    def __rtruediv__(self, other):
+        return self._ops().divide(other, self)
+
+    def __matmul__(self, other):
+        return self._ops().matmul(self, other)
+
+    def __neg__(self):
+        return self._ops().negative(self)
+
+    def __pow__(self, exponent):
+        if exponent == 2:
+            return self._ops().square(self)
+        raise NotImplementedError("only **2 is supported; use ops.exp/log")
+
+    def __lt__(self, other):
+        return self._ops().less(self, other)
+
+    def __le__(self, other):
+        return self._ops().less_equal(self, other)
+
+    def __gt__(self, other):
+        return self._ops().greater(self, other)
+
+    def __ge__(self, other):
+        return self._ops().greater_equal(self, other)
+
+    def __getitem__(self, key):
+        from repro.ops import array_ops
+        return array_ops.python_index(self, key)
+
+    def __bool__(self):
+        raise TypeError(
+            "symbolic Tensor cannot be used as a Python bool; use repro.cond "
+            "for data-dependent control flow inside graphs")
+
+    def __iter__(self):
+        raise TypeError("symbolic Tensor is not iterable")

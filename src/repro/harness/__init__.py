@@ -1,0 +1,16 @@
+"""Evaluation harness: runners, throughput, convergence, reporting."""
+
+from .convergence import (ConvergencePoint, ConvergenceResult,
+                          evaluate_accuracy, run_convergence)
+from .reporting import ascii_series, format_table, results_dir, save_results
+from .runners import (FoldingRunner, IterativeRunner, RecursiveRunner,
+                      RunnerConfig, UnrolledRunner, make_runner)
+from .throughput import (ThroughputResult, measure_latency_curve,
+                         measure_throughput)
+
+__all__ = ["ConvergencePoint", "ConvergenceResult", "evaluate_accuracy",
+           "run_convergence", "ascii_series", "format_table", "results_dir",
+           "save_results", "FoldingRunner", "IterativeRunner",
+           "RecursiveRunner", "RunnerConfig", "UnrolledRunner", "make_runner",
+           "ThroughputResult", "measure_latency_curve",
+           "measure_throughput"]

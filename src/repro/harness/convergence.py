@@ -1,0 +1,77 @@
+"""Convergence measurement: validation accuracy vs (virtual) training time.
+
+Reproduces Figure 9's methodology: both implementations compute
+numerically identical updates, so accuracy-per-epoch curves coincide;
+what differs is the virtual time axis — the faster implementation reaches
+any accuracy threshold sooner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.batching import batch_trees, iterate_batches
+from repro.models.common import accuracy_from_logits
+
+__all__ = ["ConvergencePoint", "ConvergenceResult", "run_convergence"]
+
+
+@dataclass
+class ConvergencePoint:
+    epoch: int
+    virtual_time: float      # cumulative training seconds
+    train_loss: float
+    val_accuracy: float
+
+
+@dataclass
+class ConvergenceResult:
+    kind: str
+    points: list[ConvergencePoint] = field(default_factory=list)
+
+    def time_to_accuracy(self, target: float) -> Optional[float]:
+        """First cumulative time at which val accuracy >= target."""
+        for point in self.points:
+            if point.val_accuracy >= target:
+                return point.virtual_time
+        return None
+
+    def final_accuracy(self) -> float:
+        return self.points[-1].val_accuracy if self.points else 0.0
+
+
+def evaluate_accuracy(runner, trees: Sequence, batch_size: int) -> float:
+    """Root-label accuracy over ``trees`` using the runner's infer path."""
+    correct = 0
+    total = 0
+    for batch in iterate_batches(trees, batch_size, drop_remainder=True):
+        logits, _ = runner.infer_step(batch)
+        predictions = np.argmax(logits, axis=-1)
+        correct += int((predictions == batch.root_labels()).sum())
+        total += batch.size
+    return correct / max(total, 1)
+
+
+def run_convergence(runner, train_trees: Sequence, val_trees: Sequence,
+                    batch_size: int, epochs: int,
+                    seed: int = 0) -> ConvergenceResult:
+    """Train for ``epochs`` and record (time, accuracy) after each one."""
+    rng = np.random.default_rng(seed)
+    result = ConvergenceResult(kind=runner.kind)
+    elapsed = 0.0
+    for epoch in range(1, epochs + 1):
+        losses = []
+        for batch in iterate_batches(train_trees, batch_size, shuffle=True,
+                                     rng=rng):
+            loss, vtime = runner.train_step(batch)
+            losses.append(loss)
+            elapsed += vtime
+        accuracy = evaluate_accuracy(runner, val_trees, batch_size)
+        result.points.append(
+            ConvergencePoint(epoch=epoch, virtual_time=elapsed,
+                             train_loss=float(np.mean(losses)),
+                             val_accuracy=accuracy))
+    return result

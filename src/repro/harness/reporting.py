@@ -1,0 +1,67 @@
+"""Table/figure formatting and result persistence for the benchmarks."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Optional, Sequence
+
+__all__ = ["format_table", "save_results", "results_dir", "ascii_series"]
+
+
+def results_dir() -> str:
+    """``results/`` at the repository root (created on demand)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.abspath(os.path.join(here, "..", "..", ".."))
+    path = os.path.join(root, "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned text table (the benches print these)."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.1f}" if abs(value) >= 10 else f"{value:.2f}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(h)
+              for i, h in enumerate(headers)]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def save_results(name: str, payload: dict) -> str:
+    """Persist a bench's results as JSON under results/."""
+    path = os.path.join(results_dir(), f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=float)
+    return path
+
+
+def ascii_series(title: str, series: dict[str, dict], width: int = 60,
+                 height: int = 12) -> str:
+    """Very small ASCII plot: one char per series, x sorted numerically."""
+    lines = [title]
+    all_x = sorted({x for s in series.values() for x in s})
+    all_y = [y for s in series.values() for y in s.values()]
+    if not all_y:
+        return title + " (no data)"
+    y_max = max(all_y) or 1.0
+    for name, points in series.items():
+        scaled = {x: points.get(x) for x in all_x}
+        bars = []
+        for x in all_x:
+            y = scaled.get(x)
+            bars.append("." if y is None
+                        else str(min(9, int(round(9 * y / y_max)))))
+        lines.append(f"  {name:<12} {''.join(bars)}")
+    lines.append(f"  (scale: 9 = {y_max:.3g})")
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Throughput measurement (instances/second in simulated testbed time)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.batching import TreeBatch, batch_trees
+
+__all__ = ["ThroughputResult", "measure_throughput", "measure_latency_curve"]
+
+
+@dataclass
+class ThroughputResult:
+    kind: str
+    mode: str                 # "train" | "infer"
+    batch_size: int
+    instances: int
+    virtual_seconds: float
+
+    @property
+    def throughput(self) -> float:
+        return self.instances / self.virtual_seconds
+
+
+def _make_batches(trees: Sequence, batch_size: int, steps: int,
+                  seed: int = 0) -> list[TreeBatch]:
+    rng = np.random.default_rng(seed)
+    pool = list(trees)
+    batches = []
+    for _ in range(steps):
+        idx = rng.choice(len(pool), size=batch_size, replace=False)
+        batches.append(batch_trees([pool[i] for i in idx]))
+    return batches
+
+
+def measure_throughput(runner, trees: Sequence, batch_size: int,
+                       mode: str = "train", steps: int = 3,
+                       warmup: int = 1, seed: int = 0) -> ThroughputResult:
+    """Run warmup + measured steps over sampled batches."""
+    step_fn = runner.train_step if mode == "train" else runner.infer_step
+    batches = _make_batches(trees, batch_size, warmup + steps, seed)
+    for batch in batches[:warmup]:
+        step_fn(batch)
+    total_time = 0.0
+    total_instances = 0
+    for batch in batches[warmup:]:
+        _, vtime = step_fn(batch)
+        total_time += vtime
+        total_instances += batch.size
+    return ThroughputResult(kind=runner.kind, mode=mode,
+                            batch_size=batch_size,
+                            instances=total_instances,
+                            virtual_seconds=total_time)
+
+
+def measure_latency_curve(runner, trees_by_length: dict[int, list],
+                          mode: str = "train") -> dict[int, float]:
+    """Per-instance processing time (seconds) keyed by sentence length
+    (Figure 11; batch size 1)."""
+    step_fn = runner.train_step if mode == "train" else runner.infer_step
+    curve = {}
+    for length, trees in sorted(trees_by_length.items()):
+        times = []
+        for tree in trees:
+            _, vtime = step_fn(batch_trees([tree]))
+            times.append(vtime)
+        curve[length] = float(np.mean(times))
+    return curve

@@ -1,0 +1,13 @@
+"""The paper's evaluation applications."""
+
+from .base import SentimentModelBase
+from .common import BuiltModel, ModelConfig, accuracy_from_logits
+from .rntn import RNTNSentiment
+from .td_tree_lstm import BuiltGenerator, TDTreeLSTM
+from .tree_lstm import TreeLSTMSentiment, tree_lstm_config
+from .tree_rnn import TreeRNNSentiment
+
+__all__ = ["SentimentModelBase", "BuiltModel", "ModelConfig",
+           "accuracy_from_logits", "RNTNSentiment", "BuiltGenerator",
+           "TDTreeLSTM", "TreeLSTMSentiment", "tree_lstm_config",
+           "TreeRNNSentiment"]

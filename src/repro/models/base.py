@@ -1,0 +1,257 @@
+"""The three sentiment-model implementations the paper compares.
+
+One base class builds a model three ways over the *same* parameters:
+
+* :meth:`build_recursive` — the paper's contribution: a recursive
+  ``SubGraph`` whose body handles one tree node, with a conditional
+  separating the leaf base case from the internal recursive case (the
+  Figure 2 program, generalized over cells).  Independent subtrees execute
+  in parallel.
+* :meth:`build_iterative` — the embedded-control-flow baseline (Figure 1):
+  a ``while_loop`` over topologically-indexed nodes with TensorArray
+  state; strictly sequential within an instance, parallel only across the
+  batch.
+* :meth:`build_unrolled` — the non-embedded-control-flow baseline
+  (PyTorch-style): a fresh static graph constructed per batch, one set of
+  ops per tree node, rebuilt every step.
+
+Because all three read the same variables and compute the same math, their
+losses and gradients agree to float tolerance — the equivalence tests rely
+on this, and it mirrors the paper's observation that the implementations
+are numerically identical (Section 6.2, convergence).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import ops
+from repro.core.subgraph import SubGraph
+from repro.data.batching import TreeBatch
+from repro.graph import dtypes
+from repro.graph.graph import Graph
+from repro.nn.layers import Dense, Embedding
+from repro.nn.losses import node_cross_entropy
+from repro.ops.control_flow import cond, while_loop
+from repro.ops.tensor_array import ta_create, ta_read, ta_write
+from repro.runtime.session import Runtime, default_runtime
+
+from .common import BuiltModel, ModelConfig, make_batch_placeholders
+
+__all__ = ["SentimentModelBase"]
+
+
+class SentimentModelBase:
+    """A tree-structured sentiment model over a composition cell."""
+
+    name = "sentiment"
+
+    def __init__(self, config: ModelConfig, runtime: Optional[Runtime] = None):
+        self.config = config
+        self.runtime = runtime or default_runtime()
+        self.rng = np.random.default_rng(config.seed)
+        self.embedding = Embedding(f"{self.name}/embed", config.vocab_size,
+                                   self._embedding_dim(), self.rng,
+                                   runtime=self.runtime)
+        self.cell = self._make_cell()
+        self.classifier = Dense(f"{self.name}/cls", config.hidden,
+                                config.classes, self.rng,
+                                runtime=self.runtime)
+
+    # subclasses configure these ------------------------------------------------
+
+    def _make_cell(self):
+        raise NotImplementedError
+
+    def _embedding_dim(self) -> int:
+        return self.config.hidden
+
+    # ---------------------------------------------------------------------------
+
+    @property
+    def state_arity(self) -> int:
+        return self.cell.state_arity
+
+    @property
+    def variables(self):
+        return (self.embedding.variables + self.cell.variables
+                + self.classifier.variables)
+
+    def _leaf_state(self, word):
+        """Embedding lookup + cell leaf transform; ``word`` is a scalar."""
+        x = ops.reshape(self.embedding.lookup(word),
+                        (1, self._embedding_dim()))
+        return self.cell.leaf(x)
+
+    def _node_output(self, state, label):
+        logits = self.classifier(state[0])
+        return node_cross_entropy(logits, label)
+
+    # -- recursive implementation (the paper's approach) -------------------------
+
+    def build_recursive(self, batch_size: int) -> BuiltModel:
+        """Figure 2: one recursive SubGraph, invoked once per batch root."""
+        H = self.config.hidden
+        arity = self.state_arity
+        graph = Graph(f"{self.name}_recursive_b{batch_size}")
+        with graph.as_default():
+            ph = make_batch_placeholders(batch_size)
+            state_specs = ([(dtypes.float32, (1, H))] * arity
+                           + [(dtypes.float32, ())])
+
+            with SubGraph(f"{self.name}_node") as node:
+                b = node.input(dtypes.int32, (), name="b")
+                idx = node.input(dtypes.int32, (), name="idx")
+                node.declare_outputs(state_specs)
+                words_b = ops.gather(ph["words"], b)
+                children_b = ops.gather(ph["children"], b)
+                labels_b = ops.gather(ph["labels"], b)
+                leaf_flag = ops.gather(ops.gather(ph["is_leaf"], b), idx)
+                label = ops.gather(labels_b, idx)
+
+                def leaf_case():
+                    state = self._leaf_state(ops.gather(words_b, idx))
+                    return (*state, self._node_output(state, label))
+
+                def internal_case():
+                    pair = ops.gather(children_b, idx)
+                    left = node(b, ops.gather(pair, 0))
+                    right = node(b, ops.gather(pair, 1))
+                    state = self.cell.internal(left[:arity], right[:arity])
+                    loss = ops.add(self._node_output(state, label),
+                                   ops.add(left[arity], right[arity]))
+                    return (*state, loss)
+
+                node.output(*cond(leaf_flag, leaf_case, internal_case,
+                                  name="leaf_or_internal"))
+
+            root_h = []
+            instance_losses = []
+            for b in range(batch_size):
+                result = node(ops.constant(b), ops.gather(ph["root"], b))
+                result = (result,) if arity + 1 == 1 else result
+                subtree_loss = result[arity]
+                n_b = ops.cast(ops.gather(ph["n_nodes"], b), dtypes.float32)
+                instance_losses.append(ops.divide(subtree_loss, n_b))
+                root_h.append(result[0])
+            loss = ops.reduce_mean(ops.stack(instance_losses))
+            root_logits = self.classifier(ops.concat(root_h, axis=0))
+        return BuiltModel(graph=graph, batch_size=batch_size,
+                          placeholders=ph, loss=loss,
+                          root_logits=root_logits,
+                          build_op_count=graph.num_operations)
+
+    # -- iterative implementation (Figure 1 baseline) -----------------------------
+
+    def build_iterative(self, batch_size: int) -> BuiltModel:
+        """A single while_loop over topologically-indexed nodes.
+
+        Like real embedded-control-flow implementations, the batch is
+        processed *together*: iteration ``i`` computes node ``i`` of every
+        instance as one batched cell application, evaluating both the leaf
+        and the internal formula and merging them with an elementwise
+        ``select``.  Execution is strictly sequential across node indices —
+        no intra-tree parallelism — which is precisely the limitation the
+        paper's recursive implementation removes.
+        """
+        H = self.config.hidden
+        arity = self.state_arity
+        graph = Graph(f"{self.name}_iterative_b{batch_size}")
+        with graph.as_default():
+            ph = make_batch_placeholders(batch_size)
+            words_t = ops.transpose(ph["words"])          # [N, B]
+            is_leaf_t = ops.transpose(ph["is_leaf"])      # [N, B]
+            labels_t = ops.transpose(ph["labels"])        # [N, B]
+            children_t = ops.transpose(ph["children"],
+                                       perm=(1, 0, 2))    # [N, B, 2]
+            n_nodes = ph["n_nodes"]
+            n_max = ops.reduce_max(n_nodes)
+            arrays = [ta_create(n_max, (batch_size, H), name=f"states_{k}")
+                      for k in range(arity)]
+
+            def loop_cond(i, *rest):
+                return ops.less(i, n_max)
+
+            def loop_body(i, *rest):
+                tas, loss_vec = rest[:arity], rest[arity]
+                words_i = ops.gather(words_t, i)          # [B]
+                leaf_mask = ops.gather(is_leaf_t, i)      # [B] bool
+                labels_i = ops.gather(labels_t, i)        # [B]
+                pair = ops.gather(children_t, i)          # [B, 2]
+                left_idx = ops.squeeze(ops.slice_(pair, (0, 0),
+                                                  (-1, 1)), axis=1)
+                right_idx = ops.squeeze(ops.slice_(pair, (0, 1),
+                                                   (-1, 1)), axis=1)
+
+                x = self.embedding.lookup(words_i)        # [B, D]
+                leaf_state = self.cell.leaf(x)
+                left = tuple(ops.ta_gather_rows(t, left_idx, dtypes.float32,
+                                                (batch_size, H))
+                             for t in tas)
+                right = tuple(ops.ta_gather_rows(t, right_idx,
+                                                 dtypes.float32,
+                                                 (batch_size, H))
+                              for t in tas)
+                internal_state = self.cell.internal(left, right)
+                mask = ops.expand_dims(leaf_mask, 1)      # [B, 1]
+                state = tuple(ops.select(mask, ls, ns)
+                              for ls, ns in zip(leaf_state, internal_state))
+                logits = self.classifier(state[0])        # [B, C]
+                ce = ops.softmax_cross_entropy_with_logits(logits, labels_i)
+                valid = ops.cast(ops.less(i, n_nodes), dtypes.float32)
+                written = tuple(ta_write(t, i, s)
+                                for t, s in zip(tas, state))
+                return (ops.add(i, 1), *written,
+                        ops.add(loss_vec, ops.multiply(ce, valid)))
+
+            final = while_loop(loop_cond, loop_body,
+                               [ops.constant(0), *arrays,
+                                ops.fill((batch_size,), 0.0)],
+                               name="tree_loop")
+            final_tas = final[1:1 + arity]
+            loss_vec = final[1 + arity]
+            n_f = ops.cast(n_nodes, dtypes.float32)
+            loss = ops.reduce_mean(ops.divide(loss_vec, n_f))
+            root_h = ops.ta_gather_rows(final_tas[0], ph["root"],
+                                        dtypes.float32, (batch_size, H))
+            root_logits = self.classifier(root_h)
+        return BuiltModel(graph=graph, batch_size=batch_size,
+                          placeholders=ph, loss=loss,
+                          root_logits=root_logits,
+                          build_op_count=graph.num_operations)
+
+    # -- unrolled implementation (PyTorch-style baseline) --------------------------
+
+    def build_unrolled(self, batch: TreeBatch) -> BuiltModel:
+        """A fresh static graph for this specific batch of trees."""
+        arity = self.state_arity
+        graph = Graph(f"{self.name}_unrolled_b{batch.size}")
+        with graph.as_default():
+            root_h = []
+            instance_losses = []
+            for tree in batch.trees:
+                def expand(tnode):
+                    label = ops.constant(np.int32(tnode.label))
+                    if tnode.is_leaf:
+                        word = ops.constant(np.int32(tnode.word))
+                        state = self._leaf_state(word)
+                        return state, self._node_output(state, label)
+                    left_state, left_loss = expand(tnode.left)
+                    right_state, right_loss = expand(tnode.right)
+                    state = self.cell.internal(left_state, right_state)
+                    loss = ops.add(self._node_output(state, label),
+                                   ops.add(left_loss, right_loss))
+                    return state, loss
+
+                state, subtree_loss = expand(tree.root)
+                root_h.append(state[0])
+                instance_losses.append(
+                    ops.divide(subtree_loss, float(tree.num_nodes)))
+            loss = ops.reduce_mean(ops.stack(instance_losses))
+            root_logits = self.classifier(ops.concat(root_h, axis=0))
+        return BuiltModel(graph=graph, batch_size=batch.size,
+                          placeholders={}, loss=loss,
+                          root_logits=root_logits,
+                          build_op_count=graph.num_operations)

@@ -1,0 +1,83 @@
+"""Shared model plumbing: configs, placeholders, built-model handles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro import ops
+from repro.data.batching import TreeBatch
+from repro.graph import dtypes
+from repro.graph.graph import Graph
+from repro.graph.tensor import Tensor
+
+__all__ = ["ModelConfig", "BuiltModel", "make_batch_placeholders",
+           "accuracy_from_logits"]
+
+
+@dataclass
+class ModelConfig:
+    """Hyperparameters shared by the sentiment models.
+
+    The paper uses each original paper's hyperparameters (e.g. TreeLSTM
+    hidden 150); we scale dimensions down so the simulated testbed sweeps
+    run in seconds while preserving the *relative* compute intensities
+    (RNTN per-node compute >> TreeRNN; TreeLSTM larger state).
+    """
+
+    vocab_size: int = 200
+    hidden: int = 32
+    embed_dim: int = 32
+    classes: int = 2
+    seed: int = 3
+    learning_rate: float = 0.05
+
+
+@dataclass
+class BuiltModel:
+    """Handles to a constructed model graph."""
+
+    graph: Graph
+    batch_size: int
+    placeholders: dict[str, Tensor]
+    loss: Tensor
+    root_logits: Tensor          # [B, classes]
+    build_op_count: int = 0
+
+    def feed_dict(self, batch: TreeBatch) -> dict:
+        if batch.size != self.batch_size:
+            raise ValueError(
+                f"graph was built for batch size {self.batch_size}, got "
+                f"{batch.size}")
+        if not self.placeholders:
+            return {}
+        return {self.placeholders["words"]: batch.words,
+                self.placeholders["children"]: batch.children,
+                self.placeholders["is_leaf"]: batch.is_leaf,
+                self.placeholders["labels"]: batch.labels,
+                self.placeholders["n_nodes"]: batch.n_nodes,
+                self.placeholders["root"]: batch.root}
+
+
+def make_batch_placeholders(batch_size: int) -> dict[str, Tensor]:
+    """Placeholders for a padded :class:`TreeBatch` (node dim is dynamic)."""
+    return {
+        "words": ops.placeholder(dtypes.int32, (batch_size, None), "words"),
+        "children": ops.placeholder(dtypes.int32, (batch_size, None, 2),
+                                    "children"),
+        "is_leaf": ops.placeholder(dtypes.bool_, (batch_size, None),
+                                   "is_leaf"),
+        "labels": ops.placeholder(dtypes.int32, (batch_size, None),
+                                  "labels"),
+        "n_nodes": ops.placeholder(dtypes.int32, (batch_size,), "n_nodes"),
+        "root": ops.placeholder(dtypes.int32, (batch_size,), "root"),
+    }
+
+
+def accuracy_from_logits(root_logits: np.ndarray,
+                         batch: TreeBatch) -> float:
+    """Root-label binary accuracy for a batch."""
+    predictions = np.argmax(root_logits, axis=-1)
+    return float((predictions == batch.root_labels()).mean())

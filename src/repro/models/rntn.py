@@ -1,0 +1,28 @@
+"""RNTN sentiment model (Socher et al., EMNLP 2013 [26]).
+
+The Recursive Neural Tensor Network composes children through a bilinear
+tensor product — by far the heaviest per-node computation of the three
+models (O(4H^3) vs the TreeRNN's O(2H^2)), which is why its
+recursive/iterative gap narrows at large batch sizes in the paper
+(Figure 7b: compute dominates scheduling overheads).
+"""
+
+from __future__ import annotations
+
+from repro.nn.cells import RNTNCell
+
+from .base import SentimentModelBase
+from .common import ModelConfig
+
+__all__ = ["RNTNSentiment"]
+
+
+class RNTNSentiment(SentimentModelBase):
+    name = "rntn"
+
+    def _make_cell(self):
+        return RNTNCell(f"{self.name}/cell", self.config.hidden, self.rng,
+                        runtime=self.runtime)
+
+    def _embedding_dim(self) -> int:
+        return self.config.hidden

@@ -1,0 +1,233 @@
+"""Top-down TreeLSTM (Zhang et al., NAACL 2016 [33]) — a *dynamically
+structured* model.
+
+Unlike the bottom-up sentiment models, the tree here is **generated** at
+run time: from a root state the model emits a token, computes left/right
+growth gates from the state value, and recursively expands children until
+the gates close (or a depth cap is reached).  The complete structure is
+unknown before execution, so folding-style dynamic batching is
+fundamentally inapplicable (paper Section 6.4.2, Table 3) — but recursion
+expresses it directly, and independent subtrees still execute in parallel.
+
+Two implementations:
+
+* :meth:`build_recursive` — a recursive SubGraph whose conditional
+  predicate depends on *computed* values (the growth gates);
+* :meth:`build_iterative` — the embedded-control-flow baseline: a frontier
+  queue in TensorArrays processed one node per ``while_loop`` iteration.
+
+Both are inference workloads (sentence completion / generation), as in the
+paper's Table 3 evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import ops
+from repro.core.subgraph import SubGraph
+from repro.graph import dtypes
+from repro.graph.graph import Graph
+from repro.nn import initializers
+from repro.nn.layers import Embedding
+from repro.runtime.session import Runtime, default_runtime
+from repro.runtime.variables import Variable
+
+from .common import ModelConfig
+
+__all__ = ["TDTreeLSTM", "BuiltGenerator"]
+
+
+class BuiltGenerator:
+    """Handles to a constructed generator graph."""
+
+    def __init__(self, graph: Graph, batch_size: int, seeds, node_counts):
+        self.graph = graph
+        self.batch_size = batch_size
+        self.seeds = seeds            # int32 [B] placeholder
+        self.node_counts = node_counts  # int32 [B] tensor
+
+    def feed_dict(self, seed_words: np.ndarray) -> dict:
+        return {self.seeds: np.asarray(seed_words, dtype=np.int32)}
+
+
+class TDTreeLSTM:
+    """Top-down generative tree model."""
+
+    name = "td_treelstm"
+
+    def __init__(self, config: ModelConfig, runtime: Optional[Runtime] = None,
+                 max_depth: int = 7):
+        self.config = config
+        self.runtime = runtime or default_runtime()
+        self.max_depth = max_depth
+        rng = np.random.default_rng(config.seed)
+        H = config.hidden
+        self.embedding = Embedding(f"{self.name}/embed", config.vocab_size,
+                                   H, rng, runtime=self.runtime)
+        self.Wl = Variable(f"{self.name}/Wl",
+                           0.85 * initializers.glorot_uniform(rng, (H, H)),
+                           runtime=self.runtime)
+        self.Wr = Variable(f"{self.name}/Wr",
+                           0.85 * initializers.glorot_uniform(rng, (H, H)),
+                           runtime=self.runtime)
+        self.Wv = Variable(f"{self.name}/Wv",
+                           initializers.glorot_uniform(rng,
+                                                       (H,
+                                                        config.vocab_size)),
+                           runtime=self.runtime)
+        # Growth gates: biased open so generation starts eagerly and closes
+        # as the contracting child transforms shrink the state.
+        self.wg = Variable(f"{self.name}/wg",
+                           initializers.normal(rng, (H, 2), stddev=3.0),
+                           runtime=self.runtime)
+        self.bg = Variable(f"{self.name}/bg",
+                           np.full((2,), 0.25, dtype=np.float32),
+                           runtime=self.runtime)
+
+    @property
+    def variables(self):
+        return (self.embedding.variables
+                + [self.Wl, self.Wr, self.Wv, self.wg, self.bg])
+
+    # -- shared node computation ---------------------------------------------------
+
+    def _node_compute(self, h):
+        """Emission + growth gates for one state ``h`` [1, H]."""
+        _ = ops.matmul(h, self.Wv.read())                    # emission logits
+        gates = ops.sigmoid(ops.add(ops.matmul(h, self.wg.read()),
+                                    self.bg.read()))         # [1, 2]
+        grow_left = ops.greater(ops.reduce_sum(
+            ops.slice_(gates, (0, 0), (-1, 1))), 0.5)
+        grow_right = ops.greater(ops.reduce_sum(
+            ops.slice_(gates, (0, 1), (-1, 1))), 0.5)
+        return grow_left, grow_right
+
+    def _child_states(self, h):
+        left = ops.tanh(ops.matmul(h, self.Wl.read()))
+        right = ops.tanh(ops.matmul(h, self.Wr.read()))
+        return left, right
+
+    def _root_state(self, seed_word):
+        H = self.config.hidden
+        return ops.tanh(ops.reshape(self.embedding.lookup(seed_word),
+                                    (1, H)))
+
+    # -- recursive implementation ----------------------------------------------------
+
+    def build_recursive(self, batch_size: int) -> BuiltGenerator:
+        H = self.config.hidden
+        graph = Graph(f"{self.name}_recursive_b{batch_size}")
+        with graph.as_default():
+            seeds = ops.placeholder(dtypes.int32, (batch_size,), "seeds")
+
+            with SubGraph(f"{self.name}_gen") as gen:
+                h = gen.input(dtypes.float32, (1, H), name="state")
+                depth = gen.input(dtypes.int32, (), name="depth")
+                gen.declare_outputs([(dtypes.int32, ())])
+                grow_left, grow_right = self._node_compute(h)
+                left_h, right_h = self._child_states(h)
+                at_cap = ops.less(depth, self.max_depth)
+
+                def expand(child_h, grow_flag):
+                    flag = ops.logical_and(grow_flag, at_cap)
+                    return ops.cond(
+                        flag,
+                        lambda: gen(child_h, ops.add(depth, 1)),
+                        lambda: ops.constant(0))
+
+                count = ops.add(ops.constant(1),
+                                ops.add(expand(left_h, grow_left),
+                                        expand(right_h, grow_right)))
+                gen.output(count)
+
+            counts = []
+            for b in range(batch_size):
+                root = self._root_state(ops.gather(seeds, b))
+                counts.append(gen(root, ops.constant(0)))
+            node_counts = ops.stack(counts)
+        return BuiltGenerator(graph, batch_size, seeds, node_counts)
+
+    # -- iterative implementation ------------------------------------------------------
+
+    def build_iterative(self, batch_size: int) -> BuiltGenerator:
+        """Frontier-queue baseline: ONE shared queue for the whole batch.
+
+        The iterative program is a single while_loop whose queue holds
+        (state, depth, owner-instance) entries for every pending node of
+        every instance; one node is expanded per iteration.  Execution is
+        therefore strictly sequential — the structure of each tree is only
+        discovered as the loop runs, so there is nothing to parallelize or
+        pre-batch (this is exactly the regime of the paper's Table 3).
+        """
+        H = self.config.hidden
+        capacity = batch_size * 2 ** (self.max_depth + 2)
+        graph = Graph(f"{self.name}_iterative_b{batch_size}")
+        with graph.as_default():
+            seeds = ops.placeholder(dtypes.int32, (batch_size,), "seeds")
+            queue = ops.ta_create(capacity, (1, H), name="queue")
+            depth_q = ops.ta_create(capacity, (), dtypes.float32,
+                                    name="depths")
+            owner_q = ops.ta_create(capacity, (), dtypes.float32,
+                                    name="owners")
+            counts0 = ops.ta_create(batch_size, (), dtypes.float32,
+                                    name="counts")
+            for b in range(batch_size):
+                root = self._root_state(ops.gather(seeds, b))
+                queue = ops.ta_write(queue, b, root)
+                depth_q = ops.ta_write(depth_q, b, ops.constant(0.0))
+                owner_q = ops.ta_write(owner_q, b, ops.constant(float(b)))
+                counts0 = ops.ta_write(counts0, b, ops.constant(0.0))
+
+            def loop_cond(head, tail, queue, depths, owners, counts):
+                return ops.less(head, tail)
+
+            def loop_body(head, tail, queue, depths, owners, counts):
+                h = ops.ta_read(queue, head, dtypes.float32, (1, H))
+                d = ops.ta_read(depths, head, dtypes.float32, ())
+                owner = ops.ta_read(owners, head, dtypes.float32, ())
+                owner_idx = ops.cast(owner, dtypes.int32)
+                counts = ops.ta_add(counts, owner_idx, ops.constant(1.0))
+                grow_left, grow_right = self._node_compute(h)
+                left_h, right_h = self._child_states(h)
+                at_cap = ops.less(d, float(self.max_depth))
+
+                def push(child_h, grow_flag, tail_now, q_now, d_now, o_now):
+                    flag = ops.logical_and(grow_flag, at_cap)
+
+                    def do_push():
+                        return (ops.add(tail_now, 1),
+                                ops.ta_write(q_now, tail_now, child_h),
+                                ops.ta_write(d_now, tail_now,
+                                             ops.add(d, 1.0)),
+                                ops.ta_write(o_now, tail_now, owner))
+
+                    def skip():
+                        return (ops.identity(tail_now),
+                                ops.identity(q_now),
+                                ops.identity(d_now),
+                                ops.identity(o_now))
+
+                    return ops.cond(flag, do_push, skip)
+
+                tail1, queue1, depths1, owners1 = push(
+                    left_h, grow_left, tail, queue, depths, owners)
+                tail2, queue2, depths2, owners2 = push(
+                    right_h, grow_right, tail1, queue1, depths1, owners1)
+                return (ops.add(head, 1), tail2, queue2, depths2, owners2,
+                        counts)
+
+            final = ops.while_loop(
+                loop_cond, loop_body,
+                [ops.constant(0), ops.constant(batch_size), queue, depth_q,
+                 owner_q, counts0],
+                name="frontier", max_iters=capacity)
+            final_counts = final[5]
+            per_instance = [
+                ops.cast(ops.ta_read(final_counts, b, dtypes.float32, ()),
+                         dtypes.int32)
+                for b in range(batch_size)]
+            node_counts = ops.stack(per_instance)
+        return BuiltGenerator(graph, batch_size, seeds, node_counts)

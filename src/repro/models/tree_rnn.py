@@ -1,0 +1,28 @@
+"""TreeRNN sentiment model (Socher et al., ICML 2011 [25]).
+
+The lightest of the three recursive models: composition is a single
+``tanh(W [hl; hr] + b)``.  As the paper notes, the small function body
+leaves the most headroom for parallelization, so the recursive/iterative
+throughput gap is widest here (Figures 7a/8a).
+"""
+
+from __future__ import annotations
+
+from repro.nn.cells import TreeRNNCell
+
+from .base import SentimentModelBase
+from .common import ModelConfig
+
+__all__ = ["TreeRNNSentiment"]
+
+
+class TreeRNNSentiment(SentimentModelBase):
+    name = "treernn"
+
+    def _make_cell(self):
+        return TreeRNNCell(f"{self.name}/cell", self.config.hidden, self.rng,
+                           runtime=self.runtime)
+
+    def _embedding_dim(self) -> int:
+        # Leaves use the (tanh-squashed) embedding directly as their state.
+        return self.config.hidden

@@ -1,0 +1,15 @@
+"""Neural-network library: layers, tree cells, losses, optimizers, trainer."""
+
+from .cells import RNTNCell, TreeLSTMCell, TreeRNNCell
+from .initializers import glorot_uniform, normal, uniform, zeros
+from .layers import Dense, Embedding
+from .losses import (node_cross_entropy, np_cross_entropy,
+                     np_cross_entropy_backward, np_softmax)
+from .optimizers import Adagrad, Adam, SGD
+from .trainer import Trainer
+
+__all__ = ["RNTNCell", "TreeLSTMCell", "TreeRNNCell", "glorot_uniform",
+           "normal", "uniform", "zeros", "Dense", "Embedding",
+           "node_cross_entropy", "np_cross_entropy",
+           "np_cross_entropy_backward", "np_softmax", "Adagrad", "Adam",
+           "SGD", "Trainer"]

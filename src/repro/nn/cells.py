@@ -1,0 +1,376 @@
+"""Tree-composition cells: TreeRNN [25], RNTN [26], binary TreeLSTM [27].
+
+Each cell provides two faces over the *same* parameters:
+
+* **graph builders** — ``leaf(x)`` / ``internal(left, right)`` compose
+  dataflow operations (used by the recursive, iterative and unrolled
+  implementations); states are tuples of ``[1, H]`` tensors;
+* **numpy twins** — ``np_leaf`` / ``np_internal`` compute batched forward
+  passes (``[B, ·]``) with caches, and ``np_leaf_backward`` /
+  ``np_internal_backward`` the matching gradients.  The folding baseline
+  (TensorFlow-Fold-style depth-wise dynamic batching) runs entirely on the
+  numpy twins; tests assert the two faces agree to float tolerance.
+
+Relative compute intensities match the paper's discussion: the TreeRNN
+body is the cheapest (one ``[1,2H]×[2H,H]`` matmul), the RNTN adds a
+bilinear tensor product (``O(4H^2·H)`` — "much more computation in its
+recursive function body"), and the TreeLSTM sits in between with gated
+updates over a larger hidden state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import ops
+from repro.graph.tensor import Tensor
+from repro.runtime.variables import Variable
+
+from . import initializers
+
+__all__ = ["TreeRNNCell", "RNTNCell", "TreeLSTMCell"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+class TreeRNNCell:
+    """Socher-style recursive cell: ``h = tanh(W [hl; hr] + b)``.
+
+    Leaves use the word embedding directly as the hidden state, so the
+    embedding dimension must equal the hidden dimension.
+    """
+
+    state_arity = 1
+
+    def __init__(self, name: str, hidden: int, rng: np.random.Generator,
+                 runtime=None):
+        self.name = name
+        self.hidden = hidden
+        self.input_dim = hidden
+        self.W = Variable(f"{name}/W",
+                          initializers.glorot_uniform(rng,
+                                                      (2 * hidden, hidden)),
+                          runtime=runtime)
+        self.b = Variable(f"{name}/b", initializers.zeros((hidden,)),
+                          runtime=runtime)
+
+    @property
+    def variables(self) -> list[Variable]:
+        return [self.W, self.b]
+
+    # -- cost metadata (folding baseline's GPU kernel accounting) -----------------
+
+    leaf_kernels = 2       # embedding gather + tanh
+    internal_kernels = 4   # concat + matmul + add + tanh
+
+    def leaf_flops(self, n: int) -> float:
+        return float(n * self.hidden)
+
+    def internal_flops(self, n: int) -> float:
+        return float(2 * n * 2 * self.hidden * self.hidden)
+
+    def state_bytes(self, n: int) -> float:
+        return float(self.state_arity * n * self.hidden * 4)
+
+    # -- graph face ------------------------------------------------------------
+
+    def leaf(self, x: Tensor) -> tuple[Tensor]:
+        return (ops.tanh(x),)
+
+    def internal(self, left: tuple, right: tuple) -> tuple[Tensor]:
+        joined = ops.concat([left[0], right[0]], axis=1)
+        h = ops.tanh(ops.add(ops.matmul(joined, self.W.read()),
+                             self.b.read()))
+        return (h,)
+
+    # -- numpy face ---------------------------------------------------------------
+
+    def np_leaf(self, params: dict, x: np.ndarray):
+        h = np.tanh(x)
+        return (h,), {"h": h}
+
+    def np_leaf_backward(self, params: dict, cache: dict, d_state):
+        dx = d_state[0] * (1.0 - cache["h"] ** 2)
+        return dx, {}
+
+    def np_internal(self, params: dict, left, right):
+        joined = np.concatenate([left[0], right[0]], axis=1)
+        pre = joined @ params[f"{self.name}/W"] + params[f"{self.name}/b"]
+        h = np.tanh(pre)
+        return (h,), {"joined": joined, "h": h}
+
+    def np_internal_backward(self, params: dict, cache: dict, d_state):
+        W = params[f"{self.name}/W"]
+        da = d_state[0] * (1.0 - cache["h"] ** 2)
+        d_joined = da @ W.T
+        grads = {f"{self.name}/W": cache["joined"].T @ da,
+                 f"{self.name}/b": da.sum(axis=0)}
+        H = self.hidden
+        return (d_joined[:, :H],), (d_joined[:, H:],), grads
+
+
+class RNTNCell:
+    """Recursive Neural Tensor Network cell [26].
+
+    ``h_k = tanh( sum_ij c_i V[i,j,k] c_j + (c W)_k + b_k )`` with
+    ``c = [hl; hr]``; the tensor ``V`` has shape ``[2H, 2H, H]`` (stored
+    flattened as ``[2H, 2H*H]`` for the graph face's rank-2 matmuls).
+    """
+
+    state_arity = 1
+
+    def __init__(self, name: str, hidden: int, rng: np.random.Generator,
+                 runtime=None):
+        self.name = name
+        self.hidden = hidden
+        self.input_dim = hidden
+        two_h = 2 * hidden
+        self.V = Variable(f"{name}/V",
+                          initializers.uniform(rng, (two_h, two_h * hidden),
+                                               scale=1.0 / two_h),
+                          runtime=runtime)
+        self.W = Variable(f"{name}/W",
+                          initializers.glorot_uniform(rng, (two_h, hidden)),
+                          runtime=runtime)
+        self.b = Variable(f"{name}/b", initializers.zeros((hidden,)),
+                          runtime=runtime)
+
+    @property
+    def variables(self) -> list[Variable]:
+        return [self.V, self.W, self.b]
+
+    # -- cost metadata --------------------------------------------------------
+
+    leaf_kernels = 2
+    internal_kernels = 7   # concat + tensor contraction (2 matmuls) + reshape
+                           # + linear matmul + add + tanh
+
+    def leaf_flops(self, n: int) -> float:
+        return float(n * self.hidden)
+
+    def internal_flops(self, n: int) -> float:
+        two_h = 2 * self.hidden
+        bilinear = 2 * n * two_h * two_h * self.hidden + 2 * n * two_h * self.hidden
+        linear = 2 * n * two_h * self.hidden
+        return float(bilinear + linear)
+
+    def state_bytes(self, n: int) -> float:
+        return float(self.state_arity * n * self.hidden * 4)
+
+    # -- graph face -----------------------------------------------------------
+
+    def leaf(self, x: Tensor) -> tuple[Tensor]:
+        return (ops.tanh(x),)
+
+    def internal(self, left: tuple, right: tuple) -> tuple[Tensor]:
+        c = ops.concat([left[0], right[0]], axis=1)          # [B, 2H]
+        two_h, H = 2 * self.hidden, self.hidden
+        tmp = ops.matmul(c, self.V.read())                   # [B, 2H*H]
+        tmp3 = ops.reshape(tmp, (-1, two_h, H))              # [B, 2H, H]
+        c3 = ops.expand_dims(c, 2)                           # [B, 2H, 1]
+        bilinear = ops.reduce_sum(ops.multiply(c3, tmp3), axis=1)  # [B, H]
+        linear = ops.matmul(c, self.W.read())
+        h = ops.tanh(ops.add(ops.add(bilinear, linear), self.b.read()))
+        return (h,)
+
+    # -- numpy face -----------------------------------------------------------
+
+    def _v3(self, params: dict) -> np.ndarray:
+        two_h, H = 2 * self.hidden, self.hidden
+        return params[f"{self.name}/V"].reshape(two_h, two_h, H)
+
+    def np_leaf(self, params: dict, x: np.ndarray):
+        h = np.tanh(x)
+        return (h,), {"h": h}
+
+    def np_leaf_backward(self, params: dict, cache: dict, d_state):
+        dx = d_state[0] * (1.0 - cache["h"] ** 2)
+        return dx, {}
+
+    def np_internal(self, params: dict, left, right):
+        c = np.concatenate([left[0], right[0]], axis=1)
+        V = self._v3(params)
+        bilinear = np.einsum("bi,ijk,bj->bk", c, V, c)
+        pre = bilinear + c @ params[f"{self.name}/W"] + params[f"{self.name}/b"]
+        h = np.tanh(pre)
+        return (h,), {"c": c, "h": h}
+
+    def np_internal_backward(self, params: dict, cache: dict, d_state):
+        c, h = cache["c"], cache["h"]
+        V = self._v3(params)
+        W = params[f"{self.name}/W"]
+        da = d_state[0] * (1.0 - h ** 2)
+        dV = np.einsum("bk,bi,bj->ijk", da, c, c)
+        dc = (np.einsum("bk,ijk,bj->bi", da, V, c)
+              + np.einsum("bk,ijk,bi->bj", da, V, c)
+              + da @ W.T)
+        two_h, H = 2 * self.hidden, self.hidden
+        grads = {f"{self.name}/V": dV.reshape(two_h, two_h * H),
+                 f"{self.name}/W": c.T @ da,
+                 f"{self.name}/b": da.sum(axis=0)}
+        return (dc[:, :H],), (dc[:, H:],), grads
+
+
+class TreeLSTMCell:
+    """Binary (N-ary, N=2) TreeLSTM cell [27].
+
+    Leaf (input ``x``, no children):
+        ``z = x Wx + bx``;  i, o = sigmoid, u = tanh over three H-slices;
+        ``c = i*u``, ``h = o*tanh(c)``.
+    Internal (children ``(hl, cl)``, ``(hr, cr)``, no input):
+        ``z = hl Ul + hr Ur + bu`` over five H-slices (i, o, u, fl, fr);
+        forget gates get a +1 bias;  ``c = i*u + fl*cl + fr*cr``,
+        ``h = o*tanh(c)``.
+    """
+
+    state_arity = 2
+
+    def __init__(self, name: str, hidden: int, input_dim: int,
+                 rng: np.random.Generator, runtime=None):
+        self.name = name
+        self.hidden = hidden
+        self.input_dim = input_dim
+        self.Wx = Variable(f"{name}/Wx",
+                           initializers.glorot_uniform(rng,
+                                                       (input_dim,
+                                                        3 * hidden)),
+                           runtime=runtime)
+        self.bx = Variable(f"{name}/bx", initializers.zeros((3 * hidden,)),
+                           runtime=runtime)
+        self.Ul = Variable(f"{name}/Ul",
+                           initializers.glorot_uniform(rng,
+                                                       (hidden, 5 * hidden)),
+                           runtime=runtime)
+        self.Ur = Variable(f"{name}/Ur",
+                           initializers.glorot_uniform(rng,
+                                                       (hidden, 5 * hidden)),
+                           runtime=runtime)
+        self.bu = Variable(f"{name}/bu", initializers.zeros((5 * hidden,)),
+                           runtime=runtime)
+
+    @property
+    def variables(self) -> list[Variable]:
+        return [self.Wx, self.bx, self.Ul, self.Ur, self.bu]
+
+    # -- cost metadata ------------------------------------------------------------
+
+    leaf_kernels = 8        # embed gather, matmul, add, 3 gate ops, 2 products
+    internal_kernels = 12   # 2 matmuls, adds, 5 gates, cell update chain
+
+    def leaf_flops(self, n: int) -> float:
+        return float(2 * n * self.input_dim * 3 * self.hidden
+                     + 8 * n * self.hidden)
+
+    def internal_flops(self, n: int) -> float:
+        return float(2 * 2 * n * self.hidden * 5 * self.hidden
+                     + 12 * n * self.hidden)
+
+    def state_bytes(self, n: int) -> float:
+        return float(self.state_arity * n * self.hidden * 4)
+
+    # -- graph face -------------------------------------------------------------
+
+    def leaf(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        H = self.hidden
+        z = ops.add(ops.matmul(x, self.Wx.read()), self.bx.read())
+        i = ops.sigmoid(ops.slice_(z, (0, 0), (-1, H)))
+        o = ops.sigmoid(ops.slice_(z, (0, H), (-1, H)))
+        u = ops.tanh(ops.slice_(z, (0, 2 * H), (-1, H)))
+        c = ops.multiply(i, u)
+        h = ops.multiply(o, ops.tanh(c))
+        return (h, c)
+
+    def internal(self, left: tuple, right: tuple) -> tuple[Tensor, Tensor]:
+        H = self.hidden
+        hl, cl = left
+        hr, cr = right
+        z = ops.add(ops.add(ops.matmul(hl, self.Ul.read()),
+                            ops.matmul(hr, self.Ur.read())),
+                    self.bu.read())
+        i = ops.sigmoid(ops.slice_(z, (0, 0), (-1, H)))
+        o = ops.sigmoid(ops.slice_(z, (0, H), (-1, H)))
+        u = ops.tanh(ops.slice_(z, (0, 2 * H), (-1, H)))
+        fl = ops.sigmoid(ops.add(ops.slice_(z, (0, 3 * H), (-1, H)), 1.0))
+        fr = ops.sigmoid(ops.add(ops.slice_(z, (0, 4 * H), (-1, H)), 1.0))
+        c = ops.add(ops.multiply(i, u),
+                    ops.add(ops.multiply(fl, cl), ops.multiply(fr, cr)))
+        h = ops.multiply(o, ops.tanh(c))
+        return (h, c)
+
+    # -- numpy face -------------------------------------------------------------
+
+    def np_leaf(self, params: dict, x: np.ndarray):
+        H = self.hidden
+        z = x @ params[f"{self.name}/Wx"] + params[f"{self.name}/bx"]
+        i = _sigmoid(z[:, :H])
+        o = _sigmoid(z[:, H:2 * H])
+        u = np.tanh(z[:, 2 * H:])
+        c = i * u
+        tc = np.tanh(c)
+        h = o * tc
+        return (h, c), {"x": x, "i": i, "o": o, "u": u, "c": c, "tc": tc}
+
+    def np_leaf_backward(self, params: dict, cache: dict, d_state):
+        dh, dc_in = d_state
+        i, o, u, tc = cache["i"], cache["o"], cache["u"], cache["tc"]
+        do = dh * tc
+        dc = dh * o * (1.0 - tc ** 2) + (dc_in if dc_in is not None else 0.0)
+        di = dc * u
+        du = dc * i
+        dz = np.concatenate([di * i * (1 - i), do * o * (1 - o),
+                             du * (1 - u ** 2)], axis=1)
+        grads = {f"{self.name}/Wx": cache["x"].T @ dz,
+                 f"{self.name}/bx": dz.sum(axis=0)}
+        dx = dz @ params[f"{self.name}/Wx"].T
+        return dx, grads
+
+    def np_internal(self, params: dict, left, right):
+        H = self.hidden
+        hl, cl = left
+        hr, cr = right
+        z = (hl @ params[f"{self.name}/Ul"] + hr @ params[f"{self.name}/Ur"]
+             + params[f"{self.name}/bu"])
+        i = _sigmoid(z[:, :H])
+        o = _sigmoid(z[:, H:2 * H])
+        u = np.tanh(z[:, 2 * H:3 * H])
+        fl = _sigmoid(z[:, 3 * H:4 * H] + 1.0)
+        fr = _sigmoid(z[:, 4 * H:] + 1.0)
+        c = i * u + fl * cl + fr * cr
+        tc = np.tanh(c)
+        h = o * tc
+        cache = {"hl": hl, "cl": cl, "hr": hr, "cr": cr, "i": i, "o": o,
+                 "u": u, "fl": fl, "fr": fr, "c": c, "tc": tc}
+        return (h, c), cache
+
+    def np_internal_backward(self, params: dict, cache: dict, d_state):
+        dh, dc_in = d_state
+        i, o, u = cache["i"], cache["o"], cache["u"]
+        fl, fr, tc = cache["fl"], cache["fr"], cache["tc"]
+        do = dh * tc
+        dc = dh * o * (1.0 - tc ** 2) + (dc_in if dc_in is not None else 0.0)
+        di = dc * u
+        du = dc * i
+        dfl = dc * cache["cl"]
+        dfr = dc * cache["cr"]
+        dcl = dc * fl
+        dcr = dc * fr
+        dz = np.concatenate([di * i * (1 - i), do * o * (1 - o),
+                             du * (1 - u ** 2), dfl * fl * (1 - fl),
+                             dfr * fr * (1 - fr)], axis=1)
+        Ul = params[f"{self.name}/Ul"]
+        Ur = params[f"{self.name}/Ur"]
+        grads = {f"{self.name}/Ul": cache["hl"].T @ dz,
+                 f"{self.name}/Ur": cache["hr"].T @ dz,
+                 f"{self.name}/bu": dz.sum(axis=0)}
+        dhl = dz @ Ul.T
+        dhr = dz @ Ur.T
+        return (dhl, dcl), (dhr, dcr), grads

@@ -1,0 +1,30 @@
+"""Parameter initializers (seeded, deterministic)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "uniform", "zeros", "normal"]
+
+
+def glorot_uniform(rng: np.random.Generator, shape) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6/(fan_in+fan_out))."""
+    shape = tuple(shape)
+    if len(shape) >= 2:
+        fan_in, fan_out = shape[0], shape[-1]
+    else:
+        fan_in = fan_out = shape[0] if shape else 1
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def uniform(rng: np.random.Generator, shape, scale: float = 0.05) -> np.ndarray:
+    return rng.uniform(-scale, scale, size=shape).astype(np.float32)
+
+
+def normal(rng: np.random.Generator, shape, stddev: float = 0.1) -> np.ndarray:
+    return (rng.standard_normal(size=shape) * stddev).astype(np.float32)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)

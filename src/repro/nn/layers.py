@@ -1,0 +1,81 @@
+"""Reusable layers: Dense and Embedding.
+
+Layers create their parameters as runtime :class:`~repro.runtime.variables.
+Variable` objects at construction time and build graph operations when
+called, so the same layer instance can be used inside a SubGraph body, an
+iterative loop body, and an unrolled graph — all reading the same weights.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro import ops
+from repro.graph.tensor import Tensor
+from repro.runtime.variables import Variable
+
+from . import initializers
+
+__all__ = ["Dense", "Embedding"]
+
+
+class Dense:
+    """Affine transform ``x @ W + b`` with optional activation."""
+
+    def __init__(self, name: str, in_dim: int, out_dim: int,
+                 rng: np.random.Generator,
+                 activation: Optional[Callable[[Tensor], Tensor]] = None,
+                 runtime=None):
+        self.name = name
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.activation = activation
+        self.weight = Variable(f"{name}/W",
+                               initializers.glorot_uniform(rng,
+                                                           (in_dim, out_dim)),
+                               runtime=runtime)
+        self.bias = Variable(f"{name}/b", initializers.zeros((out_dim,)),
+                             runtime=runtime)
+
+    @property
+    def variables(self) -> list[Variable]:
+        return [self.weight, self.bias]
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = ops.add(ops.matmul(x, self.weight.read()), self.bias.read())
+        if self.activation is not None:
+            out = self.activation(out)
+        return out
+
+    def np_forward(self, params: dict, x: np.ndarray) -> np.ndarray:
+        out = x @ params[f"{self.name}/W"] + params[f"{self.name}/b"]
+        if self.activation is not None:
+            raise NotImplementedError("numpy twin only supports linear Dense")
+        return out
+
+
+class Embedding:
+    """A trainable embedding table with ``lookup(ids)``."""
+
+    def __init__(self, name: str, vocab_size: int, dim: int,
+                 rng: np.random.Generator, runtime=None):
+        self.name = name
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.table = Variable(f"{name}/table",
+                              initializers.uniform(rng, (vocab_size, dim),
+                                                   scale=0.1),
+                              runtime=runtime)
+
+    @property
+    def variables(self) -> list[Variable]:
+        return [self.table]
+
+    def lookup(self, ids: Tensor) -> Tensor:
+        """Gather rows for integer ``ids`` (any shape)."""
+        return ops.gather(self.table.read(), ids)
+
+    def np_lookup(self, params: dict, ids: np.ndarray) -> np.ndarray:
+        return params[f"{self.name}/table"][ids]

@@ -1,0 +1,42 @@
+"""Loss helpers (graph face and numpy twins)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ops
+from repro.graph.tensor import Tensor
+
+__all__ = ["node_cross_entropy", "np_softmax", "np_cross_entropy",
+           "np_cross_entropy_backward"]
+
+
+def node_cross_entropy(logits: Tensor, label: Tensor) -> Tensor:
+    """Scalar cross-entropy for one node: logits ``[1, C]``, label ``()``."""
+    labels = ops.reshape(label, (1,))
+    loss = ops.softmax_cross_entropy_with_logits(logits, labels)
+    return ops.reduce_sum(loss)
+
+
+def np_softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def np_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Per-example CE: logits ``[B, C]``, int labels ``[B]`` -> ``[B]``."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    return -np.take_along_axis(log_probs,
+                               labels[:, None].astype(np.int64),
+                               axis=-1)[:, 0]
+
+
+def np_cross_entropy_backward(logits: np.ndarray, labels: np.ndarray,
+                              d_loss: np.ndarray) -> np.ndarray:
+    """Gradient of per-example CE w.r.t. logits."""
+    probs = np_softmax(logits)
+    onehot = np.zeros_like(probs)
+    np.put_along_axis(onehot, labels[:, None].astype(np.int64), 1.0, axis=-1)
+    return (probs - onehot) * d_loss[:, None]

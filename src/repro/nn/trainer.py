@@ -1,0 +1,74 @@
+"""Two-phase training driver.
+
+A training step on this framework runs in two session calls, mirroring how
+gradient accumulation across an unbounded number of recursive frames must
+complete before parameters move:
+
+1. **forward + backward** (``record=True``): executes the loss and every
+   backward side-effect op returned by :func:`repro.gradients`; variable
+   gradients land in the runtime's accumulators; forward activations of
+   recursive frames are recorded in (and consumed from) the backprop cache.
+2. **apply** (``record=False``): the optimizer's apply graph reads the
+   accumulators and updates the variables.
+
+The trainer accumulates virtual-time statistics so throughput harnesses
+can report instances/second under the simulated testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.autodiff import gradients
+from repro.graph.graph import Graph
+from repro.graph.tensor import Tensor
+from repro.runtime.session import Runtime, Session
+from repro.runtime.stats import RunStats
+
+__all__ = ["Trainer"]
+
+
+class Trainer:
+    """Drives two-phase training steps for a built model graph."""
+
+    def __init__(self, graph: Graph, loss: Tensor, optimizer, runtime: Runtime,
+                 variables: Optional[Sequence] = None,
+                 session_kwargs: Optional[dict] = None):
+        self.graph = graph
+        self.loss = loss
+        self.optimizer = optimizer
+        self.runtime = runtime
+        self.variables = (list(variables) if variables is not None
+                          else runtime.trainable_variables())
+        kwargs = dict(session_kwargs or {})
+        kwargs.setdefault("record", True)
+        self.session = Session(graph, runtime, **kwargs)
+
+        _, update_ops = gradients(loss, [])
+        self._grad_fetches = [loss] + [op.outputs[-1] for op in update_ops]
+        self._apply_fetches = optimizer.build_apply(graph, self.variables,
+                                                    runtime)
+        self.last_step_stats: Optional[RunStats] = None
+
+    def compute_gradients(self, feed_dict: Optional[dict] = None) -> float:
+        """Phase 1 only: returns the loss, leaving grads in accumulators."""
+        self.runtime.accumulators.zero()
+        values = self.session.run(self._grad_fetches, feed_dict, record=True)
+        return float(values[0])
+
+    def step(self, feed_dict: Optional[dict] = None) -> float:
+        """One full training step; returns the loss value."""
+        loss_value = self.compute_gradients(feed_dict)
+        stats = RunStats()
+        stats.merge(self.session.last_stats)
+        self.session.run(self._apply_fetches, record=False)
+        stats.merge(self.session.last_stats)
+        self.last_step_stats = stats
+        return loss_value
+
+    def gradient_snapshot(self) -> dict[str, np.ndarray]:
+        """Copy of the currently accumulated gradients (for tests)."""
+        return {name: np.array(self.runtime.accumulators.read(name))
+                for name in self.runtime.accumulators.names()}

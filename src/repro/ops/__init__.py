@@ -1,0 +1,43 @@
+"""Functional operation API.
+
+Importing this package registers every op type (kernels, gradients,
+inference) and exposes the graph-construction helpers.
+"""
+
+from .common import constant, convert
+from .math_ops import (abs_, add, cast, divide, equal, exp, greater,
+                       greater_equal, identity, less, less_equal, log,
+                       logical_and, logical_not, logical_or, matmul, maximum,
+                       minimum, multiply, negative, not_equal, placeholder,
+                       relu, select, sigmoid, sign, sqrt, square, subtract,
+                       tanh)
+from .array_ops import (argmax, concat, expand_dims, fill, gather, one_hot,
+                        ones_like, reshape, shape_of, size_of, slice_,
+                        squeeze, stack, transpose, unstack, zeros_like)
+from .reduction_ops import reduce_max, reduce_mean, reduce_sum
+from .nn_ops import log_softmax, softmax, softmax_cross_entropy_with_logits
+from .var_ops import (accum_grad, assign, assign_add, assign_sub, read_accum,
+                      read_variable)
+from .tensor_array import (TensorArrayValue, ta_add, ta_combine, ta_create,
+                           ta_empty_like, ta_gather_rows, ta_read, ta_size,
+                           ta_write)
+from .control_flow import cond, while_loop
+
+__all__ = [
+    "constant", "convert", "placeholder", "identity",
+    "add", "subtract", "multiply", "divide", "negative", "matmul",
+    "tanh", "sigmoid", "relu", "exp", "log", "square", "sqrt", "abs_",
+    "sign", "maximum", "minimum",
+    "equal", "not_equal", "less", "less_equal", "greater", "greater_equal",
+    "logical_and", "logical_or", "logical_not", "select", "cast",
+    "argmax", "concat", "expand_dims", "fill", "gather", "one_hot",
+    "ones_like", "reshape", "shape_of", "size_of", "slice_", "squeeze",
+    "stack", "transpose", "unstack", "zeros_like",
+    "reduce_max", "reduce_mean", "reduce_sum",
+    "log_softmax", "softmax", "softmax_cross_entropy_with_logits",
+    "accum_grad", "assign", "assign_add", "assign_sub", "read_accum",
+    "read_variable",
+    "TensorArrayValue", "ta_add", "ta_combine", "ta_create", "ta_empty_like",
+    "ta_gather_rows", "ta_read", "ta_size", "ta_write",
+    "cond", "while_loop",
+]

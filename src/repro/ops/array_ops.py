@@ -1,0 +1,513 @@
+"""Array manipulation operations: reshape, concat, gather, stacking, etc."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph import dtypes
+from repro.graph.registry import register_op
+from repro.graph.tensor import Tensor
+
+from .common import build, out1
+
+__all__ = [
+    "reshape", "transpose", "concat", "gather", "stack", "unstack",
+    "expand_dims", "squeeze", "zeros_like", "ones_like", "fill", "one_hot",
+    "argmax", "slice_", "python_index", "shape_of", "size_of",
+]
+
+
+# -- reshape / transpose -----------------------------------------------------
+
+def _reshape_infer(op):
+    target = tuple(op.attrs["shape"])
+    x = op.inputs[0]
+    if x.shape is not None and all(d is not None and d >= 0 for d in target):
+        return [(x.dtype, target)]
+    if -1 in target or any(d is None for d in target):
+        return [(x.dtype, tuple(None if d in (-1, None) else d
+                                for d in target))]
+    return [(x.dtype, target)]
+
+
+register_op(
+    "Reshape",
+    infer=_reshape_infer,
+    kernel=lambda op, inputs, ctx: [np.reshape(inputs[0],
+                                               op.attrs["shape"])],
+    grad=lambda gb, op, g: [out1("ReshapeLike", [g[0],
+                                                 gb.val(op.inputs[0])])],
+    cost="trivial",
+)
+
+register_op(
+    "ReshapeLike",
+    infer=lambda op: [(op.inputs[0].dtype, op.inputs[1].shape)],
+    kernel=lambda op, inputs, ctx: [np.reshape(inputs[0],
+                                               np.shape(inputs[1]))],
+    grad=lambda gb, op, g: [out1("ReshapeLike", [g[0],
+                                                 gb.val(op.inputs[0])]),
+                            None],
+    cost="trivial",
+)
+
+
+def reshape(x, shape, name="reshape") -> Tensor:
+    """Reshape to a static target ``shape`` (one entry may be -1)."""
+    return out1("Reshape", [x], {"shape": tuple(shape)}, name=name)
+
+
+def _transpose_infer(op):
+    x = op.inputs[0]
+    perm = op.attrs.get("perm")
+    if x.shape is None:
+        return [(x.dtype, None)]
+    if perm is None:
+        return [(x.dtype, tuple(reversed(x.shape)))]
+    return [(x.dtype, tuple(x.shape[p] for p in perm))]
+
+
+def _transpose_grad(gb, op, g):
+    perm = op.attrs.get("perm")
+    inv = None if perm is None else tuple(np.argsort(perm))
+    return [transpose(g[0], perm=inv)]
+
+
+register_op(
+    "Transpose",
+    infer=_transpose_infer,
+    kernel=lambda op, inputs, ctx: [np.transpose(inputs[0],
+                                                 op.attrs.get("perm"))],
+    grad=_transpose_grad,
+    cost="elementwise",
+)
+
+
+def transpose(x, perm=None, name="transpose") -> Tensor:
+    return out1("Transpose", [x], {"perm": perm}, name=name)
+
+
+# -- concat ------------------------------------------------------------------
+
+def _concat_infer(op):
+    axis = op.attrs["axis"]
+    first = op.inputs[0]
+    if any(t.shape is None for t in op.inputs):
+        return [(first.dtype, None)]
+    shape = list(first.shape)
+    total = 0
+    for t in op.inputs:
+        dim = t.shape[axis]
+        if dim is None or total is None:
+            total = None
+        else:
+            total += dim
+    shape[axis] = total
+    for i in range(len(shape)):
+        if i == axis:
+            continue
+        dims = {t.shape[i] for t in op.inputs if t.shape[i] is not None}
+        if len(dims) > 1:
+            raise ValueError(f"Concat inputs disagree on dim {i}: {dims}")
+        shape[i] = dims.pop() if dims else None
+    return [(first.dtype, tuple(shape))]
+
+
+def _concat_grad(gb, op, g):
+    refs = [gb.val(t) for t in op.inputs]
+    grads = build("ConcatGrad", [g[0]] + refs,
+                  {"axis": op.attrs["axis"], "n": len(op.inputs)})
+    return list(grads)
+
+
+register_op(
+    "Concat",
+    infer=_concat_infer,
+    kernel=lambda op, inputs, ctx: [np.concatenate(inputs,
+                                                   axis=op.attrs["axis"])],
+    grad=_concat_grad,
+    cost="elementwise",
+)
+
+
+def _concat_grad_infer(op):
+    n = op.attrs["n"]
+    return [(ref.dtype, ref.shape) for ref in op.inputs[1:1 + n]]
+
+
+def _concat_grad_kernel(op, inputs, ctx):
+    g, refs = inputs[0], inputs[1:]
+    axis = op.attrs["axis"]
+    sizes = [r.shape[axis] for r in refs]
+    offsets = np.cumsum([0] + sizes)
+    return [np.take(g, range(offsets[i], offsets[i + 1]), axis=axis)
+            for i in range(len(refs))]
+
+
+register_op("ConcatGrad", infer=_concat_grad_infer,
+            kernel=_concat_grad_kernel, grad=None, cost="elementwise")
+
+
+def concat(values, axis, name="concat") -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    values = list(values)
+    if len(values) == 1:
+        from .math_ops import identity
+        return identity(values[0])
+    return out1("Concat", values, {"axis": axis}, name=name)
+
+
+# -- gather / scatter --------------------------------------------------------
+
+def _gather_infer(op):
+    params, indices = op.inputs
+    if params.shape is None:
+        return [(params.dtype, None)]
+    idx_shape = indices.shape if indices.shape is not None else None
+    if idx_shape is None:
+        return [(params.dtype, None)]
+    return [(params.dtype, tuple(idx_shape) + tuple(params.shape[1:]))]
+
+
+def _gather_grad(gb, op, g):
+    params, indices = op.inputs
+    grad = out1("GatherGrad", [g[0], gb.val(indices), gb.val(params)])
+    return [grad, None]
+
+
+register_op(
+    "Gather",
+    infer=_gather_infer,
+    kernel=lambda op, inputs, ctx: [np.take(inputs[0], inputs[1], axis=0)],
+    grad=_gather_grad,
+    cost="elementwise",
+)
+
+
+def _gather_grad_kernel(op, inputs, ctx):
+    g, indices, params = inputs
+    out = np.zeros_like(params)
+    np.add.at(out, np.asarray(indices), g)
+    return [out]
+
+
+register_op(
+    "GatherGrad",
+    infer=lambda op: [(op.inputs[2].dtype, op.inputs[2].shape)],
+    kernel=_gather_grad_kernel,
+    grad=None,
+    cost="elementwise",
+)
+
+
+def gather(params, indices, name="gather") -> Tensor:
+    """``params[indices]`` along axis 0 (indices may be any rank)."""
+    return out1("Gather", [params, indices], name=name)
+
+
+# -- stack / unstack ---------------------------------------------------------
+
+def _stack_infer(op):
+    first = op.inputs[0]
+    if first.shape is None:
+        return [(first.dtype, None)]
+    return [(first.dtype, (len(op.inputs),) + tuple(first.shape))]
+
+
+def _stack_grad(gb, op, g):
+    grads = build("UnstackGrad", [g[0]], {"n": len(op.inputs)})
+    return list(grads)
+
+
+register_op(
+    "Stack",
+    infer=_stack_infer,
+    kernel=lambda op, inputs, ctx: [np.stack(inputs, axis=0)],
+    grad=_stack_grad,
+    cost="elementwise",
+)
+
+
+def _unstack_grad_infer(op):
+    x = op.inputs[0]
+    n = op.attrs["n"]
+    inner = None if x.shape is None else tuple(x.shape[1:])
+    return [(x.dtype, inner)] * n
+
+
+def _unstack_grad_grad(gb, op, grads):
+    parts = []
+    for i, g in enumerate(grads):
+        if g is None:
+            g = out1("ZerosLike", [gb.val(op.outputs[i])])
+        parts.append(g)
+    return [out1("Stack", parts)]
+
+
+register_op(
+    "UnstackGrad",
+    infer=_unstack_grad_infer,
+    kernel=lambda op, inputs, ctx: [np.asarray(inputs[0][i])
+                                    for i in range(op.attrs["n"])],
+    grad=_unstack_grad_grad,
+    cost="elementwise",
+)
+
+
+def stack(values, name="stack") -> Tensor:
+    """Stack same-shaped tensors along a new leading axis."""
+    return out1("Stack", list(values), name=name)
+
+
+def unstack(value, num, name="unstack") -> list[Tensor]:
+    """Split a tensor into ``num`` slices along axis 0."""
+    return build("UnstackGrad", [value], {"n": num}, name=name)
+
+
+# -- expand/squeeze ----------------------------------------------------------
+
+def _expand_infer(op):
+    x = op.inputs[0]
+    axis = op.attrs["axis"]
+    if x.shape is None:
+        return [(x.dtype, None)]
+    shape = list(x.shape)
+    shape.insert(axis if axis >= 0 else len(shape) + axis + 1, 1)
+    return [(x.dtype, tuple(shape))]
+
+
+register_op(
+    "ExpandDims",
+    infer=_expand_infer,
+    kernel=lambda op, inputs, ctx: [np.expand_dims(inputs[0],
+                                                   op.attrs["axis"])],
+    grad=lambda gb, op, g: [out1("ReshapeLike", [g[0],
+                                                 gb.val(op.inputs[0])])],
+    cost="trivial",
+)
+
+
+def expand_dims(x, axis, name="expand_dims") -> Tensor:
+    return out1("ExpandDims", [x], {"axis": axis}, name=name)
+
+
+def _squeeze_infer(op):
+    x = op.inputs[0]
+    axis = op.attrs["axis"]
+    if x.shape is None:
+        return [(x.dtype, None)]
+    shape = list(x.shape)
+    real_axis = axis if axis >= 0 else len(shape) + axis
+    if shape[real_axis] not in (1, None):
+        raise ValueError(f"cannot squeeze axis {axis} of shape {x.shape}")
+    del shape[real_axis]
+    return [(x.dtype, tuple(shape))]
+
+
+register_op(
+    "Squeeze",
+    infer=_squeeze_infer,
+    kernel=lambda op, inputs, ctx: [np.squeeze(inputs[0],
+                                               axis=op.attrs["axis"])],
+    grad=lambda gb, op, g: [out1("ReshapeLike", [g[0],
+                                                 gb.val(op.inputs[0])])],
+    cost="trivial",
+)
+
+
+def squeeze(x, axis, name="squeeze") -> Tensor:
+    return out1("Squeeze", [x], {"axis": axis}, name=name)
+
+
+# -- fills -------------------------------------------------------------------
+
+register_op(
+    "ZerosLike",
+    infer=lambda op: [(op.inputs[0].dtype, op.inputs[0].shape)],
+    kernel=lambda op, inputs, ctx: [np.zeros_like(inputs[0])],
+    grad=lambda gb, op, g: [None],
+    cost="trivial",
+)
+
+register_op(
+    "OnesLike",
+    infer=lambda op: [(op.inputs[0].dtype, op.inputs[0].shape)],
+    kernel=lambda op, inputs, ctx: [np.ones_like(inputs[0])],
+    grad=lambda gb, op, g: [None],
+    cost="trivial",
+)
+
+
+def zeros_like(x, name="zeros_like") -> Tensor:
+    return out1("ZerosLike", [x], name=name)
+
+
+def ones_like(x, name="ones_like") -> Tensor:
+    return out1("OnesLike", [x], name=name)
+
+
+def _fill_infer(op):
+    return [(op.attrs["dtype"], tuple(op.attrs["shape"]))]
+
+
+register_op(
+    "Fill",
+    infer=_fill_infer,
+    kernel=lambda op, inputs, ctx: [np.full(op.attrs["shape"],
+                                            op.attrs["value"],
+                                            op.attrs["dtype"].np_dtype)],
+    grad=lambda gb, op, g: [],
+    cost="trivial",
+)
+
+
+def fill(shape, value, dtype=dtypes.float32, name="fill") -> Tensor:
+    return out1("Fill", [], {"shape": tuple(shape), "value": value,
+                             "dtype": dtypes.as_dtype(dtype)}, name=name)
+
+
+# -- one-hot / argmax ---------------------------------------------------------
+
+def _one_hot_infer(op):
+    idx = op.inputs[0]
+    depth = op.attrs["depth"]
+    if idx.shape is None:
+        return [(dtypes.float32, None)]
+    return [(dtypes.float32, tuple(idx.shape) + (depth,))]
+
+
+def _one_hot_kernel(op, inputs, ctx):
+    idx = np.asarray(inputs[0])
+    depth = op.attrs["depth"]
+    out = np.zeros(idx.shape + (depth,), dtype=np.float32)
+    np.put_along_axis(out, idx[..., None].astype(np.int64), 1.0, axis=-1)
+    return [out]
+
+
+register_op("OneHot", infer=_one_hot_infer, kernel=_one_hot_kernel,
+            grad=lambda gb, op, g: [None], cost="elementwise")
+
+
+def one_hot(indices, depth, name="one_hot") -> Tensor:
+    return out1("OneHot", [indices], {"depth": depth}, name=name)
+
+
+def _argmax_infer(op):
+    x = op.inputs[0]
+    axis = op.attrs["axis"]
+    if x.shape is None:
+        return [(dtypes.int64, None)]
+    shape = list(x.shape)
+    del shape[axis if axis >= 0 else len(shape) + axis]
+    return [(dtypes.int64, tuple(shape))]
+
+
+register_op(
+    "ArgMax",
+    infer=_argmax_infer,
+    kernel=lambda op, inputs, ctx: [np.argmax(inputs[0],
+                                              axis=op.attrs["axis"])],
+    grad=lambda gb, op, g: [None],
+    cost="elementwise",
+)
+
+
+def argmax(x, axis=-1, name="argmax") -> Tensor:
+    return out1("ArgMax", [x], {"axis": axis}, name=name)
+
+
+# -- static slicing ------------------------------------------------------------
+
+def _slice_infer(op):
+    x = op.inputs[0]
+    begin, size = op.attrs["begin"], op.attrs["size"]
+    if x.shape is None:
+        return [(x.dtype, None)]
+    shape = []
+    for b, s, dim in zip(begin, size, x.shape):
+        shape.append(s if s != -1 else (None if dim is None else dim - b))
+    return [(x.dtype, tuple(shape))]
+
+
+def _slice_kernel(op, inputs, ctx):
+    x = inputs[0]
+    begin, size = op.attrs["begin"], op.attrs["size"]
+    idx = tuple(slice(b, None if s == -1 else b + s)
+                for b, s in zip(begin, size))
+    return [x[idx]]
+
+
+def _slice_grad(gb, op, g):
+    return [out1("SliceGrad", [g[0], gb.val(op.inputs[0])],
+                 {"begin": op.attrs["begin"], "size": op.attrs["size"]})]
+
+
+def _slice_grad_kernel(op, inputs, ctx):
+    g, ref = inputs
+    out = np.zeros_like(ref)
+    begin, size = op.attrs["begin"], op.attrs["size"]
+    idx = tuple(slice(b, None if s == -1 else b + s)
+                for b, s in zip(begin, size))
+    out[idx] = g
+    return [out]
+
+
+register_op("Slice", infer=_slice_infer, kernel=_slice_kernel,
+            grad=_slice_grad, cost="elementwise")
+register_op("SliceGrad",
+            infer=lambda op: [(op.inputs[1].dtype, op.inputs[1].shape)],
+            kernel=_slice_grad_kernel, grad=None, cost="elementwise")
+
+
+def slice_(x, begin, size, name="slice") -> Tensor:
+    """Static slice: ``x[begin[0]:begin[0]+size[0], ...]`` (-1 = to end)."""
+    return out1("Slice", [x], {"begin": tuple(begin), "size": tuple(size)},
+                name=name)
+
+
+def python_index(x: Tensor, key):
+    """Support ``t[i]`` / ``t[a:b]`` style indexing on symbolic tensors."""
+    if isinstance(key, Tensor) or isinstance(key, (int, np.integer)):
+        return gather(x, key)
+    if isinstance(key, slice):
+        if key.step not in (None, 1):
+            raise NotImplementedError("strided slicing is not supported")
+        begin = key.start or 0
+        size = -1 if key.stop is None else key.stop - begin
+        rank = len(x.shape) if x.shape is not None else 1
+        begins = (begin,) + (0,) * (rank - 1)
+        sizes = (size,) + (-1,) * (rank - 1)
+        return slice_(x, begins, sizes)
+    raise TypeError(f"unsupported index {key!r}")
+
+
+# -- shape introspection -------------------------------------------------------
+
+register_op(
+    "Shape",
+    infer=lambda op: [(dtypes.int64,
+                       (len(op.inputs[0].shape),)
+                       if op.inputs[0].shape is not None else None)],
+    kernel=lambda op, inputs, ctx: [np.asarray(np.shape(inputs[0]),
+                                               dtype=np.int64)],
+    grad=lambda gb, op, g: [None],
+    cost="trivial",
+)
+
+
+def shape_of(x, name="shape") -> Tensor:
+    return out1("Shape", [x], name=name)
+
+
+register_op(
+    "Size",
+    infer=lambda op: [(dtypes.int64, ())],
+    kernel=lambda op, inputs, ctx: [np.asarray(np.size(inputs[0]),
+                                               dtype=np.int64)],
+    grad=lambda gb, op, g: [None],
+    cost="trivial",
+)
+
+
+def size_of(x, name="size") -> Tensor:
+    return out1("Size", [x], name=name)

@@ -1,0 +1,123 @@
+"""Shared helpers for building graph operations.
+
+All functional op constructors (``ops.add``, ``ops.matmul``, ...) go through
+:func:`build`, which
+
+* wraps raw Python/numpy values as ``Const`` operations,
+* reroutes tensors from *enclosing* graphs through SubGraph captures (the
+  paper's "outer reference" mechanism, Section 5), and
+* adds the operation to the current default graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.graph import dtypes
+from repro.graph.graph import Graph, get_default_graph
+from repro.graph.tensor import Tensor
+
+__all__ = ["build", "out1", "convert", "constant", "to_graph",
+           "static_broadcast_shape", "elementwise_infer", "like_infer",
+           "scalar_infer"]
+
+
+def constant(value, dtype: Optional[dtypes.DType] = None,
+             name: str = "const") -> Tensor:
+    """Create a constant tensor in the default graph."""
+    arr = dtypes.as_value(value, dtype)
+    graph = get_default_graph()
+    op = graph.add_op("Const", [], {"value": arr}, name=name)
+    return op.outputs[0]
+
+
+def convert(value, dtype: Optional[dtypes.DType] = None) -> Tensor:
+    """Coerce ``value`` to a Tensor (wrapping constants as needed)."""
+    if isinstance(value, Tensor):
+        return value
+    return constant(value, dtype)
+
+
+def to_graph(tensor: Tensor, graph: Graph) -> Tensor:
+    """Make ``tensor`` usable inside ``graph``.
+
+    If the tensor already lives in ``graph`` it is returned unchanged.
+    Otherwise ``graph`` must be a SubGraph body whose lexical parent chain
+    reaches the tensor's graph; the tensor is then routed through capture
+    placeholders level by level (innermost last).
+    """
+    if tensor.graph is graph:
+        return tensor
+    if not graph.is_subgraph_body or graph.owning_subgraph is None:
+        raise ValueError(
+            f"tensor {tensor.name} from graph {tensor.graph.name} cannot be "
+            f"used in unrelated graph {graph.name}")
+    subgraph = graph.owning_subgraph
+    outer = to_graph(tensor, subgraph.parent_graph)
+    return subgraph.capture(outer)
+
+
+def build(op_type: str, inputs: Sequence[Any] = (),
+          attrs: Optional[dict] = None, name: Optional[str] = None,
+          graph: Optional[Graph] = None) -> list[Tensor]:
+    """Add an operation to the default (or given) graph, returning outputs."""
+    graph = graph or get_default_graph()
+    converted = []
+    for value in inputs:
+        if not isinstance(value, Tensor):
+            with graph.as_default():
+                value = convert(value)
+        converted.append(to_graph(value, graph))
+    op = graph.add_op(op_type, converted, attrs or {}, name=name)
+    return list(op.outputs)
+
+
+def out1(op_type: str, inputs: Sequence[Any] = (),
+         attrs: Optional[dict] = None, name: Optional[str] = None,
+         graph: Optional[Graph] = None) -> Tensor:
+    """Like :func:`build` but for single-output ops."""
+    outputs = build(op_type, inputs, attrs, name, graph)
+    assert len(outputs) == 1, f"{op_type} produced {len(outputs)} outputs"
+    return outputs[0]
+
+
+# -- static shape helpers --------------------------------------------------
+
+def static_broadcast_shape(a, b):
+    """Best-effort numpy broadcast of two static shapes (None = unknown)."""
+    if a is None or b is None:
+        return None
+    out = []
+    la, lb = len(a), len(b)
+    for i in range(max(la, lb)):
+        da = a[la - 1 - i] if i < la else 1
+        db = b[lb - 1 - i] if i < lb else 1
+        if da is None or db is None:
+            out.append(None)
+        elif da == 1:
+            out.append(db)
+        elif db == 1 or da == db:
+            out.append(da)
+        else:
+            raise ValueError(f"incompatible static shapes {a} and {b}")
+    return tuple(reversed(out))
+
+
+def elementwise_infer(op):
+    """Output spec for a broadcasting binary elementwise op."""
+    a, b = op.inputs[0], op.inputs[1]
+    return [(a.dtype, static_broadcast_shape(a.shape, b.shape))]
+
+
+def like_infer(op):
+    """Output spec equal to the first input's spec."""
+    t = op.inputs[0]
+    return [(t.dtype, t.shape)]
+
+
+def scalar_infer(dtype):
+    def infer(op):
+        return [(dtype, ())]
+    return infer

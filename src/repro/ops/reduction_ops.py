@@ -1,0 +1,153 @@
+"""Reduction operations (sum / mean / max) with axis support."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph import dtypes
+from repro.graph.registry import register_op
+from repro.graph.tensor import Tensor
+
+from .common import out1
+
+__all__ = ["reduce_sum", "reduce_mean", "reduce_max"]
+
+
+def _axes(op):
+    axis = op.attrs["axis"]
+    if axis is None:
+        return None
+    if isinstance(axis, int):
+        return (axis,)
+    return tuple(axis)
+
+
+def _reduce_infer(op):
+    x = op.inputs[0]
+    axis = _axes(op)
+    keepdims = op.attrs["keepdims"]
+    if x.shape is None:
+        return [(x.dtype, None)]
+    rank = len(x.shape)
+    if axis is None:
+        axis = tuple(range(rank))
+    axis = tuple(a if a >= 0 else rank + a for a in axis)
+    shape = []
+    for i, dim in enumerate(x.shape):
+        if i in axis:
+            if keepdims:
+                shape.append(1)
+        else:
+            shape.append(dim)
+    return [(x.dtype, tuple(shape))]
+
+
+def _expand_grad_to(g: np.ndarray, ref: np.ndarray, axis, keepdims):
+    """Broadcast a reduced gradient back to the reference shape."""
+    if axis is None:
+        return np.broadcast_to(g, ref.shape)
+    if not keepdims:
+        axes = tuple(a if a >= 0 else ref.ndim + a for a in axis)
+        for a in sorted(axes):
+            g = np.expand_dims(g, a)
+    return np.broadcast_to(g, ref.shape)
+
+
+def _sum_kernel(op, inputs, ctx):
+    return [np.sum(inputs[0], axis=_axes(op), keepdims=op.attrs["keepdims"])]
+
+
+def _sum_grad(gb, op, g):
+    return [out1("ReduceSumGrad", [g[0], gb.val(op.inputs[0])],
+                 {"axis": op.attrs["axis"], "keepdims": op.attrs["keepdims"]})]
+
+
+def _sum_grad_kernel(op, inputs, ctx):
+    g, ref = inputs
+    expanded = _expand_grad_to(np.asarray(g), np.asarray(ref), _axes(op),
+                               op.attrs["keepdims"])
+    # copy: broadcast_to returns a read-only view (and note that
+    # ascontiguousarray would promote 0-d arrays to 1-d)
+    return [np.array(expanded)]
+
+
+register_op("ReduceSum", infer=_reduce_infer, kernel=_sum_kernel,
+            grad=_sum_grad, cost="elementwise")
+register_op("ReduceSumGrad",
+            infer=lambda op: [(op.inputs[1].dtype, op.inputs[1].shape)],
+            kernel=_sum_grad_kernel, grad=None, cost="elementwise")
+
+
+def reduce_sum(x, axis=None, keepdims=False, name="reduce_sum") -> Tensor:
+    """Sum over ``axis`` (all axes when None)."""
+    return out1("ReduceSum", [x], {"axis": axis, "keepdims": keepdims},
+                name=name)
+
+
+def _mean_kernel(op, inputs, ctx):
+    return [np.mean(inputs[0], axis=_axes(op), keepdims=op.attrs["keepdims"])]
+
+
+def _mean_grad(gb, op, g):
+    return [out1("ReduceMeanGrad", [g[0], gb.val(op.inputs[0])],
+                 {"axis": op.attrs["axis"], "keepdims": op.attrs["keepdims"]})]
+
+
+def _mean_grad_kernel(op, inputs, ctx):
+    g, ref = inputs
+    ref = np.asarray(ref)
+    axis = _axes(op)
+    count = (ref.size if axis is None else
+             int(np.prod([ref.shape[a] for a in axis])))
+    expanded = _expand_grad_to(np.asarray(g), ref, axis,
+                               op.attrs["keepdims"])
+    return [np.array(expanded) / count]
+
+
+register_op("ReduceMean", infer=_reduce_infer, kernel=_mean_kernel,
+            grad=_mean_grad, cost="elementwise")
+register_op("ReduceMeanGrad",
+            infer=lambda op: [(op.inputs[1].dtype, op.inputs[1].shape)],
+            kernel=_mean_grad_kernel, grad=None, cost="elementwise")
+
+
+def reduce_mean(x, axis=None, keepdims=False, name="reduce_mean") -> Tensor:
+    """Mean over ``axis`` (all axes when None)."""
+    return out1("ReduceMean", [x], {"axis": axis, "keepdims": keepdims},
+                name=name)
+
+
+def _max_kernel(op, inputs, ctx):
+    return [np.max(inputs[0], axis=_axes(op), keepdims=op.attrs["keepdims"])]
+
+
+def _max_grad(gb, op, g):
+    return [out1("ReduceMaxGrad",
+                 [g[0], gb.val(op.inputs[0]), gb.val(op.outputs[0])],
+                 {"axis": op.attrs["axis"], "keepdims": op.attrs["keepdims"]})]
+
+
+def _max_grad_kernel(op, inputs, ctx):
+    g, ref, result = inputs
+    axis = _axes(op)
+    keepdims = op.attrs["keepdims"]
+    expanded_res = _expand_grad_to(np.asarray(result), ref, axis, keepdims)
+    expanded_g = _expand_grad_to(np.asarray(g), ref, axis, keepdims)
+    mask = (ref == expanded_res)
+    # Split ties evenly, matching the subgradient convention.
+    counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+    counts = np.broadcast_to(counts, ref.shape)
+    return [np.where(mask, expanded_g / counts, 0.0).astype(ref.dtype)]
+
+
+register_op("ReduceMax", infer=_reduce_infer, kernel=_max_kernel,
+            grad=_max_grad, cost="elementwise")
+register_op("ReduceMaxGrad",
+            infer=lambda op: [(op.inputs[1].dtype, op.inputs[1].shape)],
+            kernel=_max_grad_kernel, grad=None, cost="elementwise")
+
+
+def reduce_max(x, axis=None, keepdims=False, name="reduce_max") -> Tensor:
+    """Max over ``axis`` (all axes when None)."""
+    return out1("ReduceMax", [x], {"axis": axis, "keepdims": keepdims},
+                name=name)

@@ -1,0 +1,337 @@
+"""TensorArray: a functional indexed array of tensors.
+
+The iterative baseline (paper Figure 1) keeps a ``states`` array indexed by
+topologically-sorted node ids.  In a dataflow graph such an array must be a
+*value* flowing along edges, so writes are copy-on-write and produce a new
+array value — like TensorFlow's TensorArray.
+
+Gradient semantics:
+
+* ``ta_read(ta, i)``'s gradient *adds* the incoming gradient into slot
+  ``i`` of a gradient array (multiple reads accumulate);
+* ``ta_write(ta, i, v)``'s gradient *reads* slot ``i`` of the gradient
+  array for ``v``, and passes the array gradient through with slot ``i``
+  cleared;
+* two gradient arrays combine by elementwise addition (``ta_combine``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph import dtypes
+from repro.graph.registry import register_op
+from repro.graph.tensor import Tensor
+
+from .common import out1
+
+__all__ = ["TensorArrayValue", "ta_create", "ta_write", "ta_read", "ta_add",
+           "ta_empty_like", "ta_combine", "ta_size", "zero_value_like"]
+
+
+class TensorArrayValue:
+    """Immutable runtime value of a TensorArray."""
+
+    __slots__ = ("items", "elem_shape", "np_dtype")
+
+    def __init__(self, items: tuple, elem_shape: tuple, np_dtype):
+        self.items = items
+        self.elem_shape = tuple(elem_shape)
+        self.np_dtype = np_dtype
+
+    @classmethod
+    def empty(cls, size: int, elem_shape: tuple,
+              np_dtype=np.float32) -> "TensorArrayValue":
+        return cls((None,) * int(size), elem_shape, np_dtype)
+
+    @classmethod
+    def empty_like(cls, other: "TensorArrayValue") -> "TensorArrayValue":
+        return cls((None,) * len(other.items), other.elem_shape,
+                   other.np_dtype)
+
+    def _check_index(self, index: int) -> int:
+        index = int(np.asarray(index))
+        if not 0 <= index < len(self.items):
+            raise IndexError(
+                f"TensorArray index {index} out of range [0, "
+                f"{len(self.items)})")
+        return index
+
+    def write(self, index: int, value: np.ndarray) -> "TensorArrayValue":
+        index = self._check_index(index)
+        if self.items[index] is not None:
+            raise ValueError(
+                f"TensorArray slot {index} already written (write-once "
+                "semantics)")
+        items = list(self.items)
+        items[index] = np.asarray(value)
+        return TensorArrayValue(tuple(items), self.elem_shape, self.np_dtype)
+
+    def add(self, index: int, value: np.ndarray) -> "TensorArrayValue":
+        index = self._check_index(index)
+        items = list(self.items)
+        current = items[index]
+        items[index] = (np.asarray(value) if current is None
+                        else current + value)
+        return TensorArrayValue(tuple(items), self.elem_shape, self.np_dtype)
+
+    def clear(self, index: int) -> "TensorArrayValue":
+        index = self._check_index(index)
+        items = list(self.items)
+        items[index] = None
+        return TensorArrayValue(tuple(items), self.elem_shape, self.np_dtype)
+
+    def read(self, index: int) -> np.ndarray:
+        index = self._check_index(index)
+        value = self.items[index]
+        if value is None:
+            return np.zeros(self.elem_shape, dtype=self.np_dtype)
+        return value
+
+    def combine(self, other: "TensorArrayValue") -> "TensorArrayValue":
+        if len(self.items) != len(other.items):
+            raise ValueError("cannot combine TensorArrays of different size")
+        items = []
+        for a, b in zip(self.items, other.items):
+            if a is None:
+                items.append(b)
+            elif b is None:
+                items.append(a)
+            else:
+                items.append(a + b)
+        return TensorArrayValue(tuple(items), self.elem_shape, self.np_dtype)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        written = sum(1 for v in self.items if v is not None)
+        return (f"<TensorArrayValue size={len(self.items)} written={written} "
+                f"elem_shape={self.elem_shape}>")
+
+
+def zero_value_like(value):
+    """A zero gradient matching ``value`` (ndarray or TensorArrayValue)."""
+    if isinstance(value, TensorArrayValue):
+        return TensorArrayValue.empty_like(value)
+    return np.zeros_like(value)
+
+
+# -- ops -----------------------------------------------------------------------
+
+def _variant_infer(op):
+    return [(dtypes.variant, None)]
+
+
+def _create_kernel(op, inputs, ctx):
+    return [TensorArrayValue.empty(int(np.asarray(inputs[0])),
+                                   op.attrs["elem_shape"],
+                                   op.attrs["dtype"].np_dtype)]
+
+
+register_op("TACreate", infer=_variant_infer, kernel=_create_kernel,
+            grad=lambda gb, op, g: [None], cost="trivial")
+
+
+def ta_create(size, elem_shape, dtype=dtypes.float32,
+              name="ta_create") -> Tensor:
+    """Create an empty TensorArray of ``size`` slots of ``elem_shape``."""
+    return out1("TACreate", [size],
+                {"elem_shape": tuple(elem_shape),
+                 "dtype": dtypes.as_dtype(dtype)}, name=name)
+
+
+def _write_grad(gb, op, g):
+    grad_ta = g[0]
+    if grad_ta is None:
+        return [None, None, None]
+    index = gb.val(op.inputs[1])
+    value_grad = ta_read_like(grad_ta, index, gb.val(op.inputs[2]))
+    passthrough = out1("TAClear", [grad_ta, index])
+    return [passthrough, None, value_grad]
+
+
+register_op(
+    "TAWrite",
+    infer=_variant_infer,
+    kernel=lambda op, inputs, ctx: [inputs[0].write(inputs[1], inputs[2])],
+    grad=_write_grad,
+    cost="elementwise",
+)
+
+
+def ta_write(ta, index, value, name="ta_write") -> Tensor:
+    """Write ``value`` into slot ``index`` (write-once)."""
+    return out1("TAWrite", [ta, index, value], name=name)
+
+
+register_op(
+    "TAClear",
+    infer=_variant_infer,
+    kernel=lambda op, inputs, ctx: [inputs[0].clear(inputs[1])],
+    grad=None,
+    cost="trivial",
+)
+
+
+def _read_infer(op):
+    return [(op.attrs["dtype"], op.attrs.get("shape"))]
+
+
+def _read_grad(gb, op, g):
+    if g[0] is None:
+        return [None, None]
+    empty = ta_empty_like(gb.val(op.inputs[0]))
+    contribution = ta_add(empty, gb.val(op.inputs[1]), g[0])
+    return [contribution, None]
+
+
+register_op(
+    "TARead",
+    infer=_read_infer,
+    kernel=lambda op, inputs, ctx: [inputs[0].read(inputs[1])],
+    grad=_read_grad,
+    cost="elementwise",
+)
+
+
+def ta_read(ta, index, dtype=dtypes.float32, shape=None,
+            name="ta_read") -> Tensor:
+    """Read slot ``index`` (zeros if unwritten)."""
+    return out1("TARead", [ta, index],
+                {"dtype": dtypes.as_dtype(dtype), "shape": shape}, name=name)
+
+
+def _read_like_infer(op):
+    ref = op.inputs[2]
+    return [(ref.dtype, ref.shape)]
+
+
+register_op(
+    "TAReadLike",
+    infer=_read_like_infer,
+    kernel=lambda op, inputs, ctx: [inputs[0].read(inputs[1])],
+    grad=None,
+    cost="elementwise",
+)
+
+
+def ta_read_like(ta, index, ref, name="ta_read_like") -> Tensor:
+    """Read slot ``index`` with dtype/shape taken from ``ref`` (grads)."""
+    return out1("TAReadLike", [ta, index, ref], name=name)
+
+
+register_op(
+    "TAAdd",
+    infer=_variant_infer,
+    kernel=lambda op, inputs, ctx: [inputs[0].add(inputs[1], inputs[2])],
+    grad=None,
+    cost="elementwise",
+)
+
+
+def ta_add(ta, index, value, name="ta_add") -> Tensor:
+    """``ta[index] += value`` (gradient accumulation writes)."""
+    return out1("TAAdd", [ta, index, value], name=name)
+
+
+register_op(
+    "TAEmptyLike",
+    infer=_variant_infer,
+    kernel=lambda op, inputs, ctx: [TensorArrayValue.empty_like(inputs[0])],
+    grad=lambda gb, op, g: [None],
+    cost="trivial",
+)
+
+
+def ta_empty_like(ta, name="ta_empty_like") -> Tensor:
+    return out1("TAEmptyLike", [ta], name=name)
+
+
+register_op(
+    "TACombine",
+    infer=_variant_infer,
+    kernel=lambda op, inputs, ctx: [inputs[0].combine(inputs[1])],
+    grad=lambda gb, op, g: [g[0], g[0]],
+    cost="elementwise",
+)
+
+
+def ta_combine(a, b, name="ta_combine") -> Tensor:
+    """Elementwise sum of two gradient TensorArrays."""
+    return out1("TACombine", [a, b], name=name)
+
+
+register_op(
+    "TASize",
+    infer=lambda op: [(dtypes.int32, ())],
+    kernel=lambda op, inputs, ctx: [np.int32(len(inputs[0]))],
+    grad=lambda gb, op, g: [None],
+    cost="trivial",
+)
+
+
+def ta_size(ta, name="ta_size") -> Tensor:
+    return out1("TASize", [ta], name=name)
+
+
+# -- batched row access (the iterative baseline's batched state reads) ---------
+
+def _gather_rows_kernel(op, inputs, ctx):
+    ta, indices = inputs
+    indices = np.asarray(indices)
+    rows = [ta.read(int(slot))[b] for b, slot in enumerate(indices)]
+    return [np.stack(rows, axis=0)]
+
+
+def _gather_rows_infer(op):
+    idx = op.inputs[1]
+    batch = idx.shape[0] if idx.shape is not None else None
+    elem = op.attrs.get("elem_shape")
+    shape = ((batch,) + tuple(elem[1:])) if elem is not None else None
+    return [(op.attrs["dtype"], shape)]
+
+
+def _gather_rows_grad(gb, op, g):
+    if g[0] is None:
+        return [None, None]
+    empty = ta_empty_like(gb.val(op.inputs[0]))
+    contribution = out1("TAScatterRowsAdd",
+                        [empty, gb.val(op.inputs[1]), g[0]])
+    return [contribution, None]
+
+
+register_op("TAGatherRows", infer=_gather_rows_infer,
+            kernel=_gather_rows_kernel, grad=_gather_rows_grad,
+            cost="elementwise")
+
+
+def ta_gather_rows(ta, indices, dtype=dtypes.float32, elem_shape=None,
+                   name="ta_gather_rows") -> Tensor:
+    """Batched row read: ``out[b] = ta[indices[b]][b]``.
+
+    The TensorArray's elements are ``[B, ...]`` tensors (one per node
+    index); this selects a different node slot per batch row — the batched
+    child-state read of the iterative implementation.
+    """
+    return out1("TAGatherRows", [ta, indices],
+                {"dtype": dtypes.as_dtype(dtype), "elem_shape": elem_shape},
+                name=name)
+
+
+def _scatter_rows_kernel(op, inputs, ctx):
+    ta, indices, values = inputs
+    indices = np.asarray(indices)
+    values = np.asarray(values)
+    result = ta
+    for b, slot in enumerate(indices):
+        row = np.zeros(ta.elem_shape, dtype=ta.np_dtype)
+        row[b] = values[b]
+        result = result.add(int(slot), row)
+    return [result]
+
+
+register_op("TAScatterRowsAdd", infer=_variant_infer,
+            kernel=_scatter_rows_kernel, grad=None, cost="elementwise")

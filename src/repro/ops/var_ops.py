@@ -1,0 +1,139 @@
+"""Variable access operations and gradient accumulation.
+
+Variables live in the runtime's :class:`~repro.runtime.variables.VariableStore`
+(not in any graph), so the *same* variable can be read from the main graph
+and from any SubGraph body without capture plumbing — matching how
+parameters behave in embedded-control-flow frameworks.
+
+Gradients of ``ReadVariable`` are *side effects*: an ``AccumGrad`` op adds
+the incoming gradient into the runtime's gradient accumulator.  Because a
+recursive SubGraph body executes many times per step, per-variable gradients
+must be summed across an unbounded number of frames; a thread-safe
+accumulator is the natural dataflow-friendly mechanism (it plays the role
+the concurrent hash table plays for activations in the paper's Section 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph import dtypes
+from repro.graph.registry import register_op
+from repro.graph.tensor import Tensor
+
+from .common import out1
+
+__all__ = ["read_variable", "assign", "assign_add", "assign_sub",
+           "accum_grad", "read_accum"]
+
+
+def _read_infer(op):
+    return [(op.attrs["dtype"], op.attrs.get("shape"))]
+
+
+def _read_kernel(op, inputs, ctx):
+    return [ctx.variables.read(op.attrs["var_name"])]
+
+
+def _read_grad(gb, op, grads):
+    if grads[0] is not None:
+        update = accum_grad(op.attrs["var_name"], grads[0])
+        gb.add_update(update.op)
+    return []
+
+
+register_op("ReadVariable", infer=_read_infer, kernel=_read_kernel,
+            grad=_read_grad, stateful=True, cost="trivial")
+
+
+def read_variable(var_name: str, dtype, shape=None,
+                  name=None) -> Tensor:
+    """Read the current value of a runtime variable."""
+    return out1("ReadVariable", [],
+                {"var_name": var_name, "dtype": dtypes.as_dtype(dtype),
+                 "shape": shape},
+                name=name or f"read_{var_name}")
+
+
+def _assign_kernel(op, inputs, ctx):
+    ctx.variables.write(op.attrs["var_name"], np.asarray(inputs[0]))
+    return [inputs[0]]
+
+
+register_op("Assign",
+            infer=lambda op: [(op.inputs[0].dtype, op.inputs[0].shape)],
+            kernel=_assign_kernel, grad=None, stateful=True, cost="trivial")
+
+
+def assign(var_name: str, value, name=None) -> Tensor:
+    """Overwrite a variable; returns the stored value."""
+    return out1("Assign", [value], {"var_name": var_name},
+                name=name or f"assign_{var_name}")
+
+
+def _assign_add_kernel(op, inputs, ctx):
+    new = ctx.variables.add(op.attrs["var_name"], np.asarray(inputs[0]))
+    return [new]
+
+
+register_op("AssignAdd",
+            infer=lambda op: [(op.inputs[0].dtype, op.inputs[0].shape)],
+            kernel=_assign_add_kernel, grad=None, stateful=True,
+            cost="trivial")
+
+
+def assign_add(var_name: str, delta, name=None) -> Tensor:
+    """``var += delta``; returns the updated value."""
+    return out1("AssignAdd", [delta], {"var_name": var_name},
+                name=name or f"assign_add_{var_name}")
+
+
+def _assign_sub_kernel(op, inputs, ctx):
+    new = ctx.variables.add(op.attrs["var_name"], -np.asarray(inputs[0]))
+    return [new]
+
+
+register_op("AssignSub",
+            infer=lambda op: [(op.inputs[0].dtype, op.inputs[0].shape)],
+            kernel=_assign_sub_kernel, grad=None, stateful=True,
+            cost="trivial")
+
+
+def assign_sub(var_name: str, delta, name=None) -> Tensor:
+    """``var -= delta``; returns the updated value."""
+    return out1("AssignSub", [delta], {"var_name": var_name},
+                name=name or f"assign_sub_{var_name}")
+
+
+def _accum_kernel(op, inputs, ctx):
+    ctx.accumulators.add(op.attrs["var_name"], np.asarray(inputs[0]))
+    return [inputs[0]]
+
+
+register_op("AccumGrad",
+            infer=lambda op: [(op.inputs[0].dtype, op.inputs[0].shape)],
+            kernel=_accum_kernel, grad=None, stateful=True, cost="trivial")
+
+
+def accum_grad(var_name: str, grad, name=None) -> Tensor:
+    """Add ``grad`` into the runtime gradient accumulator for ``var_name``."""
+    return out1("AccumGrad", [grad], {"var_name": var_name},
+                name=name or f"accum_{var_name}")
+
+
+def _read_accum_kernel(op, inputs, ctx):
+    return [ctx.accumulators.read(op.attrs["var_name"],
+                                  op.attrs.get("shape"),
+                                  op.attrs["dtype"].np_dtype)]
+
+
+register_op("ReadAccum", infer=_read_infer, kernel=_read_accum_kernel,
+            grad=None, stateful=True, cost="trivial")
+
+
+def read_accum(var_name: str, dtype, shape=None, name=None) -> Tensor:
+    """Read the accumulated gradient for ``var_name`` (zeros if none)."""
+    return out1("ReadAccum", [],
+                {"var_name": var_name, "dtype": dtypes.as_dtype(dtype),
+                 "shape": shape},
+                name=name or f"read_accum_{var_name}")

@@ -1,0 +1,12 @@
+"""Execution engines, sessions, cost models and runtime state."""
+
+from .cost_model import CostModel, client_eager, gpu_profile, testbed_cpu, unit_cost
+from .engine import EngineError, EventEngine
+from .session import Runtime, Session, default_runtime, reset_default_runtime
+from .stats import RunStats
+from .variables import GradientAccumulator, Variable, VariableStore
+
+__all__ = ["CostModel", "client_eager", "gpu_profile", "testbed_cpu",
+           "unit_cost", "EngineError", "EventEngine", "Runtime", "Session",
+           "default_runtime", "reset_default_runtime", "RunStats",
+           "GradientAccumulator", "Variable", "VariableStore"]

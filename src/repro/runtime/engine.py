@@ -1,0 +1,352 @@
+"""The dataflow execution engine (paper Figure 4).
+
+The engine implements the execution model of embedded control flow
+frameworks: a *master* parses the graph, places operations whose inputs are
+unresolved into a waiting set (per-op dependency counters) and operations
+that are ready into a shared *ready queue*; *workers* repeatedly dequeue
+ready operations, execute their kernels, and report completions back to the
+master, which resolves dependents.
+
+Recursion support (the paper's step (4)): when an ``InvokeOp`` (or any
+async control-flow op) is dequeued, its associated SubGraph is processed by
+the same master and its inner operations are enqueued into the *same* ready
+queue — inner ops from many concurrent recursive calls interleave freely.
+The caller/callee relationship is a tree of :class:`Frame` objects, each
+holding a pointer to its parent instance (the "graph execution stack" that
+cannot be a linear stack, Section 4.1.2).
+
+This engine is a *deterministic discrete-event simulator*: kernels really
+run (values are exact) but time advances according to the cost model over
+``num_workers`` virtual workers, with serialized master dispatch.  This is
+what lets a GIL-bound Python reproduction exhibit the paper's 36-core
+scheduling dynamics.  A wall-clock thread-pool engine with identical
+semantics lives in :mod:`repro.runtime.threaded`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from collections import deque
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.cache import ROOT_KEY, child_key
+from repro.graph.graph import Graph, Operation
+from repro.graph.registry import ExecContext, op_def
+from repro.graph.tensor import Tensor
+
+from .cost_model import CostModel, testbed_cpu
+from .stats import RunStats
+
+__all__ = ["Frame", "Instance", "EventEngine", "EngineError"]
+
+
+class EngineError(RuntimeError):
+    """An error raised while executing a graph, annotated with op context."""
+
+
+class Frame:
+    """One activation of a graph (the whole run, or one SubGraph call)."""
+
+    __slots__ = ("graph", "key", "depth", "record", "bindings", "values",
+                 "pending", "remaining", "on_complete", "consumers",
+                 "op_ids", "owner")
+
+    def __init__(self, graph: Graph, op_ids: Sequence[int], bindings: dict,
+                 key: tuple, depth: int, record: bool,
+                 on_complete: Callable, owner: Optional["Instance"]):
+        self.graph = graph
+        self.key = key
+        self.depth = depth
+        self.record = record
+        self.bindings = bindings
+        self.values: dict[tuple[int, int], Any] = {}
+        self.op_ids = list(op_ids)
+        self.pending: dict[int, int] = {}
+        self.remaining = len(self.op_ids)
+        self.on_complete = on_complete
+        self.consumers = graph.consumers()
+        self.owner = owner  # parent Instance (None for the root frame)
+
+    def value_of(self, tensor: Tensor):
+        return self.values[tensor.ref]
+
+
+class Instance:
+    """A schedulable (operation, frame) pair."""
+
+    __slots__ = ("op", "frame", "seq")
+
+    def __init__(self, op: Operation, frame: Frame, seq: int):
+        self.op = op
+        self.frame = frame
+        self.seq = seq
+
+
+_OP_DONE = 0
+_CALL = 1
+
+
+class _FifoReady:
+    def __init__(self):
+        self._q: deque[Instance] = deque()
+
+    def push(self, inst: Instance) -> None:
+        self._q.append(inst)
+
+    def pop(self) -> Instance:
+        return self._q.popleft()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class _DepthPriorityReady:
+    """Deeper frames first — the paper's suggested priority policy."""
+
+    def __init__(self):
+        self._q: list[tuple[int, int, Instance]] = []
+
+    def push(self, inst: Instance) -> None:
+        heapq.heappush(self._q, (-inst.frame.depth, inst.seq, inst))
+
+    def pop(self) -> Instance:
+        return heapq.heappop(self._q)[2]
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class EventEngine:
+    """Discrete-event engine over K virtual workers.
+
+    Args:
+        runtime: the :class:`~repro.runtime.session.Runtime` providing
+            variables, accumulators and the backprop cache.
+        num_workers: virtual worker thread count (the paper's testbed: 36).
+        cost_model: virtual-time cost model; defaults to the CPU testbed.
+        record: cache forward values of recursive frames (training mode).
+        scheduler: "fifo" (paper default) or "depth" priority.
+        max_depth: recursion guard.
+    """
+
+    def __init__(self, runtime, num_workers: int = 1,
+                 cost_model: Optional[CostModel] = None, record: bool = False,
+                 scheduler: str = "fifo", max_depth: int = 5000):
+        self.runtime = runtime
+        self.num_workers = num_workers
+        self.cost_model = cost_model or testbed_cpu()
+        self.record = record
+        self.scheduler = scheduler
+        self.max_depth = max_depth
+        self._seq = itertools.count()
+        self._reset()
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, graph: Graph, fetches: Sequence[Tensor],
+            feed_map: dict[int, Any]) -> tuple[list, RunStats]:
+        """Execute ``graph`` until all ``fetches`` are produced."""
+        wall0 = time.perf_counter()
+        self._reset()
+        fetch_ops = {t.op for t in fetches}
+        needed = sorted(graph.reachable_from(fetch_ops))
+        root = self._make_frame(graph, needed, feed_map, key=ROOT_KEY,
+                                depth=0, record=False,
+                                on_complete=lambda f: None, owner=None)
+        self._start_frame(root)
+        self._loop()
+        if self._error is not None:
+            raise self._error
+        values = [root.values[t.ref] for t in fetches]
+        self.stats.virtual_time = self._now
+        self.stats.wall_time = time.perf_counter() - wall0
+        self.stats.cache_stores = self.runtime.cache.stores
+        self.stats.cache_lookups = self.runtime.cache.lookups
+        return values, self.stats
+
+    # -- frame management (shared with async op starters) --------------------
+
+    def spawn_frame(self, subgraph, bindings: dict, key: tuple, depth: int,
+                    on_complete: Callable, owner: Optional[Instance]) -> Frame:
+        """Start executing a SubGraph body as a new frame (paper step 4)."""
+        if depth > self.max_depth:
+            raise EngineError(
+                f"recursion limit exceeded (depth {depth}); "
+                "check the base case of your recursive SubGraph")
+        graph = subgraph.graph
+        record = self.record and not getattr(graph, "is_backward_body", False)
+        frame = self._make_frame(graph, range(graph.num_operations), bindings,
+                                 key=key, depth=depth, record=record,
+                                 on_complete=on_complete, owner=owner)
+        self._start_frame(frame)
+        return frame
+
+    def finish_async(self, inst: Instance, outputs: list) -> None:
+        """Complete an async op once its frame(s) produced the outputs."""
+        delay = self.cost_model.return_overhead
+        self._post(self._now + delay,
+                   lambda: self._complete_instance(inst, outputs))
+
+    def post_continuation(self, delay: float, fn: Callable) -> None:
+        """Schedule ``fn`` to run at now+delay (loop iterations etc.)."""
+        self._post(self._now + delay, fn)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- internals -----------------------------------------------------------
+
+    def _reset(self) -> None:
+        self._now = 0.0
+        self._master_clock = 0.0
+        # Serialized access to the concurrent backprop cache (the hash
+        # table lock + shared memory bandwidth of Section 5).
+        self._cache_clock = 0.0
+        self._free = self.num_workers
+        self._events: list = []
+        self._ready = (_DepthPriorityReady() if self.scheduler == "depth"
+                       else _FifoReady())
+        self._error: Optional[Exception] = None
+        self.stats = RunStats()
+
+    @staticmethod
+    def _should_store(frame: Frame, op_id: int, out_idx: int) -> bool:
+        """Selective caching: after differentiation each body graph knows
+        which forward values its backward body looks up."""
+        cache_filter = getattr(frame.graph, "cache_filter", None)
+        return cache_filter is None or (op_id, out_idx) in cache_filter
+
+    def _make_frame(self, graph, op_ids, bindings, key, depth, record,
+                    on_complete, owner) -> Frame:
+        frame = Frame(graph, op_ids, bindings, key, depth, record,
+                      on_complete, owner)
+        for op_id in frame.op_ids:
+            frame.pending[op_id] = graph.dependency_count(graph.op_by_id(op_id))
+        self.stats.frames_created += 1
+        self.stats.max_frame_depth = max(self.stats.max_frame_depth, depth)
+        return frame
+
+    def _start_frame(self, frame: Frame) -> None:
+        # Bound placeholders complete immediately; other zero-dep ops are
+        # enqueued.  Delivery may cascade, so snapshot the id list first.
+        for op_id in list(frame.op_ids):
+            if op_id in frame.bindings:
+                op = frame.graph.op_by_id(op_id)
+                frame.pending.pop(op_id, None)
+                self._complete_instance(
+                    Instance(op, frame, next(self._seq)),
+                    [frame.bindings[op_id]])
+        for op_id in list(frame.op_ids):
+            if frame.pending.get(op_id) == 0:
+                op = frame.graph.op_by_id(op_id)
+                frame.pending.pop(op_id)
+                self._ready.push(Instance(op, frame, next(self._seq)))
+
+    def _post(self, when: float, fn: Callable) -> None:
+        heapq.heappush(self._events, (when, next(self._seq), _CALL, fn))
+
+    def _loop(self) -> None:
+        while self._error is None:
+            self._dispatch_ready()
+            if not self._events:
+                break
+            when, _, kind, payload = heapq.heappop(self._events)
+            self._now = max(self._now, when)
+            if kind == _OP_DONE:
+                self._free += 1
+                inst, outputs, starter_inputs = payload
+                try:
+                    if starter_inputs is None:
+                        self._complete_instance(inst, outputs)
+                    else:
+                        starter = op_def(inst.op.op_type).meta["starter"]
+                        starter(self, inst, starter_inputs)
+                except Exception as exc:  # annotate and stop
+                    self._error = self._wrap_error(exc, inst.op)
+            else:
+                try:
+                    payload()
+                except Exception as exc:
+                    self._error = exc if isinstance(exc, EngineError) \
+                        else EngineError(str(exc))
+                    self._error.__cause__ = exc
+
+    def _dispatch_ready(self) -> None:
+        while len(self._ready) > 0 and self._free > 0 and self._error is None:
+            inst = self._ready.pop()
+            op = inst.op
+            frame = inst.frame
+            inputs = [frame.values[t.ref] for t in op.inputs]
+            start = max(self._now, self._master_clock)
+            self._master_clock = start + self.cost_model.dispatch(op)
+            definition = op_def(op.op_type)
+            self._free -= 1
+            busy = self.num_workers - self._free
+            self.stats.max_concurrency = max(self.stats.max_concurrency, busy)
+            if definition.is_async:
+                cost = self.cost_model.async_overhead(op)
+                self.stats.note_op(op.op_type, cost)
+                heapq.heappush(self._events,
+                               (self._master_clock + cost, next(self._seq),
+                                _OP_DONE, (inst, None, inputs)))
+            else:
+                try:
+                    ctx = ExecContext(self.runtime, frame, frame.record)
+                    outputs = definition.kernel(op, inputs, ctx)
+                except Exception as exc:
+                    self._error = self._wrap_error(exc, op)
+                    return
+                cost = self.cost_model.op_cost(op, inputs)
+                done = self._master_clock + cost
+                if op.op_type == "CacheLookup":
+                    # lookups contend on the shared cache structure
+                    self._cache_clock = max(self._cache_clock,
+                                            self._master_clock) + cost
+                    done = self._cache_clock
+                elif frame.record:
+                    for i, value in enumerate(outputs):
+                        if self._should_store(frame, op.id, i):
+                            write = self.cost_model.cache_write_cost(value)
+                            self._cache_clock = (max(self._cache_clock,
+                                                     done) + write)
+                            done = self._cache_clock
+                self.stats.note_op(op.op_type, done - self._master_clock)
+                heapq.heappush(self._events,
+                               (done, next(self._seq),
+                                _OP_DONE, (inst, outputs, None)))
+
+    def _complete_instance(self, inst: Instance, outputs: list) -> None:
+        frame = inst.frame
+        op = inst.op
+        if len(outputs) != op.num_outputs:
+            raise EngineError(
+                f"kernel of {op.name} ({op.op_type}) returned {len(outputs)} "
+                f"values, expected {op.num_outputs}")
+        for i, value in enumerate(outputs):
+            frame.values[(op.id, i)] = value
+            if frame.record and self._should_store(frame, op.id, i):
+                self.runtime.cache.store(frame.key, frame.graph.graph_id,
+                                         op.id, i, value)
+        for consumer in frame.consumers.get(op.id, ()):
+            count = frame.pending.get(consumer.id)
+            if count is None:
+                continue  # outside this frame's (pruned) op set
+            if count == 1:
+                frame.pending.pop(consumer.id)
+                self._ready.push(Instance(consumer, frame, next(self._seq)))
+            else:
+                frame.pending[consumer.id] = count - 1
+        frame.remaining -= 1
+        if frame.remaining == 0:
+            frame.on_complete(frame)
+
+    @staticmethod
+    def _wrap_error(exc: Exception, op: Operation) -> EngineError:
+        err = EngineError(
+            f"error executing {op.name} ({op.op_type}) in graph "
+            f"{op.graph.name}: {exc}")
+        err.__cause__ = exc
+        return err

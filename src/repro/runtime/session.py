@@ -1,0 +1,138 @@
+"""Sessions and the runtime that hosts state.
+
+A :class:`Runtime` owns everything that outlives a single graph execution:
+the variable store, the gradient accumulators, and the backpropagation
+value cache.  A :class:`Session` executes fetches against a graph with a
+chosen engine configuration (worker count, cost model, scheduling policy,
+training/inference mode).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cache import ValueCache
+from repro.graph import dtypes
+from repro.graph.graph import Graph, get_default_graph
+from repro.graph.tensor import Tensor
+
+from .cost_model import CostModel, testbed_cpu
+from .engine import EventEngine
+from .stats import RunStats
+from .variables import GradientAccumulator, VariableStore
+
+__all__ = ["Runtime", "Session", "default_runtime", "reset_default_runtime"]
+
+
+class Runtime:
+    """Holds variables, gradient accumulators and the backprop cache."""
+
+    def __init__(self):
+        self.variables = VariableStore()
+        self.accumulators = GradientAccumulator()
+        self.cache = ValueCache()
+        self.trainables: list = []
+
+    def register_trainable(self, variable) -> None:
+        self.trainables.append(variable)
+
+    def trainable_variables(self) -> list:
+        return list(self.trainables)
+
+
+_default_runtime: Optional[Runtime] = None
+
+
+def default_runtime() -> Runtime:
+    """The process-wide runtime used when none is passed explicitly."""
+    global _default_runtime
+    if _default_runtime is None:
+        _default_runtime = Runtime()
+    return _default_runtime
+
+
+def reset_default_runtime() -> Runtime:
+    """Replace the default runtime (test isolation)."""
+    global _default_runtime
+    _default_runtime = Runtime()
+    return _default_runtime
+
+
+class Session:
+    """Executes graphs: ``session.run(fetches, feed_dict)``.
+
+    Args:
+        graph: the graph to execute (defaults to the current default graph).
+        runtime: state container (defaults to the process-wide runtime).
+        num_workers: virtual worker threads (the paper's testbed used 36).
+        cost_model: virtual-time cost model (defaults to the CPU testbed).
+        record: training mode — record forward values of recursive frames
+            into the backprop cache.  Runs that execute backward ops
+            (InvokeGrad etc.) require ``record=True``.
+        scheduler: "fifo" (paper default) or "depth" priority scheduling.
+        engine: "event" for the deterministic virtual-time engine, or
+            "threaded" for the wall-clock thread-pool engine.
+    """
+
+    def __init__(self, graph: Optional[Graph] = None,
+                 runtime: Optional[Runtime] = None, num_workers: int = 1,
+                 cost_model: Optional[CostModel] = None, record: bool = False,
+                 scheduler: str = "fifo", engine: str = "event",
+                 max_depth: int = 5000):
+        self.graph = graph or get_default_graph()
+        self.runtime = runtime or default_runtime()
+        if engine == "event":
+            self._engine = EventEngine(self.runtime, num_workers=num_workers,
+                                       cost_model=cost_model, record=record,
+                                       scheduler=scheduler,
+                                       max_depth=max_depth)
+        elif engine == "threaded":
+            from .threaded import ThreadedEngine
+            self._engine = ThreadedEngine(self.runtime,
+                                          num_workers=num_workers,
+                                          cost_model=cost_model,
+                                          record=record, max_depth=max_depth)
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+        self.last_stats: Optional[RunStats] = None
+
+    def run(self, fetches, feed_dict: Optional[dict] = None,
+            record: Optional[bool] = None):
+        """Execute the graph until ``fetches`` are produced.
+
+        ``fetches`` may be a Tensor or a list/tuple of Tensors; the return
+        value matches that structure.  ``feed_dict`` maps placeholder
+        tensors to numpy-compatible values.
+        """
+        single = isinstance(fetches, Tensor)
+        fetch_list = [fetches] if single else list(fetches)
+        for t in fetch_list:
+            if not isinstance(t, Tensor):
+                raise TypeError(f"fetch {t!r} is not a Tensor")
+            if t.graph is not self.graph:
+                raise ValueError(
+                    f"fetch {t.name} belongs to graph {t.graph.name}, "
+                    f"session runs {self.graph.name}")
+        feed_map = self._build_feed_map(feed_dict or {})
+        if record is not None:
+            self._engine.record = record
+        self.runtime.cache.clear()
+        values, stats = self._engine.run(self.graph, fetch_list, feed_map)
+        self.last_stats = stats
+        return values[0] if single else values
+
+    def _build_feed_map(self, feed_dict: dict) -> dict[int, Any]:
+        feed_map: dict[int, Any] = {}
+        for key, value in feed_dict.items():
+            if not isinstance(key, Tensor):
+                raise TypeError(f"feed key {key!r} is not a Tensor")
+            if key.graph is not self.graph:
+                raise ValueError(
+                    f"feed {key.name} belongs to a different graph")
+            if key.op.op_type != "Placeholder":
+                raise ValueError(f"can only feed placeholders, got "
+                                 f"{key.op.op_type} {key.name}")
+            feed_map[key.op.id] = dtypes.as_value(value, key.dtype)
+        return feed_map

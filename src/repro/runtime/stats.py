@@ -1,0 +1,62 @@
+"""Execution statistics collected by the engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RunStats"]
+
+
+@dataclass
+class RunStats:
+    """Statistics for one ``Session.run`` call.
+
+    ``virtual_time`` is the simulated makespan in seconds under the engine's
+    cost model and worker count; ``wall_time`` is host wall-clock time.
+    """
+
+    virtual_time: float = 0.0
+    wall_time: float = 0.0
+    ops_executed: int = 0
+    frames_created: int = 0
+    max_concurrency: int = 0
+    max_frame_depth: int = 0
+    per_type_count: dict = field(default_factory=dict)
+    per_type_time: dict = field(default_factory=dict)
+    cache_stores: int = 0
+    cache_lookups: int = 0
+
+    def note_op(self, op_type: str, cost: float) -> None:
+        self.ops_executed += 1
+        self.per_type_count[op_type] = self.per_type_count.get(op_type, 0) + 1
+        self.per_type_time[op_type] = (self.per_type_time.get(op_type, 0.0)
+                                       + cost)
+
+    def merge(self, other: "RunStats") -> None:
+        """Accumulate another run's stats into this one (harness use)."""
+        self.virtual_time += other.virtual_time
+        self.wall_time += other.wall_time
+        self.ops_executed += other.ops_executed
+        self.frames_created += other.frames_created
+        self.max_concurrency = max(self.max_concurrency,
+                                   other.max_concurrency)
+        self.max_frame_depth = max(self.max_frame_depth,
+                                   other.max_frame_depth)
+        for k, v in other.per_type_count.items():
+            self.per_type_count[k] = self.per_type_count.get(k, 0) + v
+        for k, v in other.per_type_time.items():
+            self.per_type_time[k] = self.per_type_time.get(k, 0.0) + v
+
+    def summary(self) -> str:
+        lines = [
+            f"virtual_time={self.virtual_time * 1e3:.3f} ms  "
+            f"wall_time={self.wall_time * 1e3:.3f} ms",
+            f"ops={self.ops_executed}  frames={self.frames_created}  "
+            f"max_concurrency={self.max_concurrency}  "
+            f"max_depth={self.max_frame_depth}",
+        ]
+        top = sorted(self.per_type_time.items(), key=lambda kv: -kv[1])[:8]
+        for op_type, t in top:
+            lines.append(f"  {op_type:<22} n={self.per_type_count[op_type]:<7}"
+                         f" t={t * 1e3:.3f} ms")
+        return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Wall-clock engine: a real thread pool behind the same execution model.
+
+Matches :class:`~repro.runtime.engine.EventEngine` semantics exactly (same
+frames, same ready-queue discipline, same async control flow) but executes
+kernels on ``threading`` workers and reports host wall-clock time instead
+of virtual time.  Used to validate that the virtual-time engine computes
+identical values, and to demonstrate the architecture on real threads.
+
+Master state (frames, dependency counters) is guarded by one re-entrant
+lock; kernels run outside the lock so numpy work can overlap.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.cache import ROOT_KEY
+from repro.graph.graph import Graph
+from repro.graph.registry import ExecContext, op_def
+from repro.graph.tensor import Tensor
+
+from .cost_model import CostModel, testbed_cpu
+from .engine import EngineError, Frame, Instance
+from .stats import RunStats
+
+__all__ = ["ThreadedEngine"]
+
+_SENTINEL = object()
+
+
+class ThreadedEngine:
+    """Thread-pool execution with the Figure-4 master/worker structure."""
+
+    def __init__(self, runtime, num_workers: int = 4,
+                 cost_model: Optional[CostModel] = None, record: bool = False,
+                 max_depth: int = 5000):
+        self.runtime = runtime
+        self.num_workers = max(1, num_workers)
+        self.cost_model = cost_model or testbed_cpu()
+        self.record = record
+        self.max_depth = max_depth
+        self._seq = itertools.count()
+
+    # The async-op starters call these three methods plus ``spawn_frame``;
+    # the interface is shared with EventEngine.
+
+    @property
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def post_continuation(self, delay: float, fn: Callable) -> None:
+        # Wall-clock mode does not simulate overheads; run immediately.
+        fn()
+
+    def finish_async(self, inst: Instance, outputs: list) -> None:
+        self._complete_instance(inst, outputs)
+
+    def spawn_frame(self, subgraph, bindings: dict, key: tuple, depth: int,
+                    on_complete: Callable, owner: Optional[Instance]) -> Frame:
+        if depth > self.max_depth:
+            raise EngineError(
+                f"recursion limit exceeded (depth {depth}); "
+                "check the base case of your recursive SubGraph")
+        graph = subgraph.graph
+        record = self.record and not getattr(graph, "is_backward_body", False)
+        frame = self._make_frame(graph, range(graph.num_operations), bindings,
+                                 key, depth, record, on_complete, owner)
+        self._start_frame(frame)
+        return frame
+
+    # -- run ------------------------------------------------------------------
+
+    def run(self, graph: Graph, fetches: Sequence[Tensor],
+            feed_map: dict[int, Any]) -> tuple[list, RunStats]:
+        wall0 = time.perf_counter()
+        self._lock = threading.RLock()
+        self._queue: queue.Queue = queue.Queue()
+        self._done = threading.Event()
+        self._error: Optional[Exception] = None
+        self.stats = RunStats()
+
+        fetch_ops = {t.op for t in fetches}
+        needed = sorted(graph.reachable_from(fetch_ops))
+
+        def root_done(frame):
+            self._done.set()
+
+        with self._lock:
+            root = self._make_frame(graph, needed, feed_map, ROOT_KEY, 0,
+                                    False, root_done, None)
+            self._start_frame(root)
+            if root.remaining == 0:
+                self._done.set()
+
+        workers = [threading.Thread(target=self._worker, daemon=True)
+                   for _ in range(self.num_workers)]
+        for w in workers:
+            w.start()
+        self._done.wait()
+        for _ in workers:
+            self._queue.put(_SENTINEL)
+        for w in workers:
+            w.join()
+        if self._error is not None:
+            raise self._error
+        values = [root.values[t.ref] for t in fetches]
+        self.stats.wall_time = time.perf_counter() - wall0
+        self.stats.virtual_time = self.stats.wall_time
+        return values, self.stats
+
+    # -- internals ---------------------------------------------------------------
+
+    def _make_frame(self, graph, op_ids, bindings, key, depth, record,
+                    on_complete, owner) -> Frame:
+        frame = Frame(graph, op_ids, bindings, key, depth, record,
+                      on_complete, owner)
+        for op_id in frame.op_ids:
+            frame.pending[op_id] = graph.dependency_count(
+                graph.op_by_id(op_id))
+        self.stats.frames_created += 1
+        self.stats.max_frame_depth = max(self.stats.max_frame_depth, depth)
+        return frame
+
+    def _start_frame(self, frame: Frame) -> None:
+        for op_id in list(frame.op_ids):
+            if op_id in frame.bindings:
+                op = frame.graph.op_by_id(op_id)
+                frame.pending.pop(op_id, None)
+                self._complete_instance(
+                    Instance(op, frame, next(self._seq)),
+                    [frame.bindings[op_id]])
+        for op_id in list(frame.op_ids):
+            if frame.pending.get(op_id) == 0:
+                op = frame.graph.op_by_id(op_id)
+                frame.pending.pop(op_id)
+                self._queue.put(Instance(op, frame, next(self._seq)))
+
+    def _worker(self) -> None:
+        while True:
+            inst = self._queue.get()
+            if inst is _SENTINEL:
+                return
+            if self._error is not None:
+                continue
+            op = inst.op
+            definition = op_def(op.op_type)
+            try:
+                inputs = [inst.frame.values[t.ref] for t in op.inputs]
+                if definition.is_async:
+                    with self._lock:
+                        definition.meta["starter"](self, inst, inputs)
+                else:
+                    ctx = ExecContext(self.runtime, inst.frame,
+                                      inst.frame.record)
+                    outputs = definition.kernel(op, inputs, ctx)
+                    self._complete_instance(inst, outputs)
+                with self._lock:
+                    self.stats.note_op(op.op_type, 0.0)
+            except Exception as exc:
+                with self._lock:
+                    if self._error is None:
+                        err = EngineError(
+                            f"error executing {op.name} ({op.op_type}): "
+                            f"{exc}")
+                        err.__cause__ = exc
+                        self._error = err
+                    self._done.set()
+
+    def _complete_instance(self, inst: Instance, outputs: list) -> None:
+        with self._lock:
+            frame = inst.frame
+            op = inst.op
+            if len(outputs) != op.num_outputs:
+                raise EngineError(
+                    f"kernel of {op.name} returned {len(outputs)} values, "
+                    f"expected {op.num_outputs}")
+            for i, value in enumerate(outputs):
+                frame.values[(op.id, i)] = value
+                if frame.record:
+                    cache_filter = getattr(frame.graph, "cache_filter", None)
+                    if cache_filter is None or (op.id, i) in cache_filter:
+                        self.runtime.cache.store(frame.key,
+                                                 frame.graph.graph_id,
+                                                 op.id, i, value)
+            for consumer in frame.consumers.get(op.id, ()):
+                count = frame.pending.get(consumer.id)
+                if count is None:
+                    continue
+                if count == 1:
+                    frame.pending.pop(consumer.id)
+                    self._queue.put(Instance(consumer, frame,
+                                             next(self._seq)))
+                else:
+                    frame.pending[consumer.id] = count - 1
+            frame.remaining -= 1
+            if frame.remaining == 0:
+                frame.on_complete(frame)

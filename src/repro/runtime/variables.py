@@ -1,0 +1,158 @@
+"""Runtime state: variables and gradient accumulators.
+
+Variables live outside any graph so that the same parameter can be read
+from the main graph and from every (recursive) SubGraph body.  Gradient
+accumulators collect per-variable gradient contributions across the
+unbounded number of backward frames a recursive model produces.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+from repro.graph import dtypes
+from repro.graph.graph import get_default_graph
+from repro.graph.tensor import Tensor
+
+__all__ = ["VariableStore", "GradientAccumulator", "Variable"]
+
+
+class VariableStore:
+    """A thread-safe name -> ndarray mapping."""
+
+    def __init__(self):
+        self._values: dict[str, np.ndarray] = {}
+        self._lock = threading.Lock()
+
+    def create(self, name: str, value: np.ndarray, *,
+               allow_overwrite: bool = False) -> None:
+        with self._lock:
+            if name in self._values and not allow_overwrite:
+                raise ValueError(f"variable {name!r} already exists")
+            self._values[name] = np.array(value)
+
+    def exists(self, name: str) -> bool:
+        with self._lock:
+            return name in self._values
+
+    def read(self, name: str) -> np.ndarray:
+        with self._lock:
+            try:
+                return self._values[name]
+            except KeyError:
+                raise KeyError(f"variable {name!r} was never created") from None
+
+    def write(self, name: str, value: np.ndarray) -> None:
+        with self._lock:
+            self._values[name] = value
+
+    def add(self, name: str, delta: np.ndarray) -> np.ndarray:
+        """Atomically ``var += delta``; returns the new value."""
+        with self._lock:
+            new = self._values[name] + delta
+            self._values[name] = new
+            return new
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._values)
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Copy of all variables (used by the distributed simulator)."""
+        with self._lock:
+            return {k: v.copy() for k, v in self._values.items()}
+
+    def restore(self, snapshot: dict[str, np.ndarray]) -> None:
+        with self._lock:
+            for k, v in snapshot.items():
+                self._values[k] = v.copy()
+
+    def total_parameters(self) -> int:
+        with self._lock:
+            return int(sum(v.size for v in self._values.values()))
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return int(sum(v.nbytes for v in self._values.values()))
+
+
+class GradientAccumulator:
+    """Thread-safe per-variable gradient sums (zeroed before each step)."""
+
+    def __init__(self):
+        self._grads: dict[str, np.ndarray] = {}
+        self._lock = threading.Lock()
+
+    def add(self, name: str, grad: np.ndarray) -> None:
+        with self._lock:
+            if name in self._grads:
+                self._grads[name] = self._grads[name] + grad
+            else:
+                self._grads[name] = np.array(grad)
+
+    def read(self, name: str, shape=None, np_dtype=np.float32) -> np.ndarray:
+        with self._lock:
+            if name in self._grads:
+                return self._grads[name]
+        if shape is None:
+            raise KeyError(
+                f"no gradient accumulated for {name!r} and no static shape "
+                "to synthesize zeros from")
+        return np.zeros(shape, dtype=np_dtype)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._grads)
+
+    def zero(self) -> None:
+        with self._lock:
+            self._grads.clear()
+
+
+class Variable:
+    """A trainable parameter registered in a runtime's variable store.
+
+    ``Variable.read()`` builds (and memoizes per graph) a ``ReadVariable``
+    op in the current default graph, so the variable is usable from main
+    graphs and SubGraph bodies alike.
+    """
+
+    def __init__(self, name: str, initial_value, *, runtime=None,
+                 trainable: bool = True):
+        from repro.runtime.session import default_runtime
+        self.runtime = runtime or default_runtime()
+        value = np.asarray(initial_value)
+        if value.dtype == np.float64:
+            value = value.astype(np.float32)
+        self.name = name
+        self.dtype = dtypes.from_numpy(value)
+        self.shape = value.shape
+        self.trainable = trainable
+        self.runtime.variables.create(name, value)
+        if trainable:
+            self.runtime.register_trainable(self)
+
+    def read(self) -> Tensor:
+        """Symbolic read of the current value, memoized per graph."""
+        from repro.ops import var_ops
+        graph = get_default_graph()
+        memo = graph.variable_read_memo
+        if self.name not in memo:
+            memo[self.name] = var_ops.read_variable(
+                self.name, self.dtype, self.shape)
+        return memo[self.name]
+
+    def value(self) -> np.ndarray:
+        """Current concrete value (host-side read)."""
+        return self.runtime.variables.read(self.name)
+
+    def assign_value(self, value: np.ndarray) -> None:
+        """Host-side overwrite (used by tests and the distributed sim)."""
+        self.runtime.variables.write(self.name,
+                                     np.asarray(value, dtype=self.dtype.np_dtype))
+
+    def __repr__(self) -> str:
+        return f"<Variable {self.name!r} shape={self.shape}>"

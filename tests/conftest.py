@@ -1,0 +1,39 @@
+"""Shared fixtures: isolated graphs/runtimes per test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+@pytest.fixture
+def graph():
+    """A fresh graph installed as the default for the test body."""
+    g = repro.Graph("test")
+    with g.as_default():
+        yield g
+
+
+@pytest.fixture
+def runtime():
+    """A fresh runtime (variables/accumulators/cache)."""
+    return repro.Runtime()
+
+
+@pytest.fixture
+def session(graph, runtime):
+    """A single-worker session on the test graph."""
+    return repro.Session(graph, runtime)
+
+
+def run(tensors, feeds=None, *, graph=None, runtime=None, workers=1,
+        record=False, **kwargs):
+    """One-shot helper: run fetches on a fresh session."""
+    target = graph if graph is not None else (
+        tensors[0].graph if isinstance(tensors, (list, tuple))
+        else tensors.graph)
+    sess = repro.Session(target, runtime or repro.Runtime(),
+                         num_workers=workers, record=record, **kwargs)
+    return sess.run(tensors, feeds)

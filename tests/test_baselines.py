@@ -1,0 +1,160 @@
+"""Tests for the folding baseline and TD-TreeLSTM dynamic model."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import FoldingExecutor, build_schedule
+from repro.data import batch_trees, make_treebank
+from repro.models import (ModelConfig, TDTreeLSTM, TreeLSTMSentiment,
+                          TreeRNNSentiment, tree_lstm_config)
+from repro.nn import Adagrad, SGD, Trainer
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return make_treebank(num_train=12, num_val=4, vocab_size=40,
+                         max_words=14, mean_log_words=2.0, seed=9)
+
+
+class TestFoldingSchedule:
+    def test_levels_respect_dependencies(self, bank):
+        batch = batch_trees(bank.train[:4])
+        schedule = build_schedule(batch)
+        level_of = np.zeros(schedule.total, dtype=np.int64)
+        for depth, slots in enumerate(schedule.levels):
+            level_of[slots] = depth
+        for slot in range(schedule.total):
+            if schedule.left[slot] >= 0:
+                assert level_of[schedule.left[slot]] < level_of[slot]
+                assert level_of[schedule.right[slot]] < level_of[slot]
+
+    def test_level_zero_is_all_leaves(self, bank):
+        batch = batch_trees(bank.train[:4])
+        schedule = build_schedule(batch)
+        assert np.all(schedule.left[schedule.levels[0]] == -1)
+
+    def test_total_nodes(self, bank):
+        batch = batch_trees(bank.train[:4])
+        schedule = build_schedule(batch)
+        assert schedule.total == batch.total_nodes
+
+    def test_weights_sum_to_batch_normalizer(self, bank):
+        batch = batch_trees(bank.train[:4])
+        schedule = build_schedule(batch)
+        # per-instance weights sum to 1/B each -> total = 1
+        assert schedule.weight.sum() == pytest.approx(1.0)
+
+    def test_depth_matches_deepest_tree(self, bank):
+        trees = bank.train[:4]
+        batch = batch_trees(trees)
+        schedule = build_schedule(batch)
+        assert schedule.depth == max(t.depth for t in trees)
+
+
+class TestFoldingEquivalence:
+    @pytest.mark.parametrize("model_cls,config", [
+        (TreeRNNSentiment, ModelConfig(vocab_size=40, hidden=8,
+                                       embed_dim=8)),
+        (TreeLSTMSentiment, tree_lstm_config(vocab_size=40, hidden=8,
+                                             embed_dim=6)),
+    ], ids=["treernn", "treelstm"])
+    def test_matches_recursive_loss_and_grads(self, bank, model_cls,
+                                              config):
+        batch = batch_trees(bank.train[:3])
+        runtime = repro.Runtime()
+        model = model_cls(config, runtime)
+        built = model.build_recursive(3)
+        trainer = Trainer(built.graph, built.loss, Adagrad(0.05), runtime,
+                          session_kwargs={"num_workers": 4})
+        ref_loss = trainer.compute_gradients(built.feed_dict(batch))
+        ref_grads = trainer.gradient_snapshot()
+
+        fold = FoldingExecutor(model)
+        loss, _, state, _ = fold.forward(batch)
+        grads, _ = fold.backward(state)
+        assert loss == pytest.approx(ref_loss, abs=1e-5)
+        for name in ref_grads:
+            np.testing.assert_allclose(grads[name], ref_grads[name],
+                                       atol=1e-4, err_msg=name)
+
+    def test_train_step_updates_parameters(self, bank):
+        runtime = repro.Runtime()
+        model = TreeRNNSentiment(ModelConfig(vocab_size=40, hidden=8,
+                                             embed_dim=8), runtime)
+        fold = FoldingExecutor(model)
+        before = runtime.variables.read("treernn/cell/W").copy()
+        batch = batch_trees(bank_trees := bank.train[:3])
+        fold.train_step(batch, SGD(0.5))
+        after = runtime.variables.read("treernn/cell/W")
+        assert not np.allclose(before, after)
+
+    def test_virtual_time_positive_and_scales(self, bank):
+        runtime = repro.Runtime()
+        model = TreeRNNSentiment(ModelConfig(vocab_size=40, hidden=8,
+                                             embed_dim=8), runtime)
+        fold = FoldingExecutor(model)
+        _, _, _, t_small = fold.forward(batch_trees(bank.train[:1]))
+        _, _, _, t_large = fold.forward(batch_trees(bank.train[:8]))
+        assert 0 < t_small < t_large
+
+
+class TestTDTreeLSTM:
+    @pytest.fixture(scope="class")
+    def td(self):
+        runtime = repro.Runtime()
+        config = ModelConfig(vocab_size=40, hidden=12, embed_dim=12, seed=2)
+        return TDTreeLSTM(config, runtime, max_depth=5), runtime
+
+    def test_recursive_generates_finite_trees(self, td):
+        model, runtime = td
+        built = model.build_recursive(4)
+        session = repro.Session(built.graph, runtime, num_workers=8)
+        seeds = np.array([1, 5, 9, 13], dtype=np.int32)
+        counts = session.run(built.node_counts, built.feed_dict(seeds))
+        limit = 2 ** (model.max_depth + 1) - 1
+        assert np.all(counts >= 1)
+        assert np.all(counts <= limit)
+
+    def test_iterative_matches_recursive(self, td):
+        model, runtime = td
+        rec = model.build_recursive(4)
+        it = model.build_iterative(4)
+        seeds = np.array([3, 8, 21, 34], dtype=np.int32)
+        s1 = repro.Session(rec.graph, runtime, num_workers=8)
+        s2 = repro.Session(it.graph, runtime, num_workers=8)
+        counts_rec = s1.run(rec.node_counts, rec.feed_dict(seeds))
+        counts_it = s2.run(it.node_counts, it.feed_dict(seeds))
+        np.testing.assert_array_equal(counts_rec, counts_it)
+
+    def test_structure_is_value_dependent(self, td):
+        """Different seeds genuinely produce different structures — the
+        property that makes folding inapplicable."""
+        model, runtime = td
+        built = model.build_recursive(8)
+        session = repro.Session(built.graph, runtime, num_workers=8)
+        seeds = np.arange(8, dtype=np.int32)
+        counts = session.run(built.node_counts, built.feed_dict(seeds))
+        assert len(set(int(c) for c in counts)) > 1
+
+    def test_recursive_faster_in_virtual_time(self, td):
+        model, runtime = td
+        rec = model.build_recursive(8)
+        it = model.build_iterative(8)
+        seeds = np.arange(10, 18, dtype=np.int32)
+        s1 = repro.Session(rec.graph, runtime, num_workers=36)
+        s2 = repro.Session(it.graph, runtime, num_workers=36)
+        s1.run(rec.node_counts, rec.feed_dict(seeds))
+        s2.run(it.node_counts, it.feed_dict(seeds))
+        assert (s1.last_stats.virtual_time
+                < s2.last_stats.virtual_time)
+
+    def test_depth_cap_enforced(self):
+        runtime = repro.Runtime()
+        config = ModelConfig(vocab_size=40, hidden=8, embed_dim=8, seed=4)
+        model = TDTreeLSTM(config, runtime, max_depth=2)
+        built = model.build_recursive(4)
+        session = repro.Session(built.graph, runtime, num_workers=4)
+        counts = session.run(built.node_counts,
+                             built.feed_dict(np.arange(4, dtype=np.int32)))
+        assert np.all(counts <= 7)  # 2^(2+1) - 1

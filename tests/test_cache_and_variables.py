@@ -1,0 +1,220 @@
+"""Unit tests for the backprop value cache, variable store, accumulators."""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.cache import ROOT_KEY, ValueCache, child_key
+from repro.runtime.variables import GradientAccumulator, Variable, VariableStore
+
+
+class TestValueCache:
+    def test_store_lookup_roundtrip(self):
+        cache = ValueCache()
+        cache.store((1,), 10, 5, 0, "payload")
+        assert cache.lookup((1,), 10, 5, 0) == "payload"
+
+    def test_distinct_keys_do_not_collide(self):
+        cache = ValueCache()
+        cache.store((1,), 10, 5, 0, "a")
+        cache.store((2,), 10, 5, 0, "b")
+        cache.store((1,), 11, 5, 0, "c")
+        cache.store((1,), 10, 6, 0, "d")
+        cache.store((1,), 10, 5, 1, "e")
+        assert cache.lookup((1,), 10, 5, 0) == "a"
+        assert cache.lookup((2,), 10, 5, 0) == "b"
+        assert cache.lookup((1,), 11, 5, 0) == "c"
+        assert cache.lookup((1,), 10, 6, 0) == "d"
+        assert cache.lookup((1,), 10, 5, 1) == "e"
+
+    def test_miss_raises_helpfully(self):
+        cache = ValueCache()
+        with pytest.raises(KeyError, match="cache miss"):
+            cache.lookup((9,), 1, 2, 3)
+
+    def test_meta_storage(self):
+        cache = ValueCache()
+        cache.store_meta(((1,), 4), 17)
+        assert cache.lookup_meta(((1,), 4)) == 17
+        with pytest.raises(KeyError):
+            cache.lookup_meta(((2,), 4))
+
+    def test_clear(self):
+        cache = ValueCache()
+        cache.store((1,), 1, 1, 0, "x")
+        cache.store_meta("m", 1)
+        cache.clear()
+        assert len(cache) == 0
+        with pytest.raises(KeyError):
+            cache.lookup_meta("m")
+
+    def test_concurrent_access(self):
+        cache = ValueCache()
+        errors = []
+
+        def writer(tid):
+            try:
+                for i in range(200):
+                    cache.store((tid,), 1, i, 0, tid * 1000 + i)
+                for i in range(200):
+                    assert cache.lookup((tid,), 1, i, 0) == tid * 1000 + i
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) == 8 * 200
+
+    def test_stats_counters(self):
+        cache = ValueCache()
+        cache.store((1,), 1, 1, 0, "x")
+        cache.lookup((1,), 1, 1, 0)
+        assert cache.stores == 1
+        assert cache.lookups == 1
+
+
+class TestFrameKeyUniqueness:
+    def test_paths_unique_across_depths(self):
+        # two different call paths can never share a key
+        a = child_key(child_key(ROOT_KEY, 1), 2)
+        b = child_key(child_key(ROOT_KEY, 2), 1)
+        assert a != b
+
+    def test_loop_iteration_keys(self):
+        parent = child_key(ROOT_KEY, 4)
+        k0 = child_key(parent, (9, 0))
+        k1 = child_key(parent, (9, 1))
+        assert k0 != k1
+
+
+class TestVariableStore:
+    def test_create_read_write(self):
+        store = VariableStore()
+        store.create("a", np.array([1.0, 2.0]))
+        np.testing.assert_allclose(store.read("a"), [1.0, 2.0])
+        store.write("a", np.array([3.0]))
+        np.testing.assert_allclose(store.read("a"), [3.0])
+
+    def test_duplicate_create_raises(self):
+        store = VariableStore()
+        store.create("a", np.zeros(1))
+        with pytest.raises(ValueError, match="already exists"):
+            store.create("a", np.zeros(1))
+
+    def test_missing_read_raises(self):
+        store = VariableStore()
+        with pytest.raises(KeyError, match="never created"):
+            store.read("ghost")
+
+    def test_atomic_add(self):
+        store = VariableStore()
+        store.create("a", np.zeros(2))
+        new = store.add("a", np.ones(2))
+        np.testing.assert_allclose(new, [1.0, 1.0])
+        np.testing.assert_allclose(store.read("a"), [1.0, 1.0])
+
+    def test_snapshot_restore(self):
+        store = VariableStore()
+        store.create("a", np.array([1.0]))
+        snap = store.snapshot()
+        store.write("a", np.array([9.0]))
+        store.restore(snap)
+        np.testing.assert_allclose(store.read("a"), [1.0])
+
+    def test_totals(self):
+        store = VariableStore()
+        store.create("a", np.zeros((2, 3), dtype=np.float32))
+        assert store.total_parameters() == 6
+        assert store.total_bytes() == 24
+
+    def test_concurrent_adds(self):
+        store = VariableStore()
+        store.create("a", np.zeros(1))
+
+        def adder():
+            for _ in range(500):
+                store.add("a", np.ones(1))
+
+        threads = [threading.Thread(target=adder) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.read("a")[0] == pytest.approx(2000.0)
+
+
+class TestGradientAccumulator:
+    def test_add_and_read(self):
+        acc = GradientAccumulator()
+        acc.add("w", np.array([1.0, 2.0]))
+        acc.add("w", np.array([0.5, 0.5]))
+        np.testing.assert_allclose(acc.read("w"), [1.5, 2.5])
+
+    def test_read_missing_with_shape_gives_zeros(self):
+        acc = GradientAccumulator()
+        np.testing.assert_allclose(acc.read("w", shape=(2,)), np.zeros(2))
+
+    def test_read_missing_without_shape_raises(self):
+        acc = GradientAccumulator()
+        with pytest.raises(KeyError):
+            acc.read("w")
+
+    def test_zero_clears(self):
+        acc = GradientAccumulator()
+        acc.add("w", np.ones(2))
+        acc.zero()
+        assert acc.names() == []
+
+    def test_concurrent_accumulation(self):
+        acc = GradientAccumulator()
+
+        def adder():
+            for _ in range(300):
+                acc.add("g", np.ones(1))
+
+        threads = [threading.Thread(target=adder) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert acc.read("g")[0] == pytest.approx(1200.0)
+
+
+class TestVariable:
+    def test_creation_registers_value(self, runtime):
+        v = Variable("x", np.array([1.0, 2.0], dtype=np.float32),
+                     runtime=runtime)
+        np.testing.assert_allclose(v.value(), [1.0, 2.0])
+        assert v in runtime.trainable_variables()
+
+    def test_non_trainable_not_registered(self, runtime):
+        v = Variable("slot", np.zeros(1), runtime=runtime, trainable=False)
+        assert v not in runtime.trainable_variables()
+
+    def test_float64_initial_downcast(self, runtime):
+        v = Variable("d", np.zeros(2, dtype=np.float64), runtime=runtime)
+        assert v.dtype is repro.float32
+
+    def test_read_memoized_per_graph(self, runtime):
+        v = Variable("m", np.float32(1.0), runtime=runtime)
+        g1 = repro.Graph("g1")
+        with g1.as_default():
+            r1 = v.read()
+            r2 = v.read()
+        g2 = repro.Graph("g2")
+        with g2.as_default():
+            r3 = v.read()
+        assert r1 is r2
+        assert r3 is not r1
+
+    def test_assign_value(self, runtime):
+        v = Variable("av", np.float32(1.0), runtime=runtime)
+        v.assign_value(5.0)
+        assert v.value() == pytest.approx(5.0)

@@ -1,0 +1,311 @@
+"""Tests for cond / while_loop, including gradients through them."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ops
+from repro.core.subgraph import SubGraphError
+from tests.conftest import run
+
+
+class TestCond:
+    def test_takes_true_branch(self, graph, runtime):
+        out = ops.cond(ops.constant(True),
+                       lambda: ops.constant(1.0),
+                       lambda: ops.constant(2.0))
+        assert repro.Session(graph, runtime).run(out) == pytest.approx(1.0)
+
+    def test_takes_false_branch(self, graph, runtime):
+        out = ops.cond(ops.constant(False),
+                       lambda: ops.constant(1.0),
+                       lambda: ops.constant(2.0))
+        assert repro.Session(graph, runtime).run(out) == pytest.approx(2.0)
+
+    def test_only_chosen_branch_executes(self, graph, runtime):
+        # the false branch would divide by zero if executed
+        x = ops.constant(1.0)
+        zero = ops.constant(0.0)
+        out = ops.cond(ops.constant(True),
+                       lambda: ops.identity(x),
+                       lambda: ops.divide(ops.log(zero), zero))
+        value = repro.Session(graph, runtime).run(out)
+        assert np.isfinite(value)
+
+    def test_captures_outer_values(self, graph, runtime):
+        x = ops.placeholder(repro.float32, ())
+        out = ops.cond(ops.greater(x, 0.0),
+                       lambda: ops.multiply(x, 10.0),
+                       lambda: ops.negative(x))
+        sess = repro.Session(graph, runtime)
+        assert sess.run(out, {x: 2.0}) == pytest.approx(20.0)
+        assert sess.run(out, {x: -3.0}) == pytest.approx(3.0)
+
+    def test_multiple_outputs(self, graph, runtime):
+        a, b = ops.cond(ops.constant(True),
+                        lambda: (ops.constant(1.0), ops.constant(2.0)),
+                        lambda: (ops.constant(3.0), ops.constant(4.0)))
+        sess = repro.Session(graph, runtime)
+        assert sess.run([a, b]) == [1.0, 2.0]
+
+    def test_mismatched_output_count_raises(self, graph):
+        with pytest.raises(SubGraphError, match="output count"):
+            ops.cond(ops.constant(True),
+                     lambda: ops.constant(1.0),
+                     lambda: (ops.constant(1.0), ops.constant(2.0)))
+
+    def test_mismatched_dtype_raises(self, graph):
+        with pytest.raises(SubGraphError, match="dtype"):
+            ops.cond(ops.constant(True),
+                     lambda: ops.constant(1.0),
+                     lambda: ops.constant(1))
+
+    def test_non_bool_predicate_raises(self, graph):
+        with pytest.raises(SubGraphError, match="bool"):
+            ops.cond(ops.constant(1),
+                     lambda: ops.constant(1.0),
+                     lambda: ops.constant(2.0))
+
+    def test_nested_cond(self, graph, runtime):
+        x = ops.placeholder(repro.float32, ())
+        out = ops.cond(
+            ops.greater(x, 0.0),
+            lambda: ops.cond(ops.greater(x, 10.0),
+                             lambda: ops.constant(2.0),
+                             lambda: ops.constant(1.0)),
+            lambda: ops.constant(0.0))
+        sess = repro.Session(graph, runtime)
+        assert sess.run(out, {x: 20.0}) == pytest.approx(2.0)
+        assert sess.run(out, {x: 5.0}) == pytest.approx(1.0)
+        assert sess.run(out, {x: -1.0}) == pytest.approx(0.0)
+
+    def test_cond_gradient_through_taken_branch(self, graph, runtime):
+        x = ops.placeholder(repro.float32, ())
+        out = ops.cond(ops.greater(x, 0.0),
+                       lambda: ops.multiply(x, x),
+                       lambda: ops.multiply(x, -3.0))
+        grads, updates = repro.gradients(out, [x])
+        sess = repro.Session(graph, runtime, record=True)
+        assert sess.run(grads[0], {x: 2.0}) == pytest.approx(4.0)
+        assert sess.run(grads[0], {x: -2.0}) == pytest.approx(-3.0)
+
+    def test_cond_gradient_zero_for_untaken_capture(self, graph, runtime):
+        x = ops.placeholder(repro.float32, ())
+        y = ops.placeholder(repro.float32, ())
+        out = ops.cond(ops.constant(True),
+                       lambda: ops.multiply(x, 2.0),
+                       lambda: ops.multiply(y, 5.0))
+        grads, _ = repro.gradients(out, [x, y])
+        sess = repro.Session(graph, runtime, record=True)
+        gx, gy = sess.run([grads[0], grads[1]], {x: 1.0, y: 1.0})
+        assert gx == pytest.approx(2.0)
+        assert gy == pytest.approx(0.0)
+
+
+class TestWhileLoop:
+    def test_counter(self, graph, runtime):
+        i = ops.while_loop(lambda i: ops.less(i, 7),
+                           lambda i: ops.add(i, 1),
+                           [ops.constant(0)])
+        assert repro.Session(graph, runtime).run(i) == 7
+
+    def test_zero_iterations(self, graph, runtime):
+        i = ops.while_loop(lambda i: ops.less(i, 0),
+                           lambda i: ops.add(i, 1),
+                           [ops.constant(5)])
+        assert repro.Session(graph, runtime).run(i) == 5
+
+    def test_multiple_vars(self, graph, runtime):
+        i, total = ops.while_loop(
+            lambda i, s: ops.less(i, 5),
+            lambda i, s: (ops.add(i, 1),
+                          ops.add(s, ops.cast(i, repro.float32))),
+            [ops.constant(0), ops.constant(0.0)])
+        assert repro.Session(graph, runtime).run(total) == pytest.approx(10.0)
+
+    def test_captures(self, graph, runtime):
+        step = ops.placeholder(repro.float32, ())
+        _, total = ops.while_loop(
+            lambda i, s: ops.less(i, 4),
+            lambda i, s: (ops.add(i, 1), ops.add(s, step)),
+            [ops.constant(0), ops.constant(0.0)])
+        sess = repro.Session(graph, runtime)
+        assert sess.run(total, {step: 2.5}) == pytest.approx(10.0)
+
+    def test_max_iters_guard(self, graph, runtime):
+        i = ops.while_loop(lambda i: ops.constant(True),
+                           lambda i: ops.add(i, 1),
+                           [ops.constant(0)], max_iters=10)
+        with pytest.raises(repro.EngineError, match="max_iters"):
+            repro.Session(graph, runtime).run(i)
+
+    def test_var_count_mismatch_raises(self, graph):
+        with pytest.raises(SubGraphError, match="loop variables"):
+            ops.while_loop(lambda i, s: ops.less(i, 1),
+                           lambda i, s: ops.add(i, 1),
+                           [ops.constant(0), ops.constant(0.0)])
+
+    def test_dtype_change_raises(self, graph):
+        with pytest.raises(SubGraphError, match="dtype"):
+            ops.while_loop(lambda i: ops.less(i, 1),
+                           lambda i: ops.cast(i, repro.float32),
+                           [ops.constant(0)])
+
+    def test_cond_inside_loop(self, graph, runtime):
+        # sum of even numbers < 10
+        def body(i, s):
+            is_even = ops.equal(ops.subtract(i, ops.multiply(
+                ops.cast(ops.cast(i, repro.float32) * 0.5, repro.int32), 2)),
+                0)
+            add = ops.cond(is_even,
+                           lambda: ops.cast(i, repro.float32),
+                           lambda: ops.constant(0.0))
+            return ops.add(i, 1), ops.add(s, add)
+
+        _, total = ops.while_loop(lambda i, s: ops.less(i, 10), body,
+                                  [ops.constant(0), ops.constant(0.0)])
+        assert repro.Session(graph, runtime).run(total) == pytest.approx(20.0)
+
+
+class TestWhileLoopGradients:
+    def test_power_gradient(self, graph, runtime):
+        # y = x^4 via loop; dy/dx = 4 x^3
+        x = ops.placeholder(repro.float32, ())
+        _, y = ops.while_loop(lambda i, p: ops.less(i, 4),
+                              lambda i, p: (ops.add(i, 1),
+                                            ops.multiply(p, x)),
+                              [ops.constant(0), ops.constant(1.0)])
+        grads, _ = repro.gradients(y, [x])
+        sess = repro.Session(graph, runtime, record=True)
+        assert sess.run(grads[0], {x: 1.5}) == pytest.approx(4 * 1.5 ** 3,
+                                                             rel=1e-4)
+
+    def test_sum_gradient_flows_to_capture(self, graph, runtime):
+        x = ops.placeholder(repro.float32, ())
+        _, total = ops.while_loop(
+            lambda i, s: ops.less(i, 6),
+            lambda i, s: (ops.add(i, 1), ops.add(s, ops.square(x))),
+            [ops.constant(0), ops.constant(0.0)])
+        grads, _ = repro.gradients(total, [x])
+        sess = repro.Session(graph, runtime, record=True)
+        # d/dx (6 x^2) = 12 x
+        assert sess.run(grads[0], {x: 2.0}) == pytest.approx(24.0, rel=1e-4)
+
+    def test_zero_iteration_gradient_is_passthrough(self, graph, runtime):
+        x = ops.placeholder(repro.float32, ())
+        _, y = ops.while_loop(lambda i, s: ops.less(i, 0),
+                              lambda i, s: (ops.add(i, 1),
+                                            ops.multiply(s, 2.0)),
+                              [ops.constant(0), x])
+        grads, _ = repro.gradients(y, [x])
+        sess = repro.Session(graph, runtime, record=True)
+        assert sess.run(grads[0], {x: 3.0}) == pytest.approx(1.0)
+
+    def test_variable_gradient_accumulates_over_iterations(self, graph,
+                                                           runtime):
+        w = repro.Variable("loop_w", np.float32(2.0), runtime=runtime)
+        _, total = ops.while_loop(
+            lambda i, s: ops.less(i, 5),
+            lambda i, s: (ops.add(i, 1), ops.add(s, w.read())),
+            [ops.constant(0), ops.constant(0.0)])
+        _, updates = repro.gradients(total, [])
+        sess = repro.Session(graph, runtime, record=True)
+        sess.run([total] + [op.outputs[-1] for op in updates])
+        assert runtime.accumulators.read("loop_w") == pytest.approx(5.0)
+
+    def test_gradient_requires_record_mode(self, graph, runtime):
+        x = ops.placeholder(repro.float32, ())
+        _, y = ops.while_loop(lambda i, p: ops.less(i, 2),
+                              lambda i, p: (ops.add(i, 1),
+                                            ops.multiply(p, x)),
+                              [ops.constant(0), ops.constant(1.0)])
+        grads, _ = repro.gradients(y, [x])
+        sess = repro.Session(graph, runtime, record=False)
+        with pytest.raises(repro.EngineError):
+            sess.run(grads[0], {x: 1.0})
+
+
+class TestTensorArray:
+    def test_write_read_roundtrip(self, graph, runtime):
+        ta = ops.ta_create(3, (2,))
+        ta = ops.ta_write(ta, 1, ops.constant([5.0, 6.0]))
+        out = ops.ta_read(ta, 1, repro.float32, (2,))
+        np.testing.assert_allclose(repro.Session(graph, runtime).run(out),
+                                   [5.0, 6.0])
+
+    def test_read_unwritten_returns_zeros(self, graph, runtime):
+        ta = ops.ta_create(2, (3,))
+        out = ops.ta_read(ta, 0, repro.float32, (3,))
+        np.testing.assert_allclose(repro.Session(graph, runtime).run(out),
+                                   np.zeros(3))
+
+    def test_double_write_raises(self, graph, runtime):
+        ta = ops.ta_create(2, ())
+        ta = ops.ta_write(ta, 0, ops.constant(1.0))
+        ta = ops.ta_write(ta, 0, ops.constant(2.0))
+        out = ops.ta_read(ta, 0, repro.float32, ())
+        with pytest.raises(repro.EngineError, match="write-once"):
+            repro.Session(graph, runtime).run(out)
+
+    def test_out_of_range_raises(self, graph, runtime):
+        ta = ops.ta_create(2, ())
+        out = ops.ta_read(ta, 5, repro.float32, ())
+        with pytest.raises(repro.EngineError, match="out of range"):
+            repro.Session(graph, runtime).run(out)
+
+    def test_size(self, graph, runtime):
+        ta = ops.ta_create(7, ())
+        assert repro.Session(graph, runtime).run(ops.ta_size(ta)) == 7
+
+    def test_gradient_through_write_read(self, graph, runtime):
+        x = ops.placeholder(repro.float32, ())
+        ta = ops.ta_create(2, ())
+        ta = ops.ta_write(ta, 0, ops.multiply(x, 3.0))
+        y = ops.square(ops.ta_read(ta, 0, repro.float32, ()))
+        grads, _ = repro.gradients(y, [x])
+        sess = repro.Session(graph, runtime, record=True)
+        # y = (3x)^2, dy/dx = 18x
+        assert sess.run(grads[0], {x: 2.0}) == pytest.approx(36.0)
+
+    def test_multiple_reads_accumulate_gradient(self, graph, runtime):
+        x = ops.placeholder(repro.float32, ())
+        ta = ops.ta_create(1, ())
+        ta = ops.ta_write(ta, 0, x)
+        read1 = ops.ta_read(ta, 0, repro.float32, ())
+        read2 = ops.ta_read(ta, 0, repro.float32, ())
+        y = ops.add(read1, ops.multiply(read2, 2.0))
+        grads, _ = repro.gradients(y, [x])
+        sess = repro.Session(graph, runtime, record=True)
+        assert sess.run(grads[0], {x: 1.0}) == pytest.approx(3.0)
+
+    def test_gather_rows(self, graph, runtime):
+        ta = ops.ta_create(2, (2, 3))
+        ta = ops.ta_write(ta, 0, ops.constant(np.zeros((2, 3), np.float32)))
+        ta = ops.ta_write(ta, 1, ops.constant(np.ones((2, 3), np.float32)))
+        idx = ops.constant(np.array([1, 0], dtype=np.int32))
+        out = ops.ta_gather_rows(ta, idx, repro.float32, (2, 3))
+        result = repro.Session(graph, runtime).run(out)
+        np.testing.assert_allclose(result, [[1, 1, 1], [0, 0, 0]])
+
+    def test_gather_rows_gradient(self, graph, runtime):
+        x = ops.placeholder(repro.float32, (2, 2))
+        ta = ops.ta_create(1, (2, 2))
+        ta = ops.ta_write(ta, 0, x)
+        idx = ops.constant(np.array([0, 0], dtype=np.int32))
+        y = ops.reduce_sum(ops.square(
+            ops.ta_gather_rows(ta, idx, repro.float32, (2, 2))))
+        grads, _ = repro.gradients(y, [x])
+        sess = repro.Session(graph, runtime, record=True)
+        x0 = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+        np.testing.assert_allclose(sess.run(grads[0], {x: x0}), 2 * x0)
+
+    def test_combine(self, graph, runtime):
+        a = ops.ta_create(2, ())
+        a = ops.ta_write(a, 0, ops.constant(1.0))
+        b = ops.ta_create(2, ())
+        b = ops.ta_write(b, 0, ops.constant(2.0))
+        b = ops.ta_write(b, 1, ops.constant(5.0))
+        combined = ops.ta_combine(a, b)
+        sess = repro.Session(graph, runtime)
+        assert sess.run(ops.ta_read(combined, 0, repro.float32, ())) == 3.0
+        assert sess.run(ops.ta_read(combined, 1, repro.float32, ())) == 5.0

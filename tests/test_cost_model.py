@@ -1,0 +1,142 @@
+"""Unit tests for the virtual-time cost models."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ops
+from repro.runtime import cost_model as _cost_model
+from repro.runtime.cost_model import (CostModel, GpuCostParams, client_eager,
+                                      gpu_profile, unit_cost)
+
+
+def cpu_model() -> CostModel:
+    # wrapper: the library name "testbed_cpu" would be collected by pytest
+    return _cost_model.testbed_cpu()
+
+
+def _op_of(op_type, *input_arrays):
+    graph = repro.Graph("cm")
+    with graph.as_default():
+        tensors = [ops.constant(a) for a in input_arrays]
+        if op_type == "MatMul":
+            out = ops.matmul(*tensors)
+        elif op_type == "Add":
+            out = ops.add(*tensors)
+        elif op_type == "Identity":
+            out = ops.identity(*tensors)
+        else:
+            raise ValueError(op_type)
+    return out.op
+
+
+class TestCpuModel:
+    def test_matmul_cost_scales_with_flops(self):
+        model = cpu_model()
+        small = _op_of("MatMul", np.zeros((4, 4), np.float32),
+                       np.zeros((4, 4), np.float32))
+        big = _op_of("MatMul", np.zeros((256, 256), np.float32),
+                     np.zeros((256, 256), np.float32))
+        c_small = model.op_cost(small, [np.zeros((4, 4), np.float32)] * 2)
+        c_big = model.op_cost(big, [np.zeros((256, 256), np.float32)] * 2)
+        assert c_big > c_small
+
+    def test_intra_op_parallelism_caps_large_kernels(self):
+        model = cpu_model()
+        a = np.zeros((512, 512), np.float32)
+        op = _op_of("MatMul", a, a)
+        parallel_cost = model.op_cost(op, [a, a])
+        serial = CostModel(intra_op_parallelism=1.0)
+        serial_cost = serial.op_cost(op, [a, a])
+        assert parallel_cost < serial_cost
+
+    def test_small_matmul_not_parallelized(self):
+        model = cpu_model()
+        a = np.zeros((2, 2), np.float32)
+        op = _op_of("MatMul", a, a)
+        # below the grain: dominated by per-op overhead
+        assert model.op_cost(op, [a, a]) == pytest.approx(
+            model.op_overhead, rel=0.05)
+
+    def test_trivial_cheaper_than_elementwise(self):
+        model = cpu_model()
+        a = np.zeros(4, np.float32)
+        ident = _op_of("Identity", a)
+        add = _op_of("Add", a, a)
+        assert model.op_cost(ident, [a]) < model.op_cost(add, [a, a])
+
+    def test_async_overheads_ordered(self):
+        model = cpu_model()
+
+        class Fake:
+            def __init__(self, op_type):
+                self.op_type = op_type
+
+        invoke = model.async_overhead(Fake("Invoke"))
+        cond = model.async_overhead(Fake("Cond"))
+        assert invoke > cond > 0
+        assert model.async_overhead(Fake("InvokeGrad")) == invoke
+
+    def test_loop_step_overhead_grows_with_vars(self):
+        model = cpu_model()
+        assert model.loop_step_overhead(5) > model.loop_step_overhead(1)
+
+    def test_cache_write_cost_scales_with_bytes(self):
+        model = cpu_model()
+        small = model.cache_write_cost(np.zeros(4, np.float32))
+        large = model.cache_write_cost(np.zeros(1_000_000, np.float32))
+        assert large > small >= model.cache_entry_cost
+
+    def test_opaque_values_charged_as_handles(self):
+        model = cpu_model()
+        handle_cost = model.cache_write_cost(object())
+        assert handle_cost < model.cache_write_cost(
+            np.zeros(10_000, np.float32))
+
+
+class TestProfiles:
+    def test_client_eager_has_no_scheduler_costs(self):
+        model = client_eager()
+        assert model.dispatch_cost == 0.0
+        assert model.invoke_overhead == 0.0
+
+    def test_gpu_kernel_cost(self):
+        gpu = gpu_profile()
+        assert gpu.kernel_cost(0.0) == pytest.approx(gpu.kernel_launch)
+        assert gpu.kernel_cost(1e9) > gpu.kernel_cost(1e3)
+
+    def test_gpu_much_faster_arithmetic_than_cpu(self):
+        assert gpu_profile().flops_rate > 10 * cpu_model().flops_rate
+
+    def test_unit_cost_is_flat(self):
+        model = unit_cost()
+        a = np.zeros((64, 64), np.float32)
+        op = _op_of("MatMul", a, a)
+        assert model.op_cost(op, [a, a]) == 1.0
+        assert model.cache_write_cost(a) == 0.0
+
+
+class TestStats:
+    def test_note_and_merge(self):
+        from repro.runtime.stats import RunStats
+        a = RunStats()
+        a.note_op("MatMul", 0.5)
+        a.virtual_time = 1.0
+        b = RunStats()
+        b.note_op("MatMul", 0.25)
+        b.note_op("Add", 0.1)
+        b.virtual_time = 2.0
+        b.max_concurrency = 4
+        a.merge(b)
+        assert a.virtual_time == pytest.approx(3.0)
+        assert a.per_type_count["MatMul"] == 2
+        assert a.per_type_time["MatMul"] == pytest.approx(0.75)
+        assert a.max_concurrency == 4
+
+    def test_summary_renders(self):
+        from repro.runtime.stats import RunStats
+        stats = RunStats()
+        stats.note_op("Add", 0.001)
+        text = stats.summary()
+        assert "Add" in text
+        assert "ops=1" in text

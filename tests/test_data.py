@@ -1,0 +1,263 @@
+"""Tests for trees, vocabulary, treebank generation and batching."""
+
+import numpy as np
+import pytest
+
+from repro.data import (SyntheticTreebank, Tree, TreeNode, TreebankConfig,
+                        Vocabulary, WordKind, batch_trees, build_shape,
+                        iterate_batches, label_tree, make_treebank)
+
+
+def small_bank(**overrides):
+    defaults = dict(num_train=20, num_val=8, vocab_size=60, max_words=30,
+                    mean_log_words=2.3, seed=11)
+    defaults.update(overrides)
+    return make_treebank(**defaults)
+
+
+class TestTreeNode:
+    def test_leaf_properties(self):
+        leaf = TreeNode(word=3)
+        assert leaf.is_leaf
+        assert leaf.size() == 1
+        assert leaf.depth() == 1
+
+    def test_internal_properties(self):
+        node = TreeNode(left=TreeNode(word=0), right=TreeNode(word=1))
+        assert not node.is_leaf
+        assert node.size() == 3
+        assert node.num_leaves() == 2
+        assert node.depth() == 2
+
+    def test_invalid_constructions(self):
+        with pytest.raises(ValueError):
+            TreeNode()
+        with pytest.raises(ValueError):
+            TreeNode(word=1, left=TreeNode(word=0), right=TreeNode(word=2))
+
+    def test_post_order_children_first(self):
+        left = TreeNode(word=0)
+        right = TreeNode(word=1)
+        root = TreeNode(left=left, right=right)
+        order = list(root.post_order())
+        assert order.index(left) < order.index(root)
+        assert order.index(right) < order.index(root)
+
+
+class TestTreeArrays:
+    def test_to_arrays_topological(self):
+        bank = small_bank()
+        for tree in bank.train[:10]:
+            arrays = tree.to_arrays()
+            for i in range(arrays.num_nodes):
+                if not arrays.is_leaf[i]:
+                    l, r = arrays.children[i]
+                    assert l < i and r < i, "children must precede parents"
+
+    def test_root_is_last(self):
+        bank = small_bank()
+        arrays = bank.train[0].to_arrays()
+        assert arrays.root == arrays.num_nodes - 1
+
+    def test_node_count_identity(self):
+        bank = small_bank()
+        for tree in bank.train[:5]:
+            arrays = tree.to_arrays()
+            assert arrays.num_nodes == tree.num_nodes
+            assert arrays.is_leaf.sum() == tree.num_leaves
+            assert tree.num_nodes == 2 * tree.num_leaves - 1
+
+    def test_labels_match_nodes(self):
+        bank = small_bank()
+        tree = bank.train[0]
+        arrays = tree.to_arrays()
+        assert arrays.labels[arrays.root] == tree.label
+
+
+class TestVocabulary:
+    def test_kinds_partition(self):
+        vocab = Vocabulary.build(100, np.random.default_rng(0))
+        assert len(vocab.kinds) == 100
+        assert (vocab.kinds == WordKind.NEGATOR).sum() >= 1
+        assert (vocab.kinds == WordKind.INTENSIFIER).sum() >= 1
+        assert (vocab.kinds == WordKind.CONTENT).sum() > 50
+
+    def test_content_has_polarity_others_zero(self):
+        vocab = Vocabulary.build(100, np.random.default_rng(1))
+        content = vocab.kinds == WordKind.CONTENT
+        assert np.all(vocab.polarity[content] != 0)
+        assert np.all(vocab.polarity[~content] == 0)
+
+    def test_sample_word_by_kind(self):
+        vocab = Vocabulary.build(50, np.random.default_rng(2))
+        rng = np.random.default_rng(3)
+        word = vocab.sample_word(rng, WordKind.NEGATOR)
+        assert vocab.is_negator(word)
+
+
+class TestLabeling:
+    def test_leaf_score_is_polarity(self):
+        vocab = Vocabulary.build(50, np.random.default_rng(4))
+        content = int(np.flatnonzero(vocab.kinds == WordKind.CONTENT)[0])
+        leaf = TreeNode(word=content)
+        label_tree(leaf, vocab)
+        assert leaf.score == vocab.polarity[content]
+        assert leaf.label == int(leaf.score > 0)
+
+    def test_sum_composition(self):
+        vocab = Vocabulary.build(50, np.random.default_rng(5))
+        content = np.flatnonzero(vocab.kinds == WordKind.CONTENT)[:2]
+        root = TreeNode(left=TreeNode(word=int(content[0])),
+                        right=TreeNode(word=int(content[1])))
+        label_tree(root, vocab)
+        expected = vocab.polarity[content[0]] + vocab.polarity[content[1]]
+        assert root.score == pytest.approx(expected)
+
+    def test_negator_flips_right_phrase(self):
+        vocab = Vocabulary.build(50, np.random.default_rng(6))
+        neg = vocab.sample_word(np.random.default_rng(7), WordKind.NEGATOR)
+        pos_words = np.flatnonzero((vocab.kinds == WordKind.CONTENT)
+                                   & (vocab.polarity > 0))
+        root = TreeNode(left=TreeNode(word=int(neg)),
+                        right=TreeNode(word=int(pos_words[0])))
+        label_tree(root, vocab)
+        assert root.score < 0
+        assert root.label == 0
+
+    def test_intensifier_amplifies(self):
+        vocab = Vocabulary.build(50, np.random.default_rng(8))
+        amp = vocab.sample_word(np.random.default_rng(9),
+                                WordKind.INTENSIFIER)
+        pos_words = np.flatnonzero((vocab.kinds == WordKind.CONTENT)
+                                   & (vocab.polarity > 0))
+        root = TreeNode(left=TreeNode(word=int(amp)),
+                        right=TreeNode(word=int(pos_words[0])))
+        label_tree(root, vocab)
+        assert root.score == pytest.approx(
+            1.5 * vocab.polarity[pos_words[0]])
+
+
+class TestShapes:
+    WORDS = list(range(16))
+
+    def test_balanced_is_minimal_depth(self):
+        rng = np.random.default_rng(0)
+        root = build_shape(self.WORDS, "balanced", rng)
+        assert root.depth() == 5  # 16 leaves -> depth log2(16)+1
+
+    def test_linear_is_maximal_depth(self):
+        rng = np.random.default_rng(0)
+        root = build_shape(self.WORDS, "linear", rng)
+        assert root.depth() == len(self.WORDS)
+
+    def test_moderate_between(self):
+        rng = np.random.default_rng(0)
+        balanced = build_shape(self.WORDS, "balanced", rng).depth()
+        moderate = build_shape(self.WORDS, "moderate", rng).depth()
+        linear = build_shape(self.WORDS, "linear", rng).depth()
+        assert balanced <= moderate <= linear
+
+    def test_all_shapes_preserve_words(self):
+        rng = np.random.default_rng(1)
+        for shape in ("natural", "balanced", "moderate", "linear"):
+            root = build_shape(self.WORDS, shape, rng)
+            assert [leaf.word for leaf in root.leaves()] == self.WORDS
+
+    def test_unknown_shape_raises(self):
+        with pytest.raises(ValueError, match="unknown tree shape"):
+            build_shape(self.WORDS, "zigzag", np.random.default_rng(0))
+
+    def test_balancedness_metric_ordering(self):
+        bank = small_bank()
+        balanced = bank.with_shape("balanced")
+        linear = bank.with_shape("linear")
+        b_scores = [t.balancedness() for t in balanced.train]
+        l_scores = [t.balancedness() for t in linear.train]
+        assert np.mean(b_scores) > np.mean(l_scores)
+
+
+class TestTreebank:
+    def test_deterministic_generation(self):
+        a = small_bank()
+        b = small_bank()
+        assert [t.words() for t in a.train] == [t.words() for t in b.train]
+        assert [t.label for t in a.train] == [t.label for t in b.train]
+
+    def test_sizes(self):
+        bank = small_bank()
+        assert len(bank.train) == 20
+        assert len(bank.val) == 8
+
+    def test_length_bounds(self):
+        bank = small_bank(min_words=4, max_words=30)
+        for tree in bank.train + bank.val:
+            assert 4 <= tree.num_words <= 30
+
+    def test_label_balance_not_degenerate(self):
+        bank = make_treebank(num_train=200, num_val=0, seed=3)
+        labels = [t.label for t in bank.train]
+        positive = np.mean(labels)
+        assert 0.2 < positive < 0.8
+
+    def test_with_shape_keeps_words(self):
+        bank = small_bank()
+        linear = bank.with_shape("linear")
+        for a, b in zip(bank.train, linear.train):
+            assert a.words() == b.words()
+
+    def test_trees_of_length(self):
+        bank = small_bank()
+        trees = bank.trees_of_length(40, 3)
+        assert len(trees) == 3
+        assert all(t.num_words == 40 for t in trees)
+
+
+class TestBatching:
+    def test_batch_shapes(self):
+        bank = small_bank()
+        batch = batch_trees(bank.train[:4])
+        n = batch.max_nodes
+        assert batch.words.shape == (4, n)
+        assert batch.children.shape == (4, n, 2)
+        assert batch.is_leaf.shape == (4, n)
+        assert batch.labels.shape == (4, n)
+        assert batch.n_nodes.shape == (4,)
+        assert batch.root.shape == (4,)
+
+    def test_padding_is_leaf(self):
+        bank = small_bank()
+        batch = batch_trees(bank.train[:4])
+        for b in range(4):
+            n = batch.n_nodes[b]
+            assert np.all(batch.is_leaf[b, n:])
+
+    def test_root_labels(self):
+        bank = small_bank()
+        trees = bank.train[:3]
+        batch = batch_trees(trees)
+        np.testing.assert_array_equal(batch.root_labels(),
+                                      [t.label for t in trees])
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError):
+            batch_trees([])
+
+    def test_iterate_batches_drop_remainder(self):
+        bank = small_bank()
+        batches = list(iterate_batches(bank.train, 8, drop_remainder=True))
+        assert all(b.size == 8 for b in batches)
+        assert len(batches) == len(bank.train) // 8
+
+    def test_iterate_batches_shuffle_deterministic(self):
+        bank = small_bank()
+        a = [b.n_nodes.tolist() for b in iterate_batches(
+            bank.train, 4, shuffle=True, rng=np.random.default_rng(5))]
+        b = [b.n_nodes.tolist() for b in iterate_batches(
+            bank.train, 4, shuffle=True, rng=np.random.default_rng(5))]
+        assert a == b
+
+    def test_total_nodes(self):
+        bank = small_bank()
+        trees = bank.train[:5]
+        batch = batch_trees(trees)
+        assert batch.total_nodes == sum(t.num_nodes for t in trees)

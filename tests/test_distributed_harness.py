@@ -1,0 +1,195 @@
+"""Tests for the distributed simulator and the evaluation harness."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data import batch_trees, make_treebank
+from repro.distributed import CommunicationModel, DataParallelCluster
+from repro.harness import (RunnerConfig, evaluate_accuracy, format_table,
+                           make_runner, measure_latency_curve,
+                           measure_throughput, run_convergence, save_results)
+from repro.models import ModelConfig, TreeRNNSentiment
+from repro.nn import Adagrad, Trainer
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return make_treebank(num_train=24, num_val=8, vocab_size=40,
+                         max_words=14, mean_log_words=2.0, seed=13)
+
+
+CONFIG = ModelConfig(vocab_size=40, hidden=8, embed_dim=8)
+
+
+def fresh_model():
+    return TreeRNNSentiment(CONFIG, repro.Runtime())
+
+
+class TestRunners:
+    @pytest.mark.parametrize("kind", ["Recursive", "Iterative", "Unrolling",
+                                      "Folding"])
+    def test_runner_train_and_infer(self, bank, kind):
+        model = fresh_model()
+        runner = make_runner(kind, model, 2,
+                             RunnerConfig(num_workers=4))
+        batch = batch_trees(bank.train[:2])
+        loss, t_train = runner.train_step(batch)
+        logits, t_infer = runner.infer_step(batch)
+        assert np.isfinite(loss)
+        assert logits.shape == (2, 2)
+        assert t_train > 0 and t_infer > 0
+
+    def test_unknown_runner_raises(self):
+        with pytest.raises(ValueError, match="unknown runner"):
+            make_runner("Quantum", fresh_model(), 1)
+
+    def test_all_runners_agree_on_first_loss(self, bank):
+        batch = batch_trees(bank.train[:2])
+        losses = []
+        for kind in ("Recursive", "Iterative", "Unrolling", "Folding"):
+            model = fresh_model()
+            runner = make_runner(kind, model, 2,
+                                 RunnerConfig(num_workers=4))
+            loss, _ = runner.train_step(batch)
+            losses.append(loss)
+        assert np.allclose(losses, losses[0], atol=1e-4)
+
+
+class TestThroughputHarness:
+    def test_measure_throughput(self, bank):
+        runner = make_runner("Recursive", fresh_model(), 2,
+                             RunnerConfig(num_workers=4))
+        result = measure_throughput(runner, bank.train, 2, "infer",
+                                    steps=2, warmup=1)
+        assert result.throughput > 0
+        assert result.instances == 4
+
+    def test_latency_curve_monotone_in_length(self, bank):
+        runner = make_runner("Iterative", fresh_model(), 1,
+                             RunnerConfig(num_workers=4))
+        trees = {8: bank.trees_of_length(8, 1),
+                 24: bank.trees_of_length(24, 1)}
+        curve = measure_latency_curve(runner, trees, "infer")
+        assert curve[8] < curve[24]
+
+
+class TestConvergenceHarness:
+    def test_accuracy_evaluation(self, bank):
+        runner = make_runner("Recursive", fresh_model(), 2,
+                             RunnerConfig(num_workers=4), train=False)
+        acc = evaluate_accuracy(runner, bank.val, 2)
+        assert 0.0 <= acc <= 1.0
+
+    def test_run_convergence_records_points(self, bank):
+        runner = make_runner("Recursive", fresh_model(), 4,
+                             RunnerConfig(num_workers=4, learning_rate=0.2))
+        result = run_convergence(runner, bank.train[:8], bank.val[:4],
+                                 batch_size=4, epochs=2)
+        assert len(result.points) == 2
+        assert result.points[1].virtual_time > result.points[0].virtual_time
+        assert result.final_accuracy() >= 0.0
+
+    def test_time_to_accuracy(self, bank):
+        runner = make_runner("Recursive", fresh_model(), 4,
+                             RunnerConfig(num_workers=4, learning_rate=0.3))
+        result = run_convergence(runner, bank.train[:8], bank.val[:4],
+                                 batch_size=4, epochs=2)
+        impossible = result.time_to_accuracy(1.1)
+        assert impossible is None
+
+
+class TestDistributed:
+    def test_shards_balanced(self, bank):
+        runtime = repro.Runtime()
+        model = TreeRNNSentiment(CONFIG, runtime)
+        cluster = DataParallelCluster(model, 8, 4, Adagrad(0.05), runtime,
+                                      session_kwargs={"num_workers": 4})
+        shards = cluster.split(bank.train[:8])
+        assert len(shards) == 4
+        sizes = [s.total_nodes for s in shards]
+        assert max(sizes) <= 2.2 * min(sizes)
+
+    def test_step_returns_loss_and_time(self, bank):
+        runtime = repro.Runtime()
+        model = TreeRNNSentiment(CONFIG, runtime)
+        cluster = DataParallelCluster(model, 4, 2, Adagrad(0.05), runtime,
+                                      session_kwargs={"num_workers": 4})
+        loss, step_time = cluster.train_step(bank.train[:4])
+        assert np.isfinite(loss)
+        assert step_time > 0
+
+    def test_gradients_sum_across_shards(self, bank):
+        """Cluster-accumulated grads equal the sum of per-shard grads."""
+        trees = bank.train[:4]
+        runtime = repro.Runtime()
+        model = TreeRNNSentiment(CONFIG, runtime)
+        cluster = DataParallelCluster(model, 4, 2, Adagrad(0.05), runtime,
+                                      session_kwargs={"num_workers": 4})
+        shards = cluster.split(trees)
+        # manual: run each shard independently and sum
+        runtime.accumulators.zero()
+        expected = {}
+        for shard in shards:
+            feeds = cluster.built.feed_dict(shard)
+            runtime.cache.clear()
+            single = repro.Runtime()
+            single.variables.restore(runtime.variables.snapshot())
+            cluster.trainer.session.run(cluster.trainer._grad_fetches,
+                                        feeds, record=True)
+        for name in runtime.accumulators.names():
+            expected[name] = np.array(runtime.accumulators.read(name))
+        # cluster step from the same parameters
+        snapshot = runtime.variables.snapshot()
+        runtime.variables.restore(snapshot)
+        runtime.accumulators.zero()
+        for shard in shards:
+            feeds = cluster.built.feed_dict(shard)
+            runtime.cache.clear()
+            cluster.trainer.session.run(cluster.trainer._grad_fetches,
+                                        feeds, record=True)
+        for name, value in expected.items():
+            np.testing.assert_allclose(runtime.accumulators.read(name),
+                                       value, rtol=1e-5)
+
+    def test_more_machines_higher_throughput(self, bank):
+        results = []
+        for machines in (1, 4):
+            runtime = repro.Runtime()
+            model = TreeRNNSentiment(CONFIG, runtime)
+            cluster = DataParallelCluster(model, 8, machines, Adagrad(0.05),
+                                          runtime,
+                                          session_kwargs={"num_workers": 8})
+            results.append(cluster.throughput(bank.train, steps=1))
+        assert results[1] > results[0] * 2
+
+    def test_indivisible_batch_raises(self):
+        runtime = repro.Runtime()
+        model = TreeRNNSentiment(CONFIG, runtime)
+        with pytest.raises(ValueError, match="divide"):
+            DataParallelCluster(model, 10, 4, Adagrad(0.05), runtime)
+
+    def test_comm_model_costs(self):
+        comm = CommunicationModel()
+        fast = comm.round_trip(1000, 1)
+        slow = comm.round_trip(10_000_000, 8)
+        assert slow > fast > 0
+
+
+class TestReporting:
+    def test_format_table(self):
+        table = format_table("Title", ["a", "b"],
+                             [[1, 2.5], ["x", 10.0]])
+        assert "Title" in table
+        assert "2.50" in table
+        assert "10.0" in table
+
+    def test_save_results(self, tmp_path, monkeypatch):
+        import repro.harness.reporting as reporting
+        monkeypatch.setattr(reporting, "results_dir",
+                            lambda: str(tmp_path))
+        path = reporting.save_results("unit", {"x": 1.0})
+        assert path.endswith("unit.json")
+        import json
+        with open(path) as fh:
+            assert json.load(fh) == {"x": 1.0}

@@ -1,0 +1,89 @@
+"""Unit tests for the dtype layer."""
+
+import numpy as np
+import pytest
+
+from repro.graph import dtypes
+
+
+class TestDTypeIdentity:
+    def test_float32_properties(self):
+        assert dtypes.float32.is_floating
+        assert not dtypes.float32.is_integer
+        assert not dtypes.float32.is_bool
+        assert not dtypes.float32.is_opaque
+
+    def test_int32_properties(self):
+        assert dtypes.int32.is_integer
+        assert not dtypes.int32.is_floating
+
+    def test_bool_properties(self):
+        assert dtypes.bool_.is_bool
+
+    def test_variant_is_opaque(self):
+        assert dtypes.variant.is_opaque
+        assert dtypes.variant.np_dtype is None
+
+    def test_equality_by_name(self):
+        assert dtypes.float32 == dtypes.as_dtype("float32")
+        assert dtypes.float32 != dtypes.float64
+
+    def test_hashable(self):
+        table = {dtypes.float32: 1, dtypes.int32: 2}
+        assert table[dtypes.as_dtype("float32")] == 1
+
+    def test_repr(self):
+        assert "float32" in repr(dtypes.float32)
+
+
+class TestAsDtype:
+    def test_passthrough(self):
+        assert dtypes.as_dtype(dtypes.int64) is dtypes.int64
+
+    def test_from_string(self):
+        assert dtypes.as_dtype("bool") is dtypes.bool_
+
+    def test_from_numpy_dtype(self):
+        assert dtypes.as_dtype(np.float32) is dtypes.float32
+        assert dtypes.as_dtype(np.dtype(np.int32)) is dtypes.int32
+
+    def test_unknown_string_raises(self):
+        with pytest.raises(TypeError):
+            dtypes.as_dtype("complex128x")
+
+    def test_unsupported_numpy_raises(self):
+        with pytest.raises(TypeError):
+            dtypes.as_dtype(np.complex128)
+
+
+class TestFromNumpy:
+    def test_roundtrip(self):
+        for dtype in (np.float32, np.float64, np.int32, np.int64, np.bool_):
+            arr = np.zeros(3, dtype=dtype)
+            assert dtypes.from_numpy(arr).np_dtype == arr.dtype
+
+    def test_unsupported(self):
+        with pytest.raises(TypeError):
+            dtypes.from_numpy(np.zeros(2, dtype=np.complex64))
+
+
+class TestAsValue:
+    def test_python_float_becomes_float32(self):
+        value = dtypes.as_value(1.5)
+        assert value.dtype == np.float32
+
+    def test_python_int_becomes_int32(self):
+        value = dtypes.as_value(3)
+        assert value.dtype == np.int32
+
+    def test_existing_array_dtype_preserved(self):
+        arr = np.zeros(2, dtype=np.float64)
+        assert dtypes.as_value(arr).dtype == np.float64
+
+    def test_cast_to_requested(self):
+        value = dtypes.as_value([1, 2], dtypes.float32)
+        assert value.dtype == np.float32
+
+    def test_opaque_passthrough(self):
+        marker = object()
+        assert dtypes.as_value(marker, dtypes.variant) is marker

@@ -1,0 +1,28 @@
+"""Smoke tests: the runnable examples execute end to end."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name):
+    path = os.path.abspath(os.path.join(EXAMPLES, name))
+    runpy.run_path(path, run_name="__main__")
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "10! = 3628800" in out
+    assert "fib(15) = 610" in out
+
+
+def test_dynamic_generation_runs(capsys):
+    run_example("dynamic_generation.py")
+    out = capsys.readouterr().out
+    assert "distinct structures" in out
+    assert "speedup" in out

@@ -1,0 +1,268 @@
+"""Gradient correctness: finite-difference checks for every op gradient."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ops
+
+
+def numeric_grad(f, x, eps=1e-3):
+    """Central-difference gradient of scalar-valued f at x."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        plus, minus = x.copy(), x.copy()
+        plus[idx] += eps
+        minus[idx] -= eps
+        grad[idx] = (f(plus) - f(minus)) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_grad(build_fn, x0, rtol=2e-2, atol=2e-3, workers=1):
+    """Compare symbolic d(sum(f(x)))/dx against finite differences.
+
+    ``build_fn(x_tensor) -> output tensor`` is evaluated in a fresh graph.
+    """
+    x0 = np.asarray(x0, dtype=np.float32)
+    graph = repro.Graph("gradcheck")
+    runtime = repro.Runtime()
+    with graph.as_default():
+        x = ops.placeholder(repro.float32, x0.shape)
+        y = ops.reduce_sum(build_fn(x))
+        grads, _ = repro.gradients(y, [x])
+    sess = repro.Session(graph, runtime, num_workers=workers)
+    symbolic = sess.run(grads[0], {x: x0})
+
+    def f(v):
+        return float(sess.run(y, {x: v.astype(np.float32)}))
+
+    numeric = numeric_grad(f, x0)
+    np.testing.assert_allclose(symbolic, numeric, rtol=rtol, atol=atol)
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestUnaryGradients:
+    CASES = [
+        ("neg", ops.negative, (3,)),
+        ("tanh", ops.tanh, (4,)),
+        ("sigmoid", ops.sigmoid, (4,)),
+        ("exp", ops.exp, (3,)),
+        ("square", ops.square, (3,)),
+        ("identity", ops.identity, (3,)),
+    ]
+
+    @pytest.mark.parametrize("name,fn,shape",
+                             CASES, ids=[c[0] for c in CASES])
+    def test_unary(self, name, fn, shape):
+        check_grad(fn, RNG.standard_normal(shape) * 0.5)
+
+    def test_relu_away_from_kink(self):
+        check_grad(ops.relu, np.array([-2.0, -0.5, 0.7, 1.5]))
+
+    def test_log(self):
+        check_grad(ops.log, np.array([0.5, 1.0, 2.5]))
+
+    def test_sqrt(self):
+        check_grad(ops.sqrt, np.array([0.5, 1.2, 4.0]))
+
+    def test_abs_away_from_zero(self):
+        check_grad(ops.abs_, np.array([-2.0, 1.5, 0.7]))
+
+
+class TestBinaryGradients:
+    def test_add(self):
+        check_grad(lambda x: ops.add(x, ops.constant([1.0, 2.0])),
+                   [0.5, -1.0])
+
+    def test_sub_second_arg(self):
+        check_grad(lambda x: ops.subtract(ops.constant([1.0, 2.0]), x),
+                   [0.5, -1.0])
+
+    def test_mul(self):
+        check_grad(lambda x: ops.multiply(x, x), [0.5, -1.5, 2.0])
+
+    def test_div(self):
+        check_grad(lambda x: ops.divide(x, ops.constant([2.0, 4.0])),
+                   [1.0, 3.0])
+        check_grad(lambda x: ops.divide(ops.constant([2.0, 4.0]), x),
+                   [1.0, 3.0])
+
+    def test_maximum(self):
+        check_grad(lambda x: ops.maximum(x, ops.constant([0.0, 0.0])),
+                   [0.5, -1.5])
+
+    def test_minimum(self):
+        check_grad(lambda x: ops.minimum(x, ops.constant([1.0, 1.0])),
+                   [0.5, 2.5])
+
+    def test_broadcast_grad_reduces(self):
+        # x: [2] broadcast against [3, 2]: gradient must sum over rows
+        check_grad(
+            lambda x: ops.multiply(x, ops.constant(np.ones((3, 2),
+                                                           np.float32))),
+            [0.5, -1.0])
+
+    def test_scalar_broadcast(self):
+        check_grad(
+            lambda x: ops.multiply(x, ops.constant(np.ones((2, 2),
+                                                           np.float32))),
+            1.5)
+
+
+class TestMatmulGradients:
+    B = RNG.standard_normal((3, 2)).astype(np.float32)
+    A = RNG.standard_normal((2, 3)).astype(np.float32)
+
+    def test_matmul_lhs(self):
+        check_grad(lambda x: ops.matmul(x, ops.constant(self.B)),
+                   RNG.standard_normal((2, 3)) * 0.5)
+
+    def test_matmul_rhs(self):
+        check_grad(lambda x: ops.matmul(ops.constant(self.A), x),
+                   RNG.standard_normal((3, 2)) * 0.5)
+
+
+class TestArrayGradients:
+    def test_reshape(self):
+        check_grad(lambda x: ops.square(ops.reshape(x, (2, 3))),
+                   RNG.standard_normal(6))
+
+    def test_transpose(self):
+        check_grad(lambda x: ops.square(ops.transpose(x)),
+                   RNG.standard_normal((2, 3)))
+
+    def test_transpose_perm(self):
+        check_grad(lambda x: ops.square(ops.transpose(x, perm=(1, 0, 2))),
+                   RNG.standard_normal((2, 2, 2)))
+
+    def test_concat(self):
+        check_grad(
+            lambda x: ops.square(ops.concat(
+                [x, ops.constant(np.ones((2, 1), np.float32))], axis=1)),
+            RNG.standard_normal((2, 2)))
+
+    def test_gather(self):
+        check_grad(
+            lambda x: ops.square(ops.gather(
+                x, ops.constant(np.array([2, 0, 2], np.int32)))),
+            RNG.standard_normal((3, 2)))
+
+    def test_stack(self):
+        check_grad(lambda x: ops.square(ops.stack([x, x])),
+                   RNG.standard_normal(3))
+
+    def test_unstack(self):
+        check_grad(lambda x: ops.square(ops.unstack(x, 2)[1]),
+                   RNG.standard_normal((2, 3)))
+
+    def test_expand_dims(self):
+        check_grad(lambda x: ops.square(ops.expand_dims(x, 0)),
+                   RNG.standard_normal(4))
+
+    def test_squeeze(self):
+        check_grad(lambda x: ops.square(ops.squeeze(x, 1)),
+                   RNG.standard_normal((3, 1)))
+
+    def test_slice(self):
+        check_grad(lambda x: ops.square(ops.slice_(x, (0, 1), (2, 2))),
+                   RNG.standard_normal((3, 4)))
+
+    def test_select(self):
+        check_grad(
+            lambda x: ops.select(
+                ops.constant(np.array([True, False, True])), x,
+                ops.constant(np.zeros(3, np.float32))),
+            RNG.standard_normal(3))
+
+    def test_cast_float_to_float(self):
+        check_grad(lambda x: ops.cast(ops.cast(x, repro.float64),
+                                      repro.float32),
+                   RNG.standard_normal(3))
+
+
+class TestReductionGradients:
+    @pytest.mark.parametrize("axis,keepdims", [
+        (None, False), (0, False), (1, True), ((0, 1), False)])
+    def test_reduce_sum(self, axis, keepdims):
+        check_grad(lambda x: ops.square(
+            ops.reduce_sum(x, axis=axis, keepdims=keepdims)),
+            RNG.standard_normal((3, 4)))
+
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    def test_reduce_mean(self, axis):
+        check_grad(lambda x: ops.square(ops.reduce_mean(x, axis=axis)),
+                   RNG.standard_normal((2, 5)))
+
+    def test_reduce_max(self):
+        # distinct values so the max subgradient is unambiguous
+        x0 = np.array([[1.0, 5.0, 2.0], [7.0, 0.5, 3.0]])
+        check_grad(lambda x: ops.square(ops.reduce_max(x, axis=1)), x0)
+
+
+class TestNNGradients:
+    def test_softmax(self):
+        check_grad(lambda x: ops.square(ops.softmax(x)),
+                   RNG.standard_normal((2, 4)))
+
+    def test_log_softmax(self):
+        check_grad(lambda x: ops.square(ops.log_softmax(x)),
+                   RNG.standard_normal((2, 4)))
+
+    def test_cross_entropy(self):
+        check_grad(
+            lambda x: ops.softmax_cross_entropy_with_logits(
+                x, ops.constant(np.array([1, 0], np.int32))),
+            RNG.standard_normal((2, 3)))
+
+
+class TestGradientAccumulation:
+    def test_multiple_paths_sum(self):
+        # y = x*x + x  =>  dy/dx = 2x + 1
+        check_grad(lambda x: ops.add(ops.multiply(x, x), x), [1.5, -0.5])
+
+    def test_unconnected_returns_none(self, graph):
+        x = ops.placeholder(repro.float32, ())
+        y = ops.constant(1.0)
+        grads, _ = repro.gradients(y, [x])
+        assert grads[0] is None
+
+    def test_grad_ys_seed(self, graph, runtime):
+        x = ops.placeholder(repro.float32, ())
+        y = ops.multiply(x, 3.0)
+        seed = ops.constant(2.0)
+        grads, _ = repro.gradients([y], [x], grad_ys=[seed])
+        sess = repro.Session(graph, runtime)
+        assert sess.run(grads[0], {x: 1.0}) == pytest.approx(6.0)
+
+    def test_duplicate_y_counts_twice(self, graph, runtime):
+        x = ops.placeholder(repro.float32, ())
+        y = ops.multiply(x, 1.0)
+        grads, _ = repro.gradients([y, y], [x])
+        sess = repro.Session(graph, runtime)
+        assert sess.run(grads[0], {x: 1.0}) == pytest.approx(2.0)
+
+
+class TestVariableGradients:
+    def test_accum_grad_through_read(self, graph, runtime):
+        v = repro.Variable("w", np.float32(3.0), runtime=runtime)
+        loss = ops.square(v.read())
+        _, updates = repro.gradients(loss, [])
+        sess = repro.Session(graph, runtime)
+        fetches = [loss] + [op.outputs[-1] for op in updates]
+        sess.run(fetches)
+        assert runtime.accumulators.read("w") == pytest.approx(6.0)
+
+    def test_two_reads_accumulate(self, graph, runtime):
+        v = repro.Variable("w2", np.float32(2.0), runtime=runtime)
+        loss = ops.add(v.read(), ops.multiply(v.read(), 2.0))
+        _, updates = repro.gradients(loss, [])
+        sess = repro.Session(graph, runtime)
+        sess.run([loss] + [op.outputs[-1] for op in updates])
+        # read() memoizes per graph: one read, grads 1 + 2 = 3
+        assert runtime.accumulators.read("w2") == pytest.approx(3.0)

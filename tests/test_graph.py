@@ -1,0 +1,151 @@
+"""Unit tests for graphs, operations and the default-graph stack."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ops
+from repro.graph.graph import Graph, get_default_graph
+
+
+class TestGraphConstruction:
+    def test_op_ids_are_topological(self, graph):
+        a = ops.constant(1.0)
+        b = ops.constant(2.0)
+        c = ops.add(a, b)
+        assert a.op.id < c.op.id
+        assert b.op.id < c.op.id
+
+    def test_unique_names(self, graph):
+        a = ops.constant(1.0, name="x")
+        b = ops.constant(2.0, name="x")
+        assert a.op.name == "x"
+        assert b.op.name == "x_1"
+
+    def test_get_operation_by_name(self, graph):
+        t = ops.constant(1.0, name="c0")
+        assert graph.get_operation("c0") is t.op
+
+    def test_finalize_blocks_additions(self, graph):
+        ops.constant(1.0)
+        graph.finalize()
+        with pytest.raises(RuntimeError, match="finalized"):
+            ops.constant(2.0)
+
+    def test_cross_graph_input_rejected(self, graph):
+        a = ops.constant(1.0)
+        other = Graph("other")
+        with other.as_default():
+            with pytest.raises(ValueError, match="Cross-graph"):
+                other.add_op("Neg", [a])
+
+    def test_non_tensor_input_rejected(self, graph):
+        with pytest.raises(TypeError, match="not a Tensor"):
+            graph.add_op("Neg", [3.0])
+
+    def test_validate_passes_on_wellformed(self, graph):
+        c = ops.add(ops.constant(1.0), ops.constant(2.0))
+        graph.validate()
+
+    def test_repr(self, graph):
+        ops.constant(1.0)
+        assert "ops=1" in repr(graph)
+
+
+class TestDefaultGraph:
+    def test_nested_contexts(self):
+        g1, g2 = Graph("g1"), Graph("g2")
+        with g1.as_default():
+            assert get_default_graph() is g1
+            with g2.as_default():
+                assert get_default_graph() is g2
+            assert get_default_graph() is g1
+
+    def test_reset_default_graph(self):
+        g = repro.reset_default_graph()
+        assert get_default_graph() is g
+
+    def test_reset_inside_context_fails(self):
+        with Graph("tmp").as_default():
+            with pytest.raises(RuntimeError):
+                repro.reset_default_graph()
+
+
+class TestConsumersAndDependencies:
+    def test_consumers_map(self, graph):
+        a = ops.constant(1.0)
+        b = ops.negative(a)
+        c = ops.negative(a)
+        consumers = graph.consumers()[a.op.id]
+        assert {op.name for op in consumers} == {b.op.name, c.op.name}
+
+    def test_duplicate_input_counted_once(self, graph):
+        a = ops.constant(2.0)
+        b = ops.multiply(a, a)
+        assert graph.dependency_count(b.op) == 1
+
+    def test_control_inputs_add_dependency(self, graph):
+        a = ops.constant(1.0)
+        b = ops.constant(2.0)
+        b.op.add_control_input(a.op)
+        assert graph.dependency_count(b.op) == 1
+        assert b.op in graph.consumers()[a.op.id]
+
+    def test_control_input_cross_graph_rejected(self, graph):
+        a = ops.constant(1.0)
+        other = Graph("other")
+        with other.as_default():
+            b = ops.constant(2.0)
+        with pytest.raises(ValueError):
+            b.op.add_control_input(a.op)
+
+    def test_reachable_from(self, graph):
+        a = ops.constant(1.0)
+        b = ops.negative(a)
+        unrelated = ops.constant(9.0)
+        reachable = graph.reachable_from([b.op])
+        assert a.op.id in reachable
+        assert b.op.id in reachable
+        assert unrelated.op.id not in reachable
+
+
+class TestTensor:
+    def test_shape_and_dtype(self, graph):
+        t = ops.constant(np.zeros((2, 3), dtype=np.float32))
+        assert t.shape == (2, 3)
+        assert t.dtype is repro.float32
+
+    def test_operator_overloads(self, graph, runtime):
+        a = ops.constant(3.0)
+        b = ops.constant(4.0)
+        sess = repro.Session(graph, runtime)
+        assert sess.run(a + b) == pytest.approx(7.0)
+        assert sess.run(a - b) == pytest.approx(-1.0)
+        assert sess.run(a * b) == pytest.approx(12.0)
+        assert sess.run(a / b) == pytest.approx(0.75)
+        assert sess.run(-a) == pytest.approx(-3.0)
+
+    def test_matmul_operator(self, graph, runtime):
+        a = ops.constant(np.eye(2, dtype=np.float32))
+        b = ops.constant(np.ones((2, 2), dtype=np.float32))
+        out = repro.Session(graph, runtime).run(a @ b)
+        np.testing.assert_allclose(out, np.ones((2, 2)))
+
+    def test_bool_conversion_raises(self, graph):
+        t = ops.constant(True)
+        with pytest.raises(TypeError, match="symbolic"):
+            bool(t)
+
+    def test_iteration_raises(self, graph):
+        t = ops.constant([1.0, 2.0])
+        with pytest.raises(TypeError):
+            iter(t)
+
+    def test_indexing_with_int(self, graph, runtime):
+        t = ops.constant([10.0, 20.0, 30.0])
+        assert repro.Session(graph, runtime).run(t[1]) == pytest.approx(20.0)
+
+    def test_indexing_with_slice(self, graph, runtime):
+        t = ops.constant([10.0, 20.0, 30.0])
+        out = repro.Session(graph, runtime).run(t[1:3])
+        np.testing.assert_allclose(out, [20.0, 30.0])

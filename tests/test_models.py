@@ -1,0 +1,144 @@
+"""Integration tests: the three sentiment models across implementations."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data import batch_trees, make_treebank
+from repro.models import (ModelConfig, RNTNSentiment, TreeLSTMSentiment,
+                          TreeRNNSentiment, accuracy_from_logits,
+                          tree_lstm_config)
+from repro.nn import Adagrad, Trainer
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return make_treebank(num_train=16, num_val=6, vocab_size=50,
+                         max_words=14, mean_log_words=2.0, seed=5)
+
+
+MODELS = [
+    ("treernn", TreeRNNSentiment,
+     ModelConfig(vocab_size=50, hidden=10, embed_dim=10)),
+    ("rntn", RNTNSentiment,
+     ModelConfig(vocab_size=50, hidden=8, embed_dim=8)),
+    ("treelstm", TreeLSTMSentiment,
+     tree_lstm_config(vocab_size=50, hidden=8, embed_dim=6)),
+]
+
+
+def build_and_grads(model_cls, config, builder, batch):
+    runtime = repro.Runtime()
+    model = model_cls(config, runtime)
+    if builder == "build_unrolled":
+        built = model.build_unrolled(batch)
+    else:
+        built = getattr(model, builder)(batch.size)
+    trainer = Trainer(built.graph, built.loss, Adagrad(0.05), runtime,
+                      session_kwargs={"num_workers": 8})
+    loss = trainer.compute_gradients(built.feed_dict(batch))
+    session = repro.Session(built.graph, runtime, num_workers=8)
+    logits = session.run(built.root_logits, built.feed_dict(batch))
+    return loss, trainer.gradient_snapshot(), logits
+
+
+class TestImplementationEquivalence:
+    """Recursive / iterative / unrolled must agree exactly — the paper's
+    convergence argument (Section 6.2) rests on numerical identity."""
+
+    @pytest.mark.parametrize("name,cls,config", MODELS,
+                             ids=[m[0] for m in MODELS])
+    def test_losses_and_gradients_match(self, bank, name, cls, config):
+        batch = batch_trees(bank.train[:3])
+        ref_loss, ref_grads, ref_logits = build_and_grads(
+            cls, config, "build_recursive", batch)
+        for builder in ("build_iterative", "build_unrolled"):
+            loss, grads, logits = build_and_grads(cls, config, builder,
+                                                  batch)
+            assert loss == pytest.approx(ref_loss, abs=1e-5), builder
+            np.testing.assert_allclose(logits, ref_logits, atol=1e-4,
+                                       err_msg=builder)
+            assert set(grads) == set(ref_grads)
+            for key in ref_grads:
+                np.testing.assert_allclose(grads[key], ref_grads[key],
+                                           atol=1e-4, err_msg=f"{builder}:"
+                                                              f"{key}")
+
+    def test_batch_one_equivalence(self, bank):
+        batch = batch_trees(bank.train[:1])
+        ref = build_and_grads(TreeRNNSentiment, MODELS[0][2],
+                              "build_recursive", batch)
+        it = build_and_grads(TreeRNNSentiment, MODELS[0][2],
+                             "build_iterative", batch)
+        assert it[0] == pytest.approx(ref[0], abs=1e-5)
+
+
+class TestModelTraining:
+    def test_recursive_training_reduces_loss(self, bank):
+        runtime = repro.Runtime()
+        config = ModelConfig(vocab_size=50, hidden=12, embed_dim=12,
+                             learning_rate=0.2)
+        model = TreeRNNSentiment(config, runtime)
+        built = model.build_recursive(4)
+        trainer = Trainer(built.graph, built.loss, Adagrad(0.2), runtime,
+                          session_kwargs={"num_workers": 8})
+        batch = batch_trees(bank.train[:4])
+        losses = [trainer.step(built.feed_dict(batch)) for _ in range(8)]
+        assert losses[-1] < losses[0] * 0.7
+
+    def test_accuracy_improves_when_overfitting(self, bank):
+        runtime = repro.Runtime()
+        config = ModelConfig(vocab_size=50, hidden=12, embed_dim=12)
+        model = TreeRNNSentiment(config, runtime)
+        built = model.build_recursive(4)
+        trainer = Trainer(built.graph, built.loss, Adagrad(0.3), runtime,
+                          session_kwargs={"num_workers": 8})
+        batch = batch_trees(bank.train[:4])
+        session = trainer.session
+        for _ in range(12):
+            trainer.step(built.feed_dict(batch))
+        logits = session.run(built.root_logits, built.feed_dict(batch),
+                             record=False)
+        assert accuracy_from_logits(logits, batch) >= 0.75
+
+    def test_feed_dict_checks_batch_size(self, bank):
+        runtime = repro.Runtime()
+        model = TreeRNNSentiment(MODELS[0][2], runtime)
+        built = model.build_recursive(2)
+        with pytest.raises(ValueError, match="batch size"):
+            built.feed_dict(batch_trees(bank.train[:3]))
+
+    def test_graph_reused_across_tree_sizes(self, bank):
+        """The embedded-control-flow advantage: one graph, any tree shape."""
+        runtime = repro.Runtime()
+        model = TreeRNNSentiment(MODELS[0][2], runtime)
+        built = model.build_recursive(2)
+        session = repro.Session(built.graph, runtime, num_workers=4)
+        small = batch_trees(bank.train[:2])
+        large = batch_trees(sorted(bank.train, key=lambda t: -t.num_nodes)[:2])
+        loss_a = session.run(built.loss, built.feed_dict(small))
+        loss_b = session.run(built.loss, built.feed_dict(large))
+        assert np.isfinite(loss_a) and np.isfinite(loss_b)
+
+    def test_variables_shared_between_builders(self, bank):
+        runtime = repro.Runtime()
+        model = TreeRNNSentiment(MODELS[0][2], runtime)
+        rec = model.build_recursive(1)
+        it = model.build_iterative(1)
+        batch = batch_trees(bank.train[:1])
+        s1 = repro.Session(rec.graph, runtime, num_workers=2)
+        s2 = repro.Session(it.graph, runtime, num_workers=2)
+        assert s1.run(rec.loss, rec.feed_dict(batch)) == pytest.approx(
+            s2.run(it.loss, it.feed_dict(batch)), abs=1e-5)
+
+
+class TestAccuracyHelper:
+    def test_accuracy_from_logits(self, bank):
+        batch = batch_trees(bank.train[:3])
+        labels = batch.root_labels()
+        logits = np.zeros((3, 2), dtype=np.float32)
+        for i, label in enumerate(labels):
+            logits[i, label] = 1.0
+        assert accuracy_from_logits(logits, batch) == 1.0
+        inverted = -logits
+        assert accuracy_from_logits(inverted, batch) == 0.0

@@ -1,0 +1,305 @@
+"""Tests for layers, cells (graph vs numpy parity), losses, optimizers."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ops
+from repro.nn import (Adagrad, Adam, Dense, Embedding, RNTNCell, SGD,
+                      TreeLSTMCell, TreeRNNCell, Trainer)
+from repro.nn.losses import (np_cross_entropy, np_cross_entropy_backward,
+                             np_softmax)
+
+RNG = np.random.default_rng(0)
+
+
+class TestLayers:
+    def test_dense_forward(self, graph, runtime):
+        layer = Dense("d", 3, 2, RNG, runtime=runtime)
+        x = ops.constant(RNG.standard_normal((4, 3)).astype(np.float32))
+        out = repro.Session(graph, runtime).run(layer(x))
+        W = runtime.variables.read("d/W")
+        b = runtime.variables.read("d/b")
+        np.testing.assert_allclose(out, x.op.attrs["value"] @ W + b,
+                                   rtol=1e-5)
+
+    def test_dense_activation(self, graph, runtime):
+        layer = Dense("da", 2, 2, RNG, activation=ops.tanh, runtime=runtime)
+        x = ops.constant(np.ones((1, 2), dtype=np.float32))
+        out = repro.Session(graph, runtime).run(layer(x))
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_embedding_lookup(self, graph, runtime):
+        emb = Embedding("e", 10, 4, RNG, runtime=runtime)
+        ids = ops.constant(np.array([3, 7], dtype=np.int32))
+        out = repro.Session(graph, runtime).run(emb.lookup(ids))
+        table = runtime.variables.read("e/table")
+        np.testing.assert_allclose(out, table[[3, 7]])
+
+    def test_embedding_np_twin(self, graph, runtime):
+        emb = Embedding("e2", 10, 4, RNG, runtime=runtime)
+        params = {"e2/table": runtime.variables.read("e2/table")}
+        ids = np.array([1, 2], dtype=np.int64)
+        sym = repro.Session(graph, runtime).run(
+            emb.lookup(ops.constant(ids.astype(np.int32))))
+        np.testing.assert_allclose(emb.np_lookup(params, ids), sym)
+
+
+def _params_of(cell, runtime):
+    return {v.name: runtime.variables.read(v.name) for v in cell.variables}
+
+
+class TestCellParity:
+    """Graph-face and numpy-face of each cell must agree (fwd + bwd)."""
+
+    def _check_forward(self, graph, runtime, cell, batch=3):
+        params = _params_of(cell, runtime)
+        H, D = cell.hidden, cell.input_dim
+        x = RNG.standard_normal((batch, D)).astype(np.float32) * 0.5
+        left = tuple(RNG.standard_normal((batch, H)).astype(np.float32) * 0.5
+                     for _ in range(cell.state_arity))
+        right = tuple(RNG.standard_normal((batch, H)).astype(np.float32) * 0.5
+                      for _ in range(cell.state_arity))
+        sess = repro.Session(graph, runtime)
+        leaf_sym = sess.run(list(cell.leaf(ops.constant(x))))
+        (leaf_np, _) = cell.np_leaf(params, x)
+        for s, n in zip(leaf_sym, leaf_np):
+            np.testing.assert_allclose(s, n, rtol=1e-5, atol=1e-6)
+        int_sym = sess.run(list(cell.internal(
+            tuple(ops.constant(v) for v in left),
+            tuple(ops.constant(v) for v in right))))
+        (int_np, _) = cell.np_internal(params, left, right)
+        for s, n in zip(int_sym, int_np):
+            np.testing.assert_allclose(s, n, rtol=1e-5, atol=1e-6)
+
+    def test_treernn_forward_parity(self, graph, runtime):
+        self._check_forward(graph, runtime,
+                            TreeRNNCell("c1", 8, RNG, runtime=runtime))
+
+    def test_rntn_forward_parity(self, graph, runtime):
+        self._check_forward(graph, runtime,
+                            RNTNCell("c2", 6, RNG, runtime=runtime))
+
+    def test_treelstm_forward_parity(self, graph, runtime):
+        self._check_forward(graph, runtime,
+                            TreeLSTMCell("c3", 7, 5, RNG, runtime=runtime))
+
+    def _check_internal_backward(self, graph, runtime, cell):
+        """Numpy backward vs autodiff through the graph face."""
+        params = _params_of(cell, runtime)
+        H = cell.hidden
+        arity = cell.state_arity
+        left_np = tuple(RNG.standard_normal((1, H)).astype(np.float32) * 0.5
+                        for _ in range(arity))
+        right_np = tuple(RNG.standard_normal((1, H)).astype(np.float32) * 0.5
+                         for _ in range(arity))
+        left_ph = [ops.placeholder(repro.float32, (1, H), f"l{i}")
+                   for i in range(arity)]
+        right_ph = [ops.placeholder(repro.float32, (1, H), f"r{i}")
+                    for i in range(arity)]
+        out = cell.internal(tuple(left_ph), tuple(right_ph))
+        loss = ops.reduce_sum(ops.square(out[0]))
+        grads, updates = repro.gradients(loss, left_ph + right_ph)
+        sess = repro.Session(graph, runtime, record=True)
+        feeds = {ph: v for ph, v in zip(left_ph + right_ph,
+                                        left_np + right_np)}
+        runtime.accumulators.zero()
+        values = sess.run(grads + [op.outputs[-1] for op in updates], feeds)
+        sym_grads = values[:2 * arity]
+        # numpy face
+        (out_np, cache) = cell.np_internal(params, left_np, right_np)
+        d_state = [2.0 * out_np[0]] + [np.zeros((1, H), dtype=np.float32)
+                                       for _ in range(arity - 1)]
+        d_left, d_right, var_grads = cell.np_internal_backward(
+            params, cache, tuple(d_state))
+        for s, n in zip(sym_grads, list(d_left) + list(d_right)):
+            np.testing.assert_allclose(s, n, rtol=1e-4, atol=1e-5)
+        for name, g in var_grads.items():
+            np.testing.assert_allclose(runtime.accumulators.read(name), g,
+                                       rtol=1e-4, atol=1e-5)
+
+    def test_treernn_backward_parity(self, graph, runtime):
+        self._check_internal_backward(
+            graph, runtime, TreeRNNCell("b1", 6, RNG, runtime=runtime))
+
+    def test_rntn_backward_parity(self, graph, runtime):
+        self._check_internal_backward(
+            graph, runtime, RNTNCell("b2", 5, RNG, runtime=runtime))
+
+    def test_treelstm_backward_parity(self, graph, runtime):
+        self._check_internal_backward(
+            graph, runtime, TreeLSTMCell("b3", 6, 4, RNG, runtime=runtime))
+
+    def test_treelstm_leaf_backward_parity(self, graph, runtime):
+        cell = TreeLSTMCell("b4", 5, 3, RNG, runtime=runtime)
+        params = _params_of(cell, runtime)
+        x_np = RNG.standard_normal((1, 3)).astype(np.float32)
+        x = ops.placeholder(repro.float32, (1, 3))
+        out = cell.leaf(x)
+        loss = ops.reduce_sum(ops.square(out[0]))
+        grads, updates = repro.gradients(loss, [x])
+        sess = repro.Session(graph, runtime, record=True)
+        runtime.accumulators.zero()
+        values = sess.run(grads + [op.outputs[-1] for op in updates],
+                          {x: x_np})
+        (out_np, cache) = cell.np_leaf(params, x_np)
+        dx, var_grads = cell.np_leaf_backward(
+            params, cache, (2.0 * out_np[0], None))
+        np.testing.assert_allclose(values[0], dx, rtol=1e-4, atol=1e-5)
+        for name, g in var_grads.items():
+            np.testing.assert_allclose(runtime.accumulators.read(name), g,
+                                       rtol=1e-4, atol=1e-5)
+
+    def test_flops_metadata_positive(self, runtime):
+        for cell in (TreeRNNCell("f1", 4, RNG, runtime=runtime),
+                     RNTNCell("f2", 4, RNG, runtime=runtime),
+                     TreeLSTMCell("f3", 4, 4, RNG, runtime=runtime)):
+            assert cell.leaf_flops(10) > 0
+            assert cell.internal_flops(10) > cell.leaf_flops(10) * 0
+            assert cell.state_bytes(10) > 0
+
+    def test_rntn_heavier_than_treernn(self, runtime):
+        rnn = TreeRNNCell("h1", 8, RNG, runtime=runtime)
+        rntn = RNTNCell("h2", 8, RNG, runtime=runtime)
+        assert rntn.internal_flops(1) > 10 * rnn.internal_flops(1)
+
+
+class TestLosses:
+    def test_np_softmax_normalizes(self):
+        probs = np_softmax(RNG.standard_normal((4, 5)) * 10)
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(4), rtol=1e-6)
+
+    def test_np_cross_entropy_matches_graph(self, graph, runtime):
+        logits = RNG.standard_normal((3, 4)).astype(np.float32)
+        labels = np.array([0, 3, 1], dtype=np.int32)
+        sym = repro.Session(graph, runtime).run(
+            ops.softmax_cross_entropy_with_logits(
+                ops.constant(logits), ops.constant(labels)))
+        np.testing.assert_allclose(np_cross_entropy(logits, labels), sym,
+                                   rtol=1e-5)
+
+    def test_np_ce_backward_matches_graph(self, graph, runtime):
+        logits_np = RNG.standard_normal((2, 3)).astype(np.float32)
+        labels_np = np.array([1, 2], dtype=np.int32)
+        logits = ops.placeholder(repro.float32, (2, 3))
+        loss = ops.reduce_sum(ops.softmax_cross_entropy_with_logits(
+            logits, ops.constant(labels_np)))
+        grads, _ = repro.gradients(loss, [logits])
+        sym = repro.Session(graph, runtime).run(grads[0],
+                                                {logits: logits_np})
+        manual = np_cross_entropy_backward(logits_np, labels_np, np.ones(2))
+        np.testing.assert_allclose(sym, manual, rtol=1e-5)
+
+
+class TestOptimizers:
+    def _loss_graph(self, runtime):
+        graph = repro.Graph("opt")
+        v = repro.Variable("ov", np.float32(4.0), runtime=runtime)
+        with graph.as_default():
+            loss = ops.square(v.read())
+            _, updates = repro.gradients(loss, [])
+            fetches = [loss] + [op.outputs[-1] for op in updates]
+        return graph, v, fetches
+
+    def test_sgd_step(self, runtime):
+        graph, v, fetches = self._loss_graph(runtime)
+        opt = SGD(0.1)
+        apply_fetches = opt.build_apply(graph, [v], runtime)
+        sess = repro.Session(graph, runtime, record=True)
+        runtime.accumulators.zero()
+        sess.run(fetches)
+        sess.run(apply_fetches, record=False)
+        # v -= 0.1 * 2v = 4 - 0.8
+        assert v.value() == pytest.approx(3.2)
+
+    def test_sgd_numpy_matches_graph(self, runtime):
+        graph, v, fetches = self._loss_graph(runtime)
+        opt_g = SGD(0.1)
+        apply_fetches = opt_g.build_apply(graph, [v], runtime)
+        sess = repro.Session(graph, runtime, record=True)
+        runtime.accumulators.zero()
+        sess.run(fetches)
+        grads = {"ov": np.array(runtime.accumulators.read("ov"))}
+        sess.run(apply_fetches, record=False)
+        graph_result = float(v.value())
+        v.assign_value(4.0)
+        SGD(0.1).apply_numpy(runtime, grads)
+        assert float(v.value()) == pytest.approx(graph_result)
+
+    def test_adagrad_decreasing_steps(self, runtime):
+        graph, v, fetches = self._loss_graph(runtime)
+        opt = Adagrad(0.5)
+        apply_fetches = opt.build_apply(graph, [v], runtime)
+        sess = repro.Session(graph, runtime, record=True)
+        values = [float(v.value())]
+        for _ in range(3):
+            runtime.accumulators.zero()
+            sess.run(fetches)
+            sess.run(apply_fetches, record=False)
+            values.append(float(v.value()))
+        steps = np.abs(np.diff(values))
+        # first Adagrad step is ~lr, subsequent steps shrink
+        assert steps[0] == pytest.approx(0.5, rel=0.05)
+        assert steps[1] < steps[0]
+
+    def test_adagrad_numpy_matches_graph(self, runtime):
+        graph, v, fetches = self._loss_graph(runtime)
+        opt = Adagrad(0.2)
+        apply_fetches = opt.build_apply(graph, [v], runtime)
+        sess = repro.Session(graph, runtime, record=True)
+        history = []
+        for _ in range(2):
+            runtime.accumulators.zero()
+            sess.run(fetches)
+            history.append(np.array(runtime.accumulators.read("ov")))
+            sess.run(apply_fetches, record=False)
+        graph_result = float(v.value())
+        v.assign_value(4.0)
+        np_opt = Adagrad(0.2)
+        for g in history:
+            np_opt.apply_numpy(runtime, {"ov": g})
+        assert float(v.value()) == pytest.approx(graph_result, rel=1e-5)
+
+    def test_adam_converges_on_quadratic(self, runtime):
+        graph, v, fetches = self._loss_graph(runtime)
+        opt = Adam(0.5)
+        apply_fetches = opt.build_apply(graph, [v], runtime)
+        sess = repro.Session(graph, runtime, record=True)
+        for _ in range(60):
+            runtime.accumulators.zero()
+            sess.run(fetches)
+            sess.run(apply_fetches, record=False)
+        assert abs(float(v.value())) < 0.5
+
+
+class TestTrainer:
+    def test_trainer_reduces_loss(self, runtime):
+        graph = repro.Graph("tr")
+        v = repro.Variable("tv", np.float32(3.0), runtime=runtime)
+        with graph.as_default():
+            loss = ops.square(v.read())
+        trainer = Trainer(graph, loss, SGD(0.1), runtime)
+        first = trainer.step()
+        for _ in range(5):
+            last = trainer.step()
+        assert last < first
+
+    def test_trainer_collects_stats(self, runtime):
+        graph = repro.Graph("tr2")
+        v = repro.Variable("tv2", np.float32(1.0), runtime=runtime)
+        with graph.as_default():
+            loss = ops.square(v.read())
+        trainer = Trainer(graph, loss, SGD(0.1), runtime)
+        trainer.step()
+        assert trainer.last_step_stats.virtual_time > 0
+        assert trainer.last_step_stats.ops_executed > 0
+
+    def test_gradient_snapshot(self, runtime):
+        graph = repro.Graph("tr3")
+        v = repro.Variable("tv3", np.float32(2.0), runtime=runtime)
+        with graph.as_default():
+            loss = ops.square(v.read())
+        trainer = Trainer(graph, loss, SGD(0.1), runtime)
+        trainer.compute_gradients()
+        snap = trainer.gradient_snapshot()
+        assert snap["tv3"] == pytest.approx(4.0)

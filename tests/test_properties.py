@@ -1,0 +1,268 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro import ops
+from repro.core.cache import ROOT_KEY, ValueCache, child_key
+from repro.core.subgraph import SubGraph
+from repro.data import (Tree, batch_trees, build_shape, label_tree,
+                        make_treebank)
+from repro.data.vocab import Vocabulary
+from repro.ops.tensor_array import TensorArrayValue
+from repro.runtime.cost_model import unit_cost
+
+SETTINGS = settings(max_examples=25, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+small_floats = st.floats(min_value=-10.0, max_value=10.0,
+                         allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestAlgebraicProperties:
+    @SETTINGS
+    @given(st.lists(small_floats, min_size=1, max_size=8),
+           st.lists(small_floats, min_size=1, max_size=8))
+    def test_add_commutes(self, xs, ys):
+        n = min(len(xs), len(ys))
+        a = np.array(xs[:n], dtype=np.float32)
+        b = np.array(ys[:n], dtype=np.float32)
+        graph = repro.Graph("prop")
+        with graph.as_default():
+            lhs = ops.add(ops.constant(a), ops.constant(b))
+            rhs = ops.add(ops.constant(b), ops.constant(a))
+        sess = repro.Session(graph, repro.Runtime())
+        np.testing.assert_allclose(sess.run(lhs), sess.run(rhs))
+
+    @SETTINGS
+    @given(st.lists(small_floats, min_size=2, max_size=12))
+    def test_reduce_sum_matches_numpy(self, xs):
+        a = np.array(xs, dtype=np.float32)
+        graph = repro.Graph("prop")
+        with graph.as_default():
+            out = ops.reduce_sum(ops.constant(a))
+        result = repro.Session(graph, repro.Runtime()).run(out)
+        assert result == pytest.approx(a.sum(), rel=1e-4, abs=1e-4)
+
+    @SETTINGS
+    @given(st.integers(min_value=2, max_value=6),
+           st.integers(min_value=2, max_value=6))
+    def test_gather_then_sum_equals_indexed_sum(self, rows, cols):
+        rng = np.random.default_rng(rows * 7 + cols)
+        params = rng.standard_normal((rows, cols)).astype(np.float32)
+        idx = rng.integers(0, rows, size=4).astype(np.int32)
+        graph = repro.Graph("prop")
+        with graph.as_default():
+            out = ops.reduce_sum(ops.gather(ops.constant(params),
+                                            ops.constant(idx)))
+        result = repro.Session(graph, repro.Runtime()).run(out)
+        assert result == pytest.approx(params[idx].sum(), rel=1e-4)
+
+
+class TestGatherScatterAdjoint:
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=10))
+    def test_gather_grad_is_scatter_add(self, n_idx, n_rows):
+        """<gather(x, i), y> == <x, scatter_add(y, i)> (adjoint property)."""
+        rng = np.random.default_rng(n_idx * 31 + n_rows)
+        x = rng.standard_normal((n_rows, 3)).astype(np.float32)
+        idx = rng.integers(0, n_rows, size=n_idx).astype(np.int32)
+        y = rng.standard_normal((n_idx, 3)).astype(np.float32)
+        graph = repro.Graph("adj")
+        with graph.as_default():
+            xt = ops.placeholder(repro.float32, (n_rows, 3))
+            inner = ops.reduce_sum(ops.multiply(
+                ops.gather(xt, ops.constant(idx)), ops.constant(y)))
+            grads, _ = repro.gradients(inner, [xt])
+        sess = repro.Session(graph, repro.Runtime())
+        grad = sess.run(grads[0], {xt: x})
+        scattered = np.zeros_like(x)
+        np.add.at(scattered, idx, y)
+        np.testing.assert_allclose(grad, scattered, rtol=1e-4, atol=1e-5)
+
+
+class TestFrameKeys:
+    @SETTINGS
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                    max_size=6),
+           st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                    max_size=6))
+    def test_distinct_paths_distinct_keys(self, path_a, path_b):
+        key_a, key_b = ROOT_KEY, ROOT_KEY
+        for p in path_a:
+            key_a = child_key(key_a, p)
+        for p in path_b:
+            key_b = child_key(key_b, p)
+        assert (key_a == key_b) == (path_a == path_b)
+
+    @SETTINGS
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 5),
+                              st.integers(0, 3)),
+                    min_size=1, max_size=30, unique=True))
+    def test_cache_roundtrip(self, entries):
+        cache = ValueCache()
+        for i, (key_part, op_id, out_idx) in enumerate(entries):
+            cache.store((key_part,), 1, op_id, out_idx, i)
+        for i, (key_part, op_id, out_idx) in enumerate(entries):
+            assert cache.lookup((key_part,), 1, op_id, out_idx) == i
+
+
+class TestTensorArrayProperties:
+    @SETTINGS
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1,
+                    max_size=10, unique=True))
+    def test_write_once_reads_back(self, indices):
+        ta = TensorArrayValue.empty(10, (2,))
+        for i in indices:
+            ta = ta.write(i, np.full(2, float(i), dtype=np.float32))
+        for i in indices:
+            np.testing.assert_allclose(ta.read(i), np.full(2, float(i)))
+
+    @SETTINGS
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=1,
+                    max_size=12))
+    def test_add_accumulates(self, indices):
+        ta = TensorArrayValue.empty(5, ())
+        for i in indices:
+            ta = ta.add(i, np.float32(1.0))
+        for i in range(5):
+            assert ta.read(i) == pytest.approx(indices.count(i))
+
+    @SETTINGS
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=0,
+                    max_size=6, unique=True),
+           st.lists(st.integers(min_value=0, max_value=4), min_size=0,
+                    max_size=6, unique=True))
+    def test_combine_is_slotwise_sum(self, idx_a, idx_b):
+        a = TensorArrayValue.empty(5, ())
+        b = TensorArrayValue.empty(5, ())
+        for i in idx_a:
+            a = a.write(i, np.float32(2.0))
+        for i in idx_b:
+            b = b.write(i, np.float32(3.0))
+        combined = a.combine(b)
+        for i in range(5):
+            expected = (2.0 if i in idx_a else 0.0) + (3.0 if i in idx_b
+                                                       else 0.0)
+            assert combined.read(i) == pytest.approx(expected)
+
+
+class TestTreeProperties:
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=40),
+           st.sampled_from(["natural", "balanced", "moderate", "linear"]))
+    def test_tree_invariants(self, n_words, shape):
+        rng = np.random.default_rng(n_words)
+        words = list(rng.integers(0, 30, size=n_words))
+        root = build_shape(words, shape, rng)
+        tree = Tree(root)
+        assert tree.num_nodes == 2 * n_words - 1
+        assert tree.num_leaves == n_words
+        assert tree.words() == [int(w) for w in words]
+        min_depth = int(np.ceil(np.log2(n_words))) + 1 if n_words > 1 else 1
+        assert min_depth <= tree.depth <= n_words if n_words > 1 \
+            else tree.depth == 1
+
+    @SETTINGS
+    @given(st.integers(min_value=2, max_value=30))
+    def test_topological_indexing(self, n_words):
+        rng = np.random.default_rng(n_words * 3)
+        words = list(rng.integers(0, 30, size=n_words))
+        root = build_shape(words, "natural", rng)
+        arrays = Tree(root).to_arrays()
+        for i in range(arrays.num_nodes):
+            if not arrays.is_leaf[i]:
+                assert arrays.children[i, 0] < i
+                assert arrays.children[i, 1] < i
+
+    @SETTINGS
+    @given(st.integers(min_value=2, max_value=25))
+    def test_labeling_is_deterministic(self, n_words):
+        vocab = Vocabulary.build(40, np.random.default_rng(0))
+        rng1 = np.random.default_rng(n_words)
+        words = list(rng1.integers(0, 40, size=n_words))
+        roots = [build_shape(words, "balanced", np.random.default_rng(1))
+                 for _ in range(2)]
+        scores = [label_tree(r, vocab) for r in roots]
+        assert scores[0] == scores[1]
+
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=5))
+    def test_batch_padding_roundtrip(self, batch_size):
+        bank = make_treebank(num_train=batch_size, num_val=0, vocab_size=30,
+                             max_words=12, mean_log_words=2.0,
+                             seed=batch_size)
+        batch = batch_trees(bank.train)
+        for b, tree in enumerate(batch.trees):
+            arrays = tree.to_arrays()
+            n = arrays.num_nodes
+            np.testing.assert_array_equal(batch.labels[b, :n], arrays.labels)
+            np.testing.assert_array_equal(batch.is_leaf[b, :n],
+                                          arrays.is_leaf)
+            assert batch.root[b] == arrays.root
+
+
+class TestSchedulerProperties:
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=8))
+    def test_makespan_bounds(self, width, workers):
+        """Unit-cost diamond: makespan within classic list-scheduling
+        bounds: ceil(width/workers) <= middle layer time <= width."""
+        graph = repro.Graph("sched_prop")
+        with graph.as_default():
+            src = ops.constant(1.0)
+            mids = [ops.negative(src) for _ in range(width)]
+            total = mids[0]
+            for m in mids[1:]:
+                total = ops.add(total, m)
+        sess = repro.Session(graph, repro.Runtime(), num_workers=workers,
+                             cost_model=unit_cost())
+        sess.run(total)
+        makespan = sess.last_stats.virtual_time
+        total_ops = 1 + width + max(0, width - 1)
+        # critical path: const -> one neg -> chain of (width-1) adds;
+        # work bound: total unit ops over the worker pool
+        lower = max(width + 1, total_ops / workers)
+        upper = total_ops  # fully serialized
+        assert lower - 1e-9 <= makespan <= upper + 1e-9
+
+    @SETTINGS
+    @given(st.integers(min_value=2, max_value=9))
+    def test_recursion_depth_equals_input(self, depth):
+        graph = repro.Graph("depth_prop")
+        with graph.as_default():
+            with SubGraph("chain") as chain:
+                n = chain.input(repro.int32, ())
+                chain.declare_outputs([(repro.int32, ())])
+                chain.output(ops.cond(ops.less_equal(n, 0),
+                                      lambda: ops.constant(0),
+                                      lambda: ops.add(chain(n - 1),
+                                                      ops.constant(1))))
+            out = chain(ops.constant(depth))
+        sess = repro.Session(graph, repro.Runtime())
+        assert sess.run(out) == depth
+        # invoke + branch frames alternate: max depth ~ 2*depth
+        assert sess.last_stats.max_frame_depth >= depth
+
+
+class TestEngineEquivalenceProperty:
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=30),
+           st.integers(min_value=1, max_value=6))
+    def test_worker_count_never_changes_values(self, seed, workers):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((3, 3)).astype(np.float32)
+        graph = repro.Graph("eq_prop")
+        with graph.as_default():
+            t = ops.constant(a)
+            out = ops.reduce_sum(ops.tanh(ops.matmul(t, ops.transpose(t))))
+        one = repro.Session(graph, repro.Runtime(), num_workers=1).run(out)
+        many = repro.Session(graph, repro.Runtime(),
+                             num_workers=workers).run(out)
+        assert one == pytest.approx(many, rel=1e-6)

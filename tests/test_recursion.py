@@ -1,0 +1,272 @@
+"""Tests for SubGraph / InvokeOp: the paper's core contribution."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ops
+from repro.core.subgraph import SubGraph, SubGraphError
+
+
+def factorial_subgraph():
+    with SubGraph("fact") as fact:
+        n = fact.input(repro.int32, ())
+        fact.declare_outputs([(repro.int32, ())])
+        fact.output(ops.cond(ops.less_equal(n, 1),
+                             lambda: ops.constant(1),
+                             lambda: ops.multiply(n, fact(n - 1))))
+    return fact
+
+
+class TestSubGraphDefinition:
+    def test_simple_definition_and_call(self, graph, runtime):
+        with SubGraph("double") as double:
+            x = double.input(repro.float32, ())
+            double.output(ops.multiply(x, 2.0))
+        out = double(ops.constant(21.0))
+        assert repro.Session(graph, runtime).run(out) == pytest.approx(42.0)
+
+    def test_multiple_inputs_outputs(self, graph, runtime):
+        with SubGraph("swap") as swap:
+            a = swap.input(repro.float32, ())
+            b = swap.input(repro.float32, ())
+            swap.output(b, a)
+        x, y = swap(ops.constant(1.0), ops.constant(2.0))
+        sess = repro.Session(graph, runtime)
+        assert sess.run([x, y]) == [2.0, 1.0]
+
+    def test_no_output_raises(self, graph):
+        with pytest.raises(SubGraphError, match="output"):
+            with SubGraph("bad"):
+                pass
+
+    def test_double_output_raises(self, graph):
+        with pytest.raises(SubGraphError, match="already set"):
+            with SubGraph("bad") as sg:
+                sg.output(ops.constant(1.0))
+                sg.output(ops.constant(2.0))
+
+    def test_wrong_arg_count_raises(self, graph):
+        with SubGraph("one") as one:
+            one.input(repro.float32, ())
+            one.output(ops.constant(1.0))
+        with pytest.raises(SubGraphError, match="takes 1 inputs"):
+            one(ops.constant(1.0), ops.constant(2.0))
+
+    def test_wrong_arg_dtype_raises(self, graph):
+        with SubGraph("flt") as flt:
+            x = flt.input(repro.float32, ())
+            flt.output(ops.identity(x))
+        with pytest.raises(SubGraphError, match="dtype"):
+            flt(ops.constant(1))
+
+    def test_declared_output_mismatch_raises(self, graph):
+        with pytest.raises(SubGraphError, match="dtype"):
+            with SubGraph("bad") as sg:
+                sg.declare_outputs([(repro.float32, ())])
+                sg.output(ops.constant(1))
+
+    def test_recursion_without_declaration_raises(self, graph):
+        with pytest.raises(SubGraphError, match="declare_outputs"):
+            with SubGraph("rec") as rec:
+                n = rec.input(repro.int32, ())
+                rec(n)  # forward declaration missing
+
+    def test_call_from_other_graph_after_finalize(self, runtime):
+        g1 = repro.Graph("def_graph")
+        with g1.as_default():
+            with SubGraph("triple") as triple:
+                x = triple.input(repro.float32, ())
+                triple.output(ops.multiply(x, 3.0))
+        g2 = repro.Graph("call_graph")
+        with g2.as_default():
+            out = triple(ops.constant(2.0))
+        assert repro.Session(g2, runtime).run(out) == pytest.approx(6.0)
+
+    def test_finalized_graph_is_frozen(self, graph):
+        with SubGraph("frozen") as sg:
+            x = sg.input(repro.float32, ())
+            sg.output(ops.identity(x))
+        assert sg.graph.finalized
+
+
+class TestCaptures:
+    def test_capture_of_outer_tensor(self, graph, runtime):
+        scale = ops.placeholder(repro.float32, ())
+        with SubGraph("scaled") as scaled:
+            x = scaled.input(repro.float32, ())
+            scaled.output(ops.multiply(x, scale))
+        out = scaled(ops.constant(3.0))
+        sess = repro.Session(graph, runtime)
+        assert sess.run(out, {scale: 4.0}) == pytest.approx(12.0)
+        assert len(scaled.captures) == 1
+
+    def test_capture_memoized(self, graph):
+        t = ops.constant(2.0)
+        with SubGraph("memo") as sg:
+            x = sg.input(repro.float32, ())
+            sg.output(ops.add(ops.multiply(x, t), t))
+        assert len(sg.captures) == 1
+
+    def test_capture_through_nested_branch(self, graph, runtime):
+        outer_value = ops.placeholder(repro.float32, ())
+        with SubGraph("nested") as sg:
+            x = sg.input(repro.float32, ())
+            sg.output(ops.cond(ops.greater(x, 0.0),
+                               lambda: ops.multiply(x, outer_value),
+                               lambda: ops.negative(outer_value)))
+        out = sg(ops.constant(2.0))
+        sess = repro.Session(graph, runtime)
+        assert sess.run(out, {outer_value: 5.0}) == pytest.approx(10.0)
+
+    def test_variables_need_no_capture(self, graph, runtime):
+        v = repro.Variable("cap_var", np.float32(7.0), runtime=runtime)
+        with SubGraph("uses_var") as sg:
+            x = sg.input(repro.float32, ())
+            sg.output(ops.multiply(x, v.read()))
+        out = sg(ops.constant(2.0))
+        assert repro.Session(graph, runtime).run(out) == pytest.approx(14.0)
+        assert len(sg.captures) == 0
+
+
+class TestRecursion:
+    def test_factorial(self, graph, runtime):
+        fact = factorial_subgraph()
+        out = fact(ops.constant(6))
+        assert repro.Session(graph, runtime).run(out) == 720
+
+    def test_factorial_base_case(self, graph, runtime):
+        fact = factorial_subgraph()
+        out = fact(ops.constant(0))
+        assert repro.Session(graph, runtime).run(out) == 1
+
+    def test_fibonacci_parallel_recursion(self, graph, runtime):
+        with SubGraph("fib") as fib:
+            n = fib.input(repro.int32, ())
+            fib.declare_outputs([(repro.int32, ())])
+            fib.output(ops.cond(ops.less_equal(n, 1),
+                                lambda: ops.identity(n),
+                                lambda: ops.add(fib(n - 1), fib(n - 2))))
+        out = fib(ops.constant(10))
+        sess = repro.Session(graph, runtime, num_workers=8)
+        assert sess.run(out) == 55
+
+    def test_recursion_depth_guard(self, graph, runtime):
+        with SubGraph("forever") as forever:
+            n = forever.input(repro.int32, ())
+            forever.declare_outputs([(repro.int32, ())])
+            forever.output(forever(ops.add(n, 1)))
+        out = forever(ops.constant(0))
+        sess = repro.Session(graph, runtime, max_depth=50)
+        with pytest.raises(repro.EngineError, match="recursion limit"):
+            sess.run(out)
+
+    def test_mutual_recursion(self, graph, runtime):
+        # is_even / is_odd by mutual recursion within one episode
+        with SubGraph("is_even") as is_even:
+            n = is_even.input(repro.int32, ())
+            is_even.declare_outputs([(repro.int32, ())])
+            with SubGraph("is_odd") as is_odd:
+                m = is_odd.input(repro.int32, ())
+                is_odd.declare_outputs([(repro.int32, ())])
+                is_odd.output(ops.cond(ops.less_equal(m, 0),
+                                       lambda: ops.constant(0),
+                                       lambda: is_even(m - 1)))
+            is_even.output(ops.cond(ops.less_equal(n, 0),
+                                    lambda: ops.constant(1),
+                                    lambda: is_odd(n - 1)))
+        out_even = is_even(ops.constant(10))
+        out_odd = is_even(ops.constant(7))
+        sess = repro.Session(graph, runtime, num_workers=4)
+        assert sess.run(out_even) == 1
+        assert sess.run(out_odd) == 0
+
+    def test_recursive_capture(self, graph, runtime):
+        # recursion with an outer value used at every level
+        step = ops.placeholder(repro.float32, ())
+        with SubGraph("sum_to") as sum_to:
+            n = sum_to.input(repro.int32, ())
+            sum_to.declare_outputs([(repro.float32, ())])
+            sum_to.output(ops.cond(
+                ops.less_equal(n, 0),
+                lambda: ops.constant(0.0),
+                lambda: ops.add(step, sum_to(n - 1))))
+        out = sum_to(ops.constant(5))
+        sess = repro.Session(graph, runtime)
+        assert sess.run(out, {step: 1.5}) == pytest.approx(7.5)
+
+    def test_tree_reduction(self, graph, runtime):
+        # sum over a binary tree given as arrays, via recursion
+        values = ops.placeholder(repro.float32, (None,))
+        children = ops.placeholder(repro.int32, (None, 2))
+        is_leaf = ops.placeholder(repro.bool_, (None,))
+        with SubGraph("tree_sum") as tree_sum:
+            idx = tree_sum.input(repro.int32, ())
+            tree_sum.declare_outputs([(repro.float32, ())])
+
+            def leaf():
+                return ops.gather(values, idx)
+
+            def internal():
+                pair = ops.gather(children, idx)
+                return ops.add(tree_sum(ops.gather(pair, 0)),
+                               ops.gather(values, idx)
+                               + tree_sum(ops.gather(pair, 1)))
+
+            tree_sum.output(ops.cond(ops.gather(is_leaf, idx), leaf,
+                                     internal))
+        out = tree_sum(ops.constant(2))
+        #      node2(+1.0)
+        #     /    \
+        #  leaf0=2  leaf1=3     total = 2 + 3 + 1 = 6
+        sess = repro.Session(graph, runtime, num_workers=4)
+        result = sess.run(out, {
+            values: np.array([2.0, 3.0, 1.0], dtype=np.float32),
+            children: np.array([[0, 0], [0, 0], [0, 1]], dtype=np.int32),
+            is_leaf: np.array([True, True, False])})
+        assert result == pytest.approx(6.0)
+
+    def test_multi_output_recursion(self, graph, runtime):
+        # returns (depth_sum, node_count) per call
+        with SubGraph("count") as count:
+            n = count.input(repro.int32, ())
+            count.declare_outputs([(repro.int32, ()), (repro.int32, ())])
+
+            def base():
+                return ops.constant(0), ops.constant(1)
+
+            def rec():
+                s, c = count(n - 1)
+                return ops.add(s, n), ops.add(c, 1)
+
+            count.output(*ops.cond(ops.less_equal(n, 0), base, rec))
+        s, c = count(ops.constant(4))
+        sess = repro.Session(graph, runtime)
+        assert sess.run([s, c]) == [10, 5]
+
+
+class TestExecutionStats:
+    def test_frames_form_a_tree(self, graph, runtime):
+        fact = factorial_subgraph()
+        out = fact(ops.constant(5))
+        sess = repro.Session(graph, runtime)
+        sess.run(out)
+        stats = sess.last_stats
+        # 5 invoke frames + 5 branch frames (plus root is not counted as
+        # spawned): at least 10, and depth reflects nesting
+        assert stats.frames_created >= 10
+        assert stats.max_frame_depth >= 5
+
+    def test_parallel_speedup_in_virtual_time(self, graph, runtime):
+        with SubGraph("fib") as fib:
+            n = fib.input(repro.int32, ())
+            fib.declare_outputs([(repro.int32, ())])
+            fib.output(ops.cond(ops.less_equal(n, 1),
+                                lambda: ops.identity(n),
+                                lambda: ops.add(fib(n - 1), fib(n - 2))))
+        out = fib(ops.constant(11))
+        t1 = repro.Session(graph, runtime, num_workers=1)
+        t1.run(out)
+        t8 = repro.Session(graph, runtime, num_workers=8)
+        t8.run(out)
+        assert t8.last_stats.virtual_time < t1.last_stats.virtual_time / 2

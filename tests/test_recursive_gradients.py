@@ -1,0 +1,203 @@
+"""Recursive backpropagation: gradients through InvokeOps and the cache."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ops
+from repro.core.autodiff import differentiate_subgraph
+from repro.core.subgraph import SubGraph
+
+
+def power_subgraph():
+    """f(x, n) = x^n via recursion."""
+    with SubGraph("pow") as p:
+        x = p.input(repro.float32, ())
+        n = p.input(repro.int32, ())
+        p.declare_outputs([(repro.float32, ())])
+        p.output(ops.cond(ops.less_equal(n, 0),
+                          lambda: ops.constant(1.0),
+                          lambda: ops.multiply(x, p(x, n - 1))))
+    return p
+
+
+class TestRecursiveGradients:
+    def test_power_rule(self, graph, runtime):
+        p = power_subgraph()
+        x = ops.placeholder(repro.float32, ())
+        y = p(x, ops.constant(5))
+        grads, _ = repro.gradients(y, [x])
+        sess = repro.Session(graph, runtime, record=True)
+        value, grad = sess.run([y, grads[0]], {x: 1.3})
+        assert value == pytest.approx(1.3 ** 5, rel=1e-5)
+        assert grad == pytest.approx(5 * 1.3 ** 4, rel=1e-5)
+
+    def test_gradient_at_base_case(self, graph, runtime):
+        p = power_subgraph()
+        x = ops.placeholder(repro.float32, ())
+        y = p(x, ops.constant(0))
+        grads, _ = repro.gradients(y, [x])
+        sess = repro.Session(graph, runtime, record=True)
+        assert sess.run(grads[0], {x: 2.0}) == pytest.approx(0.0)
+
+    def test_branching_recursion_gradient(self, graph, runtime):
+        # f(x, d) = x if d==0 else f(x,d-1)^2  => f = x^(2^d)
+        with SubGraph("sq") as sq:
+            x = sq.input(repro.float32, ())
+            d = sq.input(repro.int32, ())
+            sq.declare_outputs([(repro.float32, ())])
+            sq.output(ops.cond(ops.less_equal(d, 0),
+                               lambda: ops.identity(x),
+                               lambda: ops.square(sq(x, d - 1))))
+        xin = ops.placeholder(repro.float32, ())
+        y = sq(xin, ops.constant(3))
+        grads, _ = repro.gradients(y, [xin])
+        sess = repro.Session(graph, runtime, record=True)
+        x0 = 1.1
+        value, grad = sess.run([y, grads[0]], {xin: x0})
+        assert value == pytest.approx(x0 ** 8, rel=1e-5)
+        assert grad == pytest.approx(8 * x0 ** 7, rel=1e-4)
+
+    def test_two_call_sites_gradient(self, graph, runtime):
+        # full binary recursion: f(x, d) = x at d=0 else f(l)+f(r)
+        # f(x, d) = 2^d * x
+        with SubGraph("tree") as tree:
+            x = tree.input(repro.float32, ())
+            d = tree.input(repro.int32, ())
+            tree.declare_outputs([(repro.float32, ())])
+            tree.output(ops.cond(ops.less_equal(d, 0),
+                                 lambda: ops.identity(x),
+                                 lambda: ops.add(tree(x, d - 1),
+                                                 tree(x, d - 1))))
+        xin = ops.placeholder(repro.float32, ())
+        y = tree(xin, ops.constant(4))
+        grads, _ = repro.gradients(y, [xin])
+        sess = repro.Session(graph, runtime, record=True, num_workers=8)
+        assert sess.run(grads[0], {xin: 1.0}) == pytest.approx(16.0)
+
+    def test_variable_gradients_across_frames(self, graph, runtime):
+        w = repro.Variable("rec_w", np.float32(1.5), runtime=runtime)
+        with SubGraph("chain") as chain:
+            n = chain.input(repro.int32, ())
+            chain.declare_outputs([(repro.float32, ())])
+            chain.output(ops.cond(
+                ops.less_equal(n, 0),
+                lambda: ops.constant(1.0),
+                lambda: ops.multiply(w.read(), chain(n - 1))))
+        y = chain(ops.constant(4))  # w^4
+        _, updates = repro.gradients(y, [])
+        sess = repro.Session(graph, runtime, record=True)
+        sess.run([y] + [op.outputs[-1] for op in updates])
+        # dy/dw = 4 w^3
+        assert runtime.accumulators.read("rec_w") == pytest.approx(
+            4 * 1.5 ** 3, rel=1e-5)
+
+    def test_capture_gradient_through_recursion(self, graph, runtime):
+        scale = ops.placeholder(repro.float32, ())
+        with SubGraph("scaled_sum") as sg:
+            n = sg.input(repro.int32, ())
+            sg.declare_outputs([(repro.float32, ())])
+            sg.output(ops.cond(
+                ops.less_equal(n, 0),
+                lambda: ops.constant(0.0),
+                lambda: ops.add(ops.square(scale), sg(n - 1))))
+        y = sg(ops.constant(3))  # 3 * scale^2
+        grads, _ = repro.gradients(y, [scale])
+        sess = repro.Session(graph, runtime, record=True)
+        assert sess.run(grads[0], {scale: 2.0}) == pytest.approx(12.0,
+                                                                 rel=1e-5)
+
+    def test_gradient_matches_unrolled_equivalent(self, graph, runtime):
+        # recursive f(x,3)=x^3 vs hand-unrolled x*x*x gradients
+        p = power_subgraph()
+        x = ops.placeholder(repro.float32, ())
+        y_rec = p(x, ops.constant(3))
+        y_unrolled = ops.multiply(x, ops.multiply(x, x))
+        g_rec, _ = repro.gradients(y_rec, [x])
+        g_unr, _ = repro.gradients(y_unrolled, [x])
+        sess = repro.Session(graph, runtime, record=True)
+        rec, unr = sess.run([g_rec[0], g_unr[0]], {x: 0.7})
+        assert rec == pytest.approx(unr, rel=1e-5)
+
+    def test_second_run_reuses_graph(self, graph, runtime):
+        p = power_subgraph()
+        x = ops.placeholder(repro.float32, ())
+        y = p(x, ops.constant(4))
+        grads, _ = repro.gradients(y, [x])
+        sess = repro.Session(graph, runtime, record=True)
+        for x0 in (0.5, 1.0, 2.0):
+            assert sess.run(grads[0], {x: x0}) == pytest.approx(
+                4 * x0 ** 3, rel=1e-4)
+
+
+class TestDifferentiateSubgraph:
+    def test_grad_subgraph_cached(self, graph):
+        p = power_subgraph()
+        bg1 = differentiate_subgraph(p)
+        bg2 = differentiate_subgraph(p)
+        assert bg1 is bg2
+
+    def test_grad_subgraph_is_backward(self, graph):
+        p = power_subgraph()
+        bg = differentiate_subgraph(p)
+        assert bg.is_backward
+        assert bg.graph.is_backward_body
+
+    def test_recursive_backward_contains_invoke_grad(self, graph):
+        p = power_subgraph()
+        differentiate_subgraph(p)
+        # the backward of the recursive branch holds an InvokeGrad at the
+        # forward call-site position
+        branch = None
+        for op in p.graph.operations:
+            if op.op_type == "Cond":
+                branch = op.attrs["false_subgraph"]
+        grad_branch = branch.grad_subgraph
+        types = {op.op_type for op in grad_branch.graph.operations}
+        assert "InvokeGrad" in types
+
+    def test_cache_filter_installed(self, graph):
+        p = power_subgraph()
+        differentiate_subgraph(p)
+        assert getattr(p.graph, "cache_filter", None) is not None
+
+    def test_backward_subgraph_has_no_captures(self, graph):
+        p = power_subgraph()
+        bg = differentiate_subgraph(p)
+        assert bg.captures == []
+
+    def test_undifferentiated_unfinalized_raises(self, graph):
+        sg = SubGraph("open")
+        with pytest.raises(Exception):
+            differentiate_subgraph(sg)
+
+
+class TestBackpropCache:
+    def test_cache_populated_then_cleared_between_runs(self, graph, runtime):
+        p = power_subgraph()
+        x = ops.placeholder(repro.float32, ())
+        y = p(x, ops.constant(3))
+        grads, _ = repro.gradients(y, [x])
+        sess = repro.Session(graph, runtime, record=True)
+        sess.run(grads[0], {x: 1.0})
+        stores_first = runtime.cache.stores
+        assert stores_first > 0
+        sess.run(grads[0], {x: 1.0})
+        # cleared at the start of each run: table does not grow unboundedly
+        assert len(runtime.cache) <= stores_first
+
+    def test_inference_mode_skips_cache(self, graph, runtime):
+        p = power_subgraph()
+        y = p(ops.constant(2.0), ops.constant(5))
+        sess = repro.Session(graph, runtime, record=False)
+        sess.run(y)
+        assert runtime.cache.stores == 0
+
+    def test_missing_forward_pass_gives_clear_error(self, graph, runtime):
+        p = power_subgraph()
+        x = ops.placeholder(repro.float32, ())
+        y = p(x, ops.constant(2))
+        grads, _ = repro.gradients(y, [x])
+        sess = repro.Session(graph, runtime, record=False)
+        with pytest.raises(repro.EngineError, match="record=True"):
+            sess.run(grads[0], {x: 1.0})
