@@ -1,0 +1,20 @@
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: test test-batching bench bench-fig8
+
+# Tier-1: the full test suite (what CI gates on).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# The micro-batching equivalence + stress subset.
+test-batching:
+	$(PYTHON) -m pytest -q tests/test_batching.py tests/test_batching_stress.py tests/test_recursive_gradients.py
+
+# All paper-reproduction benchmarks (slow).
+bench:
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks -q -s
+
+# The inference-throughput bench; refreshes BENCH_fig8.json.
+bench-fig8:
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/bench_fig8_inference_throughput.py -q -s

@@ -14,6 +14,11 @@ Shape claims:
   * **training**: folding beats both CPU implementations at every batch
     size (GPU batching amortizes the backward cost the recursive
     implementation pays per frame).
+
+Beyond the paper: the ``BatchedRecursive`` column measures the recursion-
+vs-folding comparison with Fold's own throughput lever (dynamic batching)
+applied *inside* the recursive engines, so the trade-off is measured
+rather than asserted.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from benchmarks.common import (BATCH_SIZES, STEPS, fresh_model,
 from repro.harness import (format_table, make_runner, measure_throughput,
                            save_results)
 
-KINDS = ("Iterative", "Recursive", "Folding")
+KINDS = ("Iterative", "Recursive", "BatchedRecursive", "Folding")
 
 
 def collect():
@@ -52,8 +57,8 @@ def test_table2_folding(benchmark):
     print()
     print(format_table(
         "Table 2 — TreeLSTM throughput: iterative / recursive / folding",
-        ["batch", "inf:Iter", "inf:Recur", "inf:Fold",
-         "trn:Iter", "trn:Recur", "trn:Fold"], rows))
+        ["batch", "inf:Iter", "inf:Recur", "inf:RecMB", "inf:Fold",
+         "trn:Iter", "trn:Recur", "trn:RecMB", "trn:Fold"], rows))
     save_results("table2_folding",
                  {f"{k}/{m}/b{b}": v for (k, m, b), v in table.items()})
 
@@ -66,3 +71,7 @@ def test_table2_folding(benchmark):
         fold_trn = table[("Folding", "train", batch_size)]
         assert fold_trn > table[("Recursive", "train", batch_size)]
         assert fold_trn > table[("Iterative", "train", batch_size)]
+        # beyond the paper: micro-batching narrows the folding gap without
+        # ever hurting the recursive implementation
+        assert (table[("BatchedRecursive", "infer", batch_size)]
+                >= table[("Recursive", "infer", batch_size)] * 0.95)

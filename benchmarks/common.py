@@ -11,6 +11,8 @@ Review sentences (see DESIGN.md for the substitution rationale).
 
 from __future__ import annotations
 
+import json
+import os
 from functools import lru_cache
 
 import numpy as np
@@ -50,3 +52,18 @@ def runner_config(**overrides) -> RunnerConfig:
     defaults = dict(num_workers=WORKERS)
     defaults.update(overrides)
     return RunnerConfig(**defaults)
+
+
+def save_bench_json(name: str, payload: dict) -> str:
+    """Persist a machine-readable trajectory file at the repository root.
+
+    ``BENCH_<name>.json`` is the perf baseline future PRs diff against
+    (e.g. ``BENCH_fig8.json`` records unbatched vs batched inference
+    throughput).
+    """
+    root = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+    path = os.path.join(root, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=float)
+        fh.write("\n")
+    return path

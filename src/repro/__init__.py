@@ -32,10 +32,10 @@ from repro import ops
 from repro.core import SubGraph, SubGraphError, invoke
 from repro.core.autodiff import differentiate_subgraph, gradients
 from repro.ops.control_flow import cond, while_loop
-from repro.runtime import (CostModel, EngineError, RunStats, Runtime,
-                           Session, Variable, client_eager, default_runtime,
-                           gpu_profile, reset_default_runtime, testbed_cpu,
-                           unit_cost)
+from repro.runtime import (BatchPolicy, CostModel, EngineError, RunStats,
+                           Runtime, Session, Variable, client_eager,
+                           default_runtime, gpu_profile,
+                           reset_default_runtime, testbed_cpu, unit_cost)
 
 __version__ = "1.0.0"
 
@@ -50,7 +50,7 @@ __all__ = [
     "SubGraph", "SubGraphError", "invoke", "gradients",
     "differentiate_subgraph",
     # runtime
-    "CostModel", "EngineError", "RunStats", "Runtime", "Session", "Variable",
-    "client_eager", "default_runtime", "gpu_profile",
+    "BatchPolicy", "CostModel", "EngineError", "RunStats", "Runtime",
+    "Session", "Variable", "client_eager", "default_runtime", "gpu_profile",
     "reset_default_runtime", "testbed_cpu", "unit_cost",
 ]

@@ -12,7 +12,14 @@ Every operation type used in a graph must be registered here.  An
 * ``is_async``: the kernel does not return values directly but installs
   child frames (InvokeOp / CondOp / LoopOp);
 * ``stateful``: the kernel has side effects (variable writes, gradient
-  accumulation) and must never be deduplicated or pruned once fetched.
+  accumulation) and must never be deduplicated or pruned once fetched;
+* ``batched_kernel``: optional vectorized kernel executing *many*
+  same-signature instances of the op in one call (cross-instance dynamic
+  micro-batching, see :mod:`repro.runtime.batching`).  The contract is
+  ``batched_kernel(ops, inputs_list, ctxs) -> list of per-instance output
+  lists`` where the three arguments are parallel per-instance sequences.
+  Batched kernels must be *value-preserving*: each instance's outputs must
+  be bit-identical to what the scalar ``kernel`` would have produced.
 """
 
 from __future__ import annotations
@@ -20,8 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-__all__ = ["OpDef", "register_op", "register_grad", "op_def", "ExecContext",
-           "all_op_types"]
+__all__ = ["OpDef", "register_op", "register_grad", "register_batched_kernel",
+           "op_def", "ExecContext", "all_op_types"]
 
 
 @dataclass
@@ -53,6 +60,9 @@ class OpDef:
     grad: Optional[Callable[[Any, Any, list], list]] = None
     is_async: bool = False
     stateful: bool = False
+    #: Optional vectorized kernel over many same-signature instances:
+    #: ``batched_kernel(ops, inputs_list, ctxs) -> list[list[value]]``.
+    batched_kernel: Optional[Callable[[list, list, list], list]] = None
     #: Extra metadata, e.g. cost-model hints.
     meta: dict = field(default_factory=dict)
 
@@ -75,6 +85,37 @@ def register_op(name: str, *, infer, kernel=None, grad=None,
 def register_grad(name: str, grad_fn) -> None:
     """Attach (or replace) the gradient function of an existing op type."""
     _REGISTRY[name].grad = grad_fn
+
+
+def _member_loop(definition: OpDef):
+    """The always-correct batched kernel: run each member's scalar kernel.
+
+    Still profitable — the engines charge one fused dispatch/overhead for
+    the whole bucket — and trivially value-preserving.
+    """
+    def batched(ops, inputs_list, ctxs):
+        return [definition.kernel(op, inputs, ctx)
+                for op, inputs, ctx in zip(ops, inputs_list, ctxs)]
+    return batched
+
+
+def register_batched_kernel(name: str, fn=None, *,
+                            batch_attrs: tuple = ()) -> None:
+    """Mark op type ``name`` as micro-batchable.
+
+    ``fn(ops, inputs_list, ctxs)`` executes a whole bucket at once; pass
+    ``None`` to install the member-loop fallback (amortizes per-op engine
+    overhead without vectorizing the math).  ``batch_attrs`` names the op
+    attrs that must match for two instances to share a bucket (e.g. a
+    Concat axis) — they become part of the batch signature.
+    """
+    definition = _REGISTRY[name]
+    if definition.is_async or definition.stateful:
+        raise ValueError(f"op type {name!r} is async/stateful and cannot "
+                         "be micro-batched")
+    definition.batched_kernel = fn if fn is not None \
+        else _member_loop(definition)
+    definition.meta["batch_attrs"] = tuple(batch_attrs)
 
 
 def op_def(name: str) -> OpDef:

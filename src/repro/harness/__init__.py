@@ -3,14 +3,17 @@
 from .convergence import (ConvergencePoint, ConvergenceResult,
                           evaluate_accuracy, run_convergence)
 from .reporting import ascii_series, format_table, results_dir, save_results
-from .runners import (FoldingRunner, IterativeRunner, RecursiveRunner,
-                      RunnerConfig, UnrolledRunner, make_runner)
+from .runners import (BatchedRecursiveRunner, FoldingRunner, IterativeRunner,
+                      RecursiveRunner, RunnerConfig, UnrolledRunner,
+                      make_runner)
+from .serving import ServingResult, compare_batching, serve_concurrent
 from .throughput import (ThroughputResult, measure_latency_curve,
                          measure_throughput)
 
 __all__ = ["ConvergencePoint", "ConvergenceResult", "evaluate_accuracy",
            "run_convergence", "ascii_series", "format_table", "results_dir",
-           "save_results", "FoldingRunner", "IterativeRunner",
-           "RecursiveRunner", "RunnerConfig", "UnrolledRunner", "make_runner",
-           "ThroughputResult", "measure_latency_curve",
-           "measure_throughput"]
+           "save_results", "BatchedRecursiveRunner", "FoldingRunner",
+           "IterativeRunner", "RecursiveRunner", "RunnerConfig",
+           "UnrolledRunner", "make_runner", "ServingResult",
+           "compare_batching", "serve_concurrent", "ThroughputResult",
+           "measure_latency_curve", "measure_throughput"]

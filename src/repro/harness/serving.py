@@ -1,0 +1,117 @@
+"""Concurrent-inference serving driver (the "millions of users" scenario).
+
+The recursive programming model gives the serving story for free: a batch
+of independent requests is just many root ``InvokeOp`` instances executing
+concurrently, their inner operations interleaving in one ready queue.
+This driver feeds N trees as concurrent root instances so the
+cross-instance micro-batching scheduler (``batching=True``) has same-shape
+work from *different requests* to fuse — embedding lookups and cell
+matmuls of unrelated trees coalesce whenever they are ready together.
+
+:func:`serve_concurrent` measures one configuration;
+:func:`compare_batching` runs the unbatched/batched pair on identical
+request waves and reports the speedup, which is what
+``benchmarks/bench_fig8_inference_throughput.py`` records as the
+perf baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.batching import batch_trees
+from repro.runtime.batching import BatchPolicy
+from repro.runtime.cost_model import CostModel
+from repro.runtime.session import Session
+from repro.runtime.stats import RunStats
+
+__all__ = ["ServingResult", "serve_concurrent", "compare_batching"]
+
+
+@dataclass
+class ServingResult:
+    """Aggregate statistics of one simulated serving run."""
+
+    concurrency: int          # concurrent root instances per wave
+    waves: int                # request waves served
+    instances: int            # total trees served
+    virtual_seconds: float    # simulated testbed time
+    batching: bool
+    stats: RunStats = field(default_factory=RunStats)
+    logits: Optional[np.ndarray] = None   # last wave's root logits
+
+    @property
+    def throughput(self) -> float:
+        """Instances per simulated second."""
+        return self.instances / self.virtual_seconds
+
+    def summary(self) -> str:
+        mode = "batched" if self.batching else "unbatched"
+        lines = [f"serving[{mode}] concurrency={self.concurrency} "
+                 f"waves={self.waves}: {self.throughput:.1f} instances/s"]
+        if self.stats.batches:
+            lines.append(f"  fused kernels={self.stats.batches}  "
+                         f"mean batch={self.stats.batch_efficiency:.1f}  "
+                         f"max batch={self.stats.max_batch}")
+        return "\n".join(lines)
+
+
+def _sample_waves(trees: Sequence, concurrency: int, waves: int,
+                  seed: int) -> list:
+    rng = np.random.default_rng(seed)
+    pool = list(trees)
+    replace = len(pool) < concurrency
+    return [batch_trees([pool[i] for i in
+                         rng.choice(len(pool), size=concurrency,
+                                    replace=replace)])
+            for _ in range(waves)]
+
+
+def serve_concurrent(model, trees: Sequence, concurrency: int, *,
+                     batching: bool = False,
+                     batch_policy: Optional[BatchPolicy] = None,
+                     num_workers: int = 36,
+                     cost_model: Optional[CostModel] = None,
+                     engine: str = "event", scheduler: str = "fifo",
+                     waves: int = 1, seed: int = 0) -> ServingResult:
+    """Serve ``waves`` request waves of ``concurrency`` trees each.
+
+    Each wave runs ``concurrency`` concurrent root instances of the
+    model's recursive graph through one session; virtual time accumulates
+    across waves.  Returns the aggregate :class:`ServingResult`.
+    """
+    built = model.build_recursive(concurrency)
+    session = Session(built.graph, model.runtime, num_workers=num_workers,
+                      cost_model=cost_model, record=False,
+                      scheduler=scheduler, engine=engine, batching=batching,
+                      batch_policy=batch_policy)
+    result = ServingResult(concurrency=concurrency, waves=waves,
+                           instances=0, virtual_seconds=0.0,
+                           batching=batching)
+    for wave in _sample_waves(trees, concurrency, waves, seed):
+        logits = session.run(built.root_logits, built.feed_dict(wave),
+                             record=False)
+        result.instances += wave.size
+        result.virtual_seconds += session.last_stats.virtual_time
+        result.stats.merge(session.last_stats)
+        result.logits = logits
+    return result
+
+
+def compare_batching(model, trees: Sequence, concurrency: int,
+                     **kwargs) -> tuple[ServingResult, ServingResult]:
+    """Serve identical waves unbatched then batched.
+
+    Returns ``(unbatched, batched)``; the two results carry identical
+    request streams, so their logits must agree bit-for-bit and the
+    throughput ratio is the micro-batching speedup.
+    """
+    kwargs.pop("batching", None)
+    unbatched = serve_concurrent(model, trees, concurrency,
+                                 batching=False, **kwargs)
+    batched = serve_concurrent(model, trees, concurrency,
+                               batching=True, **kwargs)
+    return unbatched, batched

@@ -511,3 +511,81 @@ register_op(
 
 def size_of(x, name="size") -> Tensor:
     return out1("Size", [x], name=name)
+
+
+# -- batched kernels (cross-instance dynamic micro-batching) -----------------
+
+def _batched_gather(ops, inputs_list, ctxs):
+    """Fuse many lookups into one ``np.take`` when they read the same table.
+
+    The common case is the embedding lookup of many concurrent tree leaves:
+    every member gathers from the *same* variable value, so stacking the
+    index operands gives one vectorized row-gather.  Distinct tables fall
+    back to the member loop.
+    """
+    params = inputs_list[0][0]
+    if (isinstance(params, np.ndarray)
+            and all(inputs[0] is params for inputs in inputs_list)):
+        idx = np.stack([np.asarray(inputs[1]) for inputs in inputs_list])
+        out = np.take(params, idx, axis=0)
+        return [[out[i]] for i in range(len(inputs_list))]
+    return [[np.take(inputs[0], inputs[1], axis=0)]
+            for inputs in inputs_list]
+
+
+def _batched_reshape(ops, inputs_list, ctxs):
+    target = tuple(ops[0].attrs["shape"])
+    x0 = inputs_list[0][0]
+    if not isinstance(x0, np.ndarray) or any(d < 0 for d in target):
+        return [[np.reshape(inputs[0], ops[0].attrs["shape"])]
+                for inputs in inputs_list]
+    x = np.stack([inputs[0] for inputs in inputs_list])
+    out = np.reshape(x, (len(inputs_list),) + target)
+    return [[out[i]] for i in range(len(inputs_list))]
+
+
+def _batched_concat(ops, inputs_list, ctxs):
+    axis = ops[0].attrs["axis"]
+    first = inputs_list[0]
+    if axis < 0 or not all(isinstance(v, np.ndarray) for v in first):
+        return [[np.concatenate(inputs, axis=ops[0].attrs["axis"])]
+                for inputs in inputs_list]
+    cols = [np.stack([inputs[j] for inputs in inputs_list])
+            for j in range(len(first))]
+    out = np.concatenate(cols, axis=axis + 1)
+    return [[out[i]] for i in range(len(inputs_list))]
+
+
+def _stacked_axis_op(np_fn):
+    """ExpandDims/Squeeze over stacked members: non-negative member axes
+    shift by one past the new batch axis; negative axes are unchanged."""
+    def batched(ops, inputs_list, ctxs):
+        axis = ops[0].attrs["axis"]
+        if not isinstance(inputs_list[0][0], np.ndarray):
+            return [[np_fn(inputs[0], axis)] for inputs in inputs_list]
+        x = np.stack([inputs[0] for inputs in inputs_list])
+        out = np_fn(x, axis + 1 if axis >= 0 else axis)
+        return [[out[i]] for i in range(len(inputs_list))]
+    return batched
+
+
+def _register_batched_array():
+    from repro.graph.registry import register_batched_kernel
+
+    register_batched_kernel("Gather", _batched_gather)
+    register_batched_kernel("Reshape", _batched_reshape,
+                            batch_attrs=("shape",))
+    register_batched_kernel("Concat", _batched_concat, batch_attrs=("axis",))
+    register_batched_kernel("ExpandDims", _stacked_axis_op(np.expand_dims),
+                            batch_attrs=("axis",))
+    register_batched_kernel("Squeeze", _stacked_axis_op(np.squeeze),
+                            batch_attrs=("axis",))
+    # Member-loop only: correctness is subtle to vectorize (scatter-adds,
+    # permutations), but fusing still amortizes the per-op overhead.
+    register_batched_kernel("GatherGrad")
+    register_batched_kernel("Transpose")
+    register_batched_kernel("ZerosLike")
+    register_batched_kernel("OnesLike")
+
+
+_register_batched_array()

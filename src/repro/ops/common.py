@@ -21,7 +21,7 @@ from repro.graph.tensor import Tensor
 
 __all__ = ["build", "out1", "convert", "constant", "to_graph",
            "static_broadcast_shape", "elementwise_infer", "like_infer",
-           "scalar_infer"]
+           "scalar_infer", "batched_elementwise", "batched_rowwise"]
 
 
 def constant(value, dtype: Optional[dtypes.DType] = None,
@@ -121,3 +121,62 @@ def scalar_infer(dtype):
     def infer(op):
         return [(dtype, ())]
     return infer
+
+
+# -- batched-kernel builders -------------------------------------------------
+#
+# Factories for the registry's ``batched_kernel`` slot (cross-instance
+# dynamic micro-batching, :mod:`repro.runtime.batching`).  Each returned
+# kernel receives parallel lists ``(ops, inputs_list, ctxs)`` for the
+# instances of one bucket — all sharing a batch signature, so input kinds,
+# dtypes and shapes are identical across members — and must produce outputs
+# bit-identical to the scalar kernel.  When a vectorized formulation cannot
+# guarantee that (non-ndarray inputs), the builders fall back to looping the
+# scalar kernel, which still amortizes per-op engine overhead.
+
+def _loop_members(kernel, ops, inputs_list, ctxs):
+    return [kernel(op, inputs, ctx)
+            for op, inputs, ctx in zip(ops, inputs_list, ctxs)]
+
+
+def _all_ndarray(inputs):
+    return all(isinstance(v, np.ndarray) for v in inputs)
+
+
+def batched_elementwise(fn, kernel):
+    """Vectorize an n-ary elementwise op by stacking along a new axis 0.
+
+    Members may use numpy broadcasting internally (e.g. ``[1,H] + [H]``);
+    each input is broadcast to the member result shape *before* stacking so
+    the stacked application is exactly the per-member one.
+    """
+    def batched(ops, inputs_list, ctxs):
+        first = inputs_list[0]
+        if not _all_ndarray(first):
+            return _loop_members(kernel, ops, inputs_list, ctxs)
+        shape = np.broadcast_shapes(*(v.shape for v in first))
+        cols = [np.stack([np.broadcast_to(member[j], shape)
+                          for member in inputs_list])
+                for j in range(len(first))]
+        out = fn(*cols)
+        return [[out[i]] for i in range(len(inputs_list))]
+    return batched
+
+
+def batched_rowwise(kernel):
+    """Vectorize a kernel whose math is independent along leading axes.
+
+    Valid for kernels built purely from elementwise ufuncs and reductions
+    over ``axis=-1`` (softmax, cross-entropy, ...): stacking members along
+    a new axis 0 leaves every per-member row computation untouched, so one
+    kernel call over the stacked inputs is bit-identical to member calls.
+    """
+    def batched(ops, inputs_list, ctxs):
+        first = inputs_list[0]
+        if not _all_ndarray(first):
+            return _loop_members(kernel, ops, inputs_list, ctxs)
+        stacked = [np.stack([member[j] for member in inputs_list])
+                   for j in range(len(first))]
+        outs = kernel(ops[0], stacked, ctxs[0])
+        return [[out[i] for out in outs] for i in range(len(inputs_list))]
+    return batched

@@ -14,8 +14,8 @@ from repro.graph import dtypes
 from repro.graph.registry import register_op
 from repro.graph.tensor import Tensor
 
-from .common import (build, constant, convert, elementwise_infer, like_infer,
-                     out1)
+from .common import (batched_elementwise, build, constant, convert,
+                     elementwise_infer, like_infer, out1)
 
 __all__ = [
     "constant", "placeholder", "identity", "add", "subtract", "multiply",
@@ -533,3 +533,60 @@ register_op(
 
 def cast(x, dtype, name="cast") -> Tensor:
     return out1("Cast", [x], {"dtype": dtypes.as_dtype(dtype)}, name=name)
+
+
+# -- batched kernels (cross-instance dynamic micro-batching) -----------------
+#
+# Vectorized many-instance kernels for the hot math ops, used when an
+# engine runs with ``batching=True`` (see repro.runtime.batching).  All of
+# them are value-preserving: elementwise ufuncs applied to stacked member
+# inputs and per-slice gufunc matmuls produce bit-identical results to the
+# scalar kernels, which the equivalence tests assert.
+
+def _batched_matmul(ops, inputs_list, ctxs):
+    first = inputs_list[0]
+    if not (isinstance(first[0], np.ndarray)
+            and isinstance(first[1], np.ndarray)
+            and first[0].ndim == 2 and first[1].ndim == 2):
+        return [[inputs[0] @ inputs[1]] for inputs in inputs_list]
+    a = np.stack([inputs[0] for inputs in inputs_list])
+    b = np.stack([inputs[1] for inputs in inputs_list])
+    out = np.matmul(a, b)  # gufunc: one BLAS call per member slice
+    return [[out[i]] for i in range(len(inputs_list))]
+
+
+def _batched_cast(ops, inputs_list, ctxs):
+    target = ops[0].attrs["dtype"].np_dtype
+    x = np.stack([np.asarray(inputs[0]) for inputs in inputs_list])
+    out = x.astype(target)
+    return [[out[i]] for i in range(len(inputs_list))]
+
+
+def _register_batched_math():
+    from repro.graph.registry import op_def, register_batched_kernel
+
+    register_batched_kernel("MatMul", _batched_matmul)
+    register_batched_kernel("Cast", _batched_cast, batch_attrs=("dtype",))
+
+    binary = {"Add": np.add, "Sub": np.subtract, "Mul": np.multiply,
+              "Div": np.divide, "Maximum": np.maximum,
+              "Minimum": np.minimum, "Equal": np.equal,
+              "NotEqual": np.not_equal, "Less": np.less,
+              "LessEqual": np.less_equal, "Greater": np.greater,
+              "GreaterEqual": np.greater_equal,
+              "LogicalAnd": np.logical_and, "LogicalOr": np.logical_or}
+    unary = {"Neg": np.negative, "Tanh": np.tanh, "Sigmoid": _sigmoid,
+             "Relu": lambda x: np.maximum(x, 0), "Exp": np.exp,
+             "Log": np.log, "Square": np.square, "Sqrt": np.sqrt,
+             "Abs": np.abs, "Sign": np.sign, "LogicalNot": np.logical_not}
+    ternary = {"Select": np.where}
+    for name, fn in {**binary, **unary, **ternary}.items():
+        register_batched_kernel(
+            name, batched_elementwise(fn, op_def(name).kernel))
+    # Pure pass-through / bookkeeping ops: the member loop already removes
+    # the per-op engine overhead, which is their entire cost.
+    register_batched_kernel("Identity")
+    register_batched_kernel("ReduceToLike")
+
+
+_register_batched_math()

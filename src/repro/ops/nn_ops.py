@@ -116,3 +116,21 @@ def softmax_cross_entropy_with_logits(logits, labels,
     Returns the elementwise loss with shape ``[...]``.
     """
     return out1("SoftmaxCrossEntropy", [logits, labels], name=name)
+
+
+# -- batched kernels (cross-instance dynamic micro-batching) -----------------
+#
+# Softmax-family kernels compute independently along the last axis, so the
+# stacked-members application is bit-identical to per-member calls.
+
+def _register_batched_nn():
+    from repro.graph.registry import op_def, register_batched_kernel
+
+    from .common import batched_rowwise
+
+    for name in ("Softmax", "LogSoftmax", "SoftmaxCrossEntropy",
+                 "SoftmaxCEGrad"):
+        register_batched_kernel(name, batched_rowwise(op_def(name).kernel))
+
+
+_register_batched_nn()

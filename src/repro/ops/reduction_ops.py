@@ -151,3 +151,20 @@ def reduce_max(x, axis=None, keepdims=False, name="reduce_max") -> Tensor:
     """Max over ``axis`` (all axes when None)."""
     return out1("ReduceMax", [x], {"axis": axis, "keepdims": keepdims},
                 name=name)
+
+
+# -- batched kernels (cross-instance dynamic micro-batching) -----------------
+#
+# Reductions mix axes with the stacked batch axis, so only the member-loop
+# form is registered: one fused dispatch, scalar math per member.  The hot
+# case (per-node scalar loss reductions) is pure per-op overhead anyway.
+
+def _register_batched_reductions():
+    from repro.graph.registry import register_batched_kernel
+
+    for name in ("ReduceSum", "ReduceMean", "ReduceMax", "ReduceSumGrad",
+                 "ReduceMeanGrad", "ReduceMaxGrad"):
+        register_batched_kernel(name, batch_attrs=("axis", "keepdims"))
+
+
+_register_batched_reductions()

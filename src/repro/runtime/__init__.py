@@ -1,12 +1,21 @@
-"""Execution engines, sessions, cost models and runtime state."""
+"""Execution engines, sessions, cost models and runtime state.
 
+Both engines (virtual-time :class:`EventEngine`, wall-clock
+``ThreadedEngine``) support cross-instance dynamic micro-batching: with
+``batching=True`` on a :class:`Session`, same-signature ready operations
+from concurrent frames fuse into single vectorized kernel calls (see
+:mod:`repro.runtime.batching`), preserving values bit-for-bit.
+"""
+
+from .batching import BatchPolicy, Coalescer, batch_signature
 from .cost_model import CostModel, client_eager, gpu_profile, testbed_cpu, unit_cost
 from .engine import EngineError, EventEngine
 from .session import Runtime, Session, default_runtime, reset_default_runtime
 from .stats import RunStats
 from .variables import GradientAccumulator, Variable, VariableStore
 
-__all__ = ["CostModel", "client_eager", "gpu_profile", "testbed_cpu",
+__all__ = ["BatchPolicy", "Coalescer", "batch_signature", "CostModel",
+           "client_eager", "gpu_profile", "testbed_cpu",
            "unit_cost", "EngineError", "EventEngine", "Runtime", "Session",
            "default_runtime", "reset_default_runtime", "RunStats",
            "GradientAccumulator", "Variable", "VariableStore"]

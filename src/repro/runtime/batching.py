@@ -1,0 +1,180 @@
+"""Cross-instance dynamic micro-batching for the execution engines.
+
+The paper's recursive execution model makes inner operations from *many*
+concurrent frames — sibling subtrees, concurrent root instances, whole
+independent requests — interleave in one ready queue.  This module adds
+the throughput lever that dynamic-batching systems (TensorFlow Fold,
+Looks et al., reproduced in :mod:`repro.baselines.folding`) derive from
+that situation: when several ready operations share the same *batch
+signature* (op type, batching-relevant attrs, input dtypes/shapes), the
+engine coalesces them into a single vectorized kernel call and scatters
+the results back to the owning frames.
+
+Unlike Fold, batching happens *inside* the engines at dispatch time, so
+it composes with recursion (frames at different depths fuse freely), with
+conditionals (only actually-taken branches produce work), and with
+training (each member still records its forward values under its own
+frame key, so backpropagation is unchanged).
+
+Components:
+
+* :func:`batch_signature` — the bucketing key of one ready instance;
+* :class:`Bucket` — an ordered group of same-signature instances;
+* :class:`Coalescer` — the signature-keyed pending-bucket table with the
+  flush policy;
+* :class:`BatchPolicy` — knobs: bucket capacity, minimum profitable size
+  and (wall-clock engine only) the flush timeout bounding how long a
+  partially-filled bucket may wait.
+
+Both engines share the same discipline:
+
+1. ready instances whose op type has a registered ``batched_kernel`` are
+   *offered* to the coalescer instead of executing immediately;
+2. a bucket that reaches ``max_batch`` flushes at once;
+3. when the engine runs out of other ready work (the current wavefront is
+   exhausted), all pending buckets flush ("flush on drain");
+4. the wall-clock engine additionally expires buckets: whenever a
+   worker's queue wait times out (every ``flush_timeout`` seconds of
+   quiet), it flushes the oldest bucket that has aged past
+   ``flush_timeout`` — so once no other ready work remains, a held
+   bucket is released within roughly two idle polls, ruling out
+   deadlock.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.graph.registry import OpDef, op_def
+
+__all__ = ["BatchPolicy", "Bucket", "Coalescer", "batch_signature"]
+
+
+@dataclass
+class BatchPolicy:
+    """Flush policy for the coalescing ready queue."""
+
+    #: hard cap on bucket size; a full bucket flushes immediately
+    max_batch: int = 64
+    #: buckets smaller than this execute through the scalar path on flush
+    #: (a batch of one op is pure overhead, hence the >= 2 floor)
+    min_batch: int = 2
+    #: wall-clock engines flush buckets older than this (seconds); also the
+    #: idle-poll interval of workers waiting for new ready work
+    flush_timeout: float = 0.002
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.min_batch < 2:
+            raise ValueError(
+                "min_batch must be >= 2 (a batch of one is just scalar "
+                "execution)")
+        if self.flush_timeout <= 0:
+            raise ValueError("flush_timeout must be positive")
+
+
+def _value_sig(value: Any):
+    """Shape/dtype fingerprint of one runtime input value."""
+    if isinstance(value, np.ndarray):
+        return ("nd", value.dtype.str, value.shape)
+    if isinstance(value, np.generic):
+        return ("np", value.dtype.str)
+    return ("py", type(value).__name__)
+
+
+def batch_signature(op, inputs, definition: Optional[OpDef] = None):
+    """The bucketing key of a ready instance, or ``None`` if unbatchable.
+
+    Two instances may fuse iff they have the same op type, identical
+    batching-relevant attrs (``batch_attrs`` in the op's registration) and
+    input values of identical kind/dtype/shape.  Async ops, stateful ops
+    and op types without a registered ``batched_kernel`` never batch.
+    """
+    if definition is None:
+        definition = op_def(op.op_type)
+    if definition.batched_kernel is None:
+        return None
+    attrs = tuple(repr(op.attrs.get(k))
+                  for k in definition.meta.get("batch_attrs", ()))
+    return (op.op_type, attrs, tuple(_value_sig(v) for v in inputs))
+
+
+class Bucket:
+    """Same-signature instances awaiting one fused kernel call."""
+
+    __slots__ = ("signature", "op_type", "instances", "inputs", "opened_at")
+
+    def __init__(self, signature, op_type: str, opened_at: float):
+        self.signature = signature
+        self.op_type = op_type
+        self.instances: list = []
+        self.inputs: list = []
+        self.opened_at = opened_at  # engine time of the first offer
+
+    def add(self, inst, inputs: list) -> None:
+        self.instances.append(inst)
+        self.inputs.append(inputs)
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+
+class Coalescer:
+    """Signature-keyed table of pending buckets (insertion-ordered).
+
+    Not thread-safe by itself; the threaded engine serializes access under
+    its master lock, the event engine is single-threaded.
+    """
+
+    def __init__(self, policy: Optional[BatchPolicy] = None):
+        self.policy = policy or BatchPolicy()
+        self._buckets: OrderedDict[Any, Bucket] = OrderedDict()
+        self._pending = 0
+
+    def offer(self, signature, inst, inputs: list,
+              now: float = 0.0) -> Optional[Bucket]:
+        """Queue one ready instance; returns the bucket if it became full."""
+        bucket = self._buckets.get(signature)
+        if bucket is None:
+            bucket = Bucket(signature, inst.op.op_type, now)
+            self._buckets[signature] = bucket
+        bucket.add(inst, inputs)
+        self._pending += 1
+        if len(bucket) >= self.policy.max_batch:
+            return self._remove(signature)
+        return None
+
+    def pop(self) -> Optional[Bucket]:
+        """Remove and return the oldest pending bucket (FIFO fairness)."""
+        if not self._buckets:
+            return None
+        signature = next(iter(self._buckets))
+        return self._remove(signature)
+
+    def pop_expired(self, now: float) -> Optional[Bucket]:
+        """Remove the oldest bucket that outlived ``flush_timeout``.
+
+        The threaded engine's idle path calls this so a partially-filled
+        bucket is deferred at most ~flush_timeout once the queue goes
+        quiet, without flushing buckets that were filed moments ago.
+        """
+        if not self._buckets:
+            return None
+        signature, bucket = next(iter(self._buckets.items()))
+        if now - bucket.opened_at >= self.policy.flush_timeout:
+            return self._remove(signature)
+        return None
+
+    def _remove(self, signature) -> Bucket:
+        bucket = self._buckets.pop(signature)
+        self._pending -= len(bucket)
+        return bucket
+
+    def __len__(self) -> int:
+        """Number of pending *instances* across all buckets."""
+        return self._pending

@@ -95,6 +95,10 @@ class CostModel:
     intra_op_parallelism: float = 8.0
     #: minimum work (seconds) to recruit one extra intra-op worker
     intra_op_grain: float = 40e-6
+    #: per-member gather/scatter bookkeeping of a fused micro-batch (the
+    #: in-engine analogue of Fold's regrouping, but without host<->device
+    #: copies — orders of magnitude below ``regroup_per_node``)
+    batch_member_cost: float = 0.6e-6
 
     def op_cost(self, op, inputs) -> float:
         kind = op_def(op.op_type).meta.get("cost", "elementwise")
@@ -109,6 +113,25 @@ class CostModel:
         if kind == "trivial":
             return 0.25 * self.op_overhead + work
         return self.op_overhead + work
+
+    def batch_cost(self, ops, inputs_lists) -> float:
+        """Virtual cost of one fused micro-batch kernel call.
+
+        One fixed kernel overhead covers the whole bucket (that is the
+        point of dynamic batching); members add their floating-point work
+        plus a small per-member gather/scatter term, and a large fused
+        matmul recruits intra-op parallelism exactly like a single big
+        kernel would.
+        """
+        kind = op_def(ops[0].op_type).meta.get("cost", "elementwise")
+        work = sum(_flops(op, inputs)
+                   for op, inputs in zip(ops, inputs_lists)) / self.flops_rate
+        if kind == "matmul" and work > self.intra_op_grain:
+            parallel = min(self.intra_op_parallelism,
+                           work / self.intra_op_grain)
+            work = work / max(parallel, 1.0)
+        overhead = (0.25 if kind == "trivial" else 1.0) * self.op_overhead
+        return overhead + len(ops) * self.batch_member_cost + work
 
     def async_overhead(self, op) -> float:
         kind = op.op_type
@@ -197,4 +220,7 @@ def unit_cost() -> CostModel:
 
     model.op_cost = flat_cost  # type: ignore[method-assign]
     model.cache_write_cost = lambda value: 0.0  # type: ignore[method-assign]
+    # a fused micro-batch costs one virtual second regardless of size, so
+    # scheduler tests can predict batched makespans exactly
+    model.batch_cost = lambda ops, inputs: 1.0  # type: ignore[method-assign]
     return model

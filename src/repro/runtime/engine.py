@@ -21,6 +21,16 @@ run (values are exact) but time advances according to the cost model over
 what lets a GIL-bound Python reproduction exhibit the paper's 36-core
 scheduling dynamics.  A wall-clock thread-pool engine with identical
 semantics lives in :mod:`repro.runtime.threaded`.
+
+Dynamic micro-batching (``batching=True``): because inner ops from many
+concurrent frames interleave in the one ready queue, ready instances with
+the same batch signature (op type + attrs + input shapes) can be coalesced
+into a single vectorized kernel call — Fold-style dynamic batching, but
+*inside* the recursive engine (see :mod:`repro.runtime.batching`).  A
+bucket flushes when full or when the current ready wavefront is exhausted;
+results scatter back to the owning frames, so values are bit-identical to
+unbatched execution and the feature composes with recursion, conditionals
+and backpropagation.
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ from repro.graph.graph import Graph, Operation
 from repro.graph.registry import ExecContext, op_def
 from repro.graph.tensor import Tensor
 
+from .batching import BatchPolicy, Coalescer, batch_signature
 from .cost_model import CostModel, testbed_cpu
 from .stats import RunStats
 
@@ -129,17 +140,24 @@ class EventEngine:
         record: cache forward values of recursive frames (training mode).
         scheduler: "fifo" (paper default) or "depth" priority.
         max_depth: recursion guard.
+        batching: coalesce same-signature ready ops across frames into
+            fused vectorized kernel calls (cross-instance micro-batching).
+        batch_policy: bucket capacity / flush policy when batching.
     """
 
     def __init__(self, runtime, num_workers: int = 1,
                  cost_model: Optional[CostModel] = None, record: bool = False,
-                 scheduler: str = "fifo", max_depth: int = 5000):
+                 scheduler: str = "fifo", max_depth: int = 5000,
+                 batching: bool = False,
+                 batch_policy: Optional[BatchPolicy] = None):
         self.runtime = runtime
         self.num_workers = num_workers
         self.cost_model = cost_model or testbed_cpu()
         self.record = record
         self.scheduler = scheduler
         self.max_depth = max_depth
+        self.batching = batching
+        self.batch_policy = batch_policy or BatchPolicy()
         self._seq = itertools.count()
         self._reset()
 
@@ -209,6 +227,8 @@ class EventEngine:
         self._events: list = []
         self._ready = (_DepthPriorityReady() if self.scheduler == "depth"
                        else _FifoReady())
+        self._coalescer = (Coalescer(self.batch_policy) if self.batching
+                           else None)
         self._error: Optional[Exception] = None
         self.stats = RunStats()
 
@@ -259,13 +279,17 @@ class EventEngine:
                 self._free += 1
                 inst, outputs, starter_inputs = payload
                 try:
-                    if starter_inputs is None:
+                    if isinstance(inst, list):  # fused micro-batch members
+                        for member, member_outputs in zip(inst, outputs):
+                            self._complete_instance(member, member_outputs)
+                    elif starter_inputs is None:
                         self._complete_instance(inst, outputs)
                     else:
                         starter = op_def(inst.op.op_type).meta["starter"]
                         starter(self, inst, starter_inputs)
                 except Exception as exc:  # annotate and stop
-                    self._error = self._wrap_error(exc, inst.op)
+                    failed = inst[0] if isinstance(inst, list) else inst
+                    self._error = self._wrap_error(exc, failed.op)
             else:
                 try:
                     payload()
@@ -275,48 +299,115 @@ class EventEngine:
                     self._error.__cause__ = exc
 
     def _dispatch_ready(self) -> None:
-        while len(self._ready) > 0 and self._free > 0 and self._error is None:
-            inst = self._ready.pop()
-            op = inst.op
-            frame = inst.frame
-            inputs = [frame.values[t.ref] for t in op.inputs]
-            start = max(self._now, self._master_clock)
-            self._master_clock = start + self.cost_model.dispatch(op)
-            definition = op_def(op.op_type)
-            self._free -= 1
-            busy = self.num_workers - self._free
-            self.stats.max_concurrency = max(self.stats.max_concurrency, busy)
-            if definition.is_async:
-                cost = self.cost_model.async_overhead(op)
-                self.stats.note_op(op.op_type, cost)
-                heapq.heappush(self._events,
-                               (self._master_clock + cost, next(self._seq),
-                                _OP_DONE, (inst, None, inputs)))
-            else:
-                try:
-                    ctx = ExecContext(self.runtime, frame, frame.record)
-                    outputs = definition.kernel(op, inputs, ctx)
-                except Exception as exc:
-                    self._error = self._wrap_error(exc, op)
-                    return
-                cost = self.cost_model.op_cost(op, inputs)
-                done = self._master_clock + cost
-                if op.op_type == "CacheLookup":
-                    # lookups contend on the shared cache structure
-                    self._cache_clock = max(self._cache_clock,
-                                            self._master_clock) + cost
+        while self._error is None:
+            while (len(self._ready) > 0 and self._free > 0
+                   and self._error is None):
+                inst = self._ready.pop()
+                inputs = [inst.frame.values[t.ref] for t in inst.op.inputs]
+                if self._coalescer is not None:
+                    signature = batch_signature(inst.op, inputs)
+                    if signature is not None:
+                        full = self._coalescer.offer(signature, inst, inputs,
+                                                     self._now)
+                        if full is not None:
+                            self._execute_batch(full)
+                        continue
+                self._execute_single(inst, inputs)
+            # The ready wavefront is exhausted: flush pending buckets onto
+            # free workers (oldest first).  Anything left waits for a
+            # worker to free up; _loop re-enters here after every event.
+            if (self._coalescer is not None and len(self._coalescer) > 0
+                    and self._free > 0 and len(self._ready) == 0
+                    and self._error is None):
+                self._execute_batch(self._coalescer.pop())
+                continue
+            return
+
+    def _execute_single(self, inst: Instance, inputs: list) -> None:
+        op = inst.op
+        frame = inst.frame
+        start = max(self._now, self._master_clock)
+        self._master_clock = start + self.cost_model.dispatch(op)
+        definition = op_def(op.op_type)
+        self._free -= 1
+        busy = self.num_workers - self._free
+        self.stats.max_concurrency = max(self.stats.max_concurrency, busy)
+        if definition.is_async:
+            cost = self.cost_model.async_overhead(op)
+            self.stats.note_op(op.op_type, cost)
+            heapq.heappush(self._events,
+                           (self._master_clock + cost, next(self._seq),
+                            _OP_DONE, (inst, None, inputs)))
+        else:
+            try:
+                ctx = ExecContext(self.runtime, frame, frame.record)
+                outputs = definition.kernel(op, inputs, ctx)
+            except Exception as exc:
+                self._error = self._wrap_error(exc, op)
+                return
+            cost = self.cost_model.op_cost(op, inputs)
+            done = self._master_clock + cost
+            if op.op_type == "CacheLookup":
+                # lookups contend on the shared cache structure
+                self._cache_clock = max(self._cache_clock,
+                                        self._master_clock) + cost
+                done = self._cache_clock
+            elif frame.record:
+                for i, value in enumerate(outputs):
+                    if self._should_store(frame, op.id, i):
+                        write = self.cost_model.cache_write_cost(value)
+                        self._cache_clock = (max(self._cache_clock,
+                                                 done) + write)
+                        done = self._cache_clock
+            self.stats.note_op(op.op_type, done - self._master_clock)
+            heapq.heappush(self._events,
+                           (done, next(self._seq),
+                            _OP_DONE, (inst, outputs, None)))
+
+    def _execute_batch(self, bucket) -> None:
+        """Run one fused kernel call for a bucket of same-signature ops."""
+        if len(bucket) < self.batch_policy.min_batch:
+            for inst, inputs in zip(bucket.instances, bucket.inputs):
+                if self._free <= 0:
+                    # no worker for the stragglers: requeue them
+                    self._ready.push(inst)
+                    continue
+                self._execute_single(inst, inputs)
+            return
+        ops = [inst.op for inst in bucket.instances]
+        definition = op_def(bucket.op_type)
+        start = max(self._now, self._master_clock)
+        # one fused dispatch through the serialized master
+        self._master_clock = start + self.cost_model.dispatch(ops[0])
+        self._free -= 1
+        busy = self.num_workers - self._free
+        self.stats.max_concurrency = max(self.stats.max_concurrency, busy)
+        try:
+            ctxs = [ExecContext(self.runtime, inst.frame, inst.frame.record)
+                    for inst in bucket.instances]
+            outputs_list = definition.batched_kernel(ops, bucket.inputs, ctxs)
+            if len(outputs_list) != len(bucket):
+                raise EngineError(
+                    f"batched kernel of {bucket.op_type} returned "
+                    f"{len(outputs_list)} results for {len(bucket)} members")
+        except Exception as exc:
+            self._error = self._wrap_error(exc, ops[0])
+            return
+        cost = self.cost_model.batch_cost(ops, bucket.inputs)
+        done = self._master_clock + cost
+        for inst, outputs in zip(bucket.instances, outputs_list):
+            if not inst.frame.record:
+                continue
+            for i, value in enumerate(outputs):
+                if self._should_store(inst.frame, inst.op.id, i):
+                    write = self.cost_model.cache_write_cost(value)
+                    self._cache_clock = max(self._cache_clock, done) + write
                     done = self._cache_clock
-                elif frame.record:
-                    for i, value in enumerate(outputs):
-                        if self._should_store(frame, op.id, i):
-                            write = self.cost_model.cache_write_cost(value)
-                            self._cache_clock = (max(self._cache_clock,
-                                                     done) + write)
-                            done = self._cache_clock
-                self.stats.note_op(op.op_type, done - self._master_clock)
-                heapq.heappush(self._events,
-                               (done, next(self._seq),
-                                _OP_DONE, (inst, outputs, None)))
+        self.stats.note_batch(bucket.op_type, len(bucket),
+                              done - self._master_clock)
+        heapq.heappush(self._events,
+                       (done, next(self._seq), _OP_DONE,
+                        (list(bucket.instances), outputs_list, None)))
 
     def _complete_instance(self, inst: Instance, outputs: list) -> None:
         frame = inst.frame

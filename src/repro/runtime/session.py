@@ -18,6 +18,7 @@ from repro.graph import dtypes
 from repro.graph.graph import Graph, get_default_graph
 from repro.graph.tensor import Tensor
 
+from .batching import BatchPolicy
 from .cost_model import CostModel, testbed_cpu
 from .engine import EventEngine
 from .stats import RunStats
@@ -74,37 +75,48 @@ class Session:
         scheduler: "fifo" (paper default) or "depth" priority scheduling.
         engine: "event" for the deterministic virtual-time engine, or
             "threaded" for the wall-clock thread-pool engine.
+        batching: fuse same-signature ready ops from concurrent frames
+            into vectorized kernel calls (cross-instance dynamic
+            micro-batching, :mod:`repro.runtime.batching`).  Values are
+            bit-identical to unbatched execution.
+        batch_policy: bucket capacity / flush policy when batching.
     """
 
     def __init__(self, graph: Optional[Graph] = None,
                  runtime: Optional[Runtime] = None, num_workers: int = 1,
                  cost_model: Optional[CostModel] = None, record: bool = False,
                  scheduler: str = "fifo", engine: str = "event",
-                 max_depth: int = 5000):
+                 max_depth: int = 5000, batching: bool = False,
+                 batch_policy: Optional[BatchPolicy] = None):
         self.graph = graph or get_default_graph()
         self.runtime = runtime or default_runtime()
         if engine == "event":
             self._engine = EventEngine(self.runtime, num_workers=num_workers,
                                        cost_model=cost_model, record=record,
                                        scheduler=scheduler,
-                                       max_depth=max_depth)
+                                       max_depth=max_depth,
+                                       batching=batching,
+                                       batch_policy=batch_policy)
         elif engine == "threaded":
             from .threaded import ThreadedEngine
             self._engine = ThreadedEngine(self.runtime,
                                           num_workers=num_workers,
                                           cost_model=cost_model,
-                                          record=record, max_depth=max_depth)
+                                          record=record, max_depth=max_depth,
+                                          batching=batching,
+                                          batch_policy=batch_policy)
         else:
             raise ValueError(f"unknown engine {engine!r}")
         self.last_stats: Optional[RunStats] = None
 
     def run(self, fetches, feed_dict: Optional[dict] = None,
-            record: Optional[bool] = None):
+            record: Optional[bool] = None, batching: Optional[bool] = None):
         """Execute the graph until ``fetches`` are produced.
 
         ``fetches`` may be a Tensor or a list/tuple of Tensors; the return
         value matches that structure.  ``feed_dict`` maps placeholder
-        tensors to numpy-compatible values.
+        tensors to numpy-compatible values.  ``record`` and ``batching``
+        override the session-level modes for this call onward.
         """
         single = isinstance(fetches, Tensor)
         fetch_list = [fetches] if single else list(fetches)
@@ -118,6 +130,8 @@ class Session:
         feed_map = self._build_feed_map(feed_dict or {})
         if record is not None:
             self._engine.record = record
+        if batching is not None:
+            self._engine.batching = batching
         self.runtime.cache.clear()
         values, stats = self._engine.run(self.graph, fetch_list, feed_map)
         self.last_stats = stats

@@ -25,12 +25,38 @@ class RunStats:
     per_type_time: dict = field(default_factory=dict)
     cache_stores: int = 0
     cache_lookups: int = 0
+    #: fused micro-batch kernel calls (dynamic cross-instance batching)
+    batches: int = 0
+    #: operations that executed as members of a fused batch
+    batched_ops: int = 0
+    #: largest fused batch observed
+    max_batch: int = 0
+    #: fused kernel calls keyed by op type
+    batch_count_by_type: dict = field(default_factory=dict)
 
     def note_op(self, op_type: str, cost: float) -> None:
         self.ops_executed += 1
         self.per_type_count[op_type] = self.per_type_count.get(op_type, 0) + 1
         self.per_type_time[op_type] = (self.per_type_time.get(op_type, 0.0)
                                        + cost)
+
+    def note_batch(self, op_type: str, size: int, cost: float) -> None:
+        """Record one fused kernel call executing ``size`` operations."""
+        self.ops_executed += size
+        self.per_type_count[op_type] = (self.per_type_count.get(op_type, 0)
+                                        + size)
+        self.per_type_time[op_type] = (self.per_type_time.get(op_type, 0.0)
+                                       + cost)
+        self.batches += 1
+        self.batched_ops += size
+        self.max_batch = max(self.max_batch, size)
+        self.batch_count_by_type[op_type] = (
+            self.batch_count_by_type.get(op_type, 0) + 1)
+
+    @property
+    def batch_efficiency(self) -> float:
+        """Mean members per fused kernel call (0.0 when nothing batched)."""
+        return self.batched_ops / self.batches if self.batches else 0.0
 
     def merge(self, other: "RunStats") -> None:
         """Accumulate another run's stats into this one (harness use)."""
@@ -42,6 +68,12 @@ class RunStats:
                                    other.max_concurrency)
         self.max_frame_depth = max(self.max_frame_depth,
                                    other.max_frame_depth)
+        self.batches += other.batches
+        self.batched_ops += other.batched_ops
+        self.max_batch = max(self.max_batch, other.max_batch)
+        for k, v in other.batch_count_by_type.items():
+            self.batch_count_by_type[k] = (self.batch_count_by_type.get(k, 0)
+                                           + v)
         for k, v in other.per_type_count.items():
             self.per_type_count[k] = self.per_type_count.get(k, 0) + v
         for k, v in other.per_type_time.items():
@@ -55,6 +87,11 @@ class RunStats:
             f"max_concurrency={self.max_concurrency}  "
             f"max_depth={self.max_frame_depth}",
         ]
+        if self.batches:
+            lines.append(
+                f"batches={self.batches}  batched_ops={self.batched_ops}  "
+                f"mean_batch={self.batch_efficiency:.1f}  "
+                f"max_batch={self.max_batch}")
         top = sorted(self.per_type_time.items(), key=lambda kv: -kv[1])[:8]
         for op_type, t in top:
             lines.append(f"  {op_type:<22} n={self.per_type_count[op_type]:<7}"

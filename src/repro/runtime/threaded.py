@@ -8,6 +8,14 @@ identical values, and to demonstrate the architecture on real threads.
 
 Master state (frames, dependency counters) is guarded by one re-entrant
 lock; kernels run outside the lock so numpy work can overlap.
+
+Dynamic micro-batching (``batching=True``): batchable ready operations are
+offered to a shared :class:`~repro.runtime.batching.Coalescer` instead of
+executing immediately.  A bucket flushes when it is full, when the worker
+that filed it finds the ready queue empty (wavefront drained), or — since
+real threads cannot see the future — when a worker's idle ``get`` times
+out after ``BatchPolicy.flush_timeout`` seconds, which bounds how long a
+partially-filled bucket can defer its members and rules out deadlock.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from repro.graph.graph import Graph
 from repro.graph.registry import ExecContext, op_def
 from repro.graph.tensor import Tensor
 
+from .batching import BatchPolicy, Coalescer, batch_signature
 from .cost_model import CostModel, testbed_cpu
 from .engine import EngineError, Frame, Instance
 from .stats import RunStats
@@ -37,12 +46,15 @@ class ThreadedEngine:
 
     def __init__(self, runtime, num_workers: int = 4,
                  cost_model: Optional[CostModel] = None, record: bool = False,
-                 max_depth: int = 5000):
+                 max_depth: int = 5000, batching: bool = False,
+                 batch_policy: Optional[BatchPolicy] = None):
         self.runtime = runtime
         self.num_workers = max(1, num_workers)
         self.cost_model = cost_model or testbed_cpu()
         self.record = record
         self.max_depth = max_depth
+        self.batching = batching
+        self.batch_policy = batch_policy or BatchPolicy()
         self._seq = itertools.count()
 
     # The async-op starters call these three methods plus ``spawn_frame``;
@@ -81,6 +93,8 @@ class ThreadedEngine:
         self._queue: queue.Queue = queue.Queue()
         self._done = threading.Event()
         self._error: Optional[Exception] = None
+        self._coalescer = (Coalescer(self.batch_policy) if self.batching
+                           else None)
         self.stats = RunStats()
 
         fetch_ops = {t.op for t in fetches}
@@ -141,7 +155,24 @@ class ThreadedEngine:
 
     def _worker(self) -> None:
         while True:
-            inst = self._queue.get()
+            if self._coalescer is None:
+                inst = self._queue.get()
+            else:
+                try:
+                    inst = self._queue.get(
+                        timeout=self.batch_policy.flush_timeout)
+                except queue.Empty:
+                    # No new ready work within the flush timeout: release
+                    # any bucket that has aged past the policy's deadline.
+                    # This is the liveness guarantee — once the queue goes
+                    # quiet, a held bucket waits at most ~flush_timeout
+                    # (one idle poll) before some worker expires it.
+                    with self._lock:
+                        bucket = self._coalescer.pop_expired(
+                            time.perf_counter())
+                    if bucket is not None:
+                        self._run_bucket(bucket)
+                    continue
             if inst is _SENTINEL:
                 return
             if self._error is not None:
@@ -150,6 +181,11 @@ class ThreadedEngine:
             definition = op_def(op.op_type)
             try:
                 inputs = [inst.frame.values[t.ref] for t in op.inputs]
+                if self._coalescer is not None and not definition.is_async:
+                    signature = batch_signature(op, inputs, definition)
+                    if signature is not None:
+                        self._offer_to_batch(signature, inst, inputs)
+                        continue
                 if definition.is_async:
                     with self._lock:
                         definition.meta["starter"](self, inst, inputs)
@@ -161,14 +197,68 @@ class ThreadedEngine:
                 with self._lock:
                     self.stats.note_op(op.op_type, 0.0)
             except Exception as exc:
-                with self._lock:
-                    if self._error is None:
-                        err = EngineError(
-                            f"error executing {op.name} ({op.op_type}): "
-                            f"{exc}")
-                        err.__cause__ = exc
-                        self._error = err
-                    self._done.set()
+                self._fail(op, exc)
+
+    def _fail(self, op, exc: Exception) -> None:
+        with self._lock:
+            if self._error is None:
+                err = EngineError(
+                    f"error executing {op.name} ({op.op_type}): {exc}")
+                err.__cause__ = exc
+                self._error = err
+            self._done.set()
+
+    # -- micro-batching ----------------------------------------------------------
+
+    def _offer_to_batch(self, signature, inst: Instance,
+                        inputs: list) -> None:
+        """File a batchable ready op; flush when full or queue drained."""
+        with self._lock:
+            full = self._coalescer.offer(signature, inst, inputs,
+                                         time.perf_counter())
+        if full is not None:
+            self._run_bucket(full)
+            return
+        if self._queue.empty():
+            # current wavefront drained: flush rather than sit on work
+            with self._lock:
+                bucket = self._coalescer.pop()
+            if bucket is not None:
+                self._run_bucket(bucket)
+
+    def _run_bucket(self, bucket) -> None:
+        """Execute one bucket: fused kernel outside the lock, then scatter."""
+        definition = op_def(bucket.op_type)
+        ops = [inst.op for inst in bucket.instances]
+        try:
+            if len(bucket) < self.batch_policy.min_batch:
+                outputs_list = []
+                for inst, inputs in zip(bucket.instances, bucket.inputs):
+                    ctx = ExecContext(self.runtime, inst.frame,
+                                      inst.frame.record)
+                    outputs_list.append(definition.kernel(inst.op, inputs,
+                                                          ctx))
+            else:
+                ctxs = [ExecContext(self.runtime, inst.frame,
+                                    inst.frame.record)
+                        for inst in bucket.instances]
+                outputs_list = definition.batched_kernel(ops, bucket.inputs,
+                                                         ctxs)
+                if len(outputs_list) != len(bucket):
+                    raise EngineError(
+                        f"batched kernel of {bucket.op_type} returned "
+                        f"{len(outputs_list)} results for {len(bucket)} "
+                        "members")
+            for inst, outputs in zip(bucket.instances, outputs_list):
+                self._complete_instance(inst, outputs)
+            with self._lock:
+                if len(bucket) >= self.batch_policy.min_batch:
+                    self.stats.note_batch(bucket.op_type, len(bucket), 0.0)
+                else:
+                    for inst in bucket.instances:
+                        self.stats.note_op(inst.op.op_type, 0.0)
+        except Exception as exc:
+            self._fail(ops[0], exc)
 
     def _complete_instance(self, inst: Instance, outputs: list) -> None:
         with self._lock:

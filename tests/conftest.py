@@ -1,11 +1,43 @@
-"""Shared fixtures: isolated graphs/runtimes per test."""
+"""Shared fixtures: isolated graphs/runtimes per test.
+
+Also implements the ``@pytest.mark.timeout(seconds)`` marker (declared in
+pytest.ini) via ``SIGALRM``: threaded-engine tests use it as a watchdog so
+a scheduler deadlock fails the test instead of hanging CI.  The offline
+environment has no pytest-timeout plugin; this covers the same need for
+main-thread tests on POSIX.
+"""
 
 from __future__ import annotations
+
+import signal
 
 import numpy as np
 import pytest
 
 import repro
+
+
+@pytest.fixture(autouse=True)
+def _watchdog(request):
+    """Abort a test that outlives its ``timeout`` marker (POSIX only)."""
+    marker = request.node.get_closest_marker("timeout")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = int(marker.args[0])
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded its {seconds}s watchdog — likely a deadlock "
+            "in the threaded engine / flush policy")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -201,3 +201,124 @@ class TestBackpropCache:
         sess = repro.Session(graph, runtime, record=False)
         with pytest.raises(repro.EngineError, match="record=True"):
             sess.run(grads[0], {x: 1.0})
+
+
+class TestGradientsUnderBatching:
+    """Backprop through the coalescing scheduler (batch-safe taping).
+
+    Forward values under ``batching=True`` are bit-identical, so the tape
+    (backprop value cache) holds exactly the same activations; gradients
+    may differ only by accumulation order, and must match analytic /
+    finite-difference references.
+    """
+
+    def _model_setup(self, model_cls, config, batch_size=2, seed=13):
+        from repro.data import make_treebank
+        from repro.data.batching import batch_trees
+
+        runtime = repro.Runtime()
+        model = model_cls(config, runtime)
+        bank = make_treebank(num_train=max(4, batch_size), num_val=2,
+                             vocab_size=config.vocab_size, seed=seed)
+        built = model.build_recursive(batch_size)
+        feeds = built.feed_dict(batch_trees(bank.train[:batch_size]))
+        _, updates = repro.gradients(built.loss, [])
+        fetches = [built.loss] + [op.outputs[-1] for op in updates]
+        return model, built, feeds, fetches
+
+    def _accumulated_grads(self, model, built, feeds, fetches, batching):
+        model.runtime.accumulators.zero()
+        sess = repro.Session(built.graph, model.runtime, num_workers=36,
+                             record=True, batching=batching)
+        loss = sess.run(fetches, feeds)[0]
+        grads = {v.name: np.array(model.runtime.accumulators.read(v.name))
+                 for v in model.variables}
+        return float(loss), grads, sess.last_stats
+
+    def test_power_rule_through_batched_scheduler(self, graph, runtime):
+        p = power_subgraph()
+        x = ops.placeholder(repro.float32, ())
+        y = p(x, ops.constant(5))
+        grads, _ = repro.gradients(y, [x])
+        sess = repro.Session(graph, runtime, record=True, num_workers=8,
+                             batching=True)
+        value, grad = sess.run([y, grads[0]], {x: 1.3})
+        assert value == pytest.approx(1.3 ** 5, rel=1e-5)
+        assert grad == pytest.approx(5 * 1.3 ** 4, rel=1e-5)
+
+    @pytest.mark.parametrize("model_key", ["TreeLSTM", "RNTN"])
+    def test_batched_matches_unbatched_gradients(self, model_key):
+        from repro.models import (RNTNSentiment, TreeLSTMSentiment,
+                                  tree_lstm_config)
+        from repro.models.common import ModelConfig
+
+        if model_key == "TreeLSTM":
+            setup = (TreeLSTMSentiment,
+                     tree_lstm_config(hidden=8, embed_dim=6, vocab_size=40))
+        else:
+            setup = (RNTNSentiment,
+                     ModelConfig(hidden=6, embed_dim=6, vocab_size=40))
+        model, built, feeds, fetches = self._model_setup(*setup)
+        loss0, ref, _ = self._accumulated_grads(model, built, feeds, fetches,
+                                                batching=False)
+        loss1, got, stats = self._accumulated_grads(model, built, feeds,
+                                                    fetches, batching=True)
+        assert stats.batches > 0  # forward AND backward frames fused
+        assert loss1 == pytest.approx(loss0, rel=1e-6)
+        for name in ref:
+            np.testing.assert_allclose(
+                got[name], ref[name], rtol=1e-5, atol=1e-6,
+                err_msg=f"gradient of {name} diverged under batching")
+
+    @pytest.mark.parametrize("model_key", ["TreeLSTM", "RNTN"])
+    def test_finite_difference_under_batching(self, model_key):
+        """Central finite differences of the loss w.r.t. parameter entries
+        validate the gradients computed through the coalescing scheduler."""
+        from repro.models import (RNTNSentiment, TreeLSTMSentiment,
+                                  tree_lstm_config)
+        from repro.models.common import ModelConfig
+
+        if model_key == "TreeLSTM":
+            setup = (TreeLSTMSentiment,
+                     tree_lstm_config(hidden=4, embed_dim=3, vocab_size=30))
+        else:
+            setup = (RNTNSentiment,
+                     ModelConfig(hidden=3, embed_dim=3, vocab_size=30))
+        model, built, feeds, fetches = self._model_setup(*setup,
+                                                         batch_size=2)
+        _, grads, _ = self._accumulated_grads(model, built, feeds, fetches,
+                                              batching=True)
+
+        loss_sess = repro.Session(built.graph, model.runtime,
+                                  num_workers=36, record=False,
+                                  batching=True)
+
+        def loss_at():
+            return float(loss_sess.run(built.loss, feeds))
+
+        rng = np.random.default_rng(5)
+        eps = 1e-3
+        checked = 0
+        for var in model.variables:
+            base = np.array(model.runtime.variables.read(var.name))
+            flat = base.reshape(-1)
+            for idx in rng.choice(flat.size, size=min(3, flat.size),
+                                  replace=False):
+                plus = flat.copy()
+                plus[idx] += eps
+                model.runtime.variables.write(var.name,
+                                              plus.reshape(base.shape))
+                l_plus = loss_at()
+                minus = flat.copy()
+                minus[idx] -= eps
+                model.runtime.variables.write(var.name,
+                                              minus.reshape(base.shape))
+                l_minus = loss_at()
+                model.runtime.variables.write(var.name, base)
+                numeric = (l_plus - l_minus) / (2 * eps)
+                analytic = float(grads[var.name].reshape(-1)[idx])
+                assert numeric == pytest.approx(analytic, rel=5e-2,
+                                                abs=5e-4), \
+                    f"{var.name}[{idx}]: fd={numeric} vs grad={analytic}"
+                checked += 1
+        assert checked >= 9
