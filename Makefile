@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-batching bench bench-fig8
+.PHONY: test test-batching bench bench-fig8 bench-smoke
 
 # Tier-1: the full test suite (what CI gates on).
 test:
@@ -18,3 +18,8 @@ bench:
 # The inference-throughput bench; refreshes BENCH_fig8.json.
 bench-fig8:
 	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/bench_fig8_inference_throughput.py -q -s
+
+# Tiny-config fig7/table2 canary: every runner kind, both modes, batched
+# backward pass included — fast enough to ride along with tier-1 CI.
+bench-smoke:
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/bench_smoke.py -q -s

@@ -1,0 +1,88 @@
+"""Tiny-config regression canary for the paper benchmarks.
+
+``make bench-smoke`` runs this file: miniature fig7/table2 sweeps (small
+treebank, one measured step, reduced batch sizes) that exercise every
+runner kind on the training *and* inference paths — including the batched
+backward pass — in well under the tier-1 watchdog budget.  It asserts
+sanity (positive throughput, batched == unbatched losses bit-for-bit,
+fusion actually happening), not the paper's shape claims; the full
+benches own those.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from benchmarks.common import runner_config
+from repro import Runtime
+from repro.data import make_treebank
+from repro.data.batching import batch_trees
+from repro.harness import make_runner, measure_throughput
+from repro.models import (ModelConfig, RNTNSentiment, TreeLSTMSentiment,
+                          TreeRNNSentiment, tree_lstm_config)
+
+SMOKE_BATCHES = (1, 6)
+SMOKE_FACTORIES = {
+    "TreeRNN": lambda: TreeRNNSentiment(
+        ModelConfig(hidden=12, embed_dim=12, vocab_size=50), Runtime()),
+    "RNTN": lambda: RNTNSentiment(
+        ModelConfig(hidden=8, embed_dim=8, vocab_size=50), Runtime()),
+    "TreeLSTM": lambda: TreeLSTMSentiment(
+        tree_lstm_config(hidden=12, embed_dim=8, vocab_size=50), Runtime()),
+}
+
+
+@lru_cache(maxsize=None)
+def smoke_bank():
+    return make_treebank(num_train=12, num_val=4, vocab_size=50, seed=19)
+
+
+def test_smoke_fig7_training_all_kinds():
+    """Fig7 in miniature: every training runner produces finite positive
+    throughput on a small model at both smoke batch sizes."""
+    for kind in ("Recursive", "BatchedRecursive", "Iterative", "Unrolling"):
+        for batch_size in SMOKE_BATCHES:
+            runner = make_runner(kind, SMOKE_FACTORIES["TreeRNN"](),
+                                 batch_size, runner_config())
+            result = measure_throughput(runner, smoke_bank().train,
+                                        batch_size, "train", steps=1,
+                                        warmup=0, seed=3)
+            assert np.isfinite(result.throughput)
+            assert result.throughput > 0, f"{kind} b={batch_size}"
+
+
+def test_smoke_table2_infer_and_train():
+    """Table2 in miniature: TreeLSTM across all four kinds, both modes."""
+    for kind in ("Recursive", "BatchedRecursive", "Iterative", "Folding"):
+        for mode in ("infer", "train"):
+            runner = make_runner(kind, SMOKE_FACTORIES["TreeLSTM"](), 6,
+                                 runner_config())
+            result = measure_throughput(runner, smoke_bank().train, 6, mode,
+                                        steps=1, warmup=0, seed=3)
+            assert result.throughput > 0, f"{kind}/{mode}"
+
+
+def test_smoke_batched_training_is_equivalent_and_fused():
+    """The canary for the batched backward pass: same batch, bit-identical
+    loss, backward fusion observed, and no throughput collapse."""
+    bank = smoke_bank()
+    batch = batch_trees(bank.train[:6])
+    losses = {}
+    vtimes = {}
+    for kind in ("Recursive", "BatchedRecursive"):
+        runner = make_runner(kind, SMOKE_FACTORIES["RNTN"](), 6,
+                             runner_config())
+        loss, vtime = runner.train_step(batch)
+        losses[kind] = loss
+        vtimes[kind] = vtime
+        if kind == "BatchedRecursive":
+            stats = runner.trainer.last_step_stats
+            assert stats.batches > 0
+            assert "CacheLookup" in stats.batch_count_by_type
+            assert "InvokeGrad" in stats.batch_count_by_type
+    assert losses["Recursive"] == losses["BatchedRecursive"]
+    # regression canary: batching must never slow training down at this
+    # concurrency (generous 0.9 bound to stay noise-proof)
+    assert vtimes["BatchedRecursive"] <= vtimes["Recursive"] / 0.9

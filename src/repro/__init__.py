@@ -32,7 +32,8 @@ from repro import ops
 from repro.core import SubGraph, SubGraphError, invoke
 from repro.core.autodiff import differentiate_subgraph, gradients
 from repro.ops.control_flow import cond, while_loop
-from repro.runtime import (BatchPolicy, CostModel, EngineError, RunStats,
+from repro.runtime import (AdaptiveBatchPolicy, BatchPolicy, CostModel,
+                           EngineError, RunStats,
                            Runtime, Session, Variable, client_eager,
                            default_runtime, gpu_profile,
                            reset_default_runtime, testbed_cpu, unit_cost)
@@ -50,7 +51,8 @@ __all__ = [
     "SubGraph", "SubGraphError", "invoke", "gradients",
     "differentiate_subgraph",
     # runtime
-    "BatchPolicy", "CostModel", "EngineError", "RunStats", "Runtime",
+    "AdaptiveBatchPolicy", "BatchPolicy", "CostModel", "EngineError",
+    "RunStats", "Runtime",
     "Session", "Variable", "client_eager", "default_runtime", "gpu_profile",
     "reset_default_runtime", "testbed_cpu", "unit_cost",
 ]

@@ -35,7 +35,9 @@ from repro.core.cache import child_key
 from repro.core.subgraph import SubGraph, SubGraphError
 from repro.graph import dtypes
 from repro.graph.graph import Graph, Operation
-from repro.graph.registry import op_def, register_grad, register_op
+from repro.graph.registry import (op_def, register_batched_async,
+                                  register_batched_kernel, register_grad,
+                                  register_op)
 from repro.graph.tensor import Tensor
 from repro.ops import array_ops, math_ops, tensor_array
 from repro.ops.common import build, out1
@@ -59,9 +61,27 @@ def _cache_lookup_kernel(op, inputs, ctx):
                              op.attrs["target_out_idx"])]
 
 
+def _cache_lookup_batched(ops, inputs_list, ctxs):
+    """Resolve a whole bucket of gradient-frame lookups in one bulk read.
+
+    Every member addresses the same runtime cache; grouping the keys lets
+    :meth:`~repro.core.cache.ValueCache.lookup_many` take each shard lock
+    once, and the engines account the bucket as a single bulk cache
+    round-trip instead of N serialized lookups (the training-path
+    bottleneck of paper Section 5).
+    """
+    keys = [(ctx.frame.key, op.attrs["target_graph_id"],
+             op.attrs["target_op_id"], op.attrs["target_out_idx"])
+            for op, ctx in zip(ops, ctxs)]
+    return [[value] for value in ctxs[0].cache.lookup_many(keys)]
+
+
 register_op("CacheLookup", infer=_cache_lookup_infer,
             kernel=_cache_lookup_kernel, grad=None, stateful=True,
             cost="cache")
+# Read-only state access: N lookups fuse into one bulk cache transaction.
+register_batched_kernel("CacheLookup", _cache_lookup_batched,
+                        allow_stateful=True)
 
 
 class GradContext:

@@ -15,17 +15,30 @@ forward frame key.
 Using a queue or stack instead would be incorrect: concurrent frames
 complete in nondeterministic order, so values could be routed to the wrong
 gradient operation (as the paper notes).
+
+The table is *sharded*: keys hash to one of ``num_shards`` independently
+locked dictionaries, so concurrent frames (threaded engine workers) do not
+serialize on a single lock.  The bulk APIs — :meth:`ValueCache.store_many`
+and :meth:`ValueCache.lookup_many` — group their entries by shard and take
+each shard lock once, which is what lets the engines turn the N per-frame
+``CacheLookup``/store round-trips of a fused micro-batch into one bulk
+cache transaction (the training-path analogue of the batched forward
+kernels).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Hashable, Optional
+from typing import Any, Hashable, Iterable, Optional, Sequence
 
 __all__ = ["ValueCache", "ROOT_KEY", "child_key"]
 
 #: Key of the root (main-graph) frame.
 ROOT_KEY: tuple = ()
+
+#: Default shard count: enough to make lock collisions rare at the
+#: threaded engine's worker counts, small enough to stay cheap to clear.
+DEFAULT_SHARDS = 16
 
 
 def child_key(parent_key: tuple, site: Hashable) -> tuple:
@@ -37,51 +50,137 @@ def child_key(parent_key: tuple, site: Hashable) -> tuple:
     return parent_key + (site,)
 
 
-class ValueCache:
-    """A concurrent hash table of forward activation values."""
+class _Shard:
+    """One independently locked partition of the cache table."""
+
+    __slots__ = ("table", "lock", "stores", "lookups")
 
     def __init__(self):
-        self._table: dict[tuple, Any] = {}
-        self._meta: dict[tuple, Any] = {}
-        self._lock = threading.Lock()
+        self.table: dict[tuple, Any] = {}
+        self.lock = threading.Lock()
         self.stores = 0
         self.lookups = 0
 
+
+class ValueCache:
+    """A concurrent (sharded) hash table of forward activation values."""
+
+    def __init__(self, num_shards: int = DEFAULT_SHARDS):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        self._shards = [_Shard() for _ in range(num_shards)]
+        self._meta: dict[tuple, Any] = {}
+        self._meta_lock = threading.Lock()
+
+    def _shard_of(self, key: tuple) -> _Shard:
+        return self._shards[hash(key) % self.num_shards]
+
+    # -- scalar API ----------------------------------------------------------
+
     def store(self, frame_key: tuple, graph_id: int, op_id: int,
               out_idx: int, value: Any) -> None:
-        with self._lock:
-            self._table[(frame_key, graph_id, op_id, out_idx)] = value
-            self.stores += 1
+        key = (frame_key, graph_id, op_id, out_idx)
+        shard = self._shard_of(key)
+        with shard.lock:
+            shard.table[key] = value
+            shard.stores += 1
 
     def lookup(self, frame_key: tuple, graph_id: int, op_id: int,
                out_idx: int) -> Any:
-        with self._lock:
-            self.lookups += 1
+        key = (frame_key, graph_id, op_id, out_idx)
+        shard = self._shard_of(key)
+        with shard.lock:
+            shard.lookups += 1
             try:
-                return self._table[(frame_key, graph_id, op_id, out_idx)]
+                return shard.table[key]
             except KeyError:
-                raise KeyError(
-                    f"backprop cache miss: frame={frame_key} graph={graph_id} "
-                    f"op={op_id}:{out_idx}. Was the forward pass run with "
-                    "record=True?") from None
+                raise KeyError(self._miss_message(key)) from None
+
+    # -- bulk API ------------------------------------------------------------
+
+    def store_many(self, entries: Iterable[tuple]) -> None:
+        """Store ``(frame_key, graph_id, op_id, out_idx, value)`` entries.
+
+        Entries are grouped by shard and each shard lock is acquired once,
+        so a fused micro-batch's recorded outputs cost one lock round-trip
+        per touched shard instead of one per value.
+        """
+        by_shard: dict[int, list[tuple[tuple, Any]]] = {}
+        for frame_key, graph_id, op_id, out_idx, value in entries:
+            key = (frame_key, graph_id, op_id, out_idx)
+            by_shard.setdefault(hash(key) % self.num_shards, []).append(
+                (key, value))
+        for index, pairs in by_shard.items():
+            shard = self._shards[index]
+            with shard.lock:
+                for key, value in pairs:
+                    shard.table[key] = value
+                shard.stores += len(pairs)
+
+    def lookup_many(self, keys: Sequence[tuple]) -> list:
+        """Resolve many ``(frame_key, graph_id, op_id, out_idx)`` keys.
+
+        Returns values in key order.  One lock acquisition per touched
+        shard — the bulk read the batched ``CacheLookup`` kernel issues for
+        a whole bucket of gradient frames.
+        """
+        results: list = [None] * len(keys)
+        by_shard: dict[int, list[int]] = {}
+        for position, key in enumerate(keys):
+            by_shard.setdefault(hash(key) % self.num_shards, []).append(
+                position)
+        for index, positions in by_shard.items():
+            shard = self._shards[index]
+            with shard.lock:
+                shard.lookups += len(positions)
+                for position in positions:
+                    key = keys[position]
+                    try:
+                        results[position] = shard.table[key]
+                    except KeyError:
+                        raise KeyError(self._miss_message(key)) from None
+        return results
+
+    # -- counters ------------------------------------------------------------
+
+    @property
+    def stores(self) -> int:
+        return sum(s.stores for s in self._shards)
+
+    @property
+    def lookups(self) -> int:
+        return sum(s.lookups for s in self._shards)
+
+    # -- control-flow metadata ----------------------------------------------
 
     def store_meta(self, key: tuple, value: Any) -> None:
         """Store control-flow metadata (e.g. a loop's iteration count)."""
-        with self._lock:
+        with self._meta_lock:
             self._meta[key] = value
 
     def lookup_meta(self, key: tuple) -> Any:
-        with self._lock:
+        with self._meta_lock:
             try:
                 return self._meta[key]
             except KeyError:
                 raise KeyError(f"no control-flow metadata under {key}") from None
 
+    # -- maintenance ---------------------------------------------------------
+
     def clear(self) -> None:
-        with self._lock:
-            self._table.clear()
+        for shard in self._shards:
+            with shard.lock:
+                shard.table.clear()
+        with self._meta_lock:
             self._meta.clear()
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._table)
+        return sum(len(s.table) for s in self._shards)
+
+    @staticmethod
+    def _miss_message(key: tuple) -> str:
+        frame_key, graph_id, op_id, out_idx = key
+        return (f"backprop cache miss: frame={frame_key} graph={graph_id} "
+                f"op={op_id}:{out_idx}. Was the forward pass run with "
+                "record=True?")

@@ -21,7 +21,7 @@ import numpy as np
 from repro.core.cache import child_key
 from repro.core.subgraph import SubGraph, SubGraphError
 from repro.graph import dtypes
-from repro.graph.registry import register_op
+from repro.graph.registry import register_batched_async, register_op
 from repro.graph.tensor import Tensor
 from repro.ops.common import build
 
@@ -57,6 +57,10 @@ def _invoke_starter(engine, inst, inputs):
 
 register_op("Invoke", infer=_invoke_infer, is_async=True,
             starter=_invoke_starter, cost="invoke")
+# Concurrent calls of the *same* SubGraph with same-shaped arguments fuse
+# into one batched frame spawn (the caller-context setup is paid once for
+# the bucket; every member still gets its own frame).
+register_batched_async("Invoke", identity_attrs=("subgraph",))
 # The gradient function is registered by repro.core.autodiff to avoid an
 # import cycle.
 
@@ -123,3 +127,6 @@ def _invoke_grad_starter(engine, inst, inputs):
 
 register_op("InvokeGrad", infer=_invoke_grad_infer, is_async=True,
             starter=_invoke_grad_starter, cost="invoke")
+# Backward frames of concurrent recursive calls batch exactly like the
+# forward ones: one fused spawn per bucket of same-signature InvokeGrads.
+register_batched_async("InvokeGrad", identity_attrs=("fwd_subgraph",))

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 __all__ = ["OpDef", "register_op", "register_grad", "register_batched_kernel",
-           "op_def", "ExecContext", "all_op_types"]
+           "register_batched_async", "op_def", "ExecContext", "all_op_types"]
 
 
 @dataclass
@@ -100,7 +100,8 @@ def _member_loop(definition: OpDef):
 
 
 def register_batched_kernel(name: str, fn=None, *,
-                            batch_attrs: tuple = ()) -> None:
+                            batch_attrs: tuple = (),
+                            allow_stateful: bool = False) -> None:
     """Mark op type ``name`` as micro-batchable.
 
     ``fn(ops, inputs_list, ctxs)`` executes a whole bucket at once; pass
@@ -108,14 +109,45 @@ def register_batched_kernel(name: str, fn=None, *,
     overhead without vectorizing the math).  ``batch_attrs`` names the op
     attrs that must match for two instances to share a bucket (e.g. a
     Concat axis) — they become part of the batch signature.
+
+    Stateful ops are rejected unless ``allow_stateful=True``: the opt-in is
+    for ops whose statefulness is *read-only* (``CacheLookup`` reads the
+    backprop value cache but mutates nothing), where executing N instances
+    in one fused call is order-independent and value-preserving.  Ops with
+    write side effects (``Assign``, ``AccumGrad``) must never take it.
     """
     definition = _REGISTRY[name]
-    if definition.is_async or definition.stateful:
-        raise ValueError(f"op type {name!r} is async/stateful and cannot "
-                         "be micro-batched")
+    if definition.is_async:
+        raise ValueError(f"op type {name!r} is async; register a batched "
+                         "starter via register_batched_async instead")
+    if definition.stateful and not allow_stateful:
+        raise ValueError(f"op type {name!r} is stateful and cannot be "
+                         "micro-batched (pass allow_stateful=True only for "
+                         "read-only state access)")
     definition.batched_kernel = fn if fn is not None \
         else _member_loop(definition)
     definition.meta["batch_attrs"] = tuple(batch_attrs)
+
+
+def register_batched_async(name: str, *, identity_attrs: tuple = ()) -> None:
+    """Mark async op type ``name`` as frame-spawn batchable.
+
+    Async ops have no kernel — their *starter* installs child frames.  A
+    bucket of same-signature async instances is executed by charging one
+    fused frame-spawn overhead and then running every member's starter, so
+    N concurrent recursive calls (forward ``Invoke`` or backward
+    ``InvokeGrad``) pay the caller/callee context-setup cost once plus a
+    small per-member term instead of N times.
+
+    ``identity_attrs`` names attrs whose *object identity* must match for
+    two instances to fuse (e.g. the target SubGraph) — value equality is
+    meaningless for graph-bearing attrs.
+    """
+    definition = _REGISTRY[name]
+    if not definition.is_async:
+        raise ValueError(f"op type {name!r} is not async")
+    definition.meta["batch_async"] = True
+    definition.meta["batch_identity_attrs"] = tuple(identity_attrs)
 
 
 def op_def(name: str) -> OpDef:

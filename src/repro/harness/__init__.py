@@ -1,8 +1,18 @@
-"""Evaluation harness: runners, throughput, convergence, reporting."""
+"""Evaluation harness: runners, throughput, convergence, reporting.
+
+Training runs support the engines' micro-batching through the
+``RunnerConfig.batching`` knob (``False`` / ``True`` / ``"adaptive"``);
+:class:`BatchedRecursiveRunner` trains with the adaptive per-signature
+flush policy by default.  :func:`format_batch_histogram` and
+:func:`format_adaptive_policy` render a run's batch-width distributions
+and the adaptive policy's tuned per-signature state for inspection.
+"""
 
 from .convergence import (ConvergencePoint, ConvergenceResult,
                           evaluate_accuracy, run_convergence)
-from .reporting import ascii_series, format_table, results_dir, save_results
+from .reporting import (ascii_series, format_adaptive_policy,
+                        format_batch_histogram, format_table, results_dir,
+                        save_results)
 from .runners import (BatchedRecursiveRunner, FoldingRunner, IterativeRunner,
                       RecursiveRunner, RunnerConfig, UnrolledRunner,
                       make_runner)
@@ -11,7 +21,8 @@ from .throughput import (ThroughputResult, measure_latency_curve,
                          measure_throughput)
 
 __all__ = ["ConvergencePoint", "ConvergenceResult", "evaluate_accuracy",
-           "run_convergence", "ascii_series", "format_table", "results_dir",
+           "run_convergence", "ascii_series", "format_adaptive_policy",
+           "format_batch_histogram", "format_table", "results_dir",
            "save_results", "BatchedRecursiveRunner", "FoldingRunner",
            "IterativeRunner", "RecursiveRunner", "RunnerConfig",
            "UnrolledRunner", "make_runner", "ServingResult",

@@ -6,7 +6,8 @@ import json
 import os
 from typing import Any, Optional, Sequence
 
-__all__ = ["format_table", "save_results", "results_dir", "ascii_series"]
+__all__ = ["format_table", "save_results", "results_dir", "ascii_series",
+           "format_batch_histogram", "format_adaptive_policy"]
 
 
 def results_dir() -> str:
@@ -44,6 +45,67 @@ def save_results(name: str, payload: dict) -> str:
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True, default=float)
     return path
+
+
+def format_batch_histogram(stats, max_types: int = 12,
+                           bar_width: int = 30) -> str:
+    """Render a run's per-signature batch-width histograms, by op type.
+
+    ``stats`` is a :class:`~repro.runtime.stats.RunStats` whose
+    ``batch_width_hist`` was filled by a batching engine.  One block per
+    op type (most-fused first): width buckets with counts and a bar scaled
+    to the op type's most common width.  This is the inspection surface
+    for the adaptive flush policy — a healthy signature shows mass at
+    wide buckets, a starved one collapses to the minimum size.
+    """
+    merged = stats.width_histogram_by_type()
+    if not merged:
+        return "batch-width histogram: (no fused batches)"
+    lines = ["batch-width histogram (members per fused call, by op type)"]
+    by_mass = sorted(merged.items(),
+                     key=lambda kv: -sum(w * c for w, c in kv[1].items()))
+    for op_type, hist in by_mass[:max_types]:
+        total = sum(hist.values())
+        peak = max(hist.values())
+        mean = sum(w * c for w, c in hist.items()) / total
+        lines.append(f"  {op_type}  (flushes={total}, mean width={mean:.1f})")
+        for width in sorted(hist):
+            count = hist[width]
+            bar = "#" * max(1, round(bar_width * count / peak))
+            lines.append(f"    w={width:<4d} {count:>6d}  {bar}")
+    if len(by_mass) > max_types:
+        lines.append(f"  ... {len(by_mass) - max_types} more op types")
+    return "\n".join(lines)
+
+
+def format_adaptive_policy(policy, max_rows: int = 16) -> str:
+    """Render an AdaptiveBatchPolicy's tuned per-signature state.
+
+    Shows, for the most-flushed signatures, the width EMA the policy has
+    converged to and the per-signature min-size/timeout it derived —
+    ``snapshot()`` keys are batch signatures whose first element is the
+    op type.
+    """
+    from repro.runtime.batching import AdaptiveBatchPolicy
+
+    if not isinstance(policy, AdaptiveBatchPolicy):
+        return f"policy: fixed (min={policy.min_batch}, " \
+               f"timeout={policy.flush_timeout * 1e3:.2f} ms)"
+    rows = sorted(policy.snapshot().items(),
+                  key=lambda kv: -kv[1]["flushes"])
+    lines = ["adaptive flush policy (per-signature tuned state)"]
+    if not rows:
+        lines.append("  (no flushes observed yet)")
+    for signature, state in rows[:max_rows]:
+        op_type = signature[0] if isinstance(signature, tuple) else signature
+        lines.append(
+            f"  {op_type:<22} flushes={state['flushes']:<6d} "
+            f"width_ema={state['width_ema']:6.1f}  "
+            f"min={state['min_batch']:<3d} "
+            f"timeout={state['timeout'] * 1e3:.2f} ms")
+    if len(rows) > max_rows:
+        lines.append(f"  ... {len(rows) - max_rows} more signatures")
+    return "\n".join(lines)
 
 
 def ascii_series(title: str, series: dict[str, dict], width: int = 60,

@@ -43,8 +43,11 @@ class RunnerConfig:
     cost_model: Optional[CostModel] = None
     scheduler: str = "fifo"
     learning_rate: float = 0.05
-    #: cross-instance dynamic micro-batching in the engines
-    batching: bool = False
+    #: cross-instance dynamic micro-batching in the engines: ``False``,
+    #: ``True`` (fixed flush policy) or ``"adaptive"`` (per-signature
+    #: adaptive flush policy — covers the training path: backward frames,
+    #: gradient kernels and bulk value-cache traffic all coalesce)
+    batching: "bool | str" = False
     batch_policy: Optional[BatchPolicy] = None
 
     def model_for(self):
@@ -103,7 +106,10 @@ class BatchedRecursiveRunner(RecursiveRunner):
     Same graph and values as :class:`RecursiveRunner` — the engines fuse
     same-signature ready ops from concurrent frames into vectorized kernel
     calls, closing the throughput gap to Fold-style dynamic batching while
-    keeping the recursive programming model.
+    keeping the recursive programming model.  Training steps batch too
+    (backward frame spawns, gradient kernels, bulk value-cache traffic);
+    the adaptive per-signature flush policy is the default so bucket
+    min-sizes and timeouts tune themselves to the workload.
     """
 
     kind = "BatchedRecursive"
@@ -111,7 +117,8 @@ class BatchedRecursiveRunner(RecursiveRunner):
     def __init__(self, model, batch_size: int,
                  config: Optional[RunnerConfig] = None, train: bool = True):
         config = replace(config) if config is not None else RunnerConfig()
-        config.batching = True
+        if not config.batching:
+            config.batching = "adaptive"
         super().__init__(model, batch_size, config, train=train)
 
 

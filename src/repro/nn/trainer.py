@@ -11,6 +11,20 @@ complete before parameters move:
 2. **apply** (``record=False``): the optimizer's apply graph reads the
    accumulators and updates the variables.
 
+Training-path micro-batching: pass ``batching=True`` (fixed flush policy)
+or ``batching="adaptive"`` (per-signature
+:class:`~repro.runtime.batching.AdaptiveBatchPolicy`) and the engines
+coalesce the *whole* step across concurrent frames — forward kernels,
+backward-body gradient kernels, ``InvokeGrad`` frame spawns and the
+``CacheLookup`` traffic of the backprop value cache (resolved through one
+bulk cache read per bucket).  Losses and gradients are bit-identical to
+unbatched execution: forward/backward values are value-preserving by the
+batched-kernel contract, and gradient contributions are summed in
+canonical frame-key order by the runtime's
+:class:`~repro.runtime.variables.GradientAccumulator`.  With
+``"adaptive"``, the tuned per-signature state persists across steps, so
+flush behaviour converges over the first few steps of a run.
+
 The trainer accumulates virtual-time statistics so throughput harnesses
 can report instances/second under the simulated testbed.
 """
@@ -24,6 +38,7 @@ import numpy as np
 from repro.core.autodiff import gradients
 from repro.graph.graph import Graph
 from repro.graph.tensor import Tensor
+from repro.runtime.batching import BatchPolicy
 from repro.runtime.session import Runtime, Session
 from repro.runtime.stats import RunStats
 
@@ -31,11 +46,25 @@ __all__ = ["Trainer"]
 
 
 class Trainer:
-    """Drives two-phase training steps for a built model graph."""
+    """Drives two-phase training steps for a built model graph.
+
+    Args:
+        graph, loss, optimizer, runtime: the built model step.
+        variables: trainables to update (defaults to the runtime's).
+        session_kwargs: extra :class:`~repro.runtime.session.Session`
+            keyword arguments (worker count, cost model, engine, ...).
+        batching: training-path micro-batching mode — ``False`` (scalar
+            dispatch), ``True`` (fixed policy) or ``"adaptive"``
+            (per-signature adaptive flush policy).  Overrides any
+            ``batching`` entry in ``session_kwargs``.
+        batch_policy: explicit flush policy (implies ``batching`` unless
+            set); see :mod:`repro.runtime.batching`.
+    """
 
     def __init__(self, graph: Graph, loss: Tensor, optimizer, runtime: Runtime,
                  variables: Optional[Sequence] = None,
-                 session_kwargs: Optional[dict] = None):
+                 session_kwargs: Optional[dict] = None,
+                 batching=None, batch_policy: Optional[BatchPolicy] = None):
         self.graph = graph
         self.loss = loss
         self.optimizer = optimizer
@@ -44,6 +73,11 @@ class Trainer:
                           else runtime.trainable_variables())
         kwargs = dict(session_kwargs or {})
         kwargs.setdefault("record", True)
+        if batching is not None:
+            kwargs["batching"] = batching
+        if batch_policy is not None:
+            kwargs["batch_policy"] = batch_policy
+            kwargs.setdefault("batching", True)
         self.session = Session(graph, runtime, **kwargs)
 
         _, update_ops = gradients(loss, [])

@@ -533,6 +533,46 @@ def _batched_gather(ops, inputs_list, ctxs):
             for inputs in inputs_list]
 
 
+def _batched_gather_grad(ops, inputs_list, ctxs):
+    """Fused embedding-scatter: N dense table gradients in one scatter-add.
+
+    The backward-pass hot path of every leaf frame is ``GatherGrad`` — a
+    dense ``zeros_like(table)`` with ``np.add.at`` scatter per member.
+    Stacking members along a new axis 0 and prefixing the index operand
+    with the member index turns the bucket into *one* ``np.add.at`` call.
+    Iteration order of the combined call is member-major and preserves
+    each member's own index order, so every member's slice accumulates in
+    exactly the order its scalar kernel would — bit-identical.
+    """
+    first = inputs_list[0]
+    if not all(isinstance(v, np.ndarray) for v in first):
+        return [[_gather_grad_kernel(op, inputs, ctx)[0]]
+                for op, inputs, ctx in zip(ops, inputs_list, ctxs)]
+    n = len(inputs_list)
+    g = np.stack([inputs[0] for inputs in inputs_list])
+    idx = np.stack([np.asarray(inputs[1]) for inputs in inputs_list])
+    params = first[2]
+    out = np.zeros((n,) + params.shape, dtype=params.dtype)
+    member = np.arange(n).reshape((n,) + (1,) * (idx.ndim - 1))
+    np.add.at(out, (np.broadcast_to(member, idx.shape), idx), g)
+    return [[out[i]] for i in range(n)]
+
+
+def _batched_transpose(ops, inputs_list, ctxs):
+    """Stacked transpose (the matmul-grad companion): member permutations
+    shift by one past the new leading batch axis."""
+    x0 = inputs_list[0][0]
+    if not isinstance(x0, np.ndarray):
+        return [[np.transpose(inputs[0], ops[0].attrs.get("perm"))]
+                for inputs in inputs_list]
+    perm = ops[0].attrs.get("perm")
+    if perm is None:
+        perm = tuple(reversed(range(x0.ndim)))
+    x = np.stack([inputs[0] for inputs in inputs_list])
+    out = np.transpose(x, (0,) + tuple(p + 1 for p in perm))
+    return [[out[i]] for i in range(len(inputs_list))]
+
+
 def _batched_reshape(ops, inputs_list, ctxs):
     target = tuple(ops[0].attrs["shape"])
     x0 = inputs_list[0][0]
@@ -580,10 +620,12 @@ def _register_batched_array():
                             batch_attrs=("axis",))
     register_batched_kernel("Squeeze", _stacked_axis_op(np.squeeze),
                             batch_attrs=("axis",))
-    # Member-loop only: correctness is subtle to vectorize (scatter-adds,
-    # permutations), but fusing still amortizes the per-op overhead.
-    register_batched_kernel("GatherGrad")
-    register_batched_kernel("Transpose")
+    # Backward-pass hot kernels: fused scatter-add for embedding gradients
+    # and stacked permutation for the matmul-grad transposes.
+    register_batched_kernel("GatherGrad", _batched_gather_grad)
+    register_batched_kernel("Transpose", _batched_transpose,
+                            batch_attrs=("perm",))
+    # Member-loop only: their entire cost is the per-op engine overhead.
     register_batched_kernel("ZerosLike")
     register_batched_kernel("OnesLike")
 

@@ -555,6 +555,31 @@ def _batched_matmul(ops, inputs_list, ctxs):
     return [[out[i]] for i in range(len(inputs_list))]
 
 
+def _batched_reduce_to_like(ops, inputs_list, ctxs):
+    """Vectorized broadcast-gradient reduction (elementwise-grad hot path).
+
+    ``ReduceToLike`` sums a gradient down to a reference shape; members of
+    one bucket share both shapes (the batch signature includes them), so
+    the member loop of axis-wise ``sum`` calls becomes axis-shifted sums
+    over the stacked array.  ``np.sum`` over one axis of a stacked array
+    performs the same reduction per member slice as the per-member call —
+    bit-identical.
+    """
+    first = inputs_list[0]
+    if not (isinstance(first[0], np.ndarray)
+            and isinstance(first[1], np.ndarray)):
+        return [[_reduce_to_shape(inputs[0], np.asarray(inputs[1]).shape)]
+                for inputs in inputs_list]
+    shape = first[1].shape
+    grad = np.stack([inputs[0] for inputs in inputs_list])
+    while grad.ndim - 1 > len(shape):
+        grad = grad.sum(axis=1)
+    for axis, (gdim, sdim) in enumerate(zip(grad.shape[1:], shape)):
+        if sdim == 1 and gdim != 1:
+            grad = grad.sum(axis=axis + 1, keepdims=True)
+    return [[grad[i]] for i in range(len(inputs_list))]
+
+
 def _batched_cast(ops, inputs_list, ctxs):
     target = ops[0].attrs["dtype"].np_dtype
     x = np.stack([np.asarray(inputs[0]) for inputs in inputs_list])
@@ -583,10 +608,12 @@ def _register_batched_math():
     for name, fn in {**binary, **unary, **ternary}.items():
         register_batched_kernel(
             name, batched_elementwise(fn, op_def(name).kernel))
-    # Pure pass-through / bookkeeping ops: the member loop already removes
-    # the per-op engine overhead, which is their entire cost.
+    # Pure pass-through: the member loop already removes the per-op
+    # engine overhead, which is its entire cost.
     register_batched_kernel("Identity")
-    register_batched_kernel("ReduceToLike")
+    # Broadcast-gradient reduction is on every binary elementwise op's
+    # backward path; it vectorizes because bucket members share shapes.
+    register_batched_kernel("ReduceToLike", _batched_reduce_to_like)
 
 
 _register_batched_math()

@@ -106,7 +106,10 @@ def assign_sub(var_name: str, delta, name=None) -> Tensor:
 
 
 def _accum_kernel(op, inputs, ctx):
-    ctx.accumulators.add(op.attrs["var_name"], np.asarray(inputs[0]))
+    # The (frame key, op id) order key makes the per-variable sum canonical
+    # across engines and scheduling modes (see GradientAccumulator).
+    ctx.accumulators.add(op.attrs["var_name"], np.asarray(inputs[0]),
+                         order=(ctx.frame.key, op.id))
     return [inputs[0]]
 
 

@@ -2,19 +2,24 @@
 
 Both engines (virtual-time :class:`EventEngine`, wall-clock
 ``ThreadedEngine``) support cross-instance dynamic micro-batching: with
-``batching=True`` on a :class:`Session`, same-signature ready operations
-from concurrent frames fuse into single vectorized kernel calls (see
-:mod:`repro.runtime.batching`), preserving values bit-for-bit.
+``batching=True`` (or ``"adaptive"``) on a :class:`Session`,
+same-signature ready operations from concurrent frames fuse into single
+vectorized kernel calls (see :mod:`repro.runtime.batching`), preserving
+values bit-for-bit.  The training path batches end to end: backward frame
+spawns, gradient kernels and the backprop value cache's bulk traffic.
 """
 
-from .batching import BatchPolicy, Coalescer, batch_signature
-from .cost_model import CostModel, client_eager, gpu_profile, testbed_cpu, unit_cost
+from .batching import (AdaptiveBatchPolicy, BatchPolicy, Coalescer,
+                       batch_signature)
+from .cost_model import (CostModel, calibrate_batch_member_cost, client_eager,
+                         gpu_profile, testbed_cpu, unit_cost)
 from .engine import EngineError, EventEngine
 from .session import Runtime, Session, default_runtime, reset_default_runtime
 from .stats import RunStats
 from .variables import GradientAccumulator, Variable, VariableStore
 
-__all__ = ["BatchPolicy", "Coalescer", "batch_signature", "CostModel",
+__all__ = ["AdaptiveBatchPolicy", "BatchPolicy", "Coalescer",
+           "batch_signature", "CostModel", "calibrate_batch_member_cost",
            "client_eager", "gpu_profile", "testbed_cpu",
            "unit_cost", "EngineError", "EventEngine", "Runtime", "Session",
            "default_runtime", "reset_default_runtime", "RunStats",

@@ -13,50 +13,58 @@ the results back to the owning frames.
 Unlike Fold, batching happens *inside* the engines at dispatch time, so
 it composes with recursion (frames at different depths fuse freely), with
 conditionals (only actually-taken branches produce work), and with
-training (each member still records its forward values under its own
-frame key, so backpropagation is unchanged).
+training: backward frames batch exactly like forward ones — concurrent
+``InvokeGrad`` ops fuse into one frame spawn, ``CacheLookup`` buckets
+resolve activations through one bulk value-cache read, and a fused
+batch's recorded forward values are stored through one bulk write.
 
 Components:
 
 * :func:`batch_signature` — the bucketing key of one ready instance;
 * :class:`Bucket` — an ordered group of same-signature instances;
 * :class:`Coalescer` — the signature-keyed pending-bucket table with the
-  flush policy;
-* :class:`BatchPolicy` — knobs: bucket capacity, minimum profitable size
-  and (wall-clock engine only) the flush timeout bounding how long a
-  partially-filled bucket may wait.
+  flush policy and an amortized-O(1) deadline queue for expiry;
+* :class:`BatchPolicy` — fixed knobs: bucket capacity, minimum profitable
+  size and (wall-clock engine only) the flush timeout bounding how long a
+  partially-filled bucket may wait;
+* :class:`AdaptiveBatchPolicy` — per-signature feedback control of the
+  minimum size and flush timeout, driven by observed flush widths.
 
 Both engines share the same discipline:
 
-1. ready instances whose op type has a registered ``batched_kernel`` are
-   *offered* to the coalescer instead of executing immediately;
+1. ready instances whose op type has a registered ``batched_kernel`` (or,
+   for async ops, a batched frame-spawn registration) are *offered* to
+   the coalescer instead of executing immediately;
 2. a bucket that reaches ``max_batch`` flushes at once;
 3. when the engine runs out of other ready work (the current wavefront is
    exhausted), all pending buckets flush ("flush on drain");
 4. the wall-clock engine additionally expires buckets: whenever a
    worker's queue wait times out (every ``flush_timeout`` seconds of
-   quiet), it flushes the oldest bucket that has aged past
-   ``flush_timeout`` — so once no other ready work remains, a held
-   bucket is released within roughly two idle polls, ruling out
+   quiet), it flushes the bucket with the earliest deadline that has aged
+   past its signature's timeout — so once no other ready work remains, a
+   held bucket is released within roughly two idle polls, ruling out
    deadlock.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Optional
 
 import numpy as np
 
 from repro.graph.registry import OpDef, op_def
 
-__all__ = ["BatchPolicy", "Bucket", "Coalescer", "batch_signature"]
+__all__ = ["BatchPolicy", "AdaptiveBatchPolicy", "Bucket", "Coalescer",
+           "batch_signature", "resolve_batching"]
 
 
 @dataclass
 class BatchPolicy:
-    """Flush policy for the coalescing ready queue."""
+    """Fixed flush policy for the coalescing ready queue."""
 
     #: hard cap on bucket size; a full bucket flushes immediately
     max_batch: int = 64
@@ -77,6 +85,131 @@ class BatchPolicy:
         if self.flush_timeout <= 0:
             raise ValueError("flush_timeout must be positive")
 
+    # -- per-signature interface (constant for the fixed policy) -----------
+
+    def min_batch_for(self, signature) -> int:
+        """Minimum profitable bucket size for ``signature``."""
+        return self.min_batch
+
+    def timeout_for(self, signature) -> float:
+        """Flush deadline (seconds past bucket open) for ``signature``."""
+        return self.flush_timeout
+
+    def observe(self, signature, width: int, cause: str) -> None:
+        """Feedback hook: a ``signature`` bucket flushed at ``width``.
+
+        ``cause`` is ``"full"`` (hit max_batch), ``"drain"`` (wavefront
+        exhausted) or ``"timeout"`` (deadline expiry).  The fixed policy
+        ignores it; :class:`AdaptiveBatchPolicy` tunes per-signature knobs.
+        """
+
+
+@dataclass
+class _SignatureState:
+    """Adaptive state for one batch signature."""
+
+    width_ema: float
+    min_batch: int
+    timeout: float
+    flushes: int = 0
+
+
+@dataclass
+class AdaptiveBatchPolicy(BatchPolicy):
+    """Per-signature adaptive flush policy.
+
+    The fixed :class:`BatchPolicy` forces one global trade-off on every op
+    type: a min-size/timeout that suits wide, frequent signatures (TreeLSTM
+    internal-node matmuls) starves rare ones (root classifiers, scalar
+    control ops) and vice versa.  This policy observes every flush and
+    tunes each signature independently:
+
+    * the **width EMA** tracks how many same-signature instances are
+      typically in flight when a bucket flushes;
+    * the **minimum profitable size** follows ``width_ema / 2`` (clamped
+      to ``[min_batch, max_batch]``) — a signature that reliably fuses 30
+      wide should not execute 2-wide slivers through the fused path, while
+      a signature that never exceeds 3 must not wait for 8;
+    * the **flush timeout** shrinks multiplicatively whenever a deadline
+      expiry catches a bucket below its minimum size (waiting longer was
+      pure latency) and grows additively while buckets flush full
+      (traffic is dense; patience buys width), bounded by
+      ``[min_timeout, max_timeout]``.
+
+    Convergence: for a stationary arrival width W the EMA is a contraction
+    toward W, so ``min_batch_for`` settles at ``clamp(W/2)`` and the
+    timeout settles at a bound — ``tests/test_adaptive_policy.py`` asserts
+    both.  ``snapshot()`` exposes the per-signature state for reporting.
+    """
+
+    #: EMA smoothing factor for observed flush widths
+    ema_alpha: float = 0.25
+    #: bounds for the per-signature adaptive timeout (seconds)
+    min_timeout: float = 0.0005
+    max_timeout: float = 0.01
+    #: multiplicative decrease on a starved expiry / additive increase step
+    timeout_decay: float = 0.5
+    timeout_growth: float = 1.25
+    _signatures: dict = field(default_factory=dict, repr=False)
+
+    def _state(self, signature) -> _SignatureState:
+        state = self._signatures.get(signature)
+        if state is None:
+            state = _SignatureState(width_ema=float(self.min_batch),
+                                    min_batch=self.min_batch,
+                                    timeout=self.flush_timeout)
+            self._signatures[signature] = state
+        return state
+
+    def min_batch_for(self, signature) -> int:
+        return self._state(signature).min_batch
+
+    def timeout_for(self, signature) -> float:
+        return self._state(signature).timeout
+
+    def observe(self, signature, width: int, cause: str) -> None:
+        state = self._state(signature)
+        state.flushes += 1
+        state.width_ema += self.ema_alpha * (width - state.width_ema)
+        state.min_batch = int(min(self.max_batch,
+                                  max(self.min_batch,
+                                      round(state.width_ema / 2))))
+        if cause == "timeout" and width < state.min_batch:
+            state.timeout = max(self.min_timeout,
+                                state.timeout * self.timeout_decay)
+        elif cause == "full":
+            state.timeout = min(self.max_timeout,
+                                state.timeout * self.timeout_growth)
+
+    def snapshot(self) -> dict:
+        """Per-signature tuned state, for reporting/inspection.
+
+        Returns ``{signature: {"width_ema", "min_batch", "timeout",
+        "flushes"}}`` — the stable surface consumed by
+        :func:`repro.harness.reporting.format_adaptive_policy`.
+        """
+        return {sig: {"width_ema": state.width_ema,
+                      "min_batch": state.min_batch,
+                      "timeout": state.timeout,
+                      "flushes": state.flushes}
+                for sig, state in self._signatures.items()}
+
+
+def resolve_batching(batching, policy: Optional[BatchPolicy]):
+    """Normalize the user-facing ``batching=`` knob.
+
+    ``batching`` may be a bool or the string ``"adaptive"``; returns
+    ``(enabled, policy)`` where ``"adaptive"`` selects a fresh
+    :class:`AdaptiveBatchPolicy` unless an explicit policy was given.
+    Unknown strings are rejected rather than silently truthy.
+    """
+    if batching == "adaptive":
+        return True, policy if policy is not None else AdaptiveBatchPolicy()
+    if isinstance(batching, str):
+        raise ValueError(f"unknown batching mode {batching!r}; "
+                         "expected False, True or \"adaptive\"")
+    return bool(batching), policy
+
 
 def _value_sig(value: Any):
     """Shape/dtype fingerprint of one runtime input value."""
@@ -92,11 +225,21 @@ def batch_signature(op, inputs, definition: Optional[OpDef] = None):
 
     Two instances may fuse iff they have the same op type, identical
     batching-relevant attrs (``batch_attrs`` in the op's registration) and
-    input values of identical kind/dtype/shape.  Async ops, stateful ops
-    and op types without a registered ``batched_kernel`` never batch.
+    input values of identical kind/dtype/shape.  Async ops batch only when
+    registered via ``register_batched_async`` (one fused frame spawn per
+    bucket), keyed additionally by the *identity* of their target SubGraph;
+    other stateful ops and op types without a registered ``batched_kernel``
+    never batch.
     """
     if definition is None:
         definition = op_def(op.op_type)
+    if definition.is_async:
+        if not definition.meta.get("batch_async"):
+            return None
+        identity = tuple(id(op.attrs.get(k))
+                         for k in definition.meta.get("batch_identity_attrs",
+                                                      ()))
+        return (op.op_type, identity, tuple(_value_sig(v) for v in inputs))
     if definition.batched_kernel is None:
         return None
     attrs = tuple(repr(op.attrs.get(k))
@@ -127,6 +270,13 @@ class Bucket:
 class Coalescer:
     """Signature-keyed table of pending buckets (insertion-ordered).
 
+    Alongside the bucket table an insertion-ordered min-heap of
+    ``(deadline, bucket)`` entries supports :meth:`pop_expired` in
+    amortized O(1): flushed buckets leave stale heap entries behind that
+    are discarded lazily when they surface, so expiry never scans the
+    live table.  Deadlines are fixed at bucket-open time from the
+    policy's per-signature timeout.
+
     Not thread-safe by itself; the threaded engine serializes access under
     its master lock, the event engine is single-threaded.
     """
@@ -134,45 +284,77 @@ class Coalescer:
     def __init__(self, policy: Optional[BatchPolicy] = None):
         self.policy = policy or BatchPolicy()
         self._buckets: OrderedDict[Any, Bucket] = OrderedDict()
+        # (deadline, seq, signature, opened_at): deliberately *not* the
+        # bucket object, so stale entries never pin flushed buckets (and
+        # their frames' values) in memory
+        self._deadlines: list = []
+        self._seq = itertools.count()
         self._pending = 0
 
     def offer(self, signature, inst, inputs: list,
               now: float = 0.0) -> Optional[Bucket]:
         """Queue one ready instance; returns the bucket if it became full."""
+        self._drain_stale_deadlines()
         bucket = self._buckets.get(signature)
         if bucket is None:
             bucket = Bucket(signature, inst.op.op_type, now)
             self._buckets[signature] = bucket
+            heapq.heappush(self._deadlines,
+                           (now + self.policy.timeout_for(signature),
+                            next(self._seq), signature, bucket.opened_at))
         bucket.add(inst, inputs)
         self._pending += 1
         if len(bucket) >= self.policy.max_batch:
-            return self._remove(signature)
+            return self._remove(signature, "full")
         return None
+
+    def _is_stale(self, signature, opened_at: float) -> bool:
+        bucket = self._buckets.get(signature)
+        return bucket is None or bucket.opened_at != opened_at
+
+    def _drain_stale_deadlines(self) -> None:
+        """Drop leading heap entries for already-flushed buckets.
+
+        Called opportunistically on offer so engines that never expire
+        (the event engine flushes on drain) do not accumulate one heap
+        tuple per flushed bucket across a long run.  Amortized O(1):
+        each entry is pushed once and popped once.
+        """
+        while self._deadlines and self._is_stale(self._deadlines[0][2],
+                                                 self._deadlines[0][3]):
+            heapq.heappop(self._deadlines)
 
     def pop(self) -> Optional[Bucket]:
         """Remove and return the oldest pending bucket (FIFO fairness)."""
         if not self._buckets:
             return None
         signature = next(iter(self._buckets))
-        return self._remove(signature)
+        return self._remove(signature, "drain")
 
     def pop_expired(self, now: float) -> Optional[Bucket]:
-        """Remove the oldest bucket that outlived ``flush_timeout``.
+        """Remove the earliest-deadline bucket whose deadline has passed.
 
         The threaded engine's idle path calls this so a partially-filled
-        bucket is deferred at most ~flush_timeout once the queue goes
-        quiet, without flushing buckets that were filed moments ago.
+        bucket is deferred at most ~its signature's timeout once the queue
+        goes quiet.  Stale heap entries (buckets flushed through
+        :meth:`offer`/:meth:`pop` since being filed) are discarded lazily,
+        keeping each call O(1) amortized regardless of table size.
         """
-        if not self._buckets:
-            return None
-        signature, bucket = next(iter(self._buckets.items()))
-        if now - bucket.opened_at >= self.policy.flush_timeout:
-            return self._remove(signature)
+        while self._deadlines:
+            deadline, _, signature, opened_at = self._deadlines[0]
+            if self._is_stale(signature, opened_at):
+                heapq.heappop(self._deadlines)  # stale: already flushed
+                continue
+            if deadline > now:
+                return None
+            heapq.heappop(self._deadlines)
+            return self._remove(signature, "timeout")
         return None
 
-    def _remove(self, signature) -> Bucket:
+    def _remove(self, signature, cause: str) -> Bucket:
         bucket = self._buckets.pop(signature)
         self._pending -= len(bucket)
+        self.policy.observe(signature, len(bucket), cause)
         return bucket
 
     def __len__(self) -> int:

@@ -35,7 +35,7 @@ import numpy as np
 from repro.graph.registry import op_def
 
 __all__ = ["CostModel", "testbed_cpu", "client_eager", "gpu_profile",
-           "unit_cost", "GpuCostParams"]
+           "unit_cost", "GpuCostParams", "calibrate_batch_member_cost"]
 
 
 def _value_bytes(value) -> int:
@@ -97,8 +97,19 @@ class CostModel:
     intra_op_grain: float = 40e-6
     #: per-member gather/scatter bookkeeping of a fused micro-batch (the
     #: in-engine analogue of Fold's regrouping, but without host<->device
-    #: copies — orders of magnitude below ``regroup_per_node``)
+    #: copies — orders of magnitude below ``regroup_per_node``).  The
+    #: default is validated against host measurements of the stacked-numpy
+    #: fused kernels; see :func:`calibrate_batch_member_cost`.
     batch_member_cost: float = 0.6e-6
+    #: per-entry cost inside one *bulk* cache transaction: with the shard
+    #: lock held and the bucket's keys grouped, each additional entry is a
+    #: hash+insert, an order of magnitude below the per-op
+    #: ``cache_entry_cost``/``cache_lookup_cost`` round-trips it replaces
+    cache_bulk_entry_cost: float = 0.7e-6
+    #: per-member cost of a fused frame spawn (binding dict setup and
+    #: frame bookkeeping that batching the caller-context setup of
+    #: Invoke/InvokeGrad cannot eliminate)
+    async_batch_member_cost: float = 8e-6
 
     def op_cost(self, op, inputs) -> float:
         kind = op_def(op.op_type).meta.get("cost", "elementwise")
@@ -133,6 +144,40 @@ class CostModel:
         overhead = (0.25 if kind == "trivial" else 1.0) * self.op_overhead
         return overhead + len(ops) * self.batch_member_cost + work
 
+    def bulk_cache_lookup_cost(self, keys_and_inputs) -> float:
+        """Virtual cost of one bulk value-cache read for a whole bucket.
+
+        One lock/table round-trip (``cache_lookup_cost``) covers the
+        bucket; members add the per-entry hash+read term.  Replaces N
+        serialized ``cache_lookup_cost`` charges on the cache clock.
+        """
+        n = len(keys_and_inputs)
+        size = sum((sum(_value_bytes(v) for v in inputs) if inputs else 64)
+                   for inputs in keys_and_inputs)
+        return (self.cache_lookup_cost + n * self.cache_bulk_entry_cost
+                + size / self.cache_bytes_rate)
+
+    def bulk_cache_write_cost(self, values) -> float:
+        """Virtual cost of storing a fused batch's recorded outputs.
+
+        One ``cache_entry_cost`` round-trip plus a per-entry bulk term and
+        the byte traffic; the paid-per-value entry overhead of the scalar
+        path is what made recursive training cache-bound (Section 5).
+        """
+        values = list(values)
+        size = sum(_value_bytes(v) for v in values)
+        return (self.cache_entry_cost
+                + len(values) * self.cache_bulk_entry_cost
+                + size / self.cache_bytes_rate)
+
+    def async_batch_overhead(self, op, n: int) -> float:
+        """Cost of one fused frame spawn for ``n`` same-signature async ops.
+
+        The caller-context setup (``invoke_overhead`` etc.) is paid once;
+        each member still pays its binding/bookkeeping share.
+        """
+        return self.async_overhead(op) + (n - 1) * self.async_batch_member_cost
+
     def async_overhead(self, op) -> float:
         kind = op.op_type
         if kind in ("Invoke", "InvokeGrad"):
@@ -153,9 +198,76 @@ class CostModel:
         return self.dispatch_cost
 
 
-def testbed_cpu() -> CostModel:
-    """The default profile modelling the paper's 36-core CPU testbed."""
-    return CostModel()
+def calibrate_batch_member_cost(widths=(4, 8, 16, 32, 64),
+                                shape=(64, 64), repeats=30,
+                                model: Optional["CostModel"] = None) -> float:
+    """Measure the per-member bookkeeping cost of the fused kernels.
+
+    The fused micro-batch kernels pay real per-member work the scalar path
+    does not: gathering member operands into one stacked array and
+    scattering result slices back out.  This measures exactly that
+    bookkeeping on the host — ``np.stack`` over ``w`` members plus result
+    slicing, across several widths — and fits ``t(w) = a + b*w`` by least
+    squares; the slope ``b`` is the host seconds/member.  The value is
+    rescaled into *virtual testbed seconds* by the ratio of the measured
+    host arithmetic rate to the model's ``flops_rate`` (the same currency
+    every other constant is expressed in) and clamped to a sane band.
+
+    The default ``CostModel.batch_member_cost`` constant was validated
+    against this measurement; pass ``calibrate=True`` to
+    :func:`testbed_cpu` to use a live-measured value instead (host-
+    dependent, so benchmarks that must be reproducible across machines
+    keep the constant).
+    """
+    import time
+
+    model = model or CostModel()
+    widths = sorted(widths)
+    rng = np.random.default_rng(0)
+    members = [rng.standard_normal(shape).astype(np.float32)
+               for _ in range(max(widths))]
+
+    # Host arithmetic rate reference (the exchange rate into testbed time).
+    a = rng.standard_normal((256, 256)).astype(np.float32)
+    a @ a  # warm up BLAS
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        a @ a
+    host_flops_rate = repeats * 2.0 * 256 ** 3 / max(
+        time.perf_counter() - t0, 1e-9)
+
+    xs, ys = [], []
+    for width in widths:
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            stacked = np.stack(members[:width])
+            for i in range(width):
+                stacked[i]
+        ys.append((time.perf_counter() - t0) / repeats)
+        xs.append(float(width))
+    slope = float(np.polyfit(xs, ys, 1)[0])  # host seconds per member
+    virtual = slope * host_flops_rate / model.flops_rate
+    return float(min(5e-6, max(0.05e-6, virtual)))
+
+
+def testbed_cpu(calibrate: bool = False) -> CostModel:
+    """The default profile modelling the paper's 36-core CPU testbed.
+
+    ``calibrate=True`` replaces the modelled ``batch_member_cost`` constant
+    with a value measured on this host via
+    :func:`calibrate_batch_member_cost` (memoized per process).  The
+    default stays constant so virtual-time results are host-independent.
+    """
+    model = CostModel()
+    if calibrate:
+        global _CALIBRATED_MEMBER_COST
+        if _CALIBRATED_MEMBER_COST is None:
+            _CALIBRATED_MEMBER_COST = calibrate_batch_member_cost(model=model)
+        model.batch_member_cost = _CALIBRATED_MEMBER_COST
+    return model
+
+
+_CALIBRATED_MEMBER_COST: Optional[float] = None
 
 
 def client_eager() -> CostModel:
@@ -213,7 +325,9 @@ def unit_cost() -> CostModel:
                       dispatch_cost=0.0, invoke_overhead=0.0,
                       return_overhead=0.0, cond_overhead=0.0,
                       loop_iter_overhead=0.0, loop_var_overhead=0.0,
-                      cache_entry_cost=0.0, cache_lookup_cost=1.0)
+                      cache_entry_cost=0.0, cache_lookup_cost=1.0,
+                      cache_bulk_entry_cost=0.0,
+                      async_batch_member_cost=0.0)
 
     def flat_cost(op, inputs, _m=model):
         return 1.0
@@ -223,4 +337,6 @@ def unit_cost() -> CostModel:
     # a fused micro-batch costs one virtual second regardless of size, so
     # scheduler tests can predict batched makespans exactly
     model.batch_cost = lambda ops, inputs: 1.0  # type: ignore[method-assign]
+    model.bulk_cache_lookup_cost = lambda kis: 1.0  # type: ignore[method-assign]
+    model.bulk_cache_write_cost = lambda values: 0.0  # type: ignore[method-assign]
     return model

@@ -22,15 +22,20 @@ what lets a GIL-bound Python reproduction exhibit the paper's 36-core
 scheduling dynamics.  A wall-clock thread-pool engine with identical
 semantics lives in :mod:`repro.runtime.threaded`.
 
-Dynamic micro-batching (``batching=True``): because inner ops from many
-concurrent frames interleave in the one ready queue, ready instances with
-the same batch signature (op type + attrs + input shapes) can be coalesced
-into a single vectorized kernel call — Fold-style dynamic batching, but
-*inside* the recursive engine (see :mod:`repro.runtime.batching`).  A
-bucket flushes when full or when the current ready wavefront is exhausted;
-results scatter back to the owning frames, so values are bit-identical to
-unbatched execution and the feature composes with recursion, conditionals
-and backpropagation.
+Dynamic micro-batching (``batching=True`` / ``"adaptive"``): because
+inner ops from many concurrent frames interleave in the one ready queue,
+ready instances with the same batch signature (op type + attrs + input
+shapes) can be coalesced into a single vectorized kernel call — Fold-style
+dynamic batching, but *inside* the recursive engine (see
+:mod:`repro.runtime.batching`).  A bucket flushes when full or when the
+current ready wavefront is exhausted; results scatter back to the owning
+frames, so values are bit-identical to unbatched execution and the feature
+composes with recursion, conditionals and backpropagation.  The training
+path batches end to end: same-signature async ops (``Invoke`` /
+``InvokeGrad``) fuse into one frame spawn charged a single caller-context
+setup, ``CacheLookup`` buckets resolve through one bulk value-cache
+round-trip on the serialized cache clock, and the recorded activations of
+a fused batch are stored through one bulk cache write.
 """
 
 from __future__ import annotations
@@ -46,15 +51,42 @@ from repro.graph.graph import Graph, Operation
 from repro.graph.registry import ExecContext, op_def
 from repro.graph.tensor import Tensor
 
-from .batching import BatchPolicy, Coalescer, batch_signature
+from .batching import (BatchPolicy, Coalescer, batch_signature,
+                       resolve_batching)
 from .cost_model import CostModel, testbed_cpu
 from .stats import RunStats
 
-__all__ = ["Frame", "Instance", "EventEngine", "EngineError"]
+__all__ = ["Frame", "Instance", "EventEngine", "EngineError",
+           "should_store"]
 
 
 class EngineError(RuntimeError):
     """An error raised while executing a graph, annotated with op context."""
+
+
+def should_store(frame, op_id: int, out_idx: int) -> bool:
+    """Selective caching: after differentiation each body graph knows
+    which forward values its backward body looks up.  Shared by both
+    engines so the record-set stays identical across them."""
+    cache_filter = getattr(frame.graph, "cache_filter", None)
+    return cache_filter is None or (op_id, out_idx) in cache_filter
+
+
+def collect_cache_entries(members, outputs_list) -> list:
+    """The record-set of one fused batch as ``store_many`` entries.
+
+    Shared by both engines' batch-completion paths so the set of cached
+    values (and its bulk-write layout) cannot diverge between them.
+    """
+    entries = []
+    for inst, outputs in zip(members, outputs_list):
+        frame = inst.frame
+        if frame.record:
+            for i, value in enumerate(outputs):
+                if should_store(frame, inst.op.id, i):
+                    entries.append((frame.key, frame.graph.graph_id,
+                                    inst.op.id, i, value))
+    return entries
 
 
 class Frame:
@@ -142,6 +174,8 @@ class EventEngine:
         max_depth: recursion guard.
         batching: coalesce same-signature ready ops across frames into
             fused vectorized kernel calls (cross-instance micro-batching).
+            ``True`` uses the fixed flush policy, ``"adaptive"`` the
+            per-signature :class:`~repro.runtime.batching.AdaptiveBatchPolicy`.
         batch_policy: bucket capacity / flush policy when batching.
     """
 
@@ -156,7 +190,7 @@ class EventEngine:
         self.record = record
         self.scheduler = scheduler
         self.max_depth = max_depth
-        self.batching = batching
+        self.batching, batch_policy = resolve_batching(batching, batch_policy)
         self.batch_policy = batch_policy or BatchPolicy()
         self._seq = itertools.count()
         self._reset()
@@ -232,12 +266,7 @@ class EventEngine:
         self._error: Optional[Exception] = None
         self.stats = RunStats()
 
-    @staticmethod
-    def _should_store(frame: Frame, op_id: int, out_idx: int) -> bool:
-        """Selective caching: after differentiation each body graph knows
-        which forward values its backward body looks up."""
-        cache_filter = getattr(frame.graph, "cache_filter", None)
-        return cache_filter is None or (op_id, out_idx) in cache_filter
+    _should_store = staticmethod(should_store)
 
     def _make_frame(self, graph, op_ids, bindings, key, depth, record,
                     on_complete, owner) -> Frame:
@@ -280,8 +309,15 @@ class EventEngine:
                 inst, outputs, starter_inputs = payload
                 try:
                     if isinstance(inst, list):  # fused micro-batch members
-                        for member, member_outputs in zip(inst, outputs):
-                            self._complete_instance(member, member_outputs)
+                        if starter_inputs is not None:
+                            # fused frame spawn: run every member's starter
+                            for member, member_inputs in zip(inst,
+                                                             starter_inputs):
+                                starter = op_def(
+                                    member.op.op_type).meta["starter"]
+                                starter(self, member, member_inputs)
+                        else:
+                            self._complete_batch(inst, outputs)
                     elif starter_inputs is None:
                         self._complete_instance(inst, outputs)
                     else:
@@ -366,7 +402,8 @@ class EventEngine:
 
     def _execute_batch(self, bucket) -> None:
         """Run one fused kernel call for a bucket of same-signature ops."""
-        if len(bucket) < self.batch_policy.min_batch:
+        if len(bucket) < self._coalescer.policy.min_batch_for(
+                bucket.signature):
             for inst, inputs in zip(bucket.instances, bucket.inputs):
                 if self._free <= 0:
                     # no worker for the stragglers: requeue them
@@ -382,6 +419,18 @@ class EventEngine:
         self._free -= 1
         busy = self.num_workers - self._free
         self.stats.max_concurrency = max(self.stats.max_concurrency, busy)
+        if definition.is_async:
+            # fused frame spawn: the caller-context setup is charged once
+            # for the bucket; starters run at completion time like the
+            # scalar async path.
+            cost = self.cost_model.async_batch_overhead(ops[0], len(bucket))
+            self.stats.note_batch(bucket.op_type, len(bucket), cost,
+                                  bucket.signature)
+            heapq.heappush(self._events,
+                           (self._master_clock + cost, next(self._seq),
+                            _OP_DONE, (list(bucket.instances), None,
+                                       list(bucket.inputs))))
+            return
         try:
             ctxs = [ExecContext(self.runtime, inst.frame, inst.frame.record)
                     for inst in bucket.instances]
@@ -393,23 +442,44 @@ class EventEngine:
         except Exception as exc:
             self._error = self._wrap_error(exc, ops[0])
             return
-        cost = self.cost_model.batch_cost(ops, bucket.inputs)
-        done = self._master_clock + cost
-        for inst, outputs in zip(bucket.instances, outputs_list):
-            if not inst.frame.record:
-                continue
-            for i, value in enumerate(outputs):
-                if self._should_store(inst.frame, inst.op.id, i):
-                    write = self.cost_model.cache_write_cost(value)
-                    self._cache_clock = max(self._cache_clock, done) + write
-                    done = self._cache_clock
+        if definition.meta.get("cost") == "cache":
+            # one bulk round-trip through the serialized cache structure
+            # instead of N contended lookups (Section 5's bottleneck)
+            cost = self.cost_model.bulk_cache_lookup_cost(bucket.inputs)
+            self._cache_clock = max(self._cache_clock,
+                                    self._master_clock) + cost
+            done = self._cache_clock
+        else:
+            cost = self.cost_model.batch_cost(ops, bucket.inputs)
+            done = self._master_clock + cost
+            writes = [value
+                      for inst, outputs in zip(bucket.instances, outputs_list)
+                      if inst.frame.record
+                      for i, value in enumerate(outputs)
+                      if self._should_store(inst.frame, inst.op.id, i)]
+            if writes:
+                # the recorded outputs of a fused batch travel to the value
+                # cache as one bulk write
+                self._cache_clock = (max(self._cache_clock, done)
+                                     + self.cost_model.bulk_cache_write_cost(
+                                         writes))
+                done = self._cache_clock
         self.stats.note_batch(bucket.op_type, len(bucket),
-                              done - self._master_clock)
+                              done - self._master_clock, bucket.signature)
         heapq.heappush(self._events,
                        (done, next(self._seq), _OP_DONE,
                         (list(bucket.instances), outputs_list, None)))
 
-    def _complete_instance(self, inst: Instance, outputs: list) -> None:
+    def _complete_batch(self, members: list, outputs_list: list) -> None:
+        """Scatter a fused batch's results; one bulk store for the cache."""
+        entries = collect_cache_entries(members, outputs_list)
+        if entries:
+            self.runtime.cache.store_many(entries)
+        for inst, outputs in zip(members, outputs_list):
+            self._complete_instance(inst, outputs, store=False)
+
+    def _complete_instance(self, inst: Instance, outputs: list,
+                           store: bool = True) -> None:
         frame = inst.frame
         op = inst.op
         if len(outputs) != op.num_outputs:
@@ -418,7 +488,7 @@ class EventEngine:
                 f"values, expected {op.num_outputs}")
         for i, value in enumerate(outputs):
             frame.values[(op.id, i)] = value
-            if frame.record and self._should_store(frame, op.id, i):
+            if store and frame.record and self._should_store(frame, op.id, i):
                 self.runtime.cache.store(frame.key, frame.graph.graph_id,
                                          op.id, i, value)
         for consumer in frame.consumers.get(op.id, ()):

@@ -18,7 +18,7 @@ from repro.graph import dtypes
 from repro.graph.graph import Graph, get_default_graph
 from repro.graph.tensor import Tensor
 
-from .batching import BatchPolicy
+from .batching import AdaptiveBatchPolicy, BatchPolicy, resolve_batching
 from .cost_model import CostModel, testbed_cpu
 from .engine import EventEngine
 from .stats import RunStats
@@ -77,8 +77,14 @@ class Session:
             "threaded" for the wall-clock thread-pool engine.
         batching: fuse same-signature ready ops from concurrent frames
             into vectorized kernel calls (cross-instance dynamic
-            micro-batching, :mod:`repro.runtime.batching`).  Values are
-            bit-identical to unbatched execution.
+            micro-batching, :mod:`repro.runtime.batching`).  ``True``
+            uses the fixed :class:`~repro.runtime.batching.BatchPolicy`;
+            ``"adaptive"`` selects the per-signature
+            :class:`~repro.runtime.batching.AdaptiveBatchPolicy`, whose
+            tuned state persists across ``run`` calls.  Batching covers
+            the training path too: backward frame spawns, gradient-body
+            kernels and ``CacheLookup`` value-cache reads all coalesce.
+            Values are bit-identical to unbatched execution.
         batch_policy: bucket capacity / flush policy when batching.
     """
 
@@ -131,7 +137,15 @@ class Session:
         if record is not None:
             self._engine.record = record
         if batching is not None:
-            self._engine.batching = batching
+            # keep an existing adaptive policy: its tuned per-signature
+            # state persists across run calls
+            current = (self._engine.batch_policy
+                       if isinstance(self._engine.batch_policy,
+                                     AdaptiveBatchPolicy) else None)
+            self._engine.batching, policy = resolve_batching(batching,
+                                                             current)
+            if policy is not None:
+                self._engine.batch_policy = policy
         self.runtime.cache.clear()
         values, stats = self._engine.run(self.graph, fetch_list, feed_map)
         self.last_stats = stats

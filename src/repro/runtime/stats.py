@@ -33,6 +33,12 @@ class RunStats:
     max_batch: int = 0
     #: fused kernel calls keyed by op type
     batch_count_by_type: dict = field(default_factory=dict)
+    #: per-signature flush-width histograms: signature -> {width: count}.
+    #: A signature is the coalescer bucketing key (op type, batch attrs,
+    #: input shapes/dtypes); ``None`` signatures fall back to the op type.
+    #: This is the observability surface for the adaptive flush policy —
+    #: see :func:`repro.harness.reporting.format_batch_histogram`.
+    batch_width_hist: dict = field(default_factory=dict)
 
     def note_op(self, op_type: str, cost: float) -> None:
         self.ops_executed += 1
@@ -40,7 +46,8 @@ class RunStats:
         self.per_type_time[op_type] = (self.per_type_time.get(op_type, 0.0)
                                        + cost)
 
-    def note_batch(self, op_type: str, size: int, cost: float) -> None:
+    def note_batch(self, op_type: str, size: int, cost: float,
+                   signature=None) -> None:
         """Record one fused kernel call executing ``size`` operations."""
         self.ops_executed += size
         self.per_type_count[op_type] = (self.per_type_count.get(op_type, 0)
@@ -52,6 +59,24 @@ class RunStats:
         self.max_batch = max(self.max_batch, size)
         self.batch_count_by_type[op_type] = (
             self.batch_count_by_type.get(op_type, 0) + 1)
+        hist = self.batch_width_hist.setdefault(
+            signature if signature is not None else op_type, {})
+        hist[size] = hist.get(size, 0) + 1
+
+    def width_histogram_by_type(self) -> dict:
+        """Aggregate the per-signature histograms by op type.
+
+        Signature keys are tuples whose first element is the op type;
+        plain-string keys (op type fallback) aggregate under themselves.
+        Returns ``{op_type: {width: count}}``.
+        """
+        merged: dict = {}
+        for key, hist in self.batch_width_hist.items():
+            op_type = key[0] if isinstance(key, tuple) else key
+            into = merged.setdefault(op_type, {})
+            for width, count in hist.items():
+                into[width] = into.get(width, 0) + count
+        return merged
 
     @property
     def batch_efficiency(self) -> float:
@@ -74,6 +99,10 @@ class RunStats:
         for k, v in other.batch_count_by_type.items():
             self.batch_count_by_type[k] = (self.batch_count_by_type.get(k, 0)
                                            + v)
+        for sig, hist in other.batch_width_hist.items():
+            into = self.batch_width_hist.setdefault(sig, {})
+            for width, count in hist.items():
+                into[width] = into.get(width, 0) + count
         for k, v in other.per_type_count.items():
             self.per_type_count[k] = self.per_type_count.get(k, 0) + v
         for k, v in other.per_type_time.items():

@@ -9,13 +9,19 @@ identical values, and to demonstrate the architecture on real threads.
 Master state (frames, dependency counters) is guarded by one re-entrant
 lock; kernels run outside the lock so numpy work can overlap.
 
-Dynamic micro-batching (``batching=True``): batchable ready operations are
-offered to a shared :class:`~repro.runtime.batching.Coalescer` instead of
-executing immediately.  A bucket flushes when it is full, when the worker
-that filed it finds the ready queue empty (wavefront drained), or — since
-real threads cannot see the future — when a worker's idle ``get`` times
-out after ``BatchPolicy.flush_timeout`` seconds, which bounds how long a
-partially-filled bucket can defer its members and rules out deadlock.
+Dynamic micro-batching (``batching=True`` / ``"adaptive"``): batchable
+ready operations are offered to a shared
+:class:`~repro.runtime.batching.Coalescer` instead of executing
+immediately.  A bucket flushes when it is full, when the worker that filed
+it finds the ready queue empty (wavefront drained), or — since real
+threads cannot see the future — when a worker's idle ``get`` times out
+after ``BatchPolicy.flush_timeout`` seconds, which bounds how long a
+partially-filled bucket can defer its members and rules out deadlock
+(per-signature deadlines come from the policy; expiry pops an amortized
+O(1) deadline heap).  Training batches too: fused ``InvokeGrad`` buckets
+run every member's starter under the master lock, batched ``CacheLookup``
+kernels issue one bulk sharded-cache read outside it, and a fused batch's
+recorded values are stored through one bulk write.
 """
 
 from __future__ import annotations
@@ -31,9 +37,11 @@ from repro.graph.graph import Graph
 from repro.graph.registry import ExecContext, op_def
 from repro.graph.tensor import Tensor
 
-from .batching import BatchPolicy, Coalescer, batch_signature
+from .batching import (BatchPolicy, Coalescer, batch_signature,
+                       resolve_batching)
 from .cost_model import CostModel, testbed_cpu
-from .engine import EngineError, Frame, Instance
+from .engine import (EngineError, Frame, Instance, collect_cache_entries,
+                     should_store)
 from .stats import RunStats
 
 __all__ = ["ThreadedEngine"]
@@ -53,7 +61,7 @@ class ThreadedEngine:
         self.cost_model = cost_model or testbed_cpu()
         self.record = record
         self.max_depth = max_depth
-        self.batching = batching
+        self.batching, batch_policy = resolve_batching(batching, batch_policy)
         self.batch_policy = batch_policy or BatchPolicy()
         self._seq = itertools.count()
 
@@ -181,7 +189,9 @@ class ThreadedEngine:
             definition = op_def(op.op_type)
             try:
                 inputs = [inst.frame.values[t.ref] for t in op.inputs]
-                if self._coalescer is not None and not definition.is_async:
+                if self._coalescer is not None:
+                    # async ops batch too (fused frame spawns) when they
+                    # carry a batched-async registration
                     signature = batch_signature(op, inputs, definition)
                     if signature is not None:
                         self._offer_to_batch(signature, inst, inputs)
@@ -230,8 +240,25 @@ class ThreadedEngine:
         """Execute one bucket: fused kernel outside the lock, then scatter."""
         definition = op_def(bucket.op_type)
         ops = [inst.op for inst in bucket.instances]
+        with self._lock:  # the policy's per-signature state is lock-guarded
+            fused = len(bucket) >= self._coalescer.policy.min_batch_for(
+                bucket.signature)
         try:
-            if len(bucket) < self.batch_policy.min_batch:
+            if definition.is_async:
+                # fused (or straggler) frame spawn: starters mutate master
+                # state, so they run under the lock like the scalar path
+                starter = definition.meta["starter"]
+                with self._lock:
+                    for inst, inputs in zip(bucket.instances, bucket.inputs):
+                        starter(self, inst, inputs)
+                    if fused:
+                        self.stats.note_batch(bucket.op_type, len(bucket),
+                                              0.0, bucket.signature)
+                    else:
+                        for inst in bucket.instances:
+                            self.stats.note_op(inst.op.op_type, 0.0)
+                return
+            if not fused:
                 outputs_list = []
                 for inst, inputs in zip(bucket.instances, bucket.inputs):
                     ctx = ExecContext(self.runtime, inst.frame,
@@ -249,18 +276,28 @@ class ThreadedEngine:
                         f"batched kernel of {bucket.op_type} returned "
                         f"{len(outputs_list)} results for {len(bucket)} "
                         "members")
-            for inst, outputs in zip(bucket.instances, outputs_list):
-                self._complete_instance(inst, outputs)
+            self._complete_batch(bucket.instances, outputs_list)
             with self._lock:
-                if len(bucket) >= self.batch_policy.min_batch:
-                    self.stats.note_batch(bucket.op_type, len(bucket), 0.0)
+                if fused:
+                    self.stats.note_batch(bucket.op_type, len(bucket), 0.0,
+                                          bucket.signature)
                 else:
                     for inst in bucket.instances:
                         self.stats.note_op(inst.op.op_type, 0.0)
         except Exception as exc:
             self._fail(ops[0], exc)
 
-    def _complete_instance(self, inst: Instance, outputs: list) -> None:
+    def _complete_batch(self, members, outputs_list) -> None:
+        """Bulk-store a fused batch's recorded values, then scatter."""
+        entries = collect_cache_entries(members, outputs_list)
+        if entries:
+            # one bulk transaction (one lock round-trip per touched shard)
+            self.runtime.cache.store_many(entries)
+        for inst, outputs in zip(members, outputs_list):
+            self._complete_instance(inst, outputs, store=False)
+
+    def _complete_instance(self, inst: Instance, outputs: list,
+                           store: bool = True) -> None:
         with self._lock:
             frame = inst.frame
             op = inst.op
@@ -270,12 +307,10 @@ class ThreadedEngine:
                     f"expected {op.num_outputs}")
             for i, value in enumerate(outputs):
                 frame.values[(op.id, i)] = value
-                if frame.record:
-                    cache_filter = getattr(frame.graph, "cache_filter", None)
-                    if cache_filter is None or (op.id, i) in cache_filter:
-                        self.runtime.cache.store(frame.key,
-                                                 frame.graph.graph_id,
-                                                 op.id, i, value)
+                if store and frame.record and should_store(frame, op.id, i):
+                    self.runtime.cache.store(frame.key,
+                                             frame.graph.graph_id,
+                                             op.id, i, value)
             for consumer in frame.consumers.get(op.id, ()):
                 count = frame.pending.get(consumer.id)
                 if count is None:

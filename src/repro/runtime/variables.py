@@ -80,23 +80,56 @@ class VariableStore:
 
 
 class GradientAccumulator:
-    """Thread-safe per-variable gradient sums (zeroed before each step)."""
+    """Thread-safe per-variable gradient sums (zeroed before each step).
+
+    Contributions arrive from an unbounded number of concurrent backward
+    frames in nondeterministic order (threaded engine) or in an order that
+    depends on the scheduling mode (micro-batching reorders completions).
+    Floating-point addition is not associative, so summing eagerly in
+    arrival order would make gradients differ in their last bits between
+    batched and unbatched execution and between engines.  Instead each
+    contribution is retained with an optional *order key* — the engines
+    pass ``(frame key, op id)``, which is structural (the paper's frame-key
+    uniqueness argument) and thus identical across schedules — and
+    :meth:`read` sums contributions in canonical order-key order.  The
+    result: **bit-identical** gradients for any execution mode of the same
+    step.  Contributions without an order key (host-side callers) are
+    summed last, in arrival order.
+
+    Trade-off: the canonical sum retains each contribution until
+    :meth:`read`/:meth:`zero`, so per-step memory is O(#backward frames)
+    gradient arrays instead of one running sum.  The dominant term is the
+    dense embedding-table gradient each leaf frame emits (tens of MB at
+    this repo's model scales); sparse embedding gradients / hierarchical
+    canonical reduction are the ROADMAP follow-up if vocabularies grow.
+    """
 
     def __init__(self):
-        self._grads: dict[str, np.ndarray] = {}
+        #: name -> list of (order_key_repr, grad); summed lazily by read()
+        self._entries: dict[str, list] = {}
+        self._sums: dict[str, np.ndarray] = {}
         self._lock = threading.Lock()
 
-    def add(self, name: str, grad: np.ndarray) -> None:
+    def add(self, name: str, grad: np.ndarray, order=None) -> None:
+        key = repr(order) if order is not None else None
         with self._lock:
-            if name in self._grads:
-                self._grads[name] = self._grads[name] + grad
-            else:
-                self._grads[name] = np.array(grad)
+            self._entries.setdefault(name, []).append((key, grad))
+            self._sums.pop(name, None)
 
     def read(self, name: str, shape=None, np_dtype=np.float32) -> np.ndarray:
         with self._lock:
-            if name in self._grads:
-                return self._grads[name]
+            if name in self._sums:
+                return self._sums[name]
+            entries = self._entries.get(name)
+            if entries:
+                ordered = sorted((e for e in entries if e[0] is not None),
+                                 key=lambda e: e[0])
+                ordered += [e for e in entries if e[0] is None]
+                total = np.array(ordered[0][1])
+                for _, grad in ordered[1:]:
+                    total = total + grad
+                self._sums[name] = total
+                return total
         if shape is None:
             raise KeyError(
                 f"no gradient accumulated for {name!r} and no static shape "
@@ -105,11 +138,12 @@ class GradientAccumulator:
 
     def names(self) -> list[str]:
         with self._lock:
-            return sorted(self._grads)
+            return sorted(self._entries)
 
     def zero(self) -> None:
         with self._lock:
-            self._grads.clear()
+            self._entries.clear()
+            self._sums.clear()
 
 
 class Variable:

@@ -1,0 +1,171 @@
+"""Property-based tests for the sharded ValueCache bulk APIs.
+
+The bulk ``store_many``/``lookup_many`` paths must be indistinguishable
+from scalar ``store``/``lookup`` sequences — same values, same counters,
+same miss errors — under arbitrary interleavings of concurrent frames
+(threads standing in for engine workers).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import ROOT_KEY, ValueCache, child_key
+
+SETTINGS = settings(max_examples=30, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+# Frame keys like the engines build: nested call-site tuples.
+frame_keys = st.lists(
+    st.one_of(st.integers(0, 50),
+              st.tuples(st.integers(0, 50), st.integers(0, 5))),
+    max_size=4).map(tuple)
+
+entry_strategy = st.tuples(frame_keys, st.integers(0, 5), st.integers(0, 30),
+                           st.integers(0, 2), st.integers(-1000, 1000))
+
+
+class TestBulkEquivalence:
+    @SETTINGS
+    @given(entries=st.lists(entry_strategy, min_size=1, max_size=60),
+           num_shards=st.integers(min_value=1, max_value=32))
+    def test_store_many_equals_scalar_stores(self, entries, num_shards):
+        """Bulk store == the same scalar stores (last write per key wins)."""
+        bulk = ValueCache(num_shards=num_shards)
+        scalar = ValueCache(num_shards=num_shards)
+        bulk.store_many(entries)
+        for frame_key, graph_id, op_id, out_idx, value in entries:
+            scalar.store(frame_key, graph_id, op_id, out_idx, value)
+        assert bulk.stores == scalar.stores == len(entries)
+        assert len(bulk) == len(scalar)
+        keys = [entry[:4] for entry in entries]
+        assert bulk.lookup_many(keys) == [scalar.lookup(*k) for k in keys]
+
+    @SETTINGS
+    @given(entries=st.lists(entry_strategy, min_size=1, max_size=40,
+                            unique_by=lambda e: e[:4]))
+    def test_lookup_many_preserves_key_order(self, entries):
+        cache = ValueCache()
+        cache.store_many(entries)
+        keys = [entry[:4] for entry in entries]
+        values = cache.lookup_many(list(reversed(keys)))
+        assert values == [entry[4] for entry in reversed(entries)]
+        assert cache.lookups == len(keys)
+
+    def test_lookup_many_miss_raises_the_engine_error(self):
+        cache = ValueCache()
+        cache.store((1,), 0, 0, 0, "x")
+        with pytest.raises(KeyError, match="record=True"):
+            cache.lookup_many([((1,), 0, 0, 0), ((2,), 0, 0, 0)])
+
+    def test_bulk_apis_accept_ndarray_values(self):
+        cache = ValueCache()
+        value = np.arange(12.0).reshape(3, 4)
+        cache.store_many([((ROOT_KEY), 1, 2, 0, value)])
+        (got,) = cache.lookup_many([(ROOT_KEY, 1, 2, 0)])
+        assert got is value  # stored by reference, like the scalar path
+
+
+class TestConcurrentFrames:
+    """Bulk traffic from many threads (stand-ins for engine workers)."""
+
+    @pytest.mark.timeout(60)
+    def test_concurrent_bulk_stores_and_lookups(self):
+        cache = ValueCache()
+        n_threads, per_thread = 8, 40
+        errors = []
+
+        def frame_worker(tid):
+            # each "frame" stores its own keys (engine frames never collide
+            # on keys — the paper's uniqueness argument), then reads them
+            # back in bulk while other frames churn their shards
+            try:
+                key = child_key(ROOT_KEY, tid)
+                entries = [(child_key(key, i), 0, i, 0, (tid, i))
+                           for i in range(per_thread)]
+                cache.store_many(entries)
+                got = cache.lookup_many([e[:4] for e in entries])
+                assert got == [(tid, i) for i in range(per_thread)]
+                # scalar reads see bulk-stored values too
+                for i in range(0, per_thread, 7):
+                    assert cache.lookup(child_key(key, i), 0, i, 0) == (tid, i)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=frame_worker, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert cache.stores == n_threads * per_thread
+        assert len(cache) == n_threads * per_thread
+
+    @pytest.mark.timeout(60)
+    def test_concurrent_mixed_scalar_and_bulk(self):
+        """Interleaved scalar/bulk traffic keeps counters and table exact."""
+        cache = ValueCache(num_shards=4)
+        barrier = threading.Barrier(6)
+        errors = []
+
+        def scalar_frames(tid):
+            try:
+                barrier.wait()
+                for i in range(50):
+                    cache.store((tid, i), 1, i, 0, i * tid)
+                for i in range(50):
+                    assert cache.lookup((tid, i), 1, i, 0) == i * tid
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def bulk_frames(tid):
+            try:
+                barrier.wait()
+                entries = [((tid, i), 1, i, 0, i * tid) for i in range(50)]
+                cache.store_many(entries)
+                assert (cache.lookup_many([e[:4] for e in entries])
+                        == [i * tid for i in range(50)])
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=scalar_frames, args=(t,))
+                    for t in range(3)]
+                   + [threading.Thread(target=bulk_frames, args=(t,))
+                      for t in range(3, 6)])
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert cache.stores == 6 * 50
+        assert cache.lookups == 6 * 50
+
+
+class TestShardingInvariants:
+    @SETTINGS
+    @given(entries=st.lists(entry_strategy, min_size=1, max_size=40,
+                            unique_by=lambda e: e[:4]),
+           shards_a=st.integers(1, 8), shards_b=st.integers(9, 64))
+    def test_shard_count_is_invisible(self, entries, shards_a, shards_b):
+        """Contents and counters do not depend on the shard count."""
+        a, b = ValueCache(shards_a), ValueCache(shards_b)
+        for cache in (a, b):
+            cache.store_many(entries)
+        keys = [e[:4] for e in entries]
+        assert a.lookup_many(keys) == b.lookup_many(keys)
+        assert len(a) == len(b) == len(entries)
+
+    def test_clear_empties_every_shard(self):
+        cache = ValueCache()
+        cache.store_many([((i,), 0, i, 0, i) for i in range(64)])
+        cache.store_meta(("m",), 3)
+        cache.clear()
+        assert len(cache) == 0
+        with pytest.raises(KeyError):
+            cache.lookup_meta(("m",))

@@ -94,6 +94,67 @@ class TestCpuModel:
             np.zeros(10_000, np.float32))
 
 
+class TestBulkCacheCosts:
+    def test_bulk_lookup_beats_serialized_lookups(self):
+        """The point of the batched CacheLookup: one bulk round-trip costs
+        less than N serialized per-op lookups."""
+        model = cpu_model()
+        n = 16
+        bulk = model.bulk_cache_lookup_cost([[] for _ in range(n)])
+        serial = n * model.op_cost(
+            type("Op", (), {"op_type": "CacheLookup"})(), [])
+        assert bulk < serial
+        assert bulk > model.cache_lookup_cost  # members are not free
+
+    def test_bulk_write_beats_serialized_writes(self):
+        model = cpu_model()
+        values = [np.zeros(64, np.float32)] * 16
+        bulk = model.bulk_cache_write_cost(values)
+        serial = sum(model.cache_write_cost(v) for v in values)
+        assert bulk < serial
+        # byte traffic is conserved: both paths move the same data
+        assert bulk > 16 * 64 * 4 / model.cache_bytes_rate
+
+    def test_bulk_write_scales_with_bytes(self):
+        model = cpu_model()
+        small = model.bulk_cache_write_cost([np.zeros(4, np.float32)] * 4)
+        large = model.bulk_cache_write_cost(
+            [np.zeros(100_000, np.float32)] * 4)
+        assert large > small
+
+    def test_async_batch_overhead_amortizes_invoke_cost(self):
+        model = cpu_model()
+
+        class Fake:
+            op_type = "InvokeGrad"
+
+        n = 8
+        fused = model.async_batch_overhead(Fake(), n)
+        serial = n * model.async_overhead(Fake())
+        assert fused < serial
+        assert fused > model.async_overhead(Fake())  # members still pay
+
+
+class TestCalibration:
+    def test_measured_member_cost_is_sane(self):
+        from repro.runtime.cost_model import calibrate_batch_member_cost
+        measured = calibrate_batch_member_cost(widths=(4, 16, 64), repeats=5)
+        # within the clamp band, i.e. the same order of magnitude as the
+        # modelled constant (and far below the per-op overhead it replaces)
+        assert 0.05e-6 <= measured <= 5e-6
+        assert measured < cpu_model().op_overhead
+
+    def test_testbed_cpu_calibrate_memoizes(self):
+        from repro.runtime import cost_model as cm
+        cm._CALIBRATED_MEMBER_COST = None
+        a = cm.testbed_cpu(calibrate=True)
+        first = a.batch_member_cost
+        b = cm.testbed_cpu(calibrate=True)
+        assert b.batch_member_cost == first  # measured once per process
+        assert cm.testbed_cpu().batch_member_cost == 0.6e-6  # default fixed
+        cm._CALIBRATED_MEMBER_COST = None
+
+
 class TestProfiles:
     def test_client_eager_has_no_scheduler_costs(self):
         model = client_eager()
