@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-batching bench bench-fig8 bench-smoke
+.PHONY: test test-batching test-serving bench bench-fig8 bench-serving bench-smoke
 
 # Tier-1: the full test suite (what CI gates on).
 test:
@@ -15,11 +15,21 @@ test-batching:
 bench:
 	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks -q -s
 
+# The serving-path subset (server semantics, latency accounting, soak).
+test-serving:
+	$(PYTHON) -m pytest -q -m serving
+
 # The inference-throughput bench; refreshes BENCH_fig8.json.
 bench-fig8:
 	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/bench_fig8_inference_throughput.py -q -s
 
-# Tiny-config fig7/table2 canary: every runner kind, both modes, batched
-# backward pass included — fast enough to ride along with tier-1 CI.
+# Continuous-batching serving bench; refreshes BENCH_serving.json
+# (wave vs continuous admission x unbatched vs batched, tail latency).
+bench-serving:
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/bench_serving.py -q -s
+
+# Tiny-config fig7/table2 canary plus a ~1s continuous-serving canary
+# (open-loop arrivals, wave vs continuous): every runner kind, both
+# modes, batched backward pass — fast enough to ride along with tier-1.
 bench-smoke:
 	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/bench_smoke.py -q -s

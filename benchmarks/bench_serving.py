@@ -1,0 +1,123 @@
+"""Continuous-batching serving baseline (beyond the paper).
+
+Serves one seeded open-loop Poisson request stream of TreeLSTM trees
+through the streaming server four ways — {wave-synchronized, continuous
+admission} x {unbatched, micro-batched} — at *equal concurrency*
+(``max_in_flight``), on the deterministic virtual-time engine.
+
+The claims this bench records into ``BENCH_serving.json``:
+
+* continuous admission beats wave-synchronized serving in throughput at
+  equal concurrency: waves starve the coalescer at every wave tail
+  (while stragglers finish, the ready queue drains and workers idle),
+  continuous admission keeps ``max_in_flight`` root instances resident;
+* the win shows up in the tail: wave admission piles queue time onto
+  requests that arrive mid-wave, so p95/p99 latency drops under
+  continuous admission;
+* per-request outputs are identical across all four configurations
+  (admission and batching change scheduling, never values).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.common import WORKERS, save_bench_json, treebank, fresh_model
+from repro.harness import (format_latency, format_table,
+                           poisson_request_stream, save_results, serve_stream)
+
+NUM_REQUESTS = 48
+ARRIVAL_RATE = 2000.0     # requests per virtual second: saturating load
+MAX_IN_FLIGHT = 16
+SEED = 3
+
+CONFIGS = [("wave", False), ("wave", True),
+           ("continuous", False), ("continuous", True)]
+
+
+def collect():
+    bank = treebank()
+    stream = poisson_request_stream(NUM_REQUESTS, ARRIVAL_RATE,
+                                    len(bank.train), seed=SEED)
+    results = {}
+    for admission, batching in CONFIGS:
+        model = fresh_model("TreeLSTM")
+        results[(admission, batching)] = serve_stream(
+            model, bank.train, stream=stream, max_in_flight=MAX_IN_FLIGHT,
+            admission=admission, batching=batching, num_workers=WORKERS,
+            seed=SEED)
+    return results
+
+
+def test_serving_continuous_vs_wave(benchmark):
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    rows = []
+    payload = {"model": "TreeLSTM", "num_requests": NUM_REQUESTS,
+               "arrival_rate": ARRIVAL_RATE, "max_in_flight": MAX_IN_FLIGHT,
+               "seed": SEED, "configs": {}}
+    for (admission, batching), result in results.items():
+        latency = result.latency_summary()
+        name = f"{admission}/{'batched' if batching else 'unbatched'}"
+        rows.append([admission, "batched" if batching else "unbatched",
+                     result.throughput,
+                     latency["total"]["p50"] * 1e3,
+                     latency["total"]["p95"] * 1e3,
+                     latency["total"]["p99"] * 1e3,
+                     latency["queue"]["p95"] * 1e3,
+                     result.stats.batch_efficiency])
+        payload["configs"][name] = {
+            "throughput": result.throughput,
+            "virtual_seconds": result.virtual_seconds,
+            "latency": latency,
+            "fused_batches": result.stats.batches,
+            "mean_batch": result.stats.batch_efficiency,
+            "max_batch": result.stats.max_batch,
+        }
+
+    print()
+    print(format_table(
+        f"Serving — TreeLSTM, {NUM_REQUESTS} Poisson requests @ "
+        f"{ARRIVAL_RATE:.0f}/s, max_in_flight={MAX_IN_FLIGHT} "
+        "(instances/s; latency ms, virtual testbed)",
+        ["admission", "mode", "inst/s", "p50", "p95", "p99",
+         "queue p95", "mean batch"], rows))
+    for (admission, batching), result in results.items():
+        if batching:
+            print()
+            print(format_latency(result.stats,
+                                 title=f"{admission}/batched latency"))
+
+    wave_b = results[("wave", True)]
+    cont_b = results[("continuous", True)]
+    wave_u = results[("wave", False)]
+    cont_u = results[("continuous", False)]
+    payload["continuous_over_wave_batched"] = (cont_b.throughput
+                                               / wave_b.throughput)
+    payload["continuous_over_wave_unbatched"] = (cont_u.throughput
+                                                 / wave_u.throughput)
+    payload["batched_over_unbatched_continuous"] = (cont_b.throughput
+                                                    / cont_u.throughput)
+    print(f"\ncontinuous/wave (batched): "
+          f"{payload['continuous_over_wave_batched']:.2f}x   "
+          f"batched/unbatched (continuous): "
+          f"{payload['batched_over_unbatched_continuous']:.2f}x")
+    save_results("serving_continuous_batching", payload["configs"])
+    save_bench_json("serving", payload)
+
+    # values never depend on admission or batching
+    reference = results[("wave", False)]
+    for result in results.values():
+        for rid, logits in reference.request_logits.items():
+            assert np.array_equal(logits, result.request_logits[rid])
+
+    # continuous admission removes wave-tail starvation
+    assert cont_b.throughput > wave_b.throughput, \
+        "continuous batched must beat wave batched at equal concurrency"
+    assert cont_u.throughput > wave_u.throughput, \
+        "continuous unbatched must beat wave unbatched"
+    # and the tail gets shorter, not just the mean
+    assert (cont_b.latency_summary()["total"]["p95"]
+            < wave_b.latency_summary()["total"]["p95"])
+    # micro-batching still pays under continuous admission
+    assert cont_b.throughput > 1.5 * cont_u.throughput

@@ -19,7 +19,8 @@ from benchmarks.common import runner_config
 from repro import Runtime
 from repro.data import make_treebank
 from repro.data.batching import batch_trees
-from repro.harness import make_runner, measure_throughput
+from repro.harness import (make_runner, measure_throughput,
+                           poisson_request_stream, serve_stream)
 from repro.models import (ModelConfig, RNTNSentiment, TreeLSTMSentiment,
                           TreeRNNSentiment, tree_lstm_config)
 
@@ -86,3 +87,33 @@ def test_smoke_batched_training_is_equivalent_and_fused():
     # regression canary: batching must never slow training down at this
     # concurrency (generous 0.9 bound to stay noise-proof)
     assert vtimes["BatchedRecursive"] <= vtimes["Recursive"] / 0.9
+
+
+def test_smoke_continuous_serving_canary():
+    """Continuous-batching serving in miniature: one seeded open-loop
+    stream served wave-synchronized then continuously at equal
+    concurrency.  Asserts the structural claims (identical per-request
+    logits, no wave-tail starvation, latency percentiles populated,
+    fusion observed) in about a second."""
+    bank = smoke_bank()
+    stream = poisson_request_stream(16, 3000.0, len(bank.train), seed=5)
+    results = {}
+    for admission in ("wave", "continuous"):
+        model = SMOKE_FACTORIES["TreeRNN"]()
+        results[admission] = serve_stream(
+            model, bank.train, stream=stream, max_in_flight=4,
+            admission=admission, batching=True,
+            num_workers=runner_config().num_workers, seed=5)
+    wave, continuous = results["wave"], results["continuous"]
+    assert wave.instances == continuous.instances == 16
+    for rid in wave.request_logits:
+        assert np.array_equal(wave.request_logits[rid],
+                              continuous.request_logits[rid]), rid
+    assert continuous.throughput >= wave.throughput, \
+        (f"continuous {continuous.throughput:.1f} < wave "
+         f"{wave.throughput:.1f} inst/s")
+    for result in results.values():
+        latency = result.latency_summary()
+        assert latency["requests"] == 16
+        assert 0.0 < latency["total"]["p50"] <= latency["total"]["p99"]
+        assert result.stats.batches > 0

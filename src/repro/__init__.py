@@ -33,9 +33,10 @@ from repro.core import SubGraph, SubGraphError, invoke
 from repro.core.autodiff import differentiate_subgraph, gradients
 from repro.ops.control_flow import cond, while_loop
 from repro.runtime import (AdaptiveBatchPolicy, BatchPolicy, CostModel,
-                           EngineError, RunStats,
-                           Runtime, Session, Variable, client_eager,
-                           default_runtime, gpu_profile,
+                           EngineError, QueueAwareBatchPolicy,
+                           RecursiveServer, RequestTicket, RunStats,
+                           Runtime, ServerOverloaded, Session, Variable,
+                           client_eager, default_runtime, gpu_profile,
                            reset_default_runtime, testbed_cpu, unit_cost)
 
 __version__ = "1.0.0"
@@ -52,7 +53,8 @@ __all__ = [
     "differentiate_subgraph",
     # runtime
     "AdaptiveBatchPolicy", "BatchPolicy", "CostModel", "EngineError",
-    "RunStats", "Runtime",
+    "QueueAwareBatchPolicy", "RecursiveServer", "RequestTicket", "RunStats",
+    "Runtime", "ServerOverloaded",
     "Session", "Variable", "client_eager", "default_runtime", "gpu_profile",
     "reset_default_runtime", "testbed_cpu", "unit_cost",
 ]

@@ -1,4 +1,4 @@
-"""Evaluation harness: runners, throughput, convergence, reporting.
+"""Evaluation harness: runners, throughput, serving, convergence, reporting.
 
 Training runs support the engines' micro-batching through the
 ``RunnerConfig.batching`` knob (``False`` / ``True`` / ``"adaptive"``);
@@ -6,25 +6,37 @@ Training runs support the engines' micro-batching through the
 flush policy by default.  :func:`format_batch_histogram` and
 :func:`format_adaptive_policy` render a run's batch-width distributions
 and the adaptive policy's tuned per-signature state for inspection.
+
+Serving (:mod:`repro.harness.serving`): :func:`serve_stream` drives a
+seeded open-loop request stream through the streaming
+:class:`~repro.runtime.server.RecursiveServer` (continuous batching:
+requests admitted into the running engine, ``max_in_flight`` admission
+control, queue-cap backpressure), :func:`compare_admission` measures the
+wave-vs-continuous gap, and :func:`format_latency` renders per-request
+p50/p95/p99 queue/engine/total latency.
 """
 
 from .convergence import (ConvergencePoint, ConvergenceResult,
                           evaluate_accuracy, run_convergence)
 from .reporting import (ascii_series, format_adaptive_policy,
-                        format_batch_histogram, format_table, results_dir,
-                        save_results)
+                        format_batch_histogram, format_latency, format_table,
+                        results_dir, save_results)
 from .runners import (BatchedRecursiveRunner, FoldingRunner, IterativeRunner,
                       RecursiveRunner, RunnerConfig, UnrolledRunner,
                       make_runner)
-from .serving import ServingResult, compare_batching, serve_concurrent
+from .serving import (RequestStream, ServingResult, burst_request_stream,
+                      compare_admission, compare_batching,
+                      poisson_request_stream, serve_concurrent, serve_stream)
 from .throughput import (ThroughputResult, measure_latency_curve,
                          measure_throughput)
 
 __all__ = ["ConvergencePoint", "ConvergenceResult", "evaluate_accuracy",
            "run_convergence", "ascii_series", "format_adaptive_policy",
-           "format_batch_histogram", "format_table", "results_dir",
+           "format_batch_histogram", "format_latency", "format_table",
+           "results_dir",
            "save_results", "BatchedRecursiveRunner", "FoldingRunner",
            "IterativeRunner", "RecursiveRunner", "RunnerConfig",
-           "UnrolledRunner", "make_runner", "ServingResult",
-           "compare_batching", "serve_concurrent", "ThroughputResult",
-           "measure_latency_curve", "measure_throughput"]
+           "UnrolledRunner", "make_runner", "RequestStream", "ServingResult",
+           "burst_request_stream", "compare_admission", "compare_batching",
+           "poisson_request_stream", "serve_concurrent", "serve_stream",
+           "ThroughputResult", "measure_latency_curve", "measure_throughput"]

@@ -7,7 +7,8 @@ import os
 from typing import Any, Optional, Sequence
 
 __all__ = ["format_table", "save_results", "results_dir", "ascii_series",
-           "format_batch_histogram", "format_adaptive_policy"]
+           "format_batch_histogram", "format_adaptive_policy",
+           "format_latency"]
 
 
 def results_dir() -> str:
@@ -105,6 +106,33 @@ def format_adaptive_policy(policy, max_rows: int = 16) -> str:
             f"timeout={state['timeout'] * 1e3:.2f} ms")
     if len(rows) > max_rows:
         lines.append(f"  ... {len(rows) - max_rows} more signatures")
+    return "\n".join(lines)
+
+
+def format_latency(stats, title: str = "request latency") -> str:
+    """Render a serving run's per-request latency distribution.
+
+    ``stats`` is a :class:`~repro.runtime.stats.RunStats` filled by a
+    :class:`~repro.runtime.server.RecursiveServer` session: one row per
+    component (time-in-queue, time-in-engine, end-to-end) with
+    p50/p95/p99/mean/max in milliseconds.  The queue row is the admission
+    signal — a wave-synchronized server piles queue time onto every
+    request admitted behind a wave tail, a continuous server keeps it near
+    the arrival jitter.
+    """
+    summary = stats.latency_summary()
+    if not summary:
+        return f"{title}: (no requests completed)"
+    lines = [f"{title} (ms): {summary['requests']} requests, "
+             f"{summary['rejected']} rejected"]
+    header = f"  {'component':<10}" + "".join(
+        f"{c:>9}" for c in ("p50", "p95", "p99", "mean", "max"))
+    lines.append(header)
+    for component in ("queue", "engine", "total"):
+        row = summary[component]
+        lines.append(f"  {component:<10}" + "".join(
+            f"{row[k] * 1e3:9.3f}"
+            for k in ("p50", "p95", "p99", "mean", "max")))
     return "\n".join(lines)
 
 

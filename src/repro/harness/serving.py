@@ -1,73 +1,301 @@
-"""Concurrent-inference serving driver (the "millions of users" scenario).
+"""Serving drivers: streaming (continuous-batching) and wave-synchronized.
 
-The recursive programming model gives the serving story for free: a batch
-of independent requests is just many root ``InvokeOp`` instances executing
-concurrently, their inner operations interleaving in one ready queue.
-This driver feeds N trees as concurrent root instances so the
-cross-instance micro-batching scheduler (``batching=True``) has same-shape
-work from *different requests* to fuse — embedding lookups and cell
-matmuls of unrelated trees coalesce whenever they are ready together.
+The "millions of users" scenario.  The recursive programming model gives
+serving for free: a request is one root ``InvokeOp`` instance of the
+model's recursive graph, and concurrent requests' inner operations
+interleave in one ready queue where the cross-instance micro-batching
+scheduler (``batching=True``) fuses same-shape work from unrelated trees.
 
-:func:`serve_concurrent` measures one configuration;
-:func:`compare_batching` runs the unbatched/batched pair on identical
-request waves and reports the speedup, which is what
-``benchmarks/bench_fig8_inference_throughput.py`` records as the
-perf baseline.
+**Wave vs. continuous admission.**  The original driver ran rigid
+*waves*: admit N requests, wait for all N to finish, admit the next N.
+Every wave tail starves the coalescer — while the last straggler tree
+finishes, the ready queue empties, fused batch widths collapse, and
+workers idle even though new requests are already queued.  The streaming
+driver (:func:`serve_stream`) instead runs an open-loop request stream
+through a :class:`~repro.runtime.server.RecursiveServer`, which admits a
+queued request the moment an in-flight slot frees (*continuous
+batching*): new instances' ops fuse with in-flight ones immediately, so
+the engine never sees a wave tail.
+
+The knobs (see :class:`~repro.runtime.server.RecursiveServer`):
+
+* ``max_in_flight`` — admission control: concurrent root instances in
+  the engine.  Equal concurrency is what makes wave vs. continuous a
+  fair comparison.
+* ``queue_cap`` — backpressure: requests arriving onto a full queue are
+  rejected (counted, surfaced via ``ServingResult.rejected``).
+* ``arrival_rate`` — open-loop Poisson arrivals (requests per engine
+  second); ``None`` means a burst backlog (all requests arrive at t=0).
+* ``admission`` — ``"continuous"`` or ``"wave"`` (the legacy baseline).
+
+Determinism: request streams are seeded (:func:`poisson_request_stream`)
+and the event engine is a deterministic simulator, so a fixed seed gives
+bit-identical per-request results *and* identical virtual-time latency
+distributions run over run.  Per-request outputs are keyed by request id
+in ``ServingResult.request_logits`` and are bit-identical to a one-shot
+``Session.run`` of the same tree.
+
+:func:`serve_concurrent` / :func:`compare_batching` are kept as thin
+compatibility wrappers (wave-synchronized, burst arrivals) over the same
+server; ``benchmarks/bench_serving.py`` records the wave-vs-continuous
+baseline into ``BENCH_serving.json``.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.data.batching import batch_trees
-from repro.runtime.batching import BatchPolicy
+from repro.runtime.batching import BatchPolicy, QueueAwareBatchPolicy
 from repro.runtime.cost_model import CostModel
 from repro.runtime.session import Session
 from repro.runtime.stats import RunStats
 
-__all__ = ["ServingResult", "serve_concurrent", "compare_batching"]
+__all__ = ["ServingResult", "RequestStream", "poisson_request_stream",
+           "burst_request_stream", "serve_stream", "compare_admission",
+           "serve_concurrent", "compare_batching"]
+
+
+# -- request streams -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RequestStream:
+    """A deterministic open-loop request arrival plan.
+
+    ``arrivals`` is a time-sorted tuple of ``(arrival_time, tree_index)``
+    pairs: under the event engine the times are virtual seconds at which
+    the request enters the server queue; under the threaded engine they
+    are wall-clock offsets the driver replays with real sleeps.
+    """
+
+    arrivals: tuple
+    seed: int
+    rate: Optional[float] = None   # requests/second; None = burst at t=0
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.arrivals)
+
+
+def poisson_request_stream(num_requests: int, rate: float, pool_size: int,
+                           seed: int = 0) -> RequestStream:
+    """Seeded Poisson-process arrivals over a pool of ``pool_size`` trees.
+
+    Inter-arrival gaps are exponential with mean ``1/rate``; tree indices
+    are uniform over the pool.  Both are drawn from one
+    ``np.random.default_rng(seed)``, so the stream — and therefore every
+    serving benchmark driven by it — is reproducible run-to-run.
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if rate <= 0:
+        raise ValueError("rate must be positive (requests per second)")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=num_requests)
+    times = np.cumsum(gaps) - gaps[0]   # first request arrives at t=0
+    indices = rng.integers(0, pool_size, size=num_requests)
+    return RequestStream(arrivals=tuple(zip(times.tolist(),
+                                            (int(i) for i in indices))),
+                         seed=seed, rate=rate)
+
+
+def burst_request_stream(num_requests: int, pool_size: int,
+                         seed: int = 0) -> RequestStream:
+    """All requests arrive at t=0 (a closed backlog)."""
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, pool_size, size=num_requests)
+    return RequestStream(arrivals=tuple((0.0, int(i)) for i in indices),
+                         seed=seed, rate=None)
+
+
+# -- results -------------------------------------------------------------------
 
 
 @dataclass
 class ServingResult:
-    """Aggregate statistics of one simulated serving run."""
+    """Aggregate + per-request statistics of one serving run."""
 
-    concurrency: int          # concurrent root instances per wave
-    waves: int                # request waves served
-    instances: int            # total trees served
-    virtual_seconds: float    # simulated testbed time
+    mode: str                 # admission mode: "continuous" | "wave"
+    concurrency: int          # max_in_flight admission cap
+    instances: int            # requests served to completion
+    virtual_seconds: float    # engine-clock makespan of the session
     batching: bool
     stats: RunStats = field(default_factory=RunStats)
-    logits: Optional[np.ndarray] = None   # last wave's root logits
+    #: per-request root logits keyed by request id (submission order);
+    #: each value is the ``[1, classes]`` output of that request's tree
+    request_logits: dict = field(default_factory=dict)
+    rejected: int = 0         # requests bounced by the queue cap
+    waves: int = 0            # wave count (legacy wave driver only)
 
     @property
     def throughput(self) -> float:
-        """Instances per simulated second."""
+        """Served instances per engine-clock second."""
         return self.instances / self.virtual_seconds
+
+    @property
+    def logits(self) -> Optional[np.ndarray]:
+        """All served requests' root logits stacked in request-id order.
+
+        Row ``k`` is the logits of the ``k``-th *served* request (rejected
+        requests have no output and are skipped); use
+        ``request_logits`` for explicit per-request keying.
+        """
+        if not self.request_logits:
+            return None
+        return np.concatenate([self.request_logits[rid]
+                               for rid in sorted(self.request_logits)],
+                              axis=0)
+
+    def latency_summary(self) -> dict:
+        """p50/p95/p99 queue/engine/total latency (see RunStats)."""
+        return self.stats.latency_summary()
 
     def summary(self) -> str:
         mode = "batched" if self.batching else "unbatched"
-        lines = [f"serving[{mode}] concurrency={self.concurrency} "
-                 f"waves={self.waves}: {self.throughput:.1f} instances/s"]
+        lines = [f"serving[{mode}/{self.mode}] "
+                 f"max_in_flight={self.concurrency} "
+                 f"requests={self.instances}"
+                 + (f" rejected={self.rejected}" if self.rejected else "")
+                 + f": {self.throughput:.1f} instances/s"]
         if self.stats.batches:
             lines.append(f"  fused kernels={self.stats.batches}  "
                          f"mean batch={self.stats.batch_efficiency:.1f}  "
                          f"max batch={self.stats.max_batch}")
+        latency = self.latency_summary()
+        if latency:
+            total = latency["total"]
+            queue = latency["queue"]
+            lines.append(f"  latency p50={total['p50'] * 1e3:.3f} ms  "
+                         f"p95={total['p95'] * 1e3:.3f} ms  "
+                         f"p99={total['p99'] * 1e3:.3f} ms  "
+                         f"(queue p95={queue['p95'] * 1e3:.3f} ms)")
         return "\n".join(lines)
 
 
-def _sample_waves(trees: Sequence, concurrency: int, waves: int,
-                  seed: int) -> list:
-    rng = np.random.default_rng(seed)
+# -- the streaming driver ------------------------------------------------------
+
+
+def serve_stream(model, trees: Sequence, *,
+                 num_requests: Optional[int] = None,
+                 arrival_rate: Optional[float] = None,
+                 stream: Optional[RequestStream] = None,
+                 max_in_flight: int = 16,
+                 queue_cap: Optional[int] = None,
+                 admission: str = "continuous",
+                 batching: bool = False,
+                 batch_policy: Optional[BatchPolicy] = None,
+                 num_workers: int = 36,
+                 cost_model: Optional[CostModel] = None,
+                 engine: str = "event", scheduler: str = "fifo",
+                 seed: int = 0) -> ServingResult:
+    """Serve an open-loop request stream through a streaming server.
+
+    Each request is one tree served as a root instance of the model's
+    per-request recursive graph (``build_recursive(1)``) — all requests
+    share one graph, so their inner ops carry identical batch signatures
+    and fuse across requests.  Provide either ``stream`` or
+    ``num_requests`` (+ optional ``arrival_rate``; ``None`` = burst).
+
+    When ``batching`` is enabled and no explicit ``batch_policy`` is
+    given, the queue-aware policy is installed: per-signature minimum
+    batch sizes adapt on both engines, and on the threaded engine flush
+    timeouts additionally track server load (the event engine flushes on
+    wavefront drain, so timeouts never bind there).  Returns a
+    :class:`ServingResult` with per-request logits and latency
+    percentiles.
+    """
     pool = list(trees)
-    replace = len(pool) < concurrency
-    return [batch_trees([pool[i] for i in
-                         rng.choice(len(pool), size=concurrency,
-                                    replace=replace)])
-            for _ in range(waves)]
+    if stream is None:
+        if num_requests is None:
+            raise ValueError("provide either stream= or num_requests=")
+        if arrival_rate is not None:
+            stream = poisson_request_stream(num_requests, arrival_rate,
+                                            len(pool), seed)
+        else:
+            stream = burst_request_stream(num_requests, len(pool), seed)
+    if batching and batch_policy is None:
+        batch_policy = QueueAwareBatchPolicy()
+
+    built = model.build_recursive(1)
+    session = Session(built.graph, model.runtime, num_workers=num_workers,
+                      cost_model=cost_model, record=False,
+                      scheduler=scheduler, engine=engine, batching=batching,
+                      batch_policy=batch_policy)
+    feeds = {idx: built.feed_dict(batch_trees([pool[idx]]))
+             for idx in {i for _, i in stream.arrivals}}
+
+    with session.serve(max_in_flight=max_in_flight, queue_cap=queue_cap,
+                       admission=admission) as server:
+        if engine == "event":
+            for when, idx in stream.arrivals:
+                server.submit(built.root_logits, feeds[idx], at=when)
+        else:
+            start = time.perf_counter()
+            for when, idx in stream.arrivals:
+                delay = when - (time.perf_counter() - start)
+                if delay > 0:
+                    time.sleep(delay)
+                server.submit(built.root_logits, feeds[idx])
+        server.drain()
+        tickets = server.tickets
+    stats = server.stats
+
+    request_logits = {t.request_id: t.value for t in tickets
+                      if t.error is None and t.value is not None}
+    return ServingResult(mode=admission, concurrency=max_in_flight,
+                         instances=len(request_logits),
+                         virtual_seconds=stats.virtual_time,
+                         batching=batching, stats=stats,
+                         request_logits=request_logits,
+                         rejected=server.rejected)
+
+
+def compare_admission(model, trees: Sequence, *,
+                      stream: Optional[RequestStream] = None,
+                      **kwargs) -> tuple[ServingResult, ServingResult]:
+    """Serve one identical request stream wave-synchronized then
+    continuously; returns ``(wave, continuous)``.
+
+    Equal concurrency (same ``max_in_flight``), equal stream — the
+    throughput ratio isolates the wave-tail starvation that continuous
+    admission removes, and the per-request logits of the two runs must
+    agree bit-for-bit.
+    """
+    kwargs.pop("admission", None)
+    pool = list(trees)
+    if stream is None:
+        stream = poisson_request_stream(
+            kwargs.pop("num_requests", 32),
+            kwargs.pop("arrival_rate", None) or 1e9,
+            len(pool), kwargs.get("seed", 0))
+    wave = serve_stream(model, pool, stream=stream, admission="wave",
+                        **kwargs)
+    continuous = serve_stream(model, pool, stream=stream,
+                              admission="continuous", **kwargs)
+    return wave, continuous
+
+
+# -- legacy wave drivers (compat wrappers over the server) ---------------------
+
+
+def _sample_wave_indices(pool_size: int, concurrency: int, waves: int,
+                         seed: int) -> list:
+    """The legacy wave sampler: ``concurrency`` seeded draws per wave."""
+    rng = np.random.default_rng(seed)
+    replace = pool_size < concurrency
+    indices: list[int] = []
+    for _ in range(waves):
+        indices.extend(int(i) for i in
+                       rng.choice(pool_size, size=concurrency,
+                                  replace=replace))
+    return indices
 
 
 def serve_concurrent(model, trees: Sequence, concurrency: int, *,
@@ -76,38 +304,37 @@ def serve_concurrent(model, trees: Sequence, concurrency: int, *,
                      num_workers: int = 36,
                      cost_model: Optional[CostModel] = None,
                      engine: str = "event", scheduler: str = "fifo",
-                     waves: int = 1, seed: int = 0) -> ServingResult:
-    """Serve ``waves`` request waves of ``concurrency`` trees each.
+                     waves: int = 1, seed: int = 0,
+                     admission: str = "wave") -> ServingResult:
+    """Serve ``waves`` waves of ``concurrency`` trees each (compat API).
 
-    Each wave runs ``concurrency`` concurrent root instances of the
-    model's recursive graph through one session; virtual time accumulates
-    across waves.  Returns the aggregate :class:`ServingResult`.
+    Thin wrapper over :func:`serve_stream`: the whole request backlog
+    arrives at t=0 and is admitted wave-synchronized (``concurrency``
+    requests at a time, next wave only when the engine is empty) — the
+    legacy behaviour, now measured with per-request latency accounting.
+    Pass ``admission="continuous"`` to serve the identical backlog with
+    in-flight admission instead.
     """
-    built = model.build_recursive(concurrency)
-    session = Session(built.graph, model.runtime, num_workers=num_workers,
-                      cost_model=cost_model, record=False,
-                      scheduler=scheduler, engine=engine, batching=batching,
-                      batch_policy=batch_policy)
-    result = ServingResult(concurrency=concurrency, waves=waves,
-                           instances=0, virtual_seconds=0.0,
-                           batching=batching)
-    for wave in _sample_waves(trees, concurrency, waves, seed):
-        logits = session.run(built.root_logits, built.feed_dict(wave),
-                             record=False)
-        result.instances += wave.size
-        result.virtual_seconds += session.last_stats.virtual_time
-        result.stats.merge(session.last_stats)
-        result.logits = logits
+    pool = list(trees)
+    indices = _sample_wave_indices(len(pool), concurrency, waves, seed)
+    stream = RequestStream(arrivals=tuple((0.0, i) for i in indices),
+                           seed=seed, rate=None)
+    result = serve_stream(model, pool, stream=stream,
+                          max_in_flight=concurrency, admission=admission,
+                          batching=batching, batch_policy=batch_policy,
+                          num_workers=num_workers, cost_model=cost_model,
+                          engine=engine, scheduler=scheduler, seed=seed)
+    result.waves = waves
     return result
 
 
 def compare_batching(model, trees: Sequence, concurrency: int,
                      **kwargs) -> tuple[ServingResult, ServingResult]:
-    """Serve identical waves unbatched then batched.
+    """Serve identical waves unbatched then batched (compat API).
 
     Returns ``(unbatched, batched)``; the two results carry identical
-    request streams, so their logits must agree bit-for-bit and the
-    throughput ratio is the micro-batching speedup.
+    request streams, so their per-request logits must agree bit-for-bit
+    and the throughput ratio is the micro-batching speedup.
     """
     kwargs.pop("batching", None)
     unbatched = serve_concurrent(model, trees, concurrency,

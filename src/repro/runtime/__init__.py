@@ -10,17 +10,20 @@ spawns, gradient kernels and the backprop value cache's bulk traffic.
 """
 
 from .batching import (AdaptiveBatchPolicy, BatchPolicy, Coalescer,
-                       batch_signature)
+                       QueueAwareBatchPolicy, batch_signature)
 from .cost_model import (CostModel, calibrate_batch_member_cost, client_eager,
                          gpu_profile, testbed_cpu, unit_cost)
 from .engine import EngineError, EventEngine
+from .server import RecursiveServer, RequestTicket, ServerOverloaded
 from .session import Runtime, Session, default_runtime, reset_default_runtime
-from .stats import RunStats
+from .stats import RunStats, percentile
 from .variables import GradientAccumulator, Variable, VariableStore
 
 __all__ = ["AdaptiveBatchPolicy", "BatchPolicy", "Coalescer",
-           "batch_signature", "CostModel", "calibrate_batch_member_cost",
+           "QueueAwareBatchPolicy", "batch_signature", "CostModel",
+           "calibrate_batch_member_cost",
            "client_eager", "gpu_profile", "testbed_cpu",
-           "unit_cost", "EngineError", "EventEngine", "Runtime", "Session",
+           "unit_cost", "EngineError", "EventEngine", "RecursiveServer",
+           "RequestTicket", "ServerOverloaded", "Runtime", "Session",
            "default_runtime", "reset_default_runtime", "RunStats",
-           "GradientAccumulator", "Variable", "VariableStore"]
+           "percentile", "GradientAccumulator", "Variable", "VariableStore"]

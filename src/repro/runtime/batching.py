@@ -58,8 +58,8 @@ import numpy as np
 
 from repro.graph.registry import OpDef, op_def
 
-__all__ = ["BatchPolicy", "AdaptiveBatchPolicy", "Bucket", "Coalescer",
-           "batch_signature", "resolve_batching"]
+__all__ = ["BatchPolicy", "AdaptiveBatchPolicy", "QueueAwareBatchPolicy",
+           "Bucket", "Coalescer", "batch_signature", "resolve_batching"]
 
 
 @dataclass
@@ -193,6 +193,59 @@ class AdaptiveBatchPolicy(BatchPolicy):
                       "timeout": state.timeout,
                       "flushes": state.flushes}
                 for sig, state in self._signatures.items()}
+
+
+@dataclass
+class QueueAwareBatchPolicy(AdaptiveBatchPolicy):
+    """Load-scaled flush timeouts for continuous-batching serving.
+
+    A serving engine sees two regimes.  When the request queue is
+    *shallow* there is little future work to fuse with: holding a
+    partially-filled bucket open buys no width and only adds tail
+    latency, so flush deadlines should tighten.  When the queue is *deep*
+    (the server is backlogged) more same-signature work is guaranteed to
+    arrive within the flush window, so patience buys width and throughput
+    — deadlines should widen.
+
+    The :class:`~repro.runtime.server.RecursiveServer` reports its queue
+    occupancy through :meth:`note_queue_depth` whenever a request is
+    enqueued or admitted; ``timeout_for`` then scales the adaptive
+    per-signature timeout by a factor interpolated between
+    ``shallow_scale`` (empty queue) and ``deep_scale`` (queue at cap).
+    Deadlines are fixed at bucket-open time (see
+    :class:`Coalescer`), so a load change applies from the next bucket.
+    All other behaviour (width EMA, per-signature minimum size) is
+    inherited from :class:`AdaptiveBatchPolicy`.
+
+    Scope: bucket deadlines are consulted by the *wall-clock* engine's
+    idle expiry path (``Coalescer.pop_expired``); the event engine
+    flushes on wavefront drain and never ages buckets, so there the
+    load scaling is inert and only the inherited adaptive minimum-size
+    control is in play.
+    """
+
+    #: timeout multiplier when the request queue is empty
+    shallow_scale: float = 0.25
+    #: timeout multiplier when the request queue is at its cap
+    deep_scale: float = 2.0
+    _load: float = field(default=0.0, repr=False)
+
+    def note_queue_depth(self, depth: int, cap: int) -> None:
+        """Report request-queue occupancy (``depth`` of ``cap`` slots)."""
+        if cap <= 0:
+            raise ValueError("queue cap must be positive")
+        self._load = min(1.0, max(0.0, depth / cap))
+
+    @property
+    def load(self) -> float:
+        """Last reported queue occupancy in ``[0, 1]``."""
+        return self._load
+
+    def timeout_for(self, signature) -> float:
+        base = super().timeout_for(signature)
+        scale = (self.shallow_scale
+                 + self._load * (self.deep_scale - self.shallow_scale))
+        return min(self.max_timeout, max(self.min_timeout, base * scale))
 
 
 def resolve_batching(batching, policy: Optional[BatchPolicy]):

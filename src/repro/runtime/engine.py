@@ -218,6 +218,77 @@ class EventEngine:
         self.stats.cache_lookups = self.runtime.cache.lookups
         return values, self.stats
 
+    # -- serving mode: incremental root admission ----------------------------
+    #
+    # ``run`` executes one fixed fetch set to completion.  The serving
+    # path (:class:`repro.runtime.server.RecursiveServer`) instead keeps
+    # the engine alive across requests: ``begin_serving`` opens a
+    # persistent session, ``submit_root`` injects a new root instance
+    # into the *live* ready queue (so its ops interleave — and fuse —
+    # with whatever is already in flight), ``schedule`` posts callbacks
+    # at future virtual times (open-loop request arrivals, admission
+    # decisions), and ``drain`` runs the event loop until every admitted
+    # root has completed.  Virtual time and stats accumulate across the
+    # whole serving session.
+
+    def begin_serving(self, error_listener: Optional[Callable] = None) -> None:
+        """Enter persistent serving mode (clears any previous run state)."""
+        self._reset()
+        self._serve_wall0 = time.perf_counter()
+        # single-threaded engine: errors surface from drain(); the
+        # listener parameter exists for interface parity with the
+        # threaded engine.
+        self._error_listener = error_listener
+
+    def submit_root(self, graph: Graph, fetches: Sequence[Tensor],
+                    feed_map: dict[int, Any], key: tuple,
+                    on_complete: Callable) -> Frame:
+        """Admit a new root instance into the live ready queue.
+
+        The fetch set's reachable ops become a fresh depth-0 frame whose
+        ready ops join the one shared queue — inner operations of the new
+        request coalesce with in-flight requests' ops exactly like
+        sibling recursive calls.  ``on_complete`` receives the fetch
+        values (in ``fetches`` order) when the root frame finishes.
+        """
+        fetch_list = list(fetches)
+        fetch_ops = {t.op for t in fetch_list}
+        needed = sorted(graph.reachable_from(fetch_ops))
+
+        def frame_done(frame):
+            on_complete([frame.values[t.ref] for t in fetch_list])
+
+        frame = self._make_frame(graph, needed, feed_map, key=key, depth=0,
+                                 record=False, on_complete=frame_done,
+                                 owner=None)
+        self._start_frame(frame)
+        return frame
+
+    def schedule(self, when: float, fn: Callable) -> None:
+        """Post ``fn`` at absolute virtual time ``when`` (clamped to now)."""
+        self._post(max(when, self._now), fn)
+
+    def drain(self) -> RunStats:
+        """Run the event loop until all admitted work (and scheduled
+        arrivals) has completed; returns the session-cumulative stats."""
+        self._loop()
+        # stats reflect the simulation as far as it got, error or not
+        self.stats.virtual_time = self._now
+        self.stats.wall_time = time.perf_counter() - self._serve_wall0
+        self.stats.cache_stores = self.runtime.cache.stores
+        self.stats.cache_lookups = self.runtime.cache.lookups
+        if self._error is not None:
+            error, self._error = self._error, None
+            if self._error_listener is not None:
+                # let the server fail outstanding tickets before we raise
+                self._error_listener(error)
+            raise error
+        return self.stats
+
+    def end_serving(self) -> RunStats:
+        """Leave serving mode (no worker threads to stop; returns stats)."""
+        return self.stats
+
     # -- frame management (shared with async op starters) --------------------
 
     def spawn_frame(self, subgraph, bindings: dict, key: tuple, depth: int,

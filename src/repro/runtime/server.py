@@ -1,0 +1,441 @@
+"""Streaming request server over the recursive engines (continuous batching).
+
+The paper's recursive model makes serving "just" many concurrent root
+``InvokeOp`` instances — but driving them in rigid *waves* (admit N
+requests, wait for all N, admit the next N) starves the coalescer at
+every wave tail: as the last stragglers of a wave finish, the ready queue
+empties out and fused batch widths collapse exactly when new requests are
+already waiting.  :class:`RecursiveServer` replaces the wave driver with
+the standard serving-systems fix, **continuous batching**: requests are
+admitted into an engine that is already executing, so a fresh root
+instance's operations join the live ready queue and fuse with in-flight
+requests' work immediately.
+
+Components:
+
+* :class:`RequestTicket` — the per-request completion future.  Carries
+  the admission timeline (``arrival_time`` → ``admit_time`` →
+  ``complete_time``) from which time-in-queue and time-in-engine derive.
+* :class:`RecursiveServer` — request queue + admission control.  At most
+  ``max_in_flight`` root instances execute concurrently; at most
+  ``queue_cap`` requests may wait (beyond that, arrivals are rejected —
+  the backpressure signal).  ``admission="continuous"`` admits whenever a
+  slot frees; ``admission="wave"`` reproduces the legacy wave-synchronized
+  driver (a full wave is admitted only once the engine is empty), kept as
+  the baseline the benchmarks compare against.
+* :exc:`ServerOverloaded` — raised from a rejected ticket's ``result()``.
+
+The server runs on either engine through the engines' shared
+incremental-admission API (``begin_serving`` / ``submit_root`` /
+``drain`` / ``end_serving``):
+
+* **event engine** — the whole serving session is simulated in virtual
+  time.  Arrivals are scheduled with ``submit(..., at=t)``; admission
+  decisions and completions happen inside the event loop at the proper
+  virtual instants, and ``drain()`` runs the simulation to exhaustion.
+  Fully deterministic: a fixed request stream yields bit-identical
+  results *and* identical virtual-time latencies run over run.
+* **threaded engine** — wall-clock serving on live worker threads.
+  ``submit`` may be called from any thread while kernels execute;
+  ``drain()`` blocks until the queue and the engine are empty.
+
+If the engine batches with a policy exposing ``note_queue_depth`` (the
+:class:`~repro.runtime.batching.QueueAwareBatchPolicy`), the server
+reports queue occupancy on every enqueue/admit so flush timeouts tighten
+when the queue is shallow and widen under load.
+
+Per-request values are **bit-identical** to a one-shot ``Session.run`` of
+the same fetches: admission changes only *when* operations execute, never
+what they compute (the micro-batching scatter-back guarantee).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.graph.tensor import Tensor
+
+from .engine import EventEngine
+from .stats import RunStats
+
+__all__ = ["RecursiveServer", "RequestTicket", "ServerOverloaded"]
+
+
+class ServerOverloaded(RuntimeError):
+    """A request was rejected because the server queue was at its cap."""
+
+
+class RequestTicket:
+    """Completion future of one submitted request.
+
+    Times are engine-clock seconds (virtual under the event engine,
+    wall-clock under the threaded engine):
+
+    * ``arrival_time`` — the request entered the server queue;
+    * ``admit_time`` — it was admitted into the engine as a root instance;
+    * ``complete_time`` — its root frame finished.
+
+    ``queue_time`` / ``engine_time`` / ``latency`` derive from those;
+    ``value`` holds the fetch results (matching the structure passed to
+    ``submit``), or ``error`` the failure.
+    """
+
+    __slots__ = ("request_id", "fetches", "feed_map", "single",
+                 "arrival_time", "admit_time", "complete_time", "value",
+                 "error", "rejected", "_server", "_done")
+
+    def __init__(self, request_id: int, fetches: list, feed_map: dict,
+                 single: bool, server: "RecursiveServer"):
+        self.request_id = request_id
+        self.fetches = fetches
+        self.feed_map = feed_map
+        self.single = single
+        self.arrival_time: Optional[float] = None
+        self.admit_time: Optional[float] = None
+        self.complete_time: Optional[float] = None
+        self.value: Any = None
+        self.error: Optional[Exception] = None
+        self.rejected = False
+        self._server = server
+        self._done = threading.Event()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    @property
+    def queue_time(self) -> Optional[float]:
+        """Seconds spent waiting for admission (arrival -> admit)."""
+        if self.arrival_time is None or self.admit_time is None:
+            return None
+        return self.admit_time - self.arrival_time
+
+    @property
+    def engine_time(self) -> Optional[float]:
+        """Seconds spent executing in the engine (admit -> complete)."""
+        if self.admit_time is None or self.complete_time is None:
+            return None
+        return self.complete_time - self.admit_time
+
+    @property
+    def latency(self) -> Optional[float]:
+        """End-to-end seconds (arrival -> complete)."""
+        if self.arrival_time is None or self.complete_time is None:
+            return None
+        return self.complete_time - self.arrival_time
+
+    def result(self, timeout: Optional[float] = None):
+        """Block until this request completes; return (or raise) it.
+
+        On the event engine an unfinished ticket triggers a ``drain()``
+        of the server — virtual time cannot pass without running the
+        simulation.
+        """
+        if not self._done.is_set():
+            self._server._wait_for(self, timeout)
+        if not self._done.is_set():
+            raise TimeoutError(
+                f"request {self.request_id} not complete after {timeout}s")
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+    def _finish(self) -> None:
+        self._done.set()
+
+
+class RecursiveServer:
+    """A streaming request server over one :class:`~repro.runtime
+    .session.Session`'s engine.
+
+    Args:
+        session: the session whose graph/engine serve the requests.  The
+            server takes over the engine (persistent serving mode); using
+            ``session.run`` concurrently is unsupported.
+        max_in_flight: admission cap — at most this many root instances
+            execute concurrently in the engine.
+        queue_cap: backpressure cap — at most this many requests may wait
+            in the server queue *beyond the free in-flight slots*;
+            arrivals past that are *rejected* (the ticket's ``result()``
+            raises :exc:`ServerOverloaded`).  ``None`` means unbounded.
+        admission: ``"continuous"`` (default) admits a queued request the
+            moment an in-flight slot frees; ``"wave"`` admits
+            ``max_in_flight`` requests at a time and only when the engine
+            is completely empty — the legacy wave-synchronized behaviour,
+            kept as the comparison baseline.
+        keep_tickets: retain every completed ticket on the server (the
+            benchmarking drivers read them back via :attr:`tickets`).
+            Pass ``False`` for a long-lived server so completed requests
+            — their feeds and result values — are dropped once their
+            owners hold the only reference; per-request *latency samples*
+            still accrue in :attr:`stats`.
+    """
+
+    def __init__(self, session, *, max_in_flight: int = 16,
+                 queue_cap: Optional[int] = None,
+                 admission: str = "continuous", keep_tickets: bool = True):
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if queue_cap is not None and queue_cap < 1:
+            raise ValueError("queue_cap must be >= 1 (or None for unbounded)")
+        if admission not in ("continuous", "wave"):
+            raise ValueError(f"unknown admission mode {admission!r}; "
+                             "expected \"continuous\" or \"wave\"")
+        self._session = session
+        self._engine = session._engine
+        self._graph = session.graph
+        self._virtual = isinstance(self._engine, EventEngine)
+        self.max_in_flight = max_in_flight
+        self.queue_cap = queue_cap
+        self.admission = admission
+        self.keep_tickets = keep_tickets
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._queue: deque[RequestTicket] = deque()
+        self._in_flight = 0
+        self._completed = 0
+        self._rejected = 0
+        self._next_id = itertools.count()
+        self._tickets: list[RequestTicket] = []
+        self._outstanding: dict[int, RequestTicket] = {}
+        self._pump_scheduled = False
+        self._fatal: Optional[Exception] = None
+        self._closed = False
+        session.runtime.cache.clear()
+        self._engine.begin_serving(error_listener=self._on_engine_error)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def stats(self) -> RunStats:
+        """Session-cumulative engine stats (includes request latencies)."""
+        return self._engine.stats
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return self._completed
+
+    @property
+    def rejected(self) -> int:
+        with self._lock:
+            return self._rejected
+
+    @property
+    def tickets(self) -> list:
+        """All tickets in submission order (served and rejected)."""
+        with self._lock:
+            return list(self._tickets)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, fetches, feed_dict: Optional[dict] = None, *,
+               at: Optional[float] = None) -> RequestTicket:
+        """Enqueue one request; returns its completion future.
+
+        ``fetches``/``feed_dict`` follow ``Session.run`` semantics
+        (a Tensor or a sequence of Tensors, placeholder feeds).  ``at``
+        (event engine only) schedules the *arrival* at an absolute
+        virtual time — the open-loop arrival hook; without it the request
+        arrives at the engine's current clock.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        single = isinstance(fetches, Tensor)
+        fetch_list = [fetches] if single else list(fetches)
+        self._session._check_fetches(fetch_list)
+        feed_map = self._session._build_feed_map(feed_dict or {})
+        ticket = RequestTicket(next(self._next_id), fetch_list, feed_map,
+                               single, self)
+        with self._lock:
+            if self.keep_tickets:
+                self._tickets.append(ticket)
+            self._outstanding[ticket.request_id] = ticket
+        if at is not None:
+            if not self._virtual:
+                raise ValueError("scheduled arrivals (at=...) require the "
+                                 "event engine; the threaded engine serves "
+                                 "in wall-clock time")
+            self._engine.schedule(at, lambda: self._arrive(ticket))
+        else:
+            self._arrive(ticket)
+        return ticket
+
+    def drain(self) -> RunStats:
+        """Complete everything submitted so far; return cumulative stats.
+
+        Event engine: runs the simulation (arrivals, admissions,
+        execution, completions) to exhaustion.  Threaded engine: blocks
+        until the request queue and the engine are both empty.  Raises
+        the engine error if the session failed.
+        """
+        if self._virtual:
+            stats = self._engine.drain()
+            if self._fatal is not None:
+                raise self._fatal
+            return stats
+        with self._cond:
+            while self._fatal is None and (self._queue or self._in_flight):
+                # short waits keep the main thread responsive to the
+                # SIGALRM test watchdog
+                self._cond.wait(0.05)
+            if self._fatal is not None:
+                raise self._fatal
+        return self._engine.stats
+
+    def close(self) -> None:
+        """Drain (unless already failed) and stop the serving session."""
+        if self._closed:
+            return
+        try:
+            if self._fatal is None:
+                self.drain()
+        finally:
+            self._closed = True
+            self._engine.end_serving()
+
+    def __enter__(self) -> "RecursiveServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+    #
+    # Lock discipline (threaded engine): completions arrive under the
+    # ENGINE lock (frame.on_complete) and then take the server lock, so
+    # the server must never hold its own lock while acquiring the engine
+    # lock — _pump snapshots its admission decision under the server
+    # lock, releases it, and only then calls engine.submit_root.
+
+    def _arrive(self, ticket: RequestTicket) -> None:
+        ticket.arrival_time = self._engine.now
+        schedule_pump = False
+        with self._cond:
+            if self._fatal is not None:
+                ticket.error = self._fatal
+                self._outstanding.pop(ticket.request_id, None)
+                ticket._finish()
+                self._cond.notify_all()
+                return
+            # the cap bounds requests that will actually *wait*: free
+            # in-flight slots extend it, so an idle server never rejects
+            free_slots = max(0, self.max_in_flight - self._in_flight)
+            if (self.queue_cap is not None
+                    and len(self._queue) >= self.queue_cap + free_slots):
+                ticket.rejected = True
+                ticket.error = ServerOverloaded(
+                    f"request {ticket.request_id} rejected: queue at cap "
+                    f"({self.queue_cap})")
+                self._rejected += 1
+                self._outstanding.pop(ticket.request_id, None)
+                self._engine.stats.note_rejected()
+                ticket._finish()
+                self._cond.notify_all()
+                return
+            self._queue.append(ticket)
+            self._note_queue_depth_locked()
+            if self._virtual:
+                # Defer admission to a same-instant event: simultaneous
+                # arrivals (a burst, a busy Poisson tick) all enqueue
+                # before the first admission decision, so a wave admits
+                # its full width and a continuous burst fills every
+                # in-flight slot before any of their ops dispatch.
+                schedule_pump = not self._pump_scheduled
+                self._pump_scheduled = True
+        if not self._virtual:
+            self._pump()
+        elif schedule_pump:
+            self._engine.schedule(self._engine.now, self._scheduled_pump)
+
+    def _scheduled_pump(self) -> None:
+        with self._lock:
+            self._pump_scheduled = False
+        self._pump()
+
+    def _pump(self) -> None:
+        """Admit queued requests while admission control allows it."""
+        while True:
+            with self._lock:
+                if self._fatal is not None or not self._queue:
+                    return
+                if self.admission == "wave":
+                    if self._in_flight > 0:
+                        return
+                    count = min(self.max_in_flight, len(self._queue))
+                else:
+                    if self._in_flight >= self.max_in_flight:
+                        return
+                    count = 1
+                admitted = [self._queue.popleft() for _ in range(count)]
+                self._in_flight += count
+                self._note_queue_depth_locked()
+            for ticket in admitted:
+                # set admit_time before submission: a trivial root frame
+                # may complete synchronously inside submit_root
+                ticket.admit_time = self._engine.now
+                feed_map, ticket.feed_map = ticket.feed_map, None
+                self._engine.submit_root(
+                    self._graph, ticket.fetches, feed_map,
+                    (f"req{ticket.request_id}",),
+                    lambda values, t=ticket: self._request_done(t, values))
+
+    def _request_done(self, ticket: RequestTicket, values: list) -> None:
+        ticket.complete_time = self._engine.now
+        ticket.value = values[0] if ticket.single else values
+        with self._cond:
+            self._in_flight -= 1
+            self._completed += 1
+            self._outstanding.pop(ticket.request_id, None)
+            self._engine.stats.note_request(ticket.queue_time,
+                                            ticket.engine_time)
+            ticket._finish()
+            self._cond.notify_all()
+        self._pump()
+
+    def _on_engine_error(self, error: Exception) -> None:
+        """Engine kernel failure: fail every request still outstanding."""
+        with self._cond:
+            if self._fatal is None:
+                self._fatal = error
+            for ticket in self._outstanding.values():
+                if not ticket.done:
+                    ticket.error = error
+                    ticket._finish()
+            self._outstanding.clear()
+            self._queue.clear()
+            self._cond.notify_all()
+
+    def _note_queue_depth_locked(self) -> None:
+        """Feed queue occupancy to a queue-aware flush policy, if any."""
+        policy = getattr(self._engine, "batch_policy", None)
+        note = getattr(policy, "note_queue_depth", None)
+        if note is not None:
+            cap = self.queue_cap or 4 * self.max_in_flight
+            note(len(self._queue), cap)
+
+    def _wait_for(self, ticket: RequestTicket,
+                  timeout: Optional[float]) -> None:
+        if self._virtual:
+            try:
+                self._engine.drain()
+            except Exception:
+                # the drain error listener already failed the tickets;
+                # result() surfaces this ticket's recorded error
+                if not ticket.done:
+                    raise
+            return
+        ticket._done.wait(timeout)

@@ -126,13 +126,7 @@ class Session:
         """
         single = isinstance(fetches, Tensor)
         fetch_list = [fetches] if single else list(fetches)
-        for t in fetch_list:
-            if not isinstance(t, Tensor):
-                raise TypeError(f"fetch {t!r} is not a Tensor")
-            if t.graph is not self.graph:
-                raise ValueError(
-                    f"fetch {t.name} belongs to graph {t.graph.name}, "
-                    f"session runs {self.graph.name}")
+        self._check_fetches(fetch_list)
         feed_map = self._build_feed_map(feed_dict or {})
         if record is not None:
             self._engine.record = record
@@ -150,6 +144,44 @@ class Session:
         values, stats = self._engine.run(self.graph, fetch_list, feed_map)
         self.last_stats = stats
         return values[0] if single else values
+
+    def serve(self, *, max_in_flight: int = 16,
+              queue_cap: Optional[int] = None,
+              admission: str = "continuous", keep_tickets: bool = True):
+        """Enter persistent serving mode; returns a
+        :class:`~repro.runtime.server.RecursiveServer`.
+
+        Where :meth:`run` executes one fixed fetch set to completion, a
+        server keeps the engine alive and admits requests *into the
+        running engine* (continuous batching): each ``server.submit``
+        becomes a root instance whose operations join — and fuse with —
+        the live ready queue.  ``max_in_flight`` caps concurrent root
+        instances, ``queue_cap`` bounds the waiting queue (arrivals
+        beyond it are rejected — backpressure), and ``admission`` selects
+        continuous or legacy wave-synchronized admission.  Per-request
+        values are bit-identical to :meth:`run` on the same fetches.
+
+        The server owns the engine until ``server.close()``; interleaving
+        ``session.run`` with an open server is unsupported.  Usable as a
+        context manager::
+
+            with session.serve(max_in_flight=8) as server:
+                tickets = [server.submit(logits, feed) for feed in feeds]
+                server.drain()
+        """
+        from .server import RecursiveServer
+        return RecursiveServer(self, max_in_flight=max_in_flight,
+                               queue_cap=queue_cap, admission=admission,
+                               keep_tickets=keep_tickets)
+
+    def _check_fetches(self, fetch_list: Sequence[Tensor]) -> None:
+        for t in fetch_list:
+            if not isinstance(t, Tensor):
+                raise TypeError(f"fetch {t!r} is not a Tensor")
+            if t.graph is not self.graph:
+                raise ValueError(
+                    f"fetch {t.name} belongs to graph {t.graph.name}, "
+                    f"session runs {self.graph.name}")
 
     def _build_feed_map(self, feed_dict: dict) -> dict[int, Any]:
         feed_map: dict[int, Any] = {}

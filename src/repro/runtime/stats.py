@@ -1,10 +1,59 @@
-"""Execution statistics collected by the engines."""
+"""Execution statistics collected by the engines.
+
+Besides per-op and per-batch accounting, :class:`RunStats` tracks
+*per-request* latency for the serving path
+(:mod:`repro.runtime.server`): every completed request contributes a
+``(time-in-queue, time-in-engine)`` sample, and
+:meth:`RunStats.latency_summary` reduces the samples to p50/p95/p99
+percentiles for the queue, engine and total components.  Times are
+engine-clock seconds — virtual seconds under the event engine, wall-clock
+seconds under the threaded engine.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["RunStats"]
+__all__ = ["RunStats", "percentile"]
+
+#: the percentile levels latency_summary reports
+LATENCY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def _percentile_sorted(data: list, q: float) -> float:
+    """``q``-th percentile of an already-sorted non-empty sample."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not data:
+        raise ValueError("percentile of an empty sample")
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lower = int(rank)
+    frac = rank - lower
+    if frac == 0.0:
+        return data[lower]
+    return data[lower] + frac * (data[lower + 1] - data[lower])
+
+
+def percentile(values, q: float) -> float:
+    """The ``q``-th percentile of ``values`` by linear interpolation.
+
+    Matches numpy's default (``method="linear"``): for ``n`` sorted samples
+    the rank of percentile ``q`` is ``(q / 100) * (n - 1)``, interpolating
+    between the neighbouring order statistics.  Pure-python so the serving
+    percentile math is unit-testable against hand-computed values.
+    """
+    return _percentile_sorted(sorted(float(v) for v in values), q)
+
+
+def _component_summary(samples: list) -> dict:
+    data = sorted(float(v) for v in samples)   # one sort per component
+    out = {f"p{int(q) if q == int(q) else q}": _percentile_sorted(data, q)
+           for q in LATENCY_PERCENTILES}
+    out["mean"] = sum(data) / len(data)
+    out["max"] = data[-1]
+    return out
 
 
 @dataclass
@@ -39,6 +88,64 @@ class RunStats:
     #: This is the observability surface for the adaptive flush policy —
     #: see :func:`repro.harness.reporting.format_batch_histogram`.
     batch_width_hist: dict = field(default_factory=dict)
+    #: requests completed through a serving session
+    requests: int = 0
+    #: requests rejected by admission control (queue-depth cap)
+    rejected_requests: int = 0
+    #: per-request time spent waiting in the server's request queue
+    queue_times: list = field(default_factory=list)
+    #: per-request time spent executing in the engine (admit -> complete)
+    engine_times: list = field(default_factory=list)
+    #: cap on retained latency samples — beyond it note_request reservoir-
+    #: samples (deterministically), so a long-lived server's stats stay
+    #: bounded while the percentiles remain representative.  Benchmarks
+    #: and tests stay far below the cap and keep exact samples.
+    max_latency_samples: int = 65536
+
+    def note_request(self, queue_time: float, engine_time: float) -> None:
+        """Record one served request's queue-time/engine-time split.
+
+        Bounded: once ``max_latency_samples`` pairs are retained, new
+        samples displace a pseudo-random (deterministic, Algorithm-R
+        style) slot with probability ``cap / requests``, keeping memory
+        constant for open-ended serving sessions.
+        """
+        self.requests += 1
+        if len(self.queue_times) < self.max_latency_samples:
+            self.queue_times.append(queue_time)
+            self.engine_times.append(engine_time)
+            return
+        # Knuth multiplicative hash of the request counter: a
+        # deterministic stand-in for Algorithm R's random draw
+        slot = ((self.requests * 2654435761) & 0x7FFFFFFF) % self.requests
+        if slot < self.max_latency_samples:
+            self.queue_times[slot] = queue_time
+            self.engine_times[slot] = engine_time
+
+    def note_rejected(self) -> None:
+        """Record one request bounced by the queue-depth cap."""
+        self.rejected_requests += 1
+
+    @property
+    def request_latencies(self) -> list:
+        """End-to-end latency (queue + engine) per completed request."""
+        return [q + e for q, e in zip(self.queue_times, self.engine_times)]
+
+    def latency_summary(self) -> dict:
+        """p50/p95/p99/mean/max for queue, engine and total latency.
+
+        Returns ``{"requests": n, "queue": {...}, "engine": {...},
+        "total": {...}}`` (empty dict when no requests completed); each
+        component maps ``p50``/``p95``/``p99``/``mean``/``max`` to
+        engine-clock seconds.
+        """
+        if not self.requests:
+            return {}
+        return {"requests": self.requests,
+                "rejected": self.rejected_requests,
+                "queue": _component_summary(self.queue_times),
+                "engine": _component_summary(self.engine_times),
+                "total": _component_summary(self.request_latencies)}
 
     def note_op(self, op_type: str, cost: float) -> None:
         self.ops_executed += 1
@@ -93,6 +200,18 @@ class RunStats:
                                    other.max_concurrency)
         self.max_frame_depth = max(self.max_frame_depth,
                                    other.max_frame_depth)
+        self.requests += other.requests
+        self.rejected_requests += other.rejected_requests
+        self.queue_times.extend(other.queue_times)
+        self.engine_times.extend(other.engine_times)
+        if len(self.queue_times) > self.max_latency_samples:
+            # re-establish the retention bound (evenly-strided
+            # downsample, pairs kept aligned) so note_request's
+            # reservoir replacement stays reachable for every slot
+            step = len(self.queue_times) / self.max_latency_samples
+            keep = [int(i * step) for i in range(self.max_latency_samples)]
+            self.queue_times = [self.queue_times[i] for i in keep]
+            self.engine_times = [self.engine_times[i] for i in keep]
         self.batches += other.batches
         self.batched_ops += other.batched_ops
         self.max_batch = max(self.max_batch, other.max_batch)
@@ -121,6 +240,14 @@ class RunStats:
                 f"batches={self.batches}  batched_ops={self.batched_ops}  "
                 f"mean_batch={self.batch_efficiency:.1f}  "
                 f"max_batch={self.max_batch}")
+        if self.requests:
+            lat = self.latency_summary()["total"]
+            lines.append(
+                f"requests={self.requests}  rejected="
+                f"{self.rejected_requests}  "
+                f"latency p50={lat['p50'] * 1e3:.3f} ms  "
+                f"p95={lat['p95'] * 1e3:.3f} ms  "
+                f"p99={lat['p99'] * 1e3:.3f} ms")
         top = sorted(self.per_type_time.items(), key=lambda kv: -kv[1])[:8]
         for op_type, t in top:
             lines.append(f"  {op_type:<22} n={self.per_type_count[op_type]:<7}"

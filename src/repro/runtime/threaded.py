@@ -22,6 +22,12 @@ O(1) deadline heap).  Training batches too: fused ``InvokeGrad`` buckets
 run every member's starter under the master lock, batched ``CacheLookup``
 kernels issue one bulk sharded-cache read outside it, and a fused batch's
 recorded values are stored through one bulk write.
+
+Serving (continuous batching): ``begin_serving`` keeps the worker pool
+alive across requests so a :class:`~repro.runtime.server.RecursiveServer`
+can admit root instances into the live ready queue from any thread
+(``submit_root``); completion flows through per-root callbacks and
+``end_serving`` stops the pool.  See :mod:`repro.runtime.server`.
 """
 
 from __future__ import annotations
@@ -92,6 +98,67 @@ class ThreadedEngine:
         self._start_frame(frame)
         return frame
 
+    # -- serving mode: incremental root admission -----------------------------
+    #
+    # The wall-clock counterpart of EventEngine's serving API: workers
+    # stay alive across requests, ``submit_root`` may be called from any
+    # thread while kernels are executing (admission takes the master
+    # lock), and completion flows through per-root callbacks instead of
+    # one done-event.  A server (:class:`repro.runtime.server
+    # .RecursiveServer`) owns the request queue and calls ``end_serving``
+    # to stop the pool.
+
+    def begin_serving(self, error_listener: Optional[Callable] = None) -> None:
+        """Start the worker pool for a persistent serving session.
+
+        ``error_listener`` (optional) is called once, outside the master
+        lock, if any kernel raises — root frames in flight at that point
+        will never complete, so the server must fail their requests.
+        """
+        self._lock = threading.RLock()
+        self._queue = queue.Queue()
+        self._done = threading.Event()
+        self._error = None
+        self._error_listener = error_listener
+        self._coalescer = (Coalescer(self.batch_policy) if self.batching
+                           else None)
+        self.stats = RunStats()
+        self._serve_wall0 = time.perf_counter()
+        self._serve_workers = [threading.Thread(target=self._worker,
+                                                daemon=True)
+                               for _ in range(self.num_workers)]
+        for w in self._serve_workers:
+            w.start()
+
+    def submit_root(self, graph: Graph, fetches: Sequence[Tensor],
+                    feed_map: dict[int, Any], key: tuple,
+                    on_complete: Callable) -> Frame:
+        """Admit a root instance into the live ready queue (thread-safe)."""
+        fetch_list = list(fetches)
+        fetch_ops = {t.op for t in fetch_list}
+        needed = sorted(graph.reachable_from(fetch_ops))
+
+        def frame_done(frame):
+            on_complete([frame.values[t.ref] for t in fetch_list])
+
+        with self._lock:
+            frame = self._make_frame(graph, needed, feed_map, key, 0, False,
+                                     frame_done, None)
+            self._start_frame(frame)
+        return frame
+
+    def end_serving(self) -> RunStats:
+        """Stop the worker pool.  Does not raise: engine errors surface
+        through the error listener / the server's drain."""
+        for _ in self._serve_workers:
+            self._queue.put(_SENTINEL)
+        for w in self._serve_workers:
+            w.join()
+        self._serve_workers = []
+        self.stats.wall_time = time.perf_counter() - self._serve_wall0
+        self.stats.virtual_time = self.stats.wall_time
+        return self.stats
+
     # -- run ------------------------------------------------------------------
 
     def run(self, graph: Graph, fetches: Sequence[Tensor],
@@ -101,6 +168,7 @@ class ThreadedEngine:
         self._queue: queue.Queue = queue.Queue()
         self._done = threading.Event()
         self._error: Optional[Exception] = None
+        self._error_listener = None
         self._coalescer = (Coalescer(self.batch_policy) if self.batching
                            else None)
         self.stats = RunStats()
@@ -210,13 +278,19 @@ class ThreadedEngine:
                 self._fail(op, exc)
 
     def _fail(self, op, exc: Exception) -> None:
+        listener = None
         with self._lock:
             if self._error is None:
                 err = EngineError(
                     f"error executing {op.name} ({op.op_type}): {exc}")
                 err.__cause__ = exc
                 self._error = err
+                listener = self._error_listener
             self._done.set()
+        if listener is not None:
+            # outside the master lock: the serving error listener takes
+            # the server's own lock to fail pending requests
+            listener(self._error)
 
     # -- micro-batching ----------------------------------------------------------
 

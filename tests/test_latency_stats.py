@@ -1,0 +1,137 @@
+"""Per-request latency accounting: percentile math, queue/engine split,
+and RunStats merging across a server's lifetime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.stats import RunStats, percentile
+
+pytestmark = pytest.mark.serving
+
+
+class TestPercentile:
+    def test_linear_interpolation_matches_hand_computation(self):
+        # 10 samples 1..10: rank(p50) = 0.5 * 9 = 4.5 -> 5 + 0.5*(6-5)
+        assert percentile(range(1, 11), 50) == 5.5
+        # rank(p95) = 0.95 * 9 = 8.55 -> 9 + 0.55*(10-9)
+        assert percentile(range(1, 11), 95) == pytest.approx(9.55)
+
+    def test_p99_on_100_samples(self):
+        # rank = 0.99 * 99 = 98.01 -> 99 + 0.01*(100-99)
+        assert percentile(range(1, 101), 99) == pytest.approx(99.01)
+
+    def test_extremes_and_singleton(self):
+        assert percentile([3.0, 1.0, 2.0], 0) == 1.0
+        assert percentile([3.0, 1.0, 2.0], 100) == 3.0
+        assert percentile([42.0], 99) == 42.0
+
+    def test_input_order_is_irrelevant(self):
+        shuffled = [7.0, 1.0, 9.0, 3.0, 5.0]
+        assert percentile(shuffled, 50) == percentile(sorted(shuffled), 50)
+
+    def test_matches_numpy_linear_method(self):
+        rng = np.random.default_rng(17)
+        data = rng.exponential(1.0, size=37).tolist()
+        for q in (0, 10, 50, 90, 95, 99, 100):
+            assert percentile(data, q) == pytest.approx(
+                float(np.percentile(data, q)))
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+class TestRequestAccounting:
+    def test_queue_engine_split_and_totals(self):
+        stats = RunStats()
+        stats.note_request(1.0, 3.0)
+        stats.note_request(2.0, 4.0)
+        assert stats.requests == 2
+        assert stats.queue_times == [1.0, 2.0]
+        assert stats.engine_times == [3.0, 4.0]
+        assert stats.request_latencies == [4.0, 6.0]
+        summary = stats.latency_summary()
+        assert summary["requests"] == 2
+        assert summary["queue"]["p50"] == 1.5
+        assert summary["engine"]["p50"] == 3.5
+        assert summary["total"]["p50"] == 5.0
+        assert summary["total"]["mean"] == 5.0
+        assert summary["total"]["max"] == 6.0
+
+    def test_empty_summary_and_rejections(self):
+        stats = RunStats()
+        assert stats.latency_summary() == {}
+        stats.note_rejected()
+        stats.note_rejected()
+        assert stats.rejected_requests == 2
+        # rejections alone still produce no latency distribution
+        assert stats.latency_summary() == {}
+        stats.note_request(0.5, 0.5)
+        assert stats.latency_summary()["rejected"] == 2
+
+    def test_merge_accumulates_samples_across_lifetime(self):
+        """Merging per-drain snapshots must behave like one long session."""
+        first, second, combined = RunStats(), RunStats(), RunStats()
+        for i in range(10):
+            first.note_request(float(i), 2.0 * i)
+            combined.note_request(float(i), 2.0 * i)
+        for i in range(10, 30):
+            second.note_request(float(i), 2.0 * i)
+            combined.note_request(float(i), 2.0 * i)
+        second.note_rejected()
+        combined.note_rejected()
+        first.merge(second)
+        assert first.requests == combined.requests == 30
+        assert first.rejected_requests == combined.rejected_requests == 1
+        assert first.latency_summary() == combined.latency_summary()
+
+    def test_sample_retention_is_bounded(self):
+        """Beyond the cap, note_request reservoir-samples: memory stays
+        constant, counts stay exact, percentiles stay representative."""
+        stats = RunStats(max_latency_samples=32)
+        for i in range(1000):
+            stats.note_request(float(i), 2.0)
+        assert stats.requests == 1000
+        assert len(stats.queue_times) == 32
+        assert len(stats.engine_times) == 32
+        summary = stats.latency_summary()
+        assert summary["requests"] == 1000
+        # retained samples are real observations, and late ones made it in
+        assert all(0.0 <= q < 1000.0 for q in stats.queue_times)
+        assert max(stats.queue_times) >= 32
+        # deterministic: the same stream retains the same reservoir
+        again = RunStats(max_latency_samples=32)
+        for i in range(1000):
+            again.note_request(float(i), 2.0)
+        assert again.queue_times == stats.queue_times
+
+    def test_merge_respects_sample_bound(self):
+        a = RunStats(max_latency_samples=16)
+        b = RunStats(max_latency_samples=16)
+        for i in range(16):
+            a.note_request(float(i), 1.0)
+            b.note_request(float(100 + i), 1.0)
+        a.merge(b)
+        assert a.requests == 32
+        assert len(a.queue_times) == 16
+        assert len(a.engine_times) == 16
+        # the downsample keeps samples from both halves
+        assert any(q < 100 for q in a.queue_times)
+        assert any(q >= 100 for q in a.queue_times)
+        # post-merge reservoir replacement still covers every slot
+        for i in range(200):
+            a.note_request(1000.0 + i, 1.0)
+        assert len(a.queue_times) == 16
+
+    def test_summary_string_reports_latency_line(self):
+        stats = RunStats()
+        stats.note_request(0.001, 0.002)
+        text = stats.summary()
+        assert "requests=1" in text
+        assert "p99" in text
