@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-batching test-serving bench bench-fig8 bench-serving bench-smoke
+.PHONY: test test-batching test-serving bench bench-fig8 bench-serving \
+        bench-smoke bench-overhead profile
 
 # Tier-1: the full test suite (what CI gates on).
 test:
@@ -31,5 +32,17 @@ bench-serving:
 # Tiny-config fig7/table2 canary plus a ~1s continuous-serving canary
 # (open-loop arrivals, wave vs continuous): every runner kind, both
 # modes, batched backward pass — fast enough to ride along with tier-1.
+# Includes the spawn-overhead canary gating on BENCH_overhead.json.
 bench-smoke:
 	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/bench_smoke.py -q -s
+
+# Scheduler-overhead microbench: frame-spawn rate and per-instance
+# dispatch overhead (host wall-clock); refreshes BENCH_overhead.json
+# ("after" block — the recorded "before" is the pre-FramePlan engine).
+bench-overhead:
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/bench_overhead.py -q -s
+
+# TreeLSTM continuous-serving canary under cProfile: prints the top-20
+# cumulative hot spots of the scheduler/serving path.
+profile:
+	PYTHONPATH=src:. $(PYTHON) benchmarks/profile_serving.py

@@ -1,0 +1,270 @@
+"""Scheduler-overhead microbench: frame-spawn rate and dispatch cost.
+
+Unlike the paper-figure benches (which report *virtual* testbed time),
+this bench measures the **host wall-clock overhead of the scheduler
+itself** — the master-side bookkeeping the FramePlan compilation work
+(``repro.runtime.plan``) exists to amortize:
+
+* **frame-spawn rate** — a width x depth lattice of SubGraph chains
+  whose bodies do nothing but invoke the next link, so runtime is pure
+  frame spawning (binding setup, dependency counters, ready insertion,
+  frame return) with one scheduled op per frame.  Reported as
+  frames/second and µs/frame.
+* **recursive step rate** — countdown recursions through ``cond``:
+  frame spawns *plus* the handful of scalar ops a real recursive model
+  executes per frame (the Invoke+Cond frame pair per step).
+* **per-instance dispatch overhead** — a long chain of tiny ``Tanh`` ops
+  (no recursion, no batching) isolating the ready-queue pop / input
+  gather / completion path.  Reported as µs/instance.
+* **batched dispatch overhead** — a wide wavefront of same-signature ops
+  under ``batching=True``, isolating the coalescer path (signature
+  computation, bucketing, scatter-back).  Reported as µs/instance.
+
+``BENCH_overhead.json`` keeps a frozen ``before`` block (measured at the
+pre-plan PR 3 head) and refreshes ``after`` on every run; the speedup
+block is the headline the ISSUE acceptance gates on (>= 1.5x spawn
+rate).  ``benchmarks/bench_smoke.py`` re-measures a miniature spawn
+workload against the recorded ``after`` as a 2x regression canary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import repro
+from repro import ops
+from repro.core.subgraph import SubGraph
+
+from benchmarks.common import save_bench_json
+
+WORKERS = 36
+#: spawn lattice: WIDTH concurrent invoke-chains of DEPTH frames each
+SPAWN_WIDTH, SPAWN_DEPTH = 16, 250
+#: dispatch chain length (sequential tiny ops)
+CHAIN_OPS = 3000
+#: batched wavefront: WIDTH independent chains of LEN same-signature ops
+WAVE_WIDTH, WAVE_LEN = 48, 60
+REPEATS = 5
+
+
+def build_spawn_chain(width: int, depth: int):
+    """``width`` concurrent invoke-chains, each spawning ``depth`` frames.
+
+    ``link_i`` does nothing but call ``link_{i-1}`` (the innermost link
+    is an identity), so each frame schedules exactly one op — the purest
+    frame-spawn workload the execution model admits.
+    """
+    graph = repro.Graph("spawn_chain_bench")
+    with graph.as_default():
+        prev = None
+        for i in range(depth):
+            with SubGraph(f"link{i}") as link:
+                x = link.input(repro.float32, ())
+                link.output(ops.identity(x) if prev is None else prev(x))
+            prev = link
+        total = ops.constant(0.0)
+        for _ in range(width):
+            total = ops.add(total, prev(ops.constant(1.0)))
+    return graph, total
+
+
+def build_spawn_lattice(width: int, depth: int):
+    """``width`` concurrent countdown recursions of ``depth`` frames each."""
+    graph = repro.Graph("spawn_bench")
+    with graph.as_default():
+        with SubGraph("countdown") as countdown:
+            n = countdown.input(repro.int32, ())
+            countdown.declare_outputs([(repro.int32, ())])
+            countdown.output(ops.cond(
+                ops.less_equal(n, 0),
+                lambda: ops.constant(0),
+                lambda: ops.add(countdown(ops.subtract(n, ops.constant(1))),
+                                ops.constant(1))))
+        total = ops.constant(0)
+        for _ in range(width):
+            total = ops.add(total, countdown(ops.constant(depth)))
+    return graph, total
+
+
+def build_chain(n_ops: int):
+    """A sequential chain of tiny elementwise ops (pure dispatch cost)."""
+    graph = repro.Graph("dispatch_bench")
+    with graph.as_default():
+        x = ops.placeholder(repro.float32, (4, 4))
+        y = x
+        for _ in range(n_ops):
+            y = ops.tanh(y)
+    return graph, x, y
+
+
+def build_wavefront(width: int, length: int):
+    """``width`` independent same-signature chains (a coalescer workload)."""
+    graph = repro.Graph("batched_dispatch_bench")
+    with graph.as_default():
+        x = ops.placeholder(repro.float32, (4, 4))
+        tails = []
+        for _ in range(width):
+            y = ops.tanh(x)
+            for _ in range(length - 1):
+                y = ops.tanh(y)
+            tails.append(y)
+        out = tails[0]
+        for t in tails[1:]:
+            out = ops.add(out, t)
+    return graph, x, out
+
+
+def measure_python_probe(repeats: int = 5) -> float:
+    """Host speed probe: best-of-N microseconds for a fixed pure-Python
+    loop.  Recorded next to the microbench results so the bench-smoke
+    canary can rescale the absolute wall-clock baseline to the speed of
+    the host it runs on (a slower CI container fails only on a *real*
+    regression, not on being a slower machine)."""
+    best = float("inf")
+    total = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for i in range(200_000):
+            total += i & 7
+        best = min(best, time.perf_counter() - t0)
+    assert total >= 0
+    return 1e6 * best
+
+
+def _best_wall(run_fn, repeats: int = REPEATS) -> float:
+    """Best-of-N wall time of ``run_fn`` (first call outside the timer
+    warms plan/consumer caches exactly like a serving process would)."""
+    run_fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run_fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_spawn() -> dict:
+    graph, total = build_spawn_chain(SPAWN_WIDTH, SPAWN_DEPTH)
+    sess = repro.Session(graph, repro.Runtime(), num_workers=WORKERS)
+    wall = _best_wall(lambda: sess.run(total))
+    stats = sess.last_stats
+    assert float(sess.run(total)) == float(SPAWN_WIDTH)
+    return {"frames": stats.frames_created,
+            "instances": stats.ops_executed,
+            "wall_s": wall,
+            "frames_per_sec": stats.frames_created / wall,
+            "us_per_frame": 1e6 * wall / stats.frames_created}
+
+
+def measure_recursion() -> dict:
+    graph, total = build_spawn_lattice(SPAWN_WIDTH, SPAWN_DEPTH)
+    sess = repro.Session(graph, repro.Runtime(), num_workers=WORKERS)
+    wall = _best_wall(lambda: sess.run(total))
+    stats = sess.last_stats
+    assert int(sess.run(total)) == SPAWN_WIDTH * SPAWN_DEPTH
+    return {"frames": stats.frames_created,
+            "instances": stats.ops_executed,
+            "wall_s": wall,
+            "frames_per_sec": stats.frames_created / wall,
+            "us_per_frame": 1e6 * wall / stats.frames_created}
+
+
+def measure_dispatch() -> dict:
+    import numpy as np
+    graph, x, y = build_chain(CHAIN_OPS)
+    sess = repro.Session(graph, repro.Runtime(), num_workers=WORKERS)
+    feed = {x: np.zeros((4, 4), np.float32)}
+    wall = _best_wall(lambda: sess.run(y, feed))
+    stats = sess.last_stats
+    return {"instances": stats.ops_executed,
+            "wall_s": wall,
+            "us_per_instance": 1e6 * wall / stats.ops_executed}
+
+
+def measure_batched_dispatch() -> dict:
+    import numpy as np
+    graph, x, out = build_wavefront(WAVE_WIDTH, WAVE_LEN)
+    sess = repro.Session(graph, repro.Runtime(), num_workers=WORKERS,
+                         batching=True)
+    feed = {x: np.zeros((4, 4), np.float32)}
+    wall = _best_wall(lambda: sess.run(out, feed))
+    stats = sess.last_stats
+    assert stats.batches > 0, "coalescer never fused on the wavefront bench"
+    return {"instances": stats.ops_executed,
+            "batches": stats.batches,
+            "wall_s": wall,
+            "us_per_instance": 1e6 * wall / stats.ops_executed}
+
+
+def _headline(block: dict) -> dict:
+    return {"spawn_frames_per_sec": block["spawn"]["frames_per_sec"],
+            "spawn_us_per_frame": block["spawn"]["us_per_frame"],
+            "recursion_frames_per_sec": block["recursion"]["frames_per_sec"],
+            "dispatch_us_per_instance": block["dispatch"]["us_per_instance"],
+            "batched_dispatch_us_per_instance":
+                block["batched_dispatch"]["us_per_instance"]}
+
+
+def test_scheduler_overhead_microbench():
+    after = {"spawn": measure_spawn(),
+             "recursion": measure_recursion(),
+             "dispatch": measure_dispatch(),
+             "batched_dispatch": measure_batched_dispatch()}
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(root, "BENCH_overhead.json")
+    before = None
+    if os.path.exists(path):
+        with open(path) as fh:
+            recorded = json.load(fh)
+        before = recorded.get("before")
+    if before is None:
+        # first run ever: the current code *is* the baseline
+        before = _headline(after)
+
+    headline = _headline(after)
+    payload = {
+        "description": "scheduler microbench: frame-spawn rate and "
+                       "per-instance dispatch overhead (host wall-clock)",
+        "host_probe_us": measure_python_probe(),
+        "workloads": {
+            "spawn": {"width": SPAWN_WIDTH, "depth": SPAWN_DEPTH,
+                      "kind": "invoke chain"},
+            "recursion": {"width": SPAWN_WIDTH, "depth": SPAWN_DEPTH,
+                          "kind": "countdown via cond"},
+            "dispatch": {"chain_ops": CHAIN_OPS},
+            "batched_dispatch": {"width": WAVE_WIDTH, "length": WAVE_LEN},
+        },
+        "before": before,
+        "after": headline,
+        "detail": after,
+        "speedup": {
+            "spawn_rate":
+                headline["spawn_frames_per_sec"]
+                / before["spawn_frames_per_sec"],
+            "recursion_rate":
+                headline["recursion_frames_per_sec"]
+                / before["recursion_frames_per_sec"],
+            "dispatch":
+                before["dispatch_us_per_instance"]
+                / headline["dispatch_us_per_instance"],
+            "batched_dispatch":
+                before["batched_dispatch_us_per_instance"]
+                / headline["batched_dispatch_us_per_instance"],
+        },
+    }
+    save_bench_json("overhead", payload)
+    print("\nscheduler overhead microbench (wall-clock):")
+    print(f"  spawn: {headline['spawn_frames_per_sec']:,.0f} frames/s "
+          f"({headline['spawn_us_per_frame']:.1f} us/frame), "
+          f"{payload['speedup']['spawn_rate']:.2f}x vs recorded baseline")
+    print(f"  recursion: {headline['recursion_frames_per_sec']:,.0f} "
+          f"frames/s ({payload['speedup']['recursion_rate']:.2f}x)")
+    print(f"  dispatch: {headline['dispatch_us_per_instance']:.1f} "
+          f"us/instance ({payload['speedup']['dispatch']:.2f}x)")
+    print(f"  batched dispatch: "
+          f"{headline['batched_dispatch_us_per_instance']:.1f} us/instance "
+          f"({payload['speedup']['batched_dispatch']:.2f}x)")
+    assert headline["spawn_frames_per_sec"] > 0

@@ -11,11 +11,16 @@ benches own those.
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from functools import lru_cache
 
 import numpy as np
+import pytest
 
 from benchmarks.common import runner_config
+import repro
 from repro import Runtime
 from repro.data import make_treebank
 from repro.data.batching import batch_trees
@@ -117,3 +122,41 @@ def test_smoke_continuous_serving_canary():
         assert latency["requests"] == 16
         assert 0.0 < latency["total"]["p50"] <= latency["total"]["p99"]
         assert result.stats.batches > 0
+
+
+def test_smoke_spawn_overhead_canary():
+    """Regression canary for the frame-plan scheduler: per-frame spawn
+    overhead (wall-clock, miniature invoke-chain) must stay within 2x of
+    the ``BENCH_overhead.json`` recorded baseline, rescaled by a host
+    speed probe so a slower machine fails only on a *real* regression
+    (an accidental return of per-spawn graph walking is ~3-5x).  The
+    miniature 8x120 shape has per-frame cost close to the recorded
+    16x250 workload; the 2x margin absorbs the shape difference."""
+    from benchmarks.bench_overhead import build_spawn_chain, \
+        measure_python_probe
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(root, "BENCH_overhead.json")
+    if not os.path.exists(path):
+        pytest.skip("no BENCH_overhead.json baseline recorded yet")
+    with open(path) as fh:
+        recorded = json.load(fh)
+    baseline = recorded["after"]["spawn_us_per_frame"]
+    probe = recorded.get("host_probe_us")
+    if probe:
+        # slower host -> proportionally wider gate; never tighter than
+        # the margin calibrated on the recording host
+        baseline *= max(1.0, measure_python_probe() / probe)
+
+    graph, total = build_spawn_chain(8, 120)
+    sess = repro.Session(graph, Runtime(), num_workers=36)
+    sess.run(total)  # warm the plan caches
+    best = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        sess.run(total)
+        best = min(best, time.perf_counter() - t0)
+    us_per_frame = 1e6 * best / sess.last_stats.frames_created
+    assert us_per_frame <= 2.0 * baseline, (
+        f"frame spawn overhead {us_per_frame:.1f} us/frame regressed "
+        f">2x over the host-scaled {baseline:.1f} us/frame baseline")

@@ -1,0 +1,50 @@
+"""``make profile``: the TreeLSTM serving canary under cProfile.
+
+Runs one seeded continuous-batching serving session (the same workload
+shape as ``bench_smoke``'s serving canary, TreeLSTM instead of TreeRNN)
+with the profiler enabled and prints the top-20 cumulative hot spots —
+the quickest way to see where master-side scheduling time goes after a
+change to the engines, the coalescer or the frame-plan compiler.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+
+from repro import Runtime
+from repro.data import make_treebank
+from repro.harness import poisson_request_stream, serve_stream
+from repro.models import TreeLSTMSentiment, tree_lstm_config
+
+REQUESTS = 32
+RATE = 3000.0
+MAX_IN_FLIGHT = 8
+TOP = 20
+
+
+def main() -> None:
+    bank = make_treebank(num_train=16, num_val=4, vocab_size=60, seed=11)
+    model = TreeLSTMSentiment(
+        tree_lstm_config(hidden=16, embed_dim=8, vocab_size=60), Runtime())
+    stream = poisson_request_stream(REQUESTS, RATE, len(bank.train), seed=5)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = serve_stream(model, bank.train, stream=stream,
+                          max_in_flight=MAX_IN_FLIGHT,
+                          admission="continuous", batching=True,
+                          num_workers=36, seed=5)
+    profiler.disable()
+
+    print(f"served {result.stats.requests} requests, "
+          f"{result.throughput:.1f} inst/s (virtual), "
+          f"{result.stats.frames_created} frames, "
+          f"{result.stats.ops_executed} instances\n")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    stats.print_stats(TOP)
+
+
+if __name__ == "__main__":
+    main()

@@ -262,11 +262,13 @@ def differentiate_subgraph(subgraph: SubGraph) -> Optional[SubGraph]:
         subgraph._grad_subgraph = backward
         # Selective caching: record only the forward values the backward
         # body actually looks up (plus what enclosing graphs' backward
-        # bodies request, merged by the union below).
+        # bodies request, merged by the union below).  Installed through
+        # set_cache_filter so compiled frame plans holding the old store
+        # masks are invalidated.
         needed = set(gb._lookup_memo.keys())
-        existing = getattr(subgraph.graph, "cache_filter", None)
-        subgraph.graph.cache_filter = (needed if existing is None
-                                       else existing | needed)
+        existing = subgraph.graph.cache_filter
+        subgraph.graph.set_cache_filter(needed if existing is None
+                                        else existing | needed)
         _note_external_lookups(gb)
     finally:
         subgraph._grad_in_progress = False
@@ -341,8 +343,11 @@ def _cond_grad_starter(engine, inst, inputs):
     role = "true" if pred else "false"
     subgraph: SubGraph = op.attrs[f"{role}_subgraph"]
     backward = subgraph.grad_subgraph
-    bindings = {backward.input_tensors[i].op.id: seeds[i]
-                for i in range(len(backward.input_tensors))}
+    if len(seeds) < len(backward.input_op_ids):
+        raise SubGraphError(
+            f"CondGrad {op.name} received {len(seeds)} seeds for "
+            f"{len(backward.input_op_ids)} backward-body inputs")
+    bindings = dict(zip(backward.input_op_ids, seeds))
     key = child_key(inst.frame.key, op.attrs["site_id"])
 
     def on_complete(frame):
@@ -426,6 +431,11 @@ def _loop_grad_starter(engine, inst, inputs):
     counter = {"i": iterations - 1}
     slots = body.differentiable_input_slots()
     step_overhead = engine.cost_model.loop_step_overhead(n_state)
+    if len(backward.input_op_ids) != n_state:
+        raise SubGraphError(
+            f"LoopGrad {op.name}: backward body declares "
+            f"{len(backward.input_op_ids)} inputs for {n_state} "
+            "differentiable loop variables")
 
     def finish():
         outputs = list(state)
@@ -436,8 +446,7 @@ def _loop_grad_starter(engine, inst, inputs):
         engine.finish_async(inst, outputs)
 
     def run_iter():
-        bindings = {backward.input_tensors[j].op.id: state[j]
-                    for j in range(n_state)}
+        bindings = dict(zip(backward.input_op_ids, state))
         key = child_key(parent_key, (site_id, counter["i"]))
         engine.spawn_frame(backward, bindings, key, depth, iter_done, inst)
 

@@ -23,7 +23,7 @@ from repro.core.subgraph import SubGraph, SubGraphError
 from repro.graph import dtypes
 from repro.graph.registry import register_batched_async, register_op
 from repro.graph.tensor import Tensor
-from repro.ops.common import build
+from repro.ops.common import build, role_captures
 
 __all__ = ["invoke"]
 
@@ -35,21 +35,36 @@ def _invoke_infer(op):
 
 def _invoke_starter(engine, inst, inputs):
     op = inst.op
-    subgraph: SubGraph = op.attrs["subgraph"]
-    if not subgraph.finalized:
+    # spawn-constant spec, resolved once per op at first execution: the
+    # target SubGraph is finalized by then, so its binding ids, capture
+    # routing and output locations are frozen
+    spec = op.attrs.get("_spawn_spec")
+    if spec is None:
+        subgraph: SubGraph = op.attrs["subgraph"]
+        if not subgraph.finalized:
+            raise SubGraphError(
+                f"InvokeOp {op.name} executed before SubGraph "
+                f"{subgraph.name!r} was finalized")
+        # bind only the site's n_args declared inputs (a recursive site
+        # may predate later .input() declarations); captures follow by
+        # position via the capture map
+        spec = (subgraph,
+                subgraph.input_op_ids[:op.attrs["n_args"]],
+                role_captures(op, "main"),
+                subgraph.output_locs)
+        op.attrs["_spawn_spec"] = spec
+    subgraph, input_ids, captures, output_locs = spec
+    if len(inputs) < len(input_ids):
         raise SubGraphError(
-            f"InvokeOp {op.name} executed before SubGraph "
-            f"{subgraph.name!r} was finalized")
-    n_args = op.attrs["n_args"]
-    bindings = {subgraph.input_tensors[i].op.id: inputs[i]
-                for i in range(n_args)}
-    for _, placeholder_id, position in op.attrs.get("capture_map", ()):
+            f"InvokeOp {op.name} received {len(inputs)} inputs for "
+            f"{len(input_ids)} declared SubGraph inputs")
+    bindings = dict(zip(input_ids, inputs))
+    for placeholder_id, position in captures:
         bindings[placeholder_id] = inputs[position]
     key = child_key(inst.frame.key, op.id)
 
     def on_complete(frame):
-        outputs = [frame.value_of(t) for t in subgraph.output_tensors]
-        engine.finish_async(inst, outputs)
+        engine.finish_async(inst, frame.values_at(output_locs))
 
     engine.spawn_frame(subgraph, bindings, key, inst.frame.depth + 1,
                        on_complete, inst)
@@ -110,14 +125,24 @@ def _invoke_grad_infer(op):
 
 def _invoke_grad_starter(engine, inst, inputs):
     op = inst.op
-    subgraph: SubGraph = op.attrs["fwd_subgraph"]
-    grad_sg = subgraph.grad_subgraph  # resolved lazily: recursion-safe
-    bindings = {grad_sg.input_tensors[i].op.id: inputs[i]
-                for i in range(len(grad_sg.input_tensors))}
-    key = child_key(inst.frame.key, op.attrs["site_id"])
+    spec = op.attrs.get("_spawn_spec")
+    if spec is None:
+        subgraph: SubGraph = op.attrs["fwd_subgraph"]
+        # resolved lazily at first execution: recursion-safe
+        grad_sg = subgraph.grad_subgraph
+        spec = (grad_sg, grad_sg.input_op_ids, grad_sg.output_locs,
+                op.attrs["site_id"])
+        op.attrs["_spawn_spec"] = spec
+    grad_sg, input_ids, output_locs, site_id = spec
+    if len(inputs) < len(input_ids):
+        raise SubGraphError(
+            f"InvokeGrad {op.name} received {len(inputs)} seeds for "
+            f"{len(input_ids)} backward-body inputs")
+    bindings = dict(zip(input_ids, inputs))
+    key = child_key(inst.frame.key, site_id)
 
     def on_complete(frame):
-        outputs = [frame.value_of(t) for t in grad_sg.output_tensors]
+        outputs = frame.values_at(output_locs)
         outputs.append(np.bool_(True))
         engine.finish_async(inst, outputs)
 

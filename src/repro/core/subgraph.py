@@ -90,7 +90,9 @@ class SubGraph:
         self.graph.is_backward_body = backward
         self.is_backward = backward
         self.input_tensors: list[Tensor] = []
+        self._input_op_ids: Optional[tuple[int, ...]] = None
         self.output_tensors: Optional[list[Tensor]] = None
+        self._output_locs: Optional[tuple[tuple[int, int], ...]] = None
         self._declared_outputs: Optional[list[tuple]] = None
         #: list of (outer source tensor, body placeholder) pairs
         self.captures: list[tuple[Tensor, Tensor]] = []
@@ -197,6 +199,38 @@ class SubGraph:
     @property
     def finalized(self) -> bool:
         return self._finalized
+
+    @property
+    def input_op_ids(self) -> tuple[int, ...]:
+        """Op ids of the declared-input placeholders, in input order.
+
+        These are the binding keys every frame spawn of this SubGraph
+        writes; cached so the per-spawn starters skip the
+        tensor-attribute walk (recomputed while inputs may still be
+        added, frozen after finalization).
+        """
+        ids = self._input_op_ids
+        if ids is None or len(ids) != len(self.input_tensors):
+            ids = tuple(t.op.id for t in self.input_tensors)
+            self._input_op_ids = ids
+        return ids
+
+    @property
+    def output_locs(self) -> tuple[tuple[int, int], ...]:
+        """``(op_id, output_index)`` per output tensor, cached.
+
+        Spawn completions resolve these through the frame plan's
+        ``index_of`` (one dict hit per output) instead of chasing
+        tensor/op attributes per frame return.
+        """
+        locs = self._output_locs
+        if locs is None:
+            if self.output_tensors is None:
+                raise SubGraphError(
+                    f"SubGraph {self.name!r} has no outputs yet")
+            locs = tuple((t.op.id, t.index) for t in self.output_tensors)
+            self._output_locs = locs
+        return locs
 
     @property
     def output_specs(self) -> list[tuple]:

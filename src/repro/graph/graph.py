@@ -99,6 +99,14 @@ class Graph:
         self._name_counts: dict[str, int] = {}
         self._finalized = False
         self._consumers_cache: Optional[dict[int, list[Operation]]] = None
+        #: Compiled FramePlans keyed by op-id set (see repro.runtime.plan);
+        #: the runtime owns the values, the graph owns the invalidation.
+        self._frame_plans: dict = {}
+        #: Pruned root-frame plans keyed by fetch-op-id set.
+        self._fetch_plans: dict = {}
+        #: Selective-caching record set: (op_id, out_idx) pairs the backward
+        #: body looks up, or None to record everything (see set_cache_filter).
+        self.cache_filter = None
         self._lock = threading.RLock()
         #: Per-graph memo used by Variable.read() to avoid duplicate reads.
         self.variable_read_memo: dict[str, Tensor] = {}
@@ -137,6 +145,8 @@ class Graph:
             self._ops.append(op)
             self._ops_by_name[op_name] = op
             self._consumers_cache = None
+            self._frame_plans.clear()
+            self._fetch_plans.clear()
         return op
 
     def _check_input(self, op_type: str, position: int, tensor) -> Tensor:
@@ -197,6 +207,26 @@ class Graph:
     def _invalidate_caches(self) -> None:
         with self._lock:
             self._consumers_cache = None
+            self._frame_plans.clear()
+            self._fetch_plans.clear()
+
+    def set_cache_filter(self, refs) -> None:
+        """Install the selective-caching record set.
+
+        ``refs`` is a set of ``(op_id, out_idx)`` pairs — the forward
+        values the backward body looks up — or ``None`` to record every
+        output.  Compiled frame plans bake the filter into per-slot store
+        masks, so changing it invalidates them.  Frames already in
+        flight keep their compiled masks, so their stores may diverge
+        from the new record set in either direction (computed values are
+        unaffected either way); in practice filters are installed by
+        ``differentiate_subgraph`` at graph-build time, before any frame
+        of the graph executes.
+        """
+        with self._lock:
+            self.cache_filter = refs
+            self._frame_plans.clear()
+            self._fetch_plans.clear()
 
     def dependency_count(self, op: Operation) -> int:
         """Number of distinct producer operations this op waits on."""

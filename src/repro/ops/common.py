@@ -20,8 +20,28 @@ from repro.graph.graph import Graph, get_default_graph
 from repro.graph.tensor import Tensor
 
 __all__ = ["build", "out1", "convert", "constant", "to_graph",
-           "static_broadcast_shape", "elementwise_infer", "like_infer",
-           "scalar_infer", "batched_elementwise", "batched_rowwise"]
+           "role_captures", "static_broadcast_shape", "elementwise_infer",
+           "like_infer", "scalar_infer", "batched_elementwise",
+           "batched_rowwise"]
+
+
+def role_captures(op, role: str) -> tuple:
+    """``(placeholder_op_id, input_position)`` pairs of ``op``'s captures
+    for one role, grouped once and memoized on the op.
+
+    Call sites are patched with captures only until their target
+    SubGraphs finalize (episode close), which necessarily precedes any
+    execution — so grouping at first execution sees the final
+    ``capture_map`` and every later frame spawn skips the per-spawn scan.
+    """
+    memo = op.attrs.get("_role_captures")
+    if memo is None:
+        grouped: dict = {}
+        for r, placeholder_id, position in op.attrs.get("capture_map", ()):
+            grouped.setdefault(r, []).append((placeholder_id, position))
+        memo = {r: tuple(pairs) for r, pairs in grouped.items()}
+        op.attrs["_role_captures"] = memo
+    return memo.get(role, ())
 
 
 def constant(value, dtype: Optional[dtypes.DType] = None,

@@ -28,7 +28,7 @@ from repro.graph.graph import get_default_graph
 from repro.graph.registry import register_op
 from repro.graph.tensor import Tensor
 
-from .common import build, convert
+from .common import build, convert, role_captures
 
 __all__ = ["cond", "while_loop"]
 
@@ -41,8 +41,7 @@ def _as_tuple(value) -> tuple:
 
 def _branch_bindings(op, inputs, role: str) -> dict:
     return {placeholder_id: inputs[position]
-            for r, placeholder_id, position in op.attrs.get("capture_map", ())
-            if r == role}
+            for placeholder_id, position in role_captures(op, role)}
 
 
 # -- cond ----------------------------------------------------------------------
@@ -54,15 +53,22 @@ def _cond_infer(op):
 
 def _cond_starter(engine, inst, inputs):
     op = inst.op
+    # per-branch spawn constants, resolved once per op at first execution
+    spec = op.attrs.get("_spawn_spec")
+    if spec is None:
+        spec = {role: (op.attrs[f"{role}_subgraph"],
+                       role_captures(op, role),
+                       op.attrs[f"{role}_subgraph"].output_locs)
+                for role in ("true", "false")}
+        op.attrs["_spawn_spec"] = spec
     pred = bool(np.asarray(inputs[0]))
-    role = "true" if pred else "false"
-    subgraph: SubGraph = op.attrs[f"{role}_subgraph"]
-    bindings = _branch_bindings(op, inputs, role)
+    subgraph, captures, output_locs = spec["true" if pred else "false"]
+    bindings = {placeholder_id: inputs[position]
+                for placeholder_id, position in captures}
     key = child_key(inst.frame.key, op.id)
 
     def on_complete(frame):
-        outputs = [frame.value_of(t) for t in subgraph.output_tensors]
-        engine.finish_async(inst, outputs)
+        engine.finish_async(inst, frame.values_at(output_locs))
 
     engine.spawn_frame(subgraph, bindings, key, inst.frame.depth + 1,
                        on_complete, inst)
@@ -132,8 +138,7 @@ def _loop_starter(engine, inst, inputs):
 
     def run_cond():
         bindings = dict(cond_captures)
-        for placeholder, value in zip(cond_sg.input_tensors, state["vars"]):
-            bindings[placeholder.op.id] = value
+        bindings.update(zip(cond_sg.input_op_ids, state["vars"]))
         key = child_key(parent_key, (op.id, state["i"], "cond"))
         engine.spawn_frame(cond_sg, bindings, key, depth, cond_done, inst)
 
@@ -153,8 +158,7 @@ def _loop_starter(engine, inst, inputs):
 
     def run_body():
         bindings = dict(body_captures)
-        for placeholder, value in zip(body_sg.input_tensors, state["vars"]):
-            bindings[placeholder.op.id] = value
+        bindings.update(zip(body_sg.input_op_ids, state["vars"]))
         key = child_key(parent_key, (op.id, state["i"]))
         engine.spawn_frame(body_sg, bindings, key, depth, body_done, inst)
 

@@ -7,6 +7,12 @@ same-signature ready operations from concurrent frames fuse into single
 vectorized kernel calls (see :mod:`repro.runtime.batching`), preserving
 values bit-for-bit.  The training path batches end to end: backward frame
 spawns, gradient kernels and the backprop value cache's bulk traffic.
+
+Scheduling overhead is amortized through compiled frame plans
+(:mod:`repro.runtime.plan`): every ``(graph, op-set)`` body is analyzed
+once — dependency wiring, registry/kernel resolution, batch-signature
+prefixes, store masks, cost entries — and millions of frame spawns reuse
+the cached :class:`~repro.runtime.plan.FramePlan`.
 """
 
 from .batching import (AdaptiveBatchPolicy, BatchPolicy, Coalescer,
@@ -14,6 +20,7 @@ from .batching import (AdaptiveBatchPolicy, BatchPolicy, Coalescer,
 from .cost_model import (CostModel, calibrate_batch_member_cost, client_eager,
                          gpu_profile, testbed_cpu, unit_cost)
 from .engine import EngineError, EventEngine
+from .plan import FramePlan, plan_for, plan_for_fetches
 from .server import RecursiveServer, RequestTicket, ServerOverloaded
 from .session import Runtime, Session, default_runtime, reset_default_runtime
 from .stats import RunStats, percentile
@@ -23,7 +30,8 @@ __all__ = ["AdaptiveBatchPolicy", "BatchPolicy", "Coalescer",
            "QueueAwareBatchPolicy", "batch_signature", "CostModel",
            "calibrate_batch_member_cost",
            "client_eager", "gpu_profile", "testbed_cpu",
-           "unit_cost", "EngineError", "EventEngine", "RecursiveServer",
+           "unit_cost", "EngineError", "EventEngine", "FramePlan",
+           "plan_for", "plan_for_fetches", "RecursiveServer",
            "RequestTicket", "ServerOverloaded", "Runtime", "Session",
            "default_runtime", "reset_default_runtime", "RunStats",
            "percentile", "GradientAccumulator", "Variable", "VariableStore"]

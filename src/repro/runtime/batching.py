@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -59,7 +60,8 @@ import numpy as np
 from repro.graph.registry import OpDef, op_def
 
 __all__ = ["BatchPolicy", "AdaptiveBatchPolicy", "QueueAwareBatchPolicy",
-           "Bucket", "Coalescer", "batch_signature", "resolve_batching"]
+           "Bucket", "Coalescer", "batch_signature", "signature_prefix",
+           "value_signature", "resolve_batching"]
 
 
 @dataclass
@@ -104,7 +106,7 @@ class BatchPolicy:
         """
 
 
-@dataclass
+@dataclass(slots=True)
 class _SignatureState:
     """Adaptive state for one batch signature."""
 
@@ -273,6 +275,61 @@ def _value_sig(value: Any):
     return ("py", type(value).__name__)
 
 
+def value_signature(inputs) -> tuple:
+    """Shape/dtype fingerprints of a ready instance's runtime inputs."""
+    return tuple(_value_sig(v) for v in inputs)
+
+
+#: intern table for static *sync-op* signature prefixes — value-keyed,
+#: so equal (op_type, attrs) prefixes from different graphs share one id
+#: and cross-graph instances keep fusing like they did pre-interning.
+#: Bounded in practice by the distinct (op type, batch-attrs) pairs the
+#: process ever builds; async prefixes embed per-SubGraph identities and
+#: are deliberately NOT interned here (a long-lived server rebuilding
+#: models would leak one entry per dead SubGraph forever).
+_PREFIX_INTERN: dict = {}
+_PREFIX_LOCK = threading.Lock()
+
+
+def _intern(key) -> int:
+    prefix_id = _PREFIX_INTERN.get(key)
+    if prefix_id is None:
+        with _PREFIX_LOCK:
+            prefix_id = _PREFIX_INTERN.setdefault(key, len(_PREFIX_INTERN))
+    return prefix_id
+
+
+def signature_prefix(op, definition: Optional[OpDef] = None):
+    """The *static* part of an op's batch signature, or ``None``.
+
+    The full signature of a ready instance is this prefix plus the
+    runtime :func:`value_signature` of its inputs.  The prefix is the
+    expensive part — batching-relevant attr ``repr()``s, or the identity
+    of an async op's target SubGraph — and it never changes for a given
+    op, so :class:`~repro.runtime.plan.FramePlan` computes it once per
+    body and interns it to ``(op_type, small int)``.  Keeping the op
+    type as element 0 preserves the signature contract consumed by
+    :meth:`~repro.runtime.stats.RunStats.width_histogram_by_type` and
+    the adaptive-policy reporting.
+    """
+    if definition is None:
+        definition = op_def(op.op_type)
+    if definition.is_async:
+        if not definition.meta.get("batch_async"):
+            return None
+        identity = tuple(id(op.attrs.get(k))
+                         for k in definition.meta.get("batch_identity_attrs",
+                                                      ()))
+        # identity tuples of small ints hash as cheaply as an interned
+        # id and keep the global table free of per-SubGraph entries
+        return (op.op_type, identity)
+    if definition.batched_kernel is None:
+        return None
+    attrs = tuple(repr(op.attrs.get(k))
+                  for k in definition.meta.get("batch_attrs", ()))
+    return (op.op_type, _intern((op.op_type, attrs)))
+
+
 def batch_signature(op, inputs, definition: Optional[OpDef] = None):
     """The bucketing key of a ready instance, or ``None`` if unbatchable.
 
@@ -283,21 +340,16 @@ def batch_signature(op, inputs, definition: Optional[OpDef] = None):
     bucket), keyed additionally by the *identity* of their target SubGraph;
     other stateful ops and op types without a registered ``batched_kernel``
     never batch.
+
+    The key is ``(op_type, interned prefix id, value signatures)`` — the
+    static part comes pre-interned from :func:`signature_prefix` (plan
+    slot caches hold it per op), so only the input fingerprints are
+    computed per dispatch.
     """
-    if definition is None:
-        definition = op_def(op.op_type)
-    if definition.is_async:
-        if not definition.meta.get("batch_async"):
-            return None
-        identity = tuple(id(op.attrs.get(k))
-                         for k in definition.meta.get("batch_identity_attrs",
-                                                      ()))
-        return (op.op_type, identity, tuple(_value_sig(v) for v in inputs))
-    if definition.batched_kernel is None:
+    prefix = signature_prefix(op, definition)
+    if prefix is None:
         return None
-    attrs = tuple(repr(op.attrs.get(k))
-                  for k in definition.meta.get("batch_attrs", ()))
-    return (op.op_type, attrs, tuple(_value_sig(v) for v in inputs))
+    return prefix + (value_signature(inputs),)
 
 
 class Bucket:
@@ -333,6 +385,8 @@ class Coalescer:
     Not thread-safe by itself; the threaded engine serializes access under
     its master lock, the event engine is single-threaded.
     """
+
+    __slots__ = ("policy", "_buckets", "_deadlines", "_seq", "_pending")
 
     def __init__(self, policy: Optional[BatchPolicy] = None):
         self.policy = policy or BatchPolicy()

@@ -44,9 +44,15 @@ def _value_bytes(value) -> int:
     return 64  # opaque values: a handle
 
 
-def _flops(op, inputs) -> float:
-    """Estimate kernel floating-point work from runtime input shapes."""
-    kind = op_def(op.op_type).meta.get("cost", "elementwise")
+def _flops(op, inputs, kind: Optional[str] = None) -> float:
+    """Estimate kernel floating-point work from runtime input shapes.
+
+    ``kind`` is the op's cost-model entry (the ``cost=`` registry meta);
+    callers holding a compiled :class:`~repro.runtime.plan.FramePlan`
+    pass the precomputed value so the hot path skips the registry lookup.
+    """
+    if kind is None:
+        kind = op_def(op.op_type).meta.get("cost", "elementwise")
     if kind == "matmul":
         a, b = inputs[0], inputs[1]
         m = a.shape[0] if a.ndim == 2 else 1
@@ -111,21 +117,35 @@ class CostModel:
     #: Invoke/InvokeGrad cannot eliminate)
     async_batch_member_cost: float = 8e-6
 
-    def op_cost(self, op, inputs) -> float:
-        kind = op_def(op.op_type).meta.get("cost", "elementwise")
+    def op_cost(self, op, inputs, kind: Optional[str] = None) -> float:
+        # called once per scheduled instance: the flops estimate is
+        # inlined (same arithmetic as _flops) to keep this one frame
+        if kind is None:
+            kind = op_def(op.op_type).meta.get("cost", "elementwise")
         if kind == "cache":
             size = sum(_value_bytes(v) for v in inputs) if inputs else 64
             return self.cache_lookup_cost + size / self.cache_bytes_rate
-        work = _flops(op, inputs) / self.flops_rate
-        if kind == "matmul" and work > self.intra_op_grain:
-            parallel = min(self.intra_op_parallelism,
-                           work / self.intra_op_grain)
-            work = work / max(parallel, 1.0)
         if kind == "trivial":
-            return 0.25 * self.op_overhead + work
-        return self.op_overhead + work
+            return 0.25 * self.op_overhead + 8.0 / self.flops_rate
+        if kind == "matmul":
+            a, b = inputs[0], inputs[1]
+            m = a.shape[0] if a.ndim == 2 else 1
+            k = a.shape[-1]
+            n = b.shape[-1] if b.ndim == 2 else 1
+            work = (2.0 * m * k * n) / self.flops_rate
+            if work > self.intra_op_grain:
+                parallel = min(self.intra_op_parallelism,
+                               work / self.intra_op_grain)
+                work = work / max(parallel, 1.0)
+            return self.op_overhead + work
+        size = 1
+        for v in inputs:
+            if isinstance(v, np.ndarray) and v.size > size:
+                size = v.size
+        return self.op_overhead + float(size) / self.flops_rate
 
-    def batch_cost(self, ops, inputs_lists) -> float:
+    def batch_cost(self, ops, inputs_lists,
+                   kind: Optional[str] = None) -> float:
         """Virtual cost of one fused micro-batch kernel call.
 
         One fixed kernel overhead covers the whole bucket (that is the
@@ -134,8 +154,9 @@ class CostModel:
         matmul recruits intra-op parallelism exactly like a single big
         kernel would.
         """
-        kind = op_def(ops[0].op_type).meta.get("cost", "elementwise")
-        work = sum(_flops(op, inputs)
+        if kind is None:
+            kind = op_def(ops[0].op_type).meta.get("cost", "elementwise")
+        work = sum(_flops(op, inputs, kind)
                    for op, inputs in zip(ops, inputs_lists)) / self.flops_rate
         if kind == "matmul" and work > self.intra_op_grain:
             parallel = min(self.intra_op_parallelism,
@@ -329,14 +350,14 @@ def unit_cost() -> CostModel:
                       cache_bulk_entry_cost=0.0,
                       async_batch_member_cost=0.0)
 
-    def flat_cost(op, inputs, _m=model):
+    def flat_cost(op, inputs, kind=None, _m=model):
         return 1.0
 
     model.op_cost = flat_cost  # type: ignore[method-assign]
     model.cache_write_cost = lambda value: 0.0  # type: ignore[method-assign]
     # a fused micro-batch costs one virtual second regardless of size, so
     # scheduler tests can predict batched makespans exactly
-    model.batch_cost = lambda ops, inputs: 1.0  # type: ignore[method-assign]
+    model.batch_cost = lambda ops, inputs, kind=None: 1.0  # type: ignore[method-assign]
     model.bulk_cache_lookup_cost = lambda kis: 1.0  # type: ignore[method-assign]
     model.bulk_cache_write_cost = lambda values: 0.0  # type: ignore[method-assign]
     return model

@@ -1,19 +1,39 @@
 """The dataflow execution engine (paper Figure 4).
 
 The engine implements the execution model of embedded control flow
-frameworks: a *master* parses the graph, places operations whose inputs are
-unresolved into a waiting set (per-op dependency counters) and operations
-that are ready into a shared *ready queue*; *workers* repeatedly dequeue
-ready operations, execute their kernels, and report completions back to the
-master, which resolves dependents.
+frameworks, split into a *compile-once* and an *execute-many* half:
+
+**Compile once (FramePlan).**  Everything the scheduler needs to know
+about a body graph is static — dependency counts, consumer lists, the
+registry ``OpDef``/kernel each op resolves to, the static prefix of each
+op's batch signature, the selective-caching record set, and per-op
+cost-model entries.  :mod:`repro.runtime.plan` compiles that once per
+``(graph, op-id set)`` into a :class:`~repro.runtime.plan.FramePlan`
+whose ops are renumbered into dense *plan slots*; the plan is cached on
+the graph and shared by this engine and the wall-clock
+:class:`~repro.runtime.threaded.ThreadedEngine`.
+
+**Execute many (Frames).**  A *master* instantiates a :class:`Frame`
+per graph activation — flat slot-indexed arrays of values and remaining
+dependency counters over the frame's plan — placing ready operations
+into a shared *ready queue*; *workers* repeatedly dequeue ready
+operations, execute their kernels, and report completions back to the
+master, which resolves dependents by walking the plan's precomputed
+consumer slots.  Spawning a frame is two list allocations; dispatching
+an instance gathers inputs through the plan's ``(producer slot, output
+index)`` pairs; completing one decrements dense counters.  No graph
+walking, no registry lookups, and no attr ``repr()`` happen per frame
+or per instance — the per-spawn scheduling overhead the paper's
+recursive model multiplies by millions of frames is paid once per body.
 
 Recursion support (the paper's step (4)): when an ``InvokeOp`` (or any
-async control-flow op) is dequeued, its associated SubGraph is processed by
-the same master and its inner operations are enqueued into the *same* ready
-queue — inner ops from many concurrent recursive calls interleave freely.
-The caller/callee relationship is a tree of :class:`Frame` objects, each
-holding a pointer to its parent instance (the "graph execution stack" that
-cannot be a linear stack, Section 4.1.2).
+async control-flow op) is dequeued, its associated SubGraph's plan is
+fetched from the cache and its inner operations are enqueued into the
+*same* ready queue — inner ops from many concurrent recursive calls
+interleave freely.  The caller/callee relationship is a tree of
+:class:`Frame` objects, each holding a pointer to its parent instance
+(the "graph execution stack" that cannot be a linear stack, Section
+4.1.2).
 
 This engine is a *deterministic discrete-event simulator*: kernels really
 run (values are exact) but time advances according to the cost model over
@@ -24,9 +44,10 @@ semantics lives in :mod:`repro.runtime.threaded`.
 
 Dynamic micro-batching (``batching=True`` / ``"adaptive"``): because
 inner ops from many concurrent frames interleave in the one ready queue,
-ready instances with the same batch signature (op type + attrs + input
-shapes) can be coalesced into a single vectorized kernel call — Fold-style
-dynamic batching, but *inside* the recursive engine (see
+ready instances with the same batch signature (interned static prefix +
+input shapes, see :func:`repro.runtime.batching.signature_prefix`) can
+be coalesced into a single vectorized kernel call — Fold-style dynamic
+batching, but *inside* the recursive engine (see
 :mod:`repro.runtime.batching`).  A bucket flushes when full or when the
 current ready wavefront is exhausted; results scatter back to the owning
 frames, so values are bit-identical to unbatched execution and the feature
@@ -46,14 +67,15 @@ import time
 from collections import deque
 from typing import Any, Callable, Optional, Sequence
 
-from repro.core.cache import ROOT_KEY, child_key
+from repro.core.cache import ROOT_KEY
 from repro.graph.graph import Graph, Operation
-from repro.graph.registry import ExecContext, op_def
+from repro.graph.registry import ExecContext
 from repro.graph.tensor import Tensor
 
-from .batching import (BatchPolicy, Coalescer, batch_signature,
-                       resolve_batching)
+from .batching import (BatchPolicy, Coalescer, resolve_batching,
+                       value_signature)
 from .cost_model import CostModel, testbed_cpu
+from .plan import FramePlan, plan_for, plan_for_fetches
 from .stats import RunStats
 
 __all__ = ["Frame", "Instance", "EventEngine", "EngineError",
@@ -66,10 +88,48 @@ class EngineError(RuntimeError):
 
 def should_store(frame, op_id: int, out_idx: int) -> bool:
     """Selective caching: after differentiation each body graph knows
-    which forward values its backward body looks up.  Shared by both
-    engines so the record-set stays identical across them."""
+    which forward values its backward body looks up.  The engines consult
+    the plan's precomputed ``store_masks`` on the hot path; this is the
+    reference predicate those masks bake in (kept for tests and
+    out-of-plan callers)."""
     cache_filter = getattr(frame.graph, "cache_filter", None)
     return cache_filter is None or (op_id, out_idx) in cache_filter
+
+
+def seed_frame(frame: "Frame", complete_instance: Callable,
+               push: Callable) -> None:
+    """Seed a fresh frame: complete bound placeholders, enqueue ready ops.
+
+    Shared by both engines (the only difference is the ready sink) so
+    the spawn semantics — bindings complete in op-id order exactly like
+    the pre-plan engines, bindings outside a pruned op set are ignored,
+    zero-dep ops enqueue in slot order — cannot diverge between them.
+    """
+    plan = frame.plan
+    pending = frame.pending
+    bindings = frame.bindings
+    if bindings:
+        if len(bindings) == 1:
+            # the common spawn shape: a single bound input
+            op_id, value = next(iter(bindings.items()))
+            slot = plan.index_of.get(op_id)
+            if slot is not None:
+                pending[slot] = -1
+                complete_instance(Instance(plan.ops[slot], frame, slot),
+                                  [value])
+        else:
+            index_of = plan.index_of
+            for op_id in sorted(bindings):
+                slot = index_of.get(op_id)
+                if slot is None:
+                    continue
+                pending[slot] = -1
+                complete_instance(Instance(plan.ops[slot], frame, slot),
+                                  [bindings[op_id]])
+    for slot in plan.zero_dep_slots:
+        if pending[slot] == 0:
+            pending[slot] = -1
+            push(Instance(plan.ops[slot], frame, slot))
 
 
 def collect_cache_entries(members, outputs_list) -> list:
@@ -82,77 +142,120 @@ def collect_cache_entries(members, outputs_list) -> list:
     for inst, outputs in zip(members, outputs_list):
         frame = inst.frame
         if frame.record:
+            mask = frame.plan.store_masks[inst.slot]
+            graph_id = frame.plan.graph_id
+            op_id = inst.op.id
             for i, value in enumerate(outputs):
-                if should_store(frame, inst.op.id, i):
-                    entries.append((frame.key, frame.graph.graph_id,
-                                    inst.op.id, i, value))
+                if mask[i]:
+                    entries.append((frame.key, graph_id, op_id, i, value))
     return entries
 
 
 class Frame:
-    """One activation of a graph (the whole run, or one SubGraph call)."""
+    """One activation of a graph (the whole run, or one SubGraph call).
 
-    __slots__ = ("graph", "key", "depth", "record", "bindings", "values",
-                 "pending", "remaining", "on_complete", "consumers",
-                 "op_ids", "owner")
+    Per-frame state is dense over the plan's slot numbering: ``values``
+    holds each slot's output list (None until produced), ``pending`` the
+    remaining-producer counters (-1 once dispatched or bound).
+    """
 
-    def __init__(self, graph: Graph, op_ids: Sequence[int], bindings: dict,
-                 key: tuple, depth: int, record: bool,
-                 on_complete: Callable, owner: Optional["Instance"]):
-        self.graph = graph
+    __slots__ = ("plan", "graph", "key", "depth", "record", "bindings",
+                 "values", "pending", "remaining", "on_complete", "owner",
+                 "ctx")
+
+    def __init__(self, plan: FramePlan, bindings: dict, key: tuple,
+                 depth: int, record: bool, on_complete: Callable,
+                 owner: Optional["Instance"]):
+        self.plan = plan
+        self.graph = plan.graph
         self.key = key
         self.depth = depth
         self.record = record
         self.bindings = bindings
-        self.values: dict[tuple[int, int], Any] = {}
-        self.op_ids = list(op_ids)
-        self.pending: dict[int, int] = {}
-        self.remaining = len(self.op_ids)
+        self.values: list = [None] * plan.num_slots
+        self.pending: list = list(plan.dep_counts)
+        self.remaining = plan.num_slots
         self.on_complete = on_complete
-        self.consumers = graph.consumers()
         self.owner = owner  # parent Instance (None for the root frame)
+        self.ctx = None  # lazily-built ExecContext, shared by this
+        # frame's kernel invocations (runtime/frame/record are fixed)
 
     def value_of(self, tensor: Tensor):
-        return self.values[tensor.ref]
+        return self.values[self.plan.index_of[tensor.op.id]][tensor.index]
+
+    def values_at(self, locs) -> list:
+        """Gather ``(op_id, output_index)`` locations from this frame.
+
+        The spawn starters' completion callbacks use this with the
+        SubGraph's cached ``output_locs``, so the frame storage layout
+        is encapsulated here next to :meth:`value_of`.
+        """
+        values = self.values
+        index_of = self.plan.index_of
+        return [values[index_of[op_id]][i] for op_id, i in locs]
+
+    def exec_context(self, runtime) -> ExecContext:
+        """The frame's (memoized) kernel execution context."""
+        ctx = self.ctx
+        if ctx is None:
+            ctx = self.ctx = ExecContext(runtime, self, self.record)
+        return ctx
 
 
 class Instance:
-    """A schedulable (operation, frame) pair."""
+    """A schedulable (operation, frame) pair.
 
-    __slots__ = ("op", "frame", "seq")
+    ``slot`` is the op's dense index in the frame's plan; ``sig``
+    memoizes the batch signature so an instance requeued after a partial
+    bucket flush never recomputes it, and ``seq`` its first ready-queue
+    arrival order (assigned by the depth-priority queue) so a requeue
+    preserves the original tie-break position.
+    """
 
-    def __init__(self, op: Operation, frame: Frame, seq: int):
+    __slots__ = ("op", "frame", "slot", "sig", "seq")
+
+    def __init__(self, op: Operation, frame: Frame, slot: int):
         self.op = op
         self.frame = frame
-        self.seq = seq
+        self.slot = slot
+        self.sig = None
+        self.seq = None
 
 
 _OP_DONE = 0
 _CALL = 1
+_ASYNC_DONE = 2
 
 
-class _FifoReady:
-    def __init__(self):
-        self._q: deque[Instance] = deque()
+class _FifoReady(deque):
+    """FIFO ready queue: a deque subclass so push/pop/len stay C-level."""
 
-    def push(self, inst: Instance) -> None:
-        self._q.append(inst)
+    __slots__ = ()
 
-    def pop(self) -> Instance:
-        return self._q.popleft()
-
-    def __len__(self) -> int:
-        return len(self._q)
+    push = deque.append
+    pop = deque.popleft
 
 
 class _DepthPriorityReady:
-    """Deeper frames first — the paper's suggested priority policy."""
+    """Deeper frames first — the paper's suggested priority policy.
+
+    First-push order breaks depth ties (instances are pushed the moment
+    they become ready, so the counter reproduces global ready order);
+    the seq is memoized on the instance so a straggler requeued by a
+    partial bucket flush keeps its original position.
+    """
+
+    __slots__ = ("_q", "_seq")
 
     def __init__(self):
         self._q: list[tuple[int, int, Instance]] = []
+        self._seq = itertools.count()
 
     def push(self, inst: Instance) -> None:
-        heapq.heappush(self._q, (-inst.frame.depth, inst.seq, inst))
+        seq = inst.seq
+        if seq is None:
+            seq = inst.seq = next(self._seq)
+        heapq.heappush(self._q, (-inst.frame.depth, seq, inst))
 
     def pop(self) -> Instance:
         return heapq.heappop(self._q)[2]
@@ -202,16 +305,15 @@ class EventEngine:
         """Execute ``graph`` until all ``fetches`` are produced."""
         wall0 = time.perf_counter()
         self._reset()
-        fetch_ops = {t.op for t in fetches}
-        needed = sorted(graph.reachable_from(fetch_ops))
-        root = self._make_frame(graph, needed, feed_map, key=ROOT_KEY,
+        plan = plan_for_fetches(graph, {t.op for t in fetches})
+        root = self._make_frame(plan, feed_map, key=ROOT_KEY,
                                 depth=0, record=False,
                                 on_complete=lambda f: None, owner=None)
         self._start_frame(root)
         self._loop()
         if self._error is not None:
             raise self._error
-        values = [root.values[t.ref] for t in fetches]
+        values = [root.value_of(t) for t in fetches]
         self.stats.virtual_time = self._now
         self.stats.wall_time = time.perf_counter() - wall0
         self.stats.cache_stores = self.runtime.cache.stores
@@ -250,15 +352,16 @@ class EventEngine:
         request coalesce with in-flight requests' ops exactly like
         sibling recursive calls.  ``on_complete`` receives the fetch
         values (in ``fetches`` order) when the root frame finishes.
+        The pruned root plan is memoized per fetch set, so repeat
+        requests skip the reachability walk entirely.
         """
         fetch_list = list(fetches)
-        fetch_ops = {t.op for t in fetch_list}
-        needed = sorted(graph.reachable_from(fetch_ops))
+        plan = plan_for_fetches(graph, {t.op for t in fetch_list})
 
         def frame_done(frame):
-            on_complete([frame.values[t.ref] for t in fetch_list])
+            on_complete([frame.value_of(t) for t in fetch_list])
 
-        frame = self._make_frame(graph, needed, feed_map, key=key, depth=0,
+        frame = self._make_frame(plan, feed_map, key=key, depth=0,
                                  record=False, on_complete=frame_done,
                                  owner=None)
         self._start_frame(frame)
@@ -300,17 +403,23 @@ class EventEngine:
                 "check the base case of your recursive SubGraph")
         graph = subgraph.graph
         record = self.record and not getattr(graph, "is_backward_body", False)
-        frame = self._make_frame(graph, range(graph.num_operations), bindings,
-                                 key=key, depth=depth, record=record,
+        frame = self._make_frame(plan_for(graph), bindings, key=key,
+                                 depth=depth, record=record,
                                  on_complete=on_complete, owner=owner)
         self._start_frame(frame)
         return frame
 
     def finish_async(self, inst: Instance, outputs: list) -> None:
-        """Complete an async op once its frame(s) produced the outputs."""
-        delay = self.cost_model.return_overhead
-        self._post(self._now + delay,
-                   lambda: self._complete_instance(inst, outputs))
+        """Complete an async op once its frame(s) produced the outputs.
+
+        Posted as a dedicated event kind (no closure allocation — this
+        runs once per returning frame) that completes the instance
+        without releasing a worker: the async op's worker was already
+        freed when its starter event fired.
+        """
+        heapq.heappush(self._events,
+                       (self._now + self.cost_model.return_overhead,
+                        next(self._seq), _ASYNC_DONE, (inst, outputs)))
 
     def post_continuation(self, delay: float, fn: Callable) -> None:
         """Schedule ``fn`` to run at now+delay (loop iterations etc.)."""
@@ -336,45 +445,43 @@ class EventEngine:
                            else None)
         self._error: Optional[Exception] = None
         self.stats = RunStats()
+        # Per-dispatch fast paths, used only while the cost model keeps
+        # the stock implementations (instance- or subclass-overridden
+        # methods disable them and are called per op as before).
+        cm = self.cost_model
+        self._dispatch_const = (
+            cm.dispatch_cost
+            if getattr(cm.dispatch, "__func__", None) is CostModel.dispatch
+            else None)
+        self._async_memo = (
+            {} if getattr(cm.async_overhead, "__func__",
+                          None) is CostModel.async_overhead else None)
 
-    _should_store = staticmethod(should_store)
-
-    def _make_frame(self, graph, op_ids, bindings, key, depth, record,
+    def _make_frame(self, plan: FramePlan, bindings, key, depth, record,
                     on_complete, owner) -> Frame:
-        frame = Frame(graph, op_ids, bindings, key, depth, record,
-                      on_complete, owner)
-        for op_id in frame.op_ids:
-            frame.pending[op_id] = graph.dependency_count(graph.op_by_id(op_id))
+        frame = Frame(plan, bindings, key, depth, record, on_complete, owner)
         self.stats.frames_created += 1
-        self.stats.max_frame_depth = max(self.stats.max_frame_depth, depth)
+        if depth > self.stats.max_frame_depth:
+            self.stats.max_frame_depth = depth
         return frame
 
     def _start_frame(self, frame: Frame) -> None:
-        # Bound placeholders complete immediately; other zero-dep ops are
-        # enqueued.  Delivery may cascade, so snapshot the id list first.
-        for op_id in list(frame.op_ids):
-            if op_id in frame.bindings:
-                op = frame.graph.op_by_id(op_id)
-                frame.pending.pop(op_id, None)
-                self._complete_instance(
-                    Instance(op, frame, next(self._seq)),
-                    [frame.bindings[op_id]])
-        for op_id in list(frame.op_ids):
-            if frame.pending.get(op_id) == 0:
-                op = frame.graph.op_by_id(op_id)
-                frame.pending.pop(op_id)
-                self._ready.push(Instance(op, frame, next(self._seq)))
+        seed_frame(frame, self._complete_instance, self._ready.push)
 
     def _post(self, when: float, fn: Callable) -> None:
         heapq.heappush(self._events, (when, next(self._seq), _CALL, fn))
 
     def _loop(self) -> None:
+        coalescer = self._coalescer
         while self._error is None:
-            self._dispatch_ready()
+            if self._free > 0 and (self._ready or (coalescer is not None
+                                                   and len(coalescer) > 0)):
+                self._dispatch_ready()
             if not self._events:
                 break
             when, _, kind, payload = heapq.heappop(self._events)
-            self._now = max(self._now, when)
+            if when > self._now:
+                self._now = when
             if kind == _OP_DONE:
                 self._free += 1
                 inst, outputs, starter_inputs = payload
@@ -384,19 +491,25 @@ class EventEngine:
                             # fused frame spawn: run every member's starter
                             for member, member_inputs in zip(inst,
                                                              starter_inputs):
-                                starter = op_def(
-                                    member.op.op_type).meta["starter"]
+                                starter = member.frame.plan.starters[
+                                    member.slot]
                                 starter(self, member, member_inputs)
                         else:
                             self._complete_batch(inst, outputs)
                     elif starter_inputs is None:
                         self._complete_instance(inst, outputs)
                     else:
-                        starter = op_def(inst.op.op_type).meta["starter"]
+                        starter = inst.frame.plan.starters[inst.slot]
                         starter(self, inst, starter_inputs)
                 except Exception as exc:  # annotate and stop
                     failed = inst[0] if isinstance(inst, list) else inst
                     self._error = self._wrap_error(exc, failed.op)
+            elif kind == _ASYNC_DONE:
+                inst, outputs = payload
+                try:
+                    self._complete_instance(inst, outputs)
+                except Exception as exc:
+                    self._error = self._wrap_error(exc, inst.op)
             else:
                 try:
                     payload()
@@ -406,16 +519,36 @@ class EventEngine:
                     self._error.__cause__ = exc
 
     def _dispatch_ready(self) -> None:
+        ready = self._ready
+        coalescer = self._coalescer
+        if coalescer is None:
+            # fast path: no coalescer, the wavefront drains straight into
+            # _execute_single with no bucketing checks
+            while ready and self._free > 0 and self._error is None:
+                inst = ready.pop()
+                frame = inst.frame
+                values = frame.values
+                inputs = [values[s][i]
+                          for s, i in frame.plan.input_locs[inst.slot]]
+                self._execute_single(inst, inputs)
+            return
         while self._error is None:
-            while (len(self._ready) > 0 and self._free > 0
-                   and self._error is None):
-                inst = self._ready.pop()
-                inputs = [inst.frame.values[t.ref] for t in inst.op.inputs]
-                if self._coalescer is not None:
-                    signature = batch_signature(inst.op, inputs)
-                    if signature is not None:
-                        full = self._coalescer.offer(signature, inst, inputs,
-                                                     self._now)
+            while ready and self._free > 0 and self._error is None:
+                inst = ready.pop()
+                frame = inst.frame
+                plan = frame.plan
+                slot = inst.slot
+                values = frame.values
+                inputs = [values[s][i] for s, i in plan.input_locs[slot]]
+                if coalescer is not None:
+                    prefix = plan.sig_prefixes[slot]
+                    if prefix is not None:
+                        signature = inst.sig
+                        if signature is None:
+                            signature = prefix + (value_signature(inputs),)
+                            inst.sig = signature
+                        full = coalescer.offer(signature, inst, inputs,
+                                               self._now)
                         if full is not None:
                             self._execute_batch(full)
                         continue
@@ -423,46 +556,63 @@ class EventEngine:
             # The ready wavefront is exhausted: flush pending buckets onto
             # free workers (oldest first).  Anything left waits for a
             # worker to free up; _loop re-enters here after every event.
-            if (self._coalescer is not None and len(self._coalescer) > 0
-                    and self._free > 0 and len(self._ready) == 0
+            if (coalescer is not None and len(coalescer) > 0
+                    and self._free > 0 and not ready
                     and self._error is None):
-                self._execute_batch(self._coalescer.pop())
+                self._execute_batch(coalescer.pop())
                 continue
             return
 
     def _execute_single(self, inst: Instance, inputs: list) -> None:
         op = inst.op
         frame = inst.frame
-        start = max(self._now, self._master_clock)
-        self._master_clock = start + self.cost_model.dispatch(op)
-        definition = op_def(op.op_type)
+        plan = frame.plan
+        slot = inst.slot
+        cost_model = self.cost_model
+        start = self._master_clock
+        if self._now > start:
+            start = self._now
+        dispatch_cost = self._dispatch_const
+        if dispatch_cost is None:
+            dispatch_cost = cost_model.dispatch(op)
+        self._master_clock = start + dispatch_cost
+        definition = plan.defs[slot]
         self._free -= 1
         busy = self.num_workers - self._free
-        self.stats.max_concurrency = max(self.stats.max_concurrency, busy)
+        if busy > self.stats.max_concurrency:
+            self.stats.max_concurrency = busy
         if definition.is_async:
-            cost = self.cost_model.async_overhead(op)
+            memo = self._async_memo
+            if memo is None:
+                cost = cost_model.async_overhead(op)
+            else:
+                cost = memo.get(op.op_type)
+                if cost is None:
+                    cost = memo[op.op_type] = cost_model.async_overhead(op)
             self.stats.note_op(op.op_type, cost)
             heapq.heappush(self._events,
                            (self._master_clock + cost, next(self._seq),
                             _OP_DONE, (inst, None, inputs)))
         else:
             try:
-                ctx = ExecContext(self.runtime, frame, frame.record)
+                ctx = frame.ctx or frame.exec_context(self.runtime)
                 outputs = definition.kernel(op, inputs, ctx)
             except Exception as exc:
                 self._error = self._wrap_error(exc, op)
                 return
-            cost = self.cost_model.op_cost(op, inputs)
+            kind = plan.cost_kinds[slot]
+            cost = cost_model.op_cost(op, inputs, kind)
             done = self._master_clock + cost
-            if op.op_type == "CacheLookup":
+            if kind == "cache":
                 # lookups contend on the shared cache structure
                 self._cache_clock = max(self._cache_clock,
                                         self._master_clock) + cost
                 done = self._cache_clock
             elif frame.record:
+                mask = plan.store_masks[slot]
                 for i, value in enumerate(outputs):
-                    if self._should_store(frame, op.id, i):
-                        write = self.cost_model.cache_write_cost(value)
+                    if mask[i]:
+                        write = cost_model.cache_write_cost(value)
                         self._cache_clock = (max(self._cache_clock,
                                                  done) + write)
                         done = self._cache_clock
@@ -477,19 +627,24 @@ class EventEngine:
                 bucket.signature):
             for inst, inputs in zip(bucket.instances, bucket.inputs):
                 if self._free <= 0:
-                    # no worker for the stragglers: requeue them
+                    # no worker for the stragglers: requeue them (their
+                    # memoized signatures make the re-offer cheap)
                     self._ready.push(inst)
                     continue
                 self._execute_single(inst, inputs)
             return
+        first = bucket.instances[0]
+        plan = first.frame.plan
+        definition = plan.defs[first.slot]
+        kind = plan.cost_kinds[first.slot]
         ops = [inst.op for inst in bucket.instances]
-        definition = op_def(bucket.op_type)
         start = max(self._now, self._master_clock)
         # one fused dispatch through the serialized master
         self._master_clock = start + self.cost_model.dispatch(ops[0])
         self._free -= 1
         busy = self.num_workers - self._free
-        self.stats.max_concurrency = max(self.stats.max_concurrency, busy)
+        if busy > self.stats.max_concurrency:
+            self.stats.max_concurrency = busy
         if definition.is_async:
             # fused frame spawn: the caller-context setup is charged once
             # for the bucket; starters run at completion time like the
@@ -503,7 +658,8 @@ class EventEngine:
                                        list(bucket.inputs))))
             return
         try:
-            ctxs = [ExecContext(self.runtime, inst.frame, inst.frame.record)
+            runtime = self.runtime
+            ctxs = [inst.frame.ctx or inst.frame.exec_context(runtime)
                     for inst in bucket.instances]
             outputs_list = definition.batched_kernel(ops, bucket.inputs, ctxs)
             if len(outputs_list) != len(bucket):
@@ -513,7 +669,7 @@ class EventEngine:
         except Exception as exc:
             self._error = self._wrap_error(exc, ops[0])
             return
-        if definition.meta.get("cost") == "cache":
+        if kind == "cache":
             # one bulk round-trip through the serialized cache structure
             # instead of N contended lookups (Section 5's bottleneck)
             cost = self.cost_model.bulk_cache_lookup_cost(bucket.inputs)
@@ -521,13 +677,13 @@ class EventEngine:
                                     self._master_clock) + cost
             done = self._cache_clock
         else:
-            cost = self.cost_model.batch_cost(ops, bucket.inputs)
+            cost = self.cost_model.batch_cost(ops, bucket.inputs, kind)
             done = self._master_clock + cost
             writes = [value
                       for inst, outputs in zip(bucket.instances, outputs_list)
                       if inst.frame.record
                       for i, value in enumerate(outputs)
-                      if self._should_store(inst.frame, inst.op.id, i)]
+                      if inst.frame.plan.store_masks[inst.slot][i]]
             if writes:
                 # the recorded outputs of a fused batch travel to the value
                 # cache as one bulk write
@@ -553,24 +709,31 @@ class EventEngine:
                            store: bool = True) -> None:
         frame = inst.frame
         op = inst.op
-        if len(outputs) != op.num_outputs:
+        plan = frame.plan
+        slot = inst.slot
+        if len(outputs) != plan.n_outputs[slot]:
             raise EngineError(
                 f"kernel of {op.name} ({op.op_type}) returned {len(outputs)} "
                 f"values, expected {op.num_outputs}")
-        for i, value in enumerate(outputs):
-            frame.values[(op.id, i)] = value
-            if store and frame.record and self._should_store(frame, op.id, i):
-                self.runtime.cache.store(frame.key, frame.graph.graph_id,
-                                         op.id, i, value)
-        for consumer in frame.consumers.get(op.id, ()):
-            count = frame.pending.get(consumer.id)
-            if count is None:
-                continue  # outside this frame's (pruned) op set
-            if count == 1:
-                frame.pending.pop(consumer.id)
-                self._ready.push(Instance(consumer, frame, next(self._seq)))
-            else:
-                frame.pending[consumer.id] = count - 1
+        frame.values[slot] = outputs
+        if store and frame.record:
+            mask = plan.store_masks[slot]
+            for i, value in enumerate(outputs):
+                if mask[i]:
+                    self.runtime.cache.store(frame.key, plan.graph_id,
+                                             op.id, i, value)
+        consumers = plan.consumer_slots[slot]
+        if consumers:
+            pending = frame.pending
+            ready_push = self._ready.push
+            for consumer_slot in consumers:
+                count = pending[consumer_slot]
+                if count == 1:
+                    pending[consumer_slot] = -1
+                    ready_push(Instance(plan.ops[consumer_slot], frame,
+                                        consumer_slot))
+                else:
+                    pending[consumer_slot] = count - 1
         frame.remaining -= 1
         if frame.remaining == 0:
             frame.on_complete(frame)

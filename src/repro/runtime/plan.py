@@ -1,0 +1,148 @@
+"""Frame-plan compilation: the per-body scheduling plan both engines share.
+
+The recursive execution model spawns one :class:`~repro.runtime.engine
+.Frame` per SubGraph invocation — potentially millions per run — yet
+everything the scheduler needs to know about a body graph is *static*:
+its dependency counts, its consumer lists, which registry ``OpDef`` (and
+kernel, and batched kernel) each op resolves to, the static prefix of
+each op's batch signature, which outputs the backward pass will look up
+(the selective-caching record set), and each op's cost-model entry.  The
+seed engines re-derived all of that on **every** frame spawn and every
+ready instance; at scale that interpreter overhead — not kernel time —
+dominated the master's scheduling cost.
+
+A :class:`FramePlan` is the one-time compilation of that static
+information for a ``(graph, op-id set)`` pair, following the
+compile-once / instantiate-many design of Cortex and the static-dataflow
+recursion work (see PAPERS.md):
+
+* ops are renumbered into **dense plan slots** (``index_of`` maps graph
+  op id -> slot), so per-frame state (values, pending counters) becomes
+  flat lists indexed by slot instead of per-spawn dicts keyed by op id;
+* ``dep_counts`` / ``consumer_slots`` / ``zero_dep_slots`` precompute
+  the dependency wiring a spawn previously re-walked the graph for;
+* ``input_locs`` maps each op's input tensors to ``(producer slot, output
+  index)`` pairs, making the dispatch-time input gather two list
+  indexings per input;
+* ``defs`` / ``starters`` / ``cost_kinds`` resolve each op's registry
+  entry, async starter and cost-model entry once, eliminating
+  ``op_def()`` lookups from the hot path;
+* ``sig_prefixes`` interns the static ``(op_type, attrs)`` prefix of the
+  batch signature to a small integer (see
+  :func:`repro.runtime.batching.signature_prefix`), so signature
+  computation at dispatch time is prefix + runtime value shapes — zero
+  attr ``repr()``;
+* ``store_masks`` bakes the graph's selective-caching ``cache_filter``
+  into a per-slot, per-output boolean mask.
+
+Plans are cached on the owning :class:`~repro.graph.graph.Graph`
+(``plan_for``) and — for root frames executing a pruned fetch set — per
+fetch-op set (``plan_for_fetches``, which also memoizes the
+``reachable_from`` walk that serving previously repeated per request).
+Graph mutation (``add_op``, control edges, ``set_cache_filter``)
+invalidates the caches; finalized SubGraph bodies compile exactly once
+per process.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.graph.registry import op_def
+
+from .batching import signature_prefix
+
+__all__ = ["FramePlan", "plan_for", "plan_for_fetches"]
+
+#: cache key for the whole-graph plan (every op, the SubGraph-body case)
+_ALL_OPS = "__all_ops__"
+
+
+class FramePlan:
+    """Compiled scheduling metadata for one ``(graph, op-id set)`` body."""
+
+    __slots__ = ("graph", "graph_id", "op_ids", "num_slots", "index_of",
+                 "ops", "defs", "starters", "dep_counts", "consumer_slots",
+                 "zero_dep_slots", "input_locs", "sig_prefixes",
+                 "store_masks", "cost_kinds", "n_outputs")
+
+    def __init__(self, graph, op_ids: Optional[Sequence[int]] = None):
+        if op_ids is None:
+            op_ids = range(graph.num_operations)
+        self.graph = graph
+        self.graph_id = graph.graph_id
+        self.op_ids = tuple(op_ids)
+        self.num_slots = len(self.op_ids)
+        index_of = {op_id: slot for slot, op_id in enumerate(self.op_ids)}
+        self.index_of = index_of
+        ops = [graph.op_by_id(op_id) for op_id in self.op_ids]
+        self.ops = ops
+        defs = [op_def(op.op_type) for op in ops]
+        self.defs = defs
+        self.starters = [d.meta.get("starter") for d in defs]
+        self.dep_counts = [graph.dependency_count(op) for op in ops]
+        consumers = graph.consumers()
+        self.consumer_slots = [
+            tuple(index_of[c.id] for c in consumers.get(op.id, ())
+                  if c.id in index_of)
+            for op in ops]
+        self.zero_dep_slots = tuple(
+            slot for slot, count in enumerate(self.dep_counts) if count == 0)
+        self.input_locs = [
+            tuple((index_of[t.op.id], t.index) for t in op.inputs)
+            for op in ops]
+        self.sig_prefixes = [signature_prefix(op, d)
+                             for op, d in zip(ops, defs)]
+        cache_filter = getattr(graph, "cache_filter", None)
+        if cache_filter is None:
+            self.store_masks = [(True,) * op.num_outputs for op in ops]
+        else:
+            self.store_masks = [
+                tuple((op.id, i) in cache_filter
+                      for i in range(op.num_outputs))
+                for op in ops]
+        self.cost_kinds = [d.meta.get("cost", "elementwise") for d in defs]
+        self.n_outputs = [op.num_outputs for op in ops]
+
+    def __repr__(self) -> str:
+        return (f"<FramePlan graph={self.graph.name!r} "
+                f"slots={self.num_slots}>")
+
+
+def plan_for(graph, op_ids: Optional[Iterable[int]] = None) -> FramePlan:
+    """The (cached) plan for ``graph`` over ``op_ids`` (default: all ops).
+
+    The first call per ``(graph, op-id set)`` compiles the plan; later
+    calls return the cached object.  Safe under the graph lock from
+    multiple engine threads; invalidated by graph mutation.
+    """
+    key = _ALL_OPS if op_ids is None else tuple(op_ids)
+    cache = graph._frame_plans
+    plan = cache.get(key)
+    if plan is None:
+        with graph._lock:
+            plan = cache.get(key)
+            if plan is None:
+                plan = FramePlan(graph, None if key is _ALL_OPS else key)
+                cache[key] = plan
+    return plan
+
+
+def plan_for_fetches(graph, fetch_ops) -> FramePlan:
+    """The (cached) pruned root-frame plan for one fetch-op set.
+
+    Memoizes the ``reachable_from`` reverse walk per distinct fetch set,
+    so a serving session admitting the same fetches per request performs
+    the graph pruning exactly once.
+    """
+    key = tuple(sorted({op.id for op in fetch_ops}))
+    cache = graph._fetch_plans
+    plan = cache.get(key)
+    if plan is None:
+        with graph._lock:
+            plan = cache.get(key)
+            if plan is None:
+                needed = sorted(graph.reachable_from(fetch_ops))
+                plan = plan_for(graph, needed)
+                cache[key] = plan
+    return plan

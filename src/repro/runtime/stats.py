@@ -148,10 +148,15 @@ class RunStats:
                 "total": _component_summary(self.request_latencies)}
 
     def note_op(self, op_type: str, cost: float) -> None:
+        # hot path (once per scalar instance): try/except beats .get once
+        # the op type has been seen, which is every call but the first
         self.ops_executed += 1
-        self.per_type_count[op_type] = self.per_type_count.get(op_type, 0) + 1
-        self.per_type_time[op_type] = (self.per_type_time.get(op_type, 0.0)
-                                       + cost)
+        try:
+            self.per_type_count[op_type] += 1
+            self.per_type_time[op_type] += cost
+        except KeyError:
+            self.per_type_count[op_type] = 1
+            self.per_type_time[op_type] = cost
 
     def note_batch(self, op_type: str, size: int, cost: float,
                    signature=None) -> None:

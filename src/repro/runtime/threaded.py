@@ -32,7 +32,6 @@ can admit root instances into the live ready queue from any thread
 
 from __future__ import annotations
 
-import itertools
 import queue
 import threading
 import time
@@ -40,14 +39,14 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.core.cache import ROOT_KEY
 from repro.graph.graph import Graph
-from repro.graph.registry import ExecContext, op_def
 from repro.graph.tensor import Tensor
 
-from .batching import (BatchPolicy, Coalescer, batch_signature,
-                       resolve_batching)
+from .batching import (BatchPolicy, Coalescer, resolve_batching,
+                       value_signature)
 from .cost_model import CostModel, testbed_cpu
 from .engine import (EngineError, Frame, Instance, collect_cache_entries,
-                     should_store)
+                     seed_frame)
+from .plan import FramePlan, plan_for, plan_for_fetches
 from .stats import RunStats
 
 __all__ = ["ThreadedEngine"]
@@ -69,7 +68,6 @@ class ThreadedEngine:
         self.max_depth = max_depth
         self.batching, batch_policy = resolve_batching(batching, batch_policy)
         self.batch_policy = batch_policy or BatchPolicy()
-        self._seq = itertools.count()
 
     # The async-op starters call these three methods plus ``spawn_frame``;
     # the interface is shared with EventEngine.
@@ -93,8 +91,8 @@ class ThreadedEngine:
                 "check the base case of your recursive SubGraph")
         graph = subgraph.graph
         record = self.record and not getattr(graph, "is_backward_body", False)
-        frame = self._make_frame(graph, range(graph.num_operations), bindings,
-                                 key, depth, record, on_complete, owner)
+        frame = self._make_frame(plan_for(graph), bindings, key, depth,
+                                 record, on_complete, owner)
         self._start_frame(frame)
         return frame
 
@@ -135,14 +133,13 @@ class ThreadedEngine:
                     on_complete: Callable) -> Frame:
         """Admit a root instance into the live ready queue (thread-safe)."""
         fetch_list = list(fetches)
-        fetch_ops = {t.op for t in fetch_list}
-        needed = sorted(graph.reachable_from(fetch_ops))
+        plan = plan_for_fetches(graph, {t.op for t in fetch_list})
 
         def frame_done(frame):
-            on_complete([frame.values[t.ref] for t in fetch_list])
+            on_complete([frame.value_of(t) for t in fetch_list])
 
         with self._lock:
-            frame = self._make_frame(graph, needed, feed_map, key, 0, False,
+            frame = self._make_frame(plan, feed_map, key, 0, False,
                                      frame_done, None)
             self._start_frame(frame)
         return frame
@@ -173,14 +170,13 @@ class ThreadedEngine:
                            else None)
         self.stats = RunStats()
 
-        fetch_ops = {t.op for t in fetches}
-        needed = sorted(graph.reachable_from(fetch_ops))
+        plan = plan_for_fetches(graph, {t.op for t in fetches})
 
         def root_done(frame):
             self._done.set()
 
         with self._lock:
-            root = self._make_frame(graph, needed, feed_map, ROOT_KEY, 0,
+            root = self._make_frame(plan, feed_map, ROOT_KEY, 0,
                                     False, root_done, None)
             self._start_frame(root)
             if root.remaining == 0:
@@ -197,37 +193,22 @@ class ThreadedEngine:
             w.join()
         if self._error is not None:
             raise self._error
-        values = [root.values[t.ref] for t in fetches]
+        values = [root.value_of(t) for t in fetches]
         self.stats.wall_time = time.perf_counter() - wall0
         self.stats.virtual_time = self.stats.wall_time
         return values, self.stats
 
     # -- internals ---------------------------------------------------------------
 
-    def _make_frame(self, graph, op_ids, bindings, key, depth, record,
+    def _make_frame(self, plan: FramePlan, bindings, key, depth, record,
                     on_complete, owner) -> Frame:
-        frame = Frame(graph, op_ids, bindings, key, depth, record,
-                      on_complete, owner)
-        for op_id in frame.op_ids:
-            frame.pending[op_id] = graph.dependency_count(
-                graph.op_by_id(op_id))
+        frame = Frame(plan, bindings, key, depth, record, on_complete, owner)
         self.stats.frames_created += 1
         self.stats.max_frame_depth = max(self.stats.max_frame_depth, depth)
         return frame
 
     def _start_frame(self, frame: Frame) -> None:
-        for op_id in list(frame.op_ids):
-            if op_id in frame.bindings:
-                op = frame.graph.op_by_id(op_id)
-                frame.pending.pop(op_id, None)
-                self._complete_instance(
-                    Instance(op, frame, next(self._seq)),
-                    [frame.bindings[op_id]])
-        for op_id in list(frame.op_ids):
-            if frame.pending.get(op_id) == 0:
-                op = frame.graph.op_by_id(op_id)
-                frame.pending.pop(op_id)
-                self._queue.put(Instance(op, frame, next(self._seq)))
+        seed_frame(frame, self._complete_instance, self._queue.put)
 
     def _worker(self) -> None:
         while True:
@@ -254,22 +235,31 @@ class ThreadedEngine:
             if self._error is not None:
                 continue
             op = inst.op
-            definition = op_def(op.op_type)
+            frame = inst.frame
+            plan = frame.plan
+            slot = inst.slot
+            definition = plan.defs[slot]
             try:
-                inputs = [inst.frame.values[t.ref] for t in op.inputs]
+                values = frame.values
+                inputs = [values[s][i] for s, i in plan.input_locs[slot]]
                 if self._coalescer is not None:
                     # async ops batch too (fused frame spawns) when they
                     # carry a batched-async registration
-                    signature = batch_signature(op, inputs, definition)
-                    if signature is not None:
+                    prefix = plan.sig_prefixes[slot]
+                    if prefix is not None:
+                        signature = inst.sig
+                        if signature is None:
+                            signature = prefix + (value_signature(inputs),)
+                            inst.sig = signature
                         self._offer_to_batch(signature, inst, inputs)
                         continue
                 if definition.is_async:
                     with self._lock:
-                        definition.meta["starter"](self, inst, inputs)
+                        plan.starters[slot](self, inst, inputs)
                 else:
-                    ctx = ExecContext(self.runtime, inst.frame,
-                                      inst.frame.record)
+                    # benign race: two workers may build the frame's
+                    # context concurrently; ExecContext is stateless
+                    ctx = frame.ctx or frame.exec_context(self.runtime)
                     outputs = definition.kernel(op, inputs, ctx)
                     self._complete_instance(inst, outputs)
                 with self._lock:
@@ -312,7 +302,8 @@ class ThreadedEngine:
 
     def _run_bucket(self, bucket) -> None:
         """Execute one bucket: fused kernel outside the lock, then scatter."""
-        definition = op_def(bucket.op_type)
+        first = bucket.instances[0]
+        definition = first.frame.plan.defs[first.slot]
         ops = [inst.op for inst in bucket.instances]
         with self._lock:  # the policy's per-signature state is lock-guarded
             fused = len(bucket) >= self._coalescer.policy.min_batch_for(
@@ -321,7 +312,7 @@ class ThreadedEngine:
             if definition.is_async:
                 # fused (or straggler) frame spawn: starters mutate master
                 # state, so they run under the lock like the scalar path
-                starter = definition.meta["starter"]
+                starter = first.frame.plan.starters[first.slot]
                 with self._lock:
                     for inst, inputs in zip(bucket.instances, bucket.inputs):
                         starter(self, inst, inputs)
@@ -335,13 +326,13 @@ class ThreadedEngine:
             if not fused:
                 outputs_list = []
                 for inst, inputs in zip(bucket.instances, bucket.inputs):
-                    ctx = ExecContext(self.runtime, inst.frame,
-                                      inst.frame.record)
+                    ctx = (inst.frame.ctx
+                           or inst.frame.exec_context(self.runtime))
                     outputs_list.append(definition.kernel(inst.op, inputs,
                                                           ctx))
             else:
-                ctxs = [ExecContext(self.runtime, inst.frame,
-                                    inst.frame.record)
+                ctxs = [inst.frame.ctx
+                        or inst.frame.exec_context(self.runtime)
                         for inst in bucket.instances]
                 outputs_list = definition.batched_kernel(ops, bucket.inputs,
                                                          ctxs)
@@ -375,26 +366,28 @@ class ThreadedEngine:
         with self._lock:
             frame = inst.frame
             op = inst.op
+            plan = frame.plan
+            slot = inst.slot
             if len(outputs) != op.num_outputs:
                 raise EngineError(
                     f"kernel of {op.name} returned {len(outputs)} values, "
                     f"expected {op.num_outputs}")
-            for i, value in enumerate(outputs):
-                frame.values[(op.id, i)] = value
-                if store and frame.record and should_store(frame, op.id, i):
-                    self.runtime.cache.store(frame.key,
-                                             frame.graph.graph_id,
-                                             op.id, i, value)
-            for consumer in frame.consumers.get(op.id, ()):
-                count = frame.pending.get(consumer.id)
-                if count is None:
-                    continue
+            frame.values[slot] = outputs
+            if store and frame.record:
+                mask = plan.store_masks[slot]
+                for i, value in enumerate(outputs):
+                    if mask[i]:
+                        self.runtime.cache.store(frame.key, plan.graph_id,
+                                                 op.id, i, value)
+            pending = frame.pending
+            for consumer_slot in plan.consumer_slots[slot]:
+                count = pending[consumer_slot]
                 if count == 1:
-                    frame.pending.pop(consumer.id)
-                    self._queue.put(Instance(consumer, frame,
-                                             next(self._seq)))
+                    pending[consumer_slot] = -1
+                    self._queue.put(Instance(plan.ops[consumer_slot], frame,
+                                             consumer_slot))
                 else:
-                    frame.pending[consumer.id] = count - 1
+                    pending[consumer_slot] = count - 1
             frame.remaining -= 1
             if frame.remaining == 0:
                 frame.on_complete(frame)

@@ -177,6 +177,42 @@ class TestProfiles:
         assert model.cache_write_cost(a) == 0.0
 
 
+class TestCostKindConsistency:
+    def test_op_cost_and_batch_cost_share_one_flops_model(self):
+        """op_cost inlines the flops estimate that batch_cost reaches via
+        _flops; the two must stay in lockstep.  For a one-member bucket
+        the fused cost differs from the scalar cost by exactly the
+        per-member bookkeeping term whenever the work terms agree — for
+        every cost kind and for both the sub- and super-grain matmul
+        regimes (the intra-op parallelism discount applies identically).
+        """
+        from repro.graph.registry import op_def
+        model = cpu_model()
+        cases = [
+            ("elementwise", _op_of("Add", np.ones((8, 8), np.float32),
+                                   np.ones((8, 8), np.float32)),
+             [np.ones((8, 8), np.float32)] * 2),
+            ("matmul small", _op_of("MatMul", np.ones((4, 4), np.float32),
+                                    np.ones((4, 4), np.float32)),
+             [np.ones((4, 4), np.float32)] * 2),
+            ("matmul large", _op_of("MatMul",
+                                    np.ones((256, 256), np.float32),
+                                    np.ones((256, 256), np.float32)),
+             [np.ones((256, 256), np.float32)] * 2),
+        ]
+        graph = repro.Graph("cmp")
+        with graph.as_default():
+            cmp_op = ops.less_equal(ops.constant(1.0), ops.constant(2.0)).op
+        cases.append(("trivial", cmp_op, [np.float32(1.0), np.float32(2.0)]))
+        for label, op, inputs in cases:
+            kind = op_def(op.op_type).meta.get("cost", "elementwise")
+            single = model.op_cost(op, inputs, kind)
+            assert single == model.op_cost(op, inputs), label  # kind lookup
+            fused = model.batch_cost([op], [inputs], kind)
+            assert fused - single == pytest.approx(
+                model.batch_member_cost, abs=1e-12), label
+
+
 class TestStats:
     def test_note_and_merge(self):
         from repro.runtime.stats import RunStats
