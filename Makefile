@@ -1,12 +1,22 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-batching test-serving bench bench-fig8 bench-serving \
-        bench-smoke bench-overhead profile
+.PHONY: test test-fast check test-batching test-serving bench bench-fig8 \
+        bench-serving bench-smoke bench-overhead profile
 
 # Tier-1: the full test suite (what CI gates on).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The quick inner-loop subset: everything except the serving suites and
+# the long-running stress/soak suites (both still run under `make test`).
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not serving and not stress"
+
+# The pre-push gate: fast tests plus the bench-smoke canaries (tiny
+# fig7/table2 sweeps, the continuous-serving canary and the
+# spawn-overhead regression gate).
+check: test-fast bench-smoke
 
 # The micro-batching equivalence + stress subset.
 test-batching:

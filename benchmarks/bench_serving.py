@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.common import WORKERS, save_bench_json, treebank, fresh_model
+from benchmarks.common import (WORKERS, bench_engine, fresh_model,
+                               save_bench_json, treebank)
 from repro.harness import (format_latency, format_table,
                            poisson_request_stream, save_results, serve_stream)
 
@@ -45,7 +46,7 @@ def collect():
         results[(admission, batching)] = serve_stream(
             model, bank.train, stream=stream, max_in_flight=MAX_IN_FLIGHT,
             admission=admission, batching=batching, num_workers=WORKERS,
-            seed=SEED)
+            engine=bench_engine(), seed=SEED)
     return results
 
 

@@ -90,8 +90,11 @@ def test_smoke_batched_training_is_equivalent_and_fused():
             assert "InvokeGrad" in stats.batch_count_by_type
     assert losses["Recursive"] == losses["BatchedRecursive"]
     # regression canary: batching must never slow training down at this
-    # concurrency (generous 0.9 bound to stay noise-proof)
-    assert vtimes["BatchedRecursive"] <= vtimes["Recursive"] / 0.9
+    # concurrency (generous 0.9 bound to stay noise-proof).  Only the
+    # deterministic virtual-time backend supports a ratio gate; under
+    # --engine threaded/workerpool the times are host wall-clock noise.
+    if runner_config().engine == "event":
+        assert vtimes["BatchedRecursive"] <= vtimes["Recursive"] / 0.9
 
 
 def test_smoke_continuous_serving_canary():
@@ -105,18 +108,22 @@ def test_smoke_continuous_serving_canary():
     results = {}
     for admission in ("wave", "continuous"):
         model = SMOKE_FACTORIES["TreeRNN"]()
+        config = runner_config()
         results[admission] = serve_stream(
             model, bank.train, stream=stream, max_in_flight=4,
             admission=admission, batching=True,
-            num_workers=runner_config().num_workers, seed=5)
+            num_workers=config.num_workers, engine=config.engine, seed=5)
     wave, continuous = results["wave"], results["continuous"]
     assert wave.instances == continuous.instances == 16
     for rid in wave.request_logits:
         assert np.array_equal(wave.request_logits[rid],
                               continuous.request_logits[rid]), rid
-    assert continuous.throughput >= wave.throughput, \
-        (f"continuous {continuous.throughput:.1f} < wave "
-         f"{wave.throughput:.1f} inst/s")
+    if runner_config().engine == "event":
+        # deterministic virtual time: the admission claim gates hard;
+        # wall-clock backends assert only the structural claims above
+        assert continuous.throughput >= wave.throughput, \
+            (f"continuous {continuous.throughput:.1f} < wave "
+             f"{wave.throughput:.1f} inst/s")
     for result in results.values():
         latency = result.latency_summary()
         assert latency["requests"] == 16

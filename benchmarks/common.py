@@ -1,9 +1,15 @@
 """Shared configuration for the reproduction benchmarks.
 
-Every benchmark measures **virtual testbed time** (the deterministic
-discrete-event simulation of the paper's 36-core machine / Titan X GPU),
-so reported instances/second are stable across host machines; wall-clock
-time of the bench process itself is what pytest-benchmark records.
+Under the default ``event`` backend every benchmark measures **virtual
+testbed time** (the deterministic discrete-event simulation of the
+paper's 36-core machine / Titan X GPU), so reported instances/second are
+stable across host machines; wall-clock time of the bench process itself
+is what pytest-benchmark records.  Routing the suite through a
+wall-clock backend (``--engine threaded`` / ``workerpool``, or
+REPRO_BENCH_ENGINE) makes the reported times **host wall-clock** —
+useful for comparing backends on one machine, not portable baselines;
+the recorded BENCH_*.json files carry an ``engine_provenance`` stamp so
+rows stay attributable.
 
 The dataset is a seeded synthetic treebank standing in for the Large Movie
 Review sentences (see DESIGN.md for the substitution rationale).
@@ -20,13 +26,36 @@ import numpy as np
 import repro
 from repro.data import make_treebank
 from repro.harness import RunnerConfig
+from repro.harness.reporting import engine_provenance
 from repro.models import (ModelConfig, RNTNSentiment, TreeLSTMSentiment,
                           TreeRNNSentiment, tree_lstm_config)
+from repro.runtime.scheduler import resolve_executor
 
 #: the paper's testbed: 2 x 18-core Xeon
 WORKERS = 36
 BATCH_SIZES = (1, 10, 25)
 STEPS = 2
+
+#: Executor backend every bench resolves its sessions/runners through.
+#: One knob for the whole suite: ``pytest benchmarks --engine threaded``
+#: (see benchmarks/conftest.py) or the REPRO_BENCH_ENGINE environment
+#: variable; defaults to the deterministic virtual-time backend the
+#: recorded baselines were measured on.
+_BENCH_ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "event")
+
+
+def set_bench_engine(name: str) -> None:
+    """Select the executor backend for this bench process (validated
+    against the runtime executor registry)."""
+    global _BENCH_ENGINE
+    resolve_executor(name)  # fail loudly on unknown backends
+    _BENCH_ENGINE = name
+
+
+def bench_engine() -> str:
+    """The executor backend name benches pass as ``engine=``."""
+    resolve_executor(_BENCH_ENGINE)
+    return _BENCH_ENGINE
 
 
 @lru_cache(maxsize=None)
@@ -49,7 +78,7 @@ def fresh_model(name: str):
 
 
 def runner_config(**overrides) -> RunnerConfig:
-    defaults = dict(num_workers=WORKERS)
+    defaults = dict(num_workers=WORKERS, engine=bench_engine())
     defaults.update(overrides)
     return RunnerConfig(**defaults)
 
@@ -59,8 +88,11 @@ def save_bench_json(name: str, payload: dict) -> str:
 
     ``BENCH_<name>.json`` is the perf baseline future PRs diff against
     (e.g. ``BENCH_fig8.json`` records unbatched vs batched inference
-    throughput).
+    throughput).  Every payload is stamped with executor provenance
+    (which backend produced the rows, and the registry listing at the
+    time) unless the bench recorded its own.
     """
+    payload.setdefault("engine_provenance", engine_provenance(bench_engine()))
     root = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
     path = os.path.join(root, f"BENCH_{name}.json")
     with open(path, "w") as fh:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import cProfile
 import pstats
 
+from benchmarks.common import bench_engine
 from repro import Runtime
 from repro.data import make_treebank
 from repro.harness import poisson_request_stream, serve_stream
@@ -34,7 +35,7 @@ def main() -> None:
     result = serve_stream(model, bank.train, stream=stream,
                           max_in_flight=MAX_IN_FLIGHT,
                           admission="continuous", batching=True,
-                          num_workers=36, seed=5)
+                          num_workers=36, engine=bench_engine(), seed=5)
     profiler.disable()
 
     print(f"served {result.stats.requests} requests, "

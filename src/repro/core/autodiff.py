@@ -333,7 +333,7 @@ def _cond_grad_infer(op):
     return specs
 
 
-def _cond_grad_starter(engine, inst, inputs):
+def _cond_grad_starter(scheduler, inst, inputs):
     op = inst.op
     n_seeds = op.attrs["n_seeds"]
     pred = bool(np.asarray(inputs[0]))
@@ -364,9 +364,9 @@ def _cond_grad_starter(engine, inst, inputs):
             else:
                 outputs.append(tensor_array.zero_value_like(ref))
         outputs.append(np.bool_(True))
-        engine.finish_async(inst, outputs)
+        scheduler.finish_async(inst, outputs)
 
-    engine.spawn_frame(backward, bindings, key, inst.frame.depth + 1,
+    scheduler.spawn_frame(backward, bindings, key, inst.frame.depth + 1,
                        on_complete, inst)
 
 
@@ -413,7 +413,7 @@ def _loop_grad_infer(op):
     return specs
 
 
-def _loop_grad_starter(engine, inst, inputs):
+def _loop_grad_starter(scheduler, inst, inputs):
     op = inst.op
     body: SubGraph = op.attrs["body_subgraph"]
     backward = body.grad_subgraph
@@ -427,10 +427,10 @@ def _loop_grad_starter(engine, inst, inputs):
     entry_index = {ph_id: i for i, ph_id in enumerate(entries)}
     parent_key = inst.frame.key
     depth = inst.frame.depth + 1
-    iterations = engine.runtime.cache.lookup_meta((parent_key, site_id))
+    iterations = scheduler.runtime.cache.lookup_meta((parent_key, site_id))
     counter = {"i": iterations - 1}
     slots = body.differentiable_input_slots()
-    step_overhead = engine.cost_model.loop_step_overhead(n_state)
+    step_overhead = scheduler.cost_model.loop_step_overhead(n_state)
     if len(backward.input_op_ids) != n_state:
         raise SubGraphError(
             f"LoopGrad {op.name}: backward body declares "
@@ -443,12 +443,12 @@ def _loop_grad_starter(engine, inst, inputs):
             outputs.append(tensor_array.zero_value_like(ref)
                            if total is None else total)
         outputs.append(np.bool_(True))
-        engine.finish_async(inst, outputs)
+        scheduler.finish_async(inst, outputs)
 
     def run_iter():
         bindings = dict(zip(backward.input_op_ids, state))
         key = child_key(parent_key, (site_id, counter["i"]))
-        engine.spawn_frame(backward, bindings, key, depth, iter_done, inst)
+        scheduler.spawn_frame(backward, bindings, key, depth, iter_done, inst)
 
     def iter_done(frame):
         values = [frame.value_of(t) for t in backward.output_tensors]
@@ -470,7 +470,7 @@ def _loop_grad_starter(engine, inst, inputs):
         state[:] = new_state
         counter["i"] -= 1
         if counter["i"] >= 0:
-            engine.post_continuation(step_overhead, run_iter)
+            scheduler.post_continuation(step_overhead, run_iter)
         else:
             finish()
 

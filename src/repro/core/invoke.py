@@ -33,7 +33,10 @@ def _invoke_infer(op):
     return list(subgraph.output_specs)
 
 
-def _invoke_starter(engine, inst, inputs):
+def _invoke_starter(scheduler, inst, inputs):
+    # ``scheduler`` is the SchedulerCore (any executor backend): starters
+    # only touch the shared frame-lifecycle surface — spawn_frame,
+    # finish_async, post_continuation, record, runtime, cost_model.
     op = inst.op
     # spawn-constant spec, resolved once per op at first execution: the
     # target SubGraph is finalized by then, so its binding ids, capture
@@ -64,9 +67,9 @@ def _invoke_starter(engine, inst, inputs):
     key = child_key(inst.frame.key, op.id)
 
     def on_complete(frame):
-        engine.finish_async(inst, frame.values_at(output_locs))
+        scheduler.finish_async(inst, frame.values_at(output_locs))
 
-    engine.spawn_frame(subgraph, bindings, key, inst.frame.depth + 1,
+    scheduler.spawn_frame(subgraph, bindings, key, inst.frame.depth + 1,
                        on_complete, inst)
 
 
@@ -123,7 +126,7 @@ def _invoke_grad_infer(op):
     return specs
 
 
-def _invoke_grad_starter(engine, inst, inputs):
+def _invoke_grad_starter(scheduler, inst, inputs):
     op = inst.op
     spec = op.attrs.get("_spawn_spec")
     if spec is None:
@@ -144,9 +147,9 @@ def _invoke_grad_starter(engine, inst, inputs):
     def on_complete(frame):
         outputs = frame.values_at(output_locs)
         outputs.append(np.bool_(True))
-        engine.finish_async(inst, outputs)
+        scheduler.finish_async(inst, outputs)
 
-    engine.spawn_frame(grad_sg, bindings, key, inst.frame.depth + 1,
+    scheduler.spawn_frame(grad_sg, bindings, key, inst.frame.depth + 1,
                        on_complete, inst)
 
 

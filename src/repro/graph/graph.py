@@ -20,7 +20,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Iterable, Optional, Sequence
 
-from . import dtypes
+from . import dtypes, registry
 from .tensor import Shape, Tensor
 
 __all__ = ["Operation", "Graph", "get_default_graph", "reset_default_graph"]
@@ -104,6 +104,11 @@ class Graph:
         self._frame_plans: dict = {}
         #: Pruned root-frame plans keyed by fetch-op-id set.
         self._fetch_plans: dict = {}
+        #: Registry mutation counter the cached plans were compiled at:
+        #: registering an op, gradient or batched kernel *after* a plan
+        #: compiled invalidates it (plans bake in resolved OpDefs and
+        #: batch-signature prefixes).  Checked by repro.runtime.plan.
+        self._plan_registry_version = registry.registry_version()
         #: Selective-caching record set: (op_id, out_idx) pairs the backward
         #: body looks up, or None to record everything (see set_cache_filter).
         self.cache_filter = None

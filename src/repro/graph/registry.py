@@ -28,7 +28,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 __all__ = ["OpDef", "register_op", "register_grad", "register_batched_kernel",
-           "register_batched_async", "op_def", "ExecContext", "all_op_types"]
+           "register_batched_async", "op_def", "ExecContext", "all_op_types",
+           "registry_version"]
 
 
 @dataclass
@@ -36,7 +37,7 @@ class ExecContext:
     """Runtime services available to kernels."""
 
     runtime: Any          # repro.runtime.session.Runtime
-    frame: Any            # repro.runtime.engine Frame executing this op
+    frame: Any            # repro.runtime.scheduler Frame executing this op
     record: bool          # True when forward values must be cached
 
     @property
@@ -69,6 +70,23 @@ class OpDef:
 
 _REGISTRY: dict[str, OpDef] = {}
 
+#: Monotonic counter bumped on every registry mutation (op registration,
+#: gradient attachment, batched-kernel/batched-async installation).
+#: Compiled frame plans bake registry state in — resolved OpDefs, batch
+#: signature prefixes (None while no ``batched_kernel`` exists) — so the
+#: plan caches (:mod:`repro.runtime.plan`) stamp the version they were
+#: compiled at and drop themselves when it moves.
+_REGISTRY_VERSION = [0]
+
+
+def registry_version() -> int:
+    """The current registry mutation counter (see ``_REGISTRY_VERSION``)."""
+    return _REGISTRY_VERSION[0]
+
+
+def _bump_version() -> None:
+    _REGISTRY_VERSION[0] += 1
+
 
 def register_op(name: str, *, infer, kernel=None, grad=None,
                 is_async: bool = False, stateful: bool = False,
@@ -79,12 +97,14 @@ def register_op(name: str, *, infer, kernel=None, grad=None,
     op = OpDef(name=name, infer=infer, kernel=kernel, grad=grad,
                is_async=is_async, stateful=stateful, meta=dict(meta))
     _REGISTRY[name] = op
+    _bump_version()
     return op
 
 
 def register_grad(name: str, grad_fn) -> None:
     """Attach (or replace) the gradient function of an existing op type."""
     _REGISTRY[name].grad = grad_fn
+    _bump_version()
 
 
 def _member_loop(definition: OpDef):
@@ -127,6 +147,7 @@ def register_batched_kernel(name: str, fn=None, *,
     definition.batched_kernel = fn if fn is not None \
         else _member_loop(definition)
     definition.meta["batch_attrs"] = tuple(batch_attrs)
+    _bump_version()
 
 
 def register_batched_async(name: str, *, identity_attrs: tuple = ()) -> None:
@@ -148,6 +169,7 @@ def register_batched_async(name: str, *, identity_attrs: tuple = ()) -> None:
         raise ValueError(f"op type {name!r} is not async")
     definition.meta["batch_async"] = True
     definition.meta["batch_identity_attrs"] = tuple(identity_attrs)
+    _bump_version()
 
 
 def op_def(name: str) -> OpDef:

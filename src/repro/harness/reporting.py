@@ -8,7 +8,29 @@ from typing import Any, Optional, Sequence
 
 __all__ = ["format_table", "save_results", "results_dir", "ascii_series",
            "format_batch_histogram", "format_adaptive_policy",
-           "format_latency"]
+           "format_latency", "engine_provenance"]
+
+
+def engine_provenance(engine: Optional[str] = None) -> dict:
+    """Provenance stamp for bench rows: which backend produced them.
+
+    Resolves ``engine`` (default ``"event"``) through the runtime
+    executor registry — so a typo fails loudly instead of silently
+    mislabeling a baseline — and returns::
+
+        {"engine": <name>, "executor": <class name>,
+         "registered_executors": [...]}
+
+    Benchmarks embed this in their JSON payloads (``save_bench_json``
+    does it automatically) so recorded baselines are attributable when
+    several backends exist.
+    """
+    from repro.runtime.scheduler import available_executors, resolve_executor
+
+    name = engine or "event"
+    return {"engine": name,
+            "executor": resolve_executor(name).__name__,
+            "registered_executors": available_executors()}
 
 
 def results_dir() -> str:

@@ -42,6 +42,10 @@ class RunnerConfig:
     num_workers: int = PAPER_WORKERS
     cost_model: Optional[CostModel] = None
     scheduler: str = "fifo"
+    #: executor backend name, resolved through the runtime executor
+    #: registry ("event" | "threaded" | "workerpool" | any registered
+    #: backend).  The virtual-time paper figures use "event".
+    engine: str = "event"
     learning_rate: float = 0.05
     #: cross-instance dynamic micro-batching in the engines: ``False``,
     #: ``True`` (fixed flush policy) or ``"adaptive"`` (per-signature
@@ -69,6 +73,7 @@ class _GraphRunner:
         session_kwargs = dict(num_workers=self.config.num_workers,
                               cost_model=self.config.model_for(),
                               scheduler=self.config.scheduler,
+                              engine=self.config.engine,
                               batching=self.config.batching,
                               batch_policy=self.config.batch_policy)
         self.trainer = None

@@ -134,6 +134,27 @@ class ServingResult:
     rejected: int = 0         # requests bounced by the queue cap
     waves: int = 0            # wave count (legacy wave driver only)
 
+    @classmethod
+    def from_server(cls, server, *, mode: str, concurrency: int,
+                    batching: bool) -> "ServingResult":
+        """Collect one drained server session's per-request bookkeeping.
+
+        The single place the harness reads tickets back: per-request
+        logits keyed by request id, rejection counts, and the
+        session-cumulative stats (whose latency samples the server
+        recorded per ticket via
+        :meth:`~repro.runtime.stats.RunStats.note_ticket`).
+        """
+        stats = server.stats
+        request_logits = {t.request_id: t.value for t in server.tickets
+                          if t.error is None and t.value is not None}
+        return cls(mode=mode, concurrency=concurrency,
+                   instances=len(request_logits),
+                   virtual_seconds=stats.virtual_time,
+                   batching=batching, stats=stats,
+                   request_logits=request_logits,
+                   rejected=server.rejected)
+
     @property
     def throughput(self) -> float:
         """Served instances per engine-clock second."""
@@ -244,17 +265,11 @@ def serve_stream(model, trees: Sequence, *,
                     time.sleep(delay)
                 server.submit(built.root_logits, feeds[idx])
         server.drain()
-        tickets = server.tickets
-    stats = server.stats
-
-    request_logits = {t.request_id: t.value for t in tickets
-                      if t.error is None and t.value is not None}
-    return ServingResult(mode=admission, concurrency=max_in_flight,
-                         instances=len(request_logits),
-                         virtual_seconds=stats.virtual_time,
-                         batching=batching, stats=stats,
-                         request_logits=request_logits,
-                         rejected=server.rejected)
+    # read results after close(): wall-clock backends stamp the session
+    # clock (stats.virtual_time) in end_serving
+    return ServingResult.from_server(server, mode=admission,
+                                     concurrency=max_in_flight,
+                                     batching=batching)
 
 
 def compare_admission(model, trees: Sequence, *,

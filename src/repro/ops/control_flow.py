@@ -51,7 +51,7 @@ def _cond_infer(op):
     return list(op.attrs["true_subgraph"].output_specs)
 
 
-def _cond_starter(engine, inst, inputs):
+def _cond_starter(scheduler, inst, inputs):
     op = inst.op
     # per-branch spawn constants, resolved once per op at first execution
     spec = op.attrs.get("_spawn_spec")
@@ -68,9 +68,9 @@ def _cond_starter(engine, inst, inputs):
     key = child_key(inst.frame.key, op.id)
 
     def on_complete(frame):
-        engine.finish_async(inst, frame.values_at(output_locs))
+        scheduler.finish_async(inst, frame.values_at(output_locs))
 
-    engine.spawn_frame(subgraph, bindings, key, inst.frame.depth + 1,
+    scheduler.spawn_frame(subgraph, bindings, key, inst.frame.depth + 1,
                        on_complete, inst)
 
 
@@ -123,7 +123,7 @@ def _loop_infer(op):
     return list(op.attrs["body_subgraph"].output_specs)
 
 
-def _loop_starter(engine, inst, inputs):
+def _loop_starter(scheduler, inst, inputs):
     op = inst.op
     n_vars = op.attrs["n_vars"]
     cond_sg: SubGraph = op.attrs["cond_subgraph"]
@@ -134,13 +134,13 @@ def _loop_starter(engine, inst, inputs):
     state = {"i": 0, "vars": list(inputs[:n_vars])}
     parent_key = inst.frame.key
     depth = inst.frame.depth + 1
-    step_overhead = engine.cost_model.loop_step_overhead(n_vars)
+    step_overhead = scheduler.cost_model.loop_step_overhead(n_vars)
 
     def run_cond():
         bindings = dict(cond_captures)
         bindings.update(zip(cond_sg.input_op_ids, state["vars"]))
         key = child_key(parent_key, (op.id, state["i"], "cond"))
-        engine.spawn_frame(cond_sg, bindings, key, depth, cond_done, inst)
+        scheduler.spawn_frame(cond_sg, bindings, key, depth, cond_done, inst)
 
     def cond_done(frame):
         keep_going = bool(np.asarray(
@@ -149,18 +149,18 @@ def _loop_starter(engine, inst, inputs):
             if state["i"] >= max_iters:
                 raise RuntimeError(
                     f"while_loop {op.name} exceeded max_iters={max_iters}")
-            engine.post_continuation(step_overhead, run_body)
+            scheduler.post_continuation(step_overhead, run_body)
         else:
-            if engine.record:
-                engine.runtime.cache.store_meta((parent_key, op.id),
+            if scheduler.record:
+                scheduler.runtime.cache.store_meta((parent_key, op.id),
                                                 state["i"])
-            engine.finish_async(inst, list(state["vars"]))
+            scheduler.finish_async(inst, list(state["vars"]))
 
     def run_body():
         bindings = dict(body_captures)
         bindings.update(zip(body_sg.input_op_ids, state["vars"]))
         key = child_key(parent_key, (op.id, state["i"]))
-        engine.spawn_frame(body_sg, bindings, key, depth, body_done, inst)
+        scheduler.spawn_frame(body_sg, bindings, key, depth, body_done, inst)
 
     def body_done(frame):
         state["vars"] = [frame.value_of(t) for t in body_sg.output_tensors]

@@ -1,7 +1,18 @@
-"""Execution engines, sessions, cost models and runtime state.
+"""Layered runtime: one scheduler core, pluggable executor backends.
 
-Both engines (virtual-time :class:`EventEngine`, wall-clock
-``ThreadedEngine``) support cross-instance dynamic micro-batching: with
+The frame-lifecycle scheduler (:mod:`repro.runtime.scheduler`,
+:class:`SchedulerCore`) owns the recursion-aware execution semantics —
+frame spawn/seed/complete over compiled plans, serving admission,
+selective caching, micro-batching decisions — and executor backends
+supply only the mechanics: the virtual-time :class:`EventEngine`
+(``engine="event"``), the wall-clock :class:`~repro.runtime.threaded
+.ThreadedEngine` (``"threaded"``) and the centralized-master
+:class:`~repro.runtime.workerpool.WorkerPoolEngine` (``"workerpool"``)
+with a concurrent kernel pool.  Backends register by name
+(:func:`register_executor`) and :class:`Session` resolves ``engine=``
+through the registry.  See ARCHITECTURE.md for the layer diagram.
+
+Every backend supports cross-instance dynamic micro-batching: with
 ``batching=True`` (or ``"adaptive"``) on a :class:`Session`,
 same-signature ready operations from concurrent frames fuse into single
 vectorized kernel calls (see :mod:`repro.runtime.batching`), preserving
@@ -21,16 +32,22 @@ from .cost_model import (CostModel, calibrate_batch_member_cost, client_eager,
                          gpu_profile, testbed_cpu, unit_cost)
 from .engine import EngineError, EventEngine
 from .plan import FramePlan, plan_for, plan_for_fetches
+from .scheduler import (SchedulerCore, available_executors,
+                        register_executor, resolve_executor)
 from .server import RecursiveServer, RequestTicket, ServerOverloaded
 from .session import Runtime, Session, default_runtime, reset_default_runtime
 from .stats import RunStats, percentile
+from .threaded import ThreadedEngine
 from .variables import GradientAccumulator, Variable, VariableStore
+from .workerpool import WorkerPoolEngine
 
 __all__ = ["AdaptiveBatchPolicy", "BatchPolicy", "Coalescer",
            "QueueAwareBatchPolicy", "batch_signature", "CostModel",
            "calibrate_batch_member_cost",
            "client_eager", "gpu_profile", "testbed_cpu",
-           "unit_cost", "EngineError", "EventEngine", "FramePlan",
+           "unit_cost", "EngineError", "EventEngine", "ThreadedEngine",
+           "WorkerPoolEngine", "SchedulerCore", "available_executors",
+           "register_executor", "resolve_executor", "FramePlan",
            "plan_for", "plan_for_fetches", "RecursiveServer",
            "RequestTicket", "ServerOverloaded", "Runtime", "Session",
            "default_runtime", "reset_default_runtime", "RunStats",

@@ -1,62 +1,31 @@
-"""The dataflow execution engine (paper Figure 4).
+"""The virtual-time executor backend (paper Figure 4's engine, layered).
 
-The engine implements the execution model of embedded control flow
-frameworks, split into a *compile-once* and an *execute-many* half:
+The frame lifecycle — spawn/seed/complete over compiled
+:class:`~repro.runtime.plan.FramePlan` slot arrays, coalescer
+integration, selective caching, serving admission, error wrapping —
+lives in :class:`~repro.runtime.scheduler.SchedulerCore`, shared by
+every executor backend.  This module contributes only the *execution
+mechanics* of the deterministic discrete-event backend registered as
+``engine="event"``:
 
-**Compile once (FramePlan).**  Everything the scheduler needs to know
-about a body graph is static — dependency counts, consumer lists, the
-registry ``OpDef``/kernel each op resolves to, the static prefix of each
-op's batch signature, the selective-caching record set, and per-op
-cost-model entries.  :mod:`repro.runtime.plan` compiles that once per
-``(graph, op-id set)`` into a :class:`~repro.runtime.plan.FramePlan`
-whose ops are renumbered into dense *plan slots*; the plan is cached on
-the graph and shared by this engine and the wall-clock
-:class:`~repro.runtime.threaded.ThreadedEngine`.
+* a **virtual clock** advanced by a cost model over ``num_workers``
+  virtual workers, with serialized master dispatch and a serialized
+  cache clock (the hash-table lock + shared memory bandwidth of the
+  paper's Section 5) — what lets a GIL-bound Python reproduction
+  exhibit the paper's 36-core scheduling dynamics;
+* the **event loop**: a time-ordered heap of op completions, async
+  returns and scheduled continuations (open-loop request arrivals,
+  loop iterations);
+* the **dispatch loop** that drains the ready queue onto free virtual
+  workers, offering batchable instances to the shared coalescer and
+  charging fused buckets one dispatch/overhead for the whole bucket.
 
-**Execute many (Frames).**  A *master* instantiates a :class:`Frame`
-per graph activation — flat slot-indexed arrays of values and remaining
-dependency counters over the frame's plan — placing ready operations
-into a shared *ready queue*; *workers* repeatedly dequeue ready
-operations, execute their kernels, and report completions back to the
-master, which resolves dependents by walking the plan's precomputed
-consumer slots.  Spawning a frame is two list allocations; dispatching
-an instance gathers inputs through the plan's ``(producer slot, output
-index)`` pairs; completing one decrements dense counters.  No graph
-walking, no registry lookups, and no attr ``repr()`` happen per frame
-or per instance — the per-spawn scheduling overhead the paper's
-recursive model multiplies by millions of frames is paid once per body.
-
-Recursion support (the paper's step (4)): when an ``InvokeOp`` (or any
-async control-flow op) is dequeued, its associated SubGraph's plan is
-fetched from the cache and its inner operations are enqueued into the
-*same* ready queue — inner ops from many concurrent recursive calls
-interleave freely.  The caller/callee relationship is a tree of
-:class:`Frame` objects, each holding a pointer to its parent instance
-(the "graph execution stack" that cannot be a linear stack, Section
-4.1.2).
-
-This engine is a *deterministic discrete-event simulator*: kernels really
-run (values are exact) but time advances according to the cost model over
-``num_workers`` virtual workers, with serialized master dispatch.  This is
-what lets a GIL-bound Python reproduction exhibit the paper's 36-core
-scheduling dynamics.  A wall-clock thread-pool engine with identical
-semantics lives in :mod:`repro.runtime.threaded`.
-
-Dynamic micro-batching (``batching=True`` / ``"adaptive"``): because
-inner ops from many concurrent frames interleave in the one ready queue,
-ready instances with the same batch signature (interned static prefix +
-input shapes, see :func:`repro.runtime.batching.signature_prefix`) can
-be coalesced into a single vectorized kernel call — Fold-style dynamic
-batching, but *inside* the recursive engine (see
-:mod:`repro.runtime.batching`).  A bucket flushes when full or when the
-current ready wavefront is exhausted; results scatter back to the owning
-frames, so values are bit-identical to unbatched execution and the feature
-composes with recursion, conditionals and backpropagation.  The training
-path batches end to end: same-signature async ops (``Invoke`` /
-``InvokeGrad``) fuse into one frame spawn charged a single caller-context
-setup, ``CacheLookup`` buckets resolve through one bulk value-cache
-round-trip on the serialized cache clock, and the recorded activations of
-a fused batch are stored through one bulk cache write.
+Kernels really run (values are exact) but time advances virtually, so
+a fixed workload yields bit-identical values *and* identical virtual
+times run over run.  Wall-clock backends with identical scheduling
+semantics live in :mod:`repro.runtime.threaded` (worker threads that
+both schedule and execute) and :mod:`repro.runtime.workerpool` (one
+scheduling master, a concurrent kernel pool).
 """
 
 from __future__ import annotations
@@ -64,237 +33,49 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from collections import deque
 from typing import Any, Callable, Optional, Sequence
 
 from repro.core.cache import ROOT_KEY
-from repro.graph.graph import Graph, Operation
-from repro.graph.registry import ExecContext
+from repro.graph.graph import Graph
 from repro.graph.tensor import Tensor
 
-from .batching import (BatchPolicy, Coalescer, resolve_batching,
-                       value_signature)
-from .cost_model import CostModel, testbed_cpu
-from .plan import FramePlan, plan_for, plan_for_fetches
+from .batching import BatchPolicy, Coalescer
+from .cost_model import CostModel
+from .plan import plan_for_fetches
+from .scheduler import (EngineError, Frame, Instance, SchedulerCore,
+                        _DepthPriorityReady, _FifoReady, register_executor,
+                        should_store)
 from .stats import RunStats
 
 __all__ = ["Frame", "Instance", "EventEngine", "EngineError",
            "should_store"]
-
-
-class EngineError(RuntimeError):
-    """An error raised while executing a graph, annotated with op context."""
-
-
-def should_store(frame, op_id: int, out_idx: int) -> bool:
-    """Selective caching: after differentiation each body graph knows
-    which forward values its backward body looks up.  The engines consult
-    the plan's precomputed ``store_masks`` on the hot path; this is the
-    reference predicate those masks bake in (kept for tests and
-    out-of-plan callers)."""
-    cache_filter = getattr(frame.graph, "cache_filter", None)
-    return cache_filter is None or (op_id, out_idx) in cache_filter
-
-
-def seed_frame(frame: "Frame", complete_instance: Callable,
-               push: Callable) -> None:
-    """Seed a fresh frame: complete bound placeholders, enqueue ready ops.
-
-    Shared by both engines (the only difference is the ready sink) so
-    the spawn semantics — bindings complete in op-id order exactly like
-    the pre-plan engines, bindings outside a pruned op set are ignored,
-    zero-dep ops enqueue in slot order — cannot diverge between them.
-    """
-    plan = frame.plan
-    pending = frame.pending
-    bindings = frame.bindings
-    if bindings:
-        if len(bindings) == 1:
-            # the common spawn shape: a single bound input
-            op_id, value = next(iter(bindings.items()))
-            slot = plan.index_of.get(op_id)
-            if slot is not None:
-                pending[slot] = -1
-                complete_instance(Instance(plan.ops[slot], frame, slot),
-                                  [value])
-        else:
-            index_of = plan.index_of
-            for op_id in sorted(bindings):
-                slot = index_of.get(op_id)
-                if slot is None:
-                    continue
-                pending[slot] = -1
-                complete_instance(Instance(plan.ops[slot], frame, slot),
-                                  [bindings[op_id]])
-    for slot in plan.zero_dep_slots:
-        if pending[slot] == 0:
-            pending[slot] = -1
-            push(Instance(plan.ops[slot], frame, slot))
-
-
-def collect_cache_entries(members, outputs_list) -> list:
-    """The record-set of one fused batch as ``store_many`` entries.
-
-    Shared by both engines' batch-completion paths so the set of cached
-    values (and its bulk-write layout) cannot diverge between them.
-    """
-    entries = []
-    for inst, outputs in zip(members, outputs_list):
-        frame = inst.frame
-        if frame.record:
-            mask = frame.plan.store_masks[inst.slot]
-            graph_id = frame.plan.graph_id
-            op_id = inst.op.id
-            for i, value in enumerate(outputs):
-                if mask[i]:
-                    entries.append((frame.key, graph_id, op_id, i, value))
-    return entries
-
-
-class Frame:
-    """One activation of a graph (the whole run, or one SubGraph call).
-
-    Per-frame state is dense over the plan's slot numbering: ``values``
-    holds each slot's output list (None until produced), ``pending`` the
-    remaining-producer counters (-1 once dispatched or bound).
-    """
-
-    __slots__ = ("plan", "graph", "key", "depth", "record", "bindings",
-                 "values", "pending", "remaining", "on_complete", "owner",
-                 "ctx")
-
-    def __init__(self, plan: FramePlan, bindings: dict, key: tuple,
-                 depth: int, record: bool, on_complete: Callable,
-                 owner: Optional["Instance"]):
-        self.plan = plan
-        self.graph = plan.graph
-        self.key = key
-        self.depth = depth
-        self.record = record
-        self.bindings = bindings
-        self.values: list = [None] * plan.num_slots
-        self.pending: list = list(plan.dep_counts)
-        self.remaining = plan.num_slots
-        self.on_complete = on_complete
-        self.owner = owner  # parent Instance (None for the root frame)
-        self.ctx = None  # lazily-built ExecContext, shared by this
-        # frame's kernel invocations (runtime/frame/record are fixed)
-
-    def value_of(self, tensor: Tensor):
-        return self.values[self.plan.index_of[tensor.op.id]][tensor.index]
-
-    def values_at(self, locs) -> list:
-        """Gather ``(op_id, output_index)`` locations from this frame.
-
-        The spawn starters' completion callbacks use this with the
-        SubGraph's cached ``output_locs``, so the frame storage layout
-        is encapsulated here next to :meth:`value_of`.
-        """
-        values = self.values
-        index_of = self.plan.index_of
-        return [values[index_of[op_id]][i] for op_id, i in locs]
-
-    def exec_context(self, runtime) -> ExecContext:
-        """The frame's (memoized) kernel execution context."""
-        ctx = self.ctx
-        if ctx is None:
-            ctx = self.ctx = ExecContext(runtime, self, self.record)
-        return ctx
-
-
-class Instance:
-    """A schedulable (operation, frame) pair.
-
-    ``slot`` is the op's dense index in the frame's plan; ``sig``
-    memoizes the batch signature so an instance requeued after a partial
-    bucket flush never recomputes it, and ``seq`` its first ready-queue
-    arrival order (assigned by the depth-priority queue) so a requeue
-    preserves the original tie-break position.
-    """
-
-    __slots__ = ("op", "frame", "slot", "sig", "seq")
-
-    def __init__(self, op: Operation, frame: Frame, slot: int):
-        self.op = op
-        self.frame = frame
-        self.slot = slot
-        self.sig = None
-        self.seq = None
-
 
 _OP_DONE = 0
 _CALL = 1
 _ASYNC_DONE = 2
 
 
-class _FifoReady(deque):
-    """FIFO ready queue: a deque subclass so push/pop/len stay C-level."""
+class EventEngine(SchedulerCore):
+    """Discrete-event executor over K virtual workers.
 
-    __slots__ = ()
-
-    push = deque.append
-    pop = deque.popleft
-
-
-class _DepthPriorityReady:
-    """Deeper frames first — the paper's suggested priority policy.
-
-    First-push order breaks depth ties (instances are pushed the moment
-    they become ready, so the counter reproduces global ready order);
-    the seq is memoized on the instance so a straggler requeued by a
-    partial bucket flush keeps its original position.
+    See :class:`~repro.runtime.scheduler.SchedulerCore` for the shared
+    constructor knobs (worker count, cost model, record mode, scheduling
+    policy, micro-batching).  This backend honors ``scheduler="depth"``
+    priority and is fully deterministic: it is the reference the
+    wall-clock backends are validated against.
     """
 
-    __slots__ = ("_q", "_seq")
-
-    def __init__(self):
-        self._q: list[tuple[int, int, Instance]] = []
-        self._seq = itertools.count()
-
-    def push(self, inst: Instance) -> None:
-        seq = inst.seq
-        if seq is None:
-            seq = inst.seq = next(self._seq)
-        heapq.heappush(self._q, (-inst.frame.depth, seq, inst))
-
-    def pop(self) -> Instance:
-        return heapq.heappop(self._q)[2]
-
-    def __len__(self) -> int:
-        return len(self._q)
-
-
-class EventEngine:
-    """Discrete-event engine over K virtual workers.
-
-    Args:
-        runtime: the :class:`~repro.runtime.session.Runtime` providing
-            variables, accumulators and the backprop cache.
-        num_workers: virtual worker thread count (the paper's testbed: 36).
-        cost_model: virtual-time cost model; defaults to the CPU testbed.
-        record: cache forward values of recursive frames (training mode).
-        scheduler: "fifo" (paper default) or "depth" priority.
-        max_depth: recursion guard.
-        batching: coalesce same-signature ready ops across frames into
-            fused vectorized kernel calls (cross-instance micro-batching).
-            ``True`` uses the fixed flush policy, ``"adaptive"`` the
-            per-signature :class:`~repro.runtime.batching.AdaptiveBatchPolicy`.
-        batch_policy: bucket capacity / flush policy when batching.
-    """
+    virtual_clock = True
 
     def __init__(self, runtime, num_workers: int = 1,
                  cost_model: Optional[CostModel] = None, record: bool = False,
                  scheduler: str = "fifo", max_depth: int = 5000,
                  batching: bool = False,
                  batch_policy: Optional[BatchPolicy] = None):
-        self.runtime = runtime
-        self.num_workers = num_workers
-        self.cost_model = cost_model or testbed_cpu()
-        self.record = record
-        self.scheduler = scheduler
-        self.max_depth = max_depth
-        self.batching, batch_policy = resolve_batching(batching, batch_policy)
-        self.batch_policy = batch_policy or BatchPolicy()
+        super().__init__(runtime, num_workers=num_workers,
+                         cost_model=cost_model, record=record,
+                         scheduler=scheduler, max_depth=max_depth,
+                         batching=batching, batch_policy=batch_policy)
         self._seq = itertools.count()
         self._reset()
 
@@ -320,94 +101,22 @@ class EventEngine:
         self.stats.cache_lookups = self.runtime.cache.lookups
         return values, self.stats
 
-    # -- serving mode: incremental root admission ----------------------------
-    #
-    # ``run`` executes one fixed fetch set to completion.  The serving
-    # path (:class:`repro.runtime.server.RecursiveServer`) instead keeps
-    # the engine alive across requests: ``begin_serving`` opens a
-    # persistent session, ``submit_root`` injects a new root instance
-    # into the *live* ready queue (so its ops interleave — and fuse —
-    # with whatever is already in flight), ``schedule`` posts callbacks
-    # at future virtual times (open-loop request arrivals, admission
-    # decisions), and ``drain`` runs the event loop until every admitted
-    # root has completed.  Virtual time and stats accumulate across the
-    # whole serving session.
-
-    def begin_serving(self, error_listener: Optional[Callable] = None) -> None:
-        """Enter persistent serving mode (clears any previous run state)."""
-        self._reset()
-        self._serve_wall0 = time.perf_counter()
-        # single-threaded engine: errors surface from drain(); the
-        # listener parameter exists for interface parity with the
-        # threaded engine.
-        self._error_listener = error_listener
-
-    def submit_root(self, graph: Graph, fetches: Sequence[Tensor],
-                    feed_map: dict[int, Any], key: tuple,
-                    on_complete: Callable) -> Frame:
-        """Admit a new root instance into the live ready queue.
-
-        The fetch set's reachable ops become a fresh depth-0 frame whose
-        ready ops join the one shared queue — inner operations of the new
-        request coalesce with in-flight requests' ops exactly like
-        sibling recursive calls.  ``on_complete`` receives the fetch
-        values (in ``fetches`` order) when the root frame finishes.
-        The pruned root plan is memoized per fetch set, so repeat
-        requests skip the reachability walk entirely.
-        """
-        fetch_list = list(fetches)
-        plan = plan_for_fetches(graph, {t.op for t in fetch_list})
-
-        def frame_done(frame):
-            on_complete([frame.value_of(t) for t in fetch_list])
-
-        frame = self._make_frame(plan, feed_map, key=key, depth=0,
-                                 record=False, on_complete=frame_done,
-                                 owner=None)
-        self._start_frame(frame)
-        return frame
-
     def schedule(self, when: float, fn: Callable) -> None:
         """Post ``fn`` at absolute virtual time ``when`` (clamped to now)."""
         self._post(max(when, self._now), fn)
 
-    def drain(self) -> RunStats:
-        """Run the event loop until all admitted work (and scheduled
-        arrivals) has completed; returns the session-cumulative stats."""
+    # -- SchedulerCore executor hooks ----------------------------------------
+
+    def _start_serving(self) -> None:
+        # single-threaded engine: errors surface from drain(), which
+        # invokes the server's error listener before raising.
+        self._reset()
+
+    def _drain_events(self) -> None:
         self._loop()
-        # stats reflect the simulation as far as it got, error or not
-        self.stats.virtual_time = self._now
-        self.stats.wall_time = time.perf_counter() - self._serve_wall0
-        self.stats.cache_stores = self.runtime.cache.stores
-        self.stats.cache_lookups = self.runtime.cache.lookups
-        if self._error is not None:
-            error, self._error = self._error, None
-            if self._error_listener is not None:
-                # let the server fail outstanding tickets before we raise
-                self._error_listener(error)
-            raise error
-        return self.stats
 
-    def end_serving(self) -> RunStats:
-        """Leave serving mode (no worker threads to stop; returns stats)."""
-        return self.stats
-
-    # -- frame management (shared with async op starters) --------------------
-
-    def spawn_frame(self, subgraph, bindings: dict, key: tuple, depth: int,
-                    on_complete: Callable, owner: Optional[Instance]) -> Frame:
-        """Start executing a SubGraph body as a new frame (paper step 4)."""
-        if depth > self.max_depth:
-            raise EngineError(
-                f"recursion limit exceeded (depth {depth}); "
-                "check the base case of your recursive SubGraph")
-        graph = subgraph.graph
-        record = self.record and not getattr(graph, "is_backward_body", False)
-        frame = self._make_frame(plan_for(graph), bindings, key=key,
-                                 depth=depth, record=record,
-                                 on_complete=on_complete, owner=owner)
-        self._start_frame(frame)
-        return frame
+    def _stamp_clock(self, stats: RunStats) -> None:
+        stats.virtual_time = self._now
 
     def finish_async(self, inst: Instance, outputs: list) -> None:
         """Complete an async op once its frame(s) produced the outputs.
@@ -441,9 +150,12 @@ class EventEngine:
         self._events: list = []
         self._ready = (_DepthPriorityReady() if self.scheduler == "depth"
                        else _FifoReady())
+        self._push_ready = self._ready.push
         self._coalescer = (Coalescer(self.batch_policy) if self.batching
                            else None)
         self._error: Optional[Exception] = None
+        self._error_listener = None
+        self._error_delivered = False
         self.stats = RunStats()
         # Per-dispatch fast paths, used only while the cost model keeps
         # the stock implementations (instance- or subclass-overridden
@@ -456,17 +168,6 @@ class EventEngine:
         self._async_memo = (
             {} if getattr(cm.async_overhead, "__func__",
                           None) is CostModel.async_overhead else None)
-
-    def _make_frame(self, plan: FramePlan, bindings, key, depth, record,
-                    on_complete, owner) -> Frame:
-        frame = Frame(plan, bindings, key, depth, record, on_complete, owner)
-        self.stats.frames_created += 1
-        if depth > self.stats.max_frame_depth:
-            self.stats.max_frame_depth = depth
-        return frame
-
-    def _start_frame(self, frame: Frame) -> None:
-        seed_frame(frame, self._complete_instance, self._ready.push)
 
     def _post(self, when: float, fn: Callable) -> None:
         heapq.heappush(self._events, (when, next(self._seq), _CALL, fn))
@@ -543,10 +244,8 @@ class EventEngine:
                 if coalescer is not None:
                     prefix = plan.sig_prefixes[slot]
                     if prefix is not None:
-                        signature = inst.sig
-                        if signature is None:
-                            signature = prefix + (value_signature(inputs),)
-                            inst.sig = signature
+                        signature = self._batch_signature_of(inst, inputs,
+                                                             prefix)
                         full = coalescer.offer(signature, inst, inputs,
                                                self._now)
                         if full is not None:
@@ -623,8 +322,7 @@ class EventEngine:
 
     def _execute_batch(self, bucket) -> None:
         """Run one fused kernel call for a bucket of same-signature ops."""
-        if len(bucket) < self._coalescer.policy.min_batch_for(
-                bucket.signature):
+        if not self._bucket_fused(bucket):
             for inst, inputs in zip(bucket.instances, bucket.inputs):
                 if self._free <= 0:
                     # no worker for the stragglers: requeue them (their
@@ -662,10 +360,7 @@ class EventEngine:
             ctxs = [inst.frame.ctx or inst.frame.exec_context(runtime)
                     for inst in bucket.instances]
             outputs_list = definition.batched_kernel(ops, bucket.inputs, ctxs)
-            if len(outputs_list) != len(bucket):
-                raise EngineError(
-                    f"batched kernel of {bucket.op_type} returned "
-                    f"{len(outputs_list)} results for {len(bucket)} members")
+            self._check_batch_result(bucket, outputs_list)
         except Exception as exc:
             self._error = self._wrap_error(exc, ops[0])
             return
@@ -697,51 +392,5 @@ class EventEngine:
                        (done, next(self._seq), _OP_DONE,
                         (list(bucket.instances), outputs_list, None)))
 
-    def _complete_batch(self, members: list, outputs_list: list) -> None:
-        """Scatter a fused batch's results; one bulk store for the cache."""
-        entries = collect_cache_entries(members, outputs_list)
-        if entries:
-            self.runtime.cache.store_many(entries)
-        for inst, outputs in zip(members, outputs_list):
-            self._complete_instance(inst, outputs, store=False)
 
-    def _complete_instance(self, inst: Instance, outputs: list,
-                           store: bool = True) -> None:
-        frame = inst.frame
-        op = inst.op
-        plan = frame.plan
-        slot = inst.slot
-        if len(outputs) != plan.n_outputs[slot]:
-            raise EngineError(
-                f"kernel of {op.name} ({op.op_type}) returned {len(outputs)} "
-                f"values, expected {op.num_outputs}")
-        frame.values[slot] = outputs
-        if store and frame.record:
-            mask = plan.store_masks[slot]
-            for i, value in enumerate(outputs):
-                if mask[i]:
-                    self.runtime.cache.store(frame.key, plan.graph_id,
-                                             op.id, i, value)
-        consumers = plan.consumer_slots[slot]
-        if consumers:
-            pending = frame.pending
-            ready_push = self._ready.push
-            for consumer_slot in consumers:
-                count = pending[consumer_slot]
-                if count == 1:
-                    pending[consumer_slot] = -1
-                    ready_push(Instance(plan.ops[consumer_slot], frame,
-                                        consumer_slot))
-                else:
-                    pending[consumer_slot] = count - 1
-        frame.remaining -= 1
-        if frame.remaining == 0:
-            frame.on_complete(frame)
-
-    @staticmethod
-    def _wrap_error(exc: Exception, op: Operation) -> EngineError:
-        err = EngineError(
-            f"error executing {op.name} ({op.op_type}) in graph "
-            f"{op.graph.name}: {exc}")
-        err.__cause__ = exc
-        return err
+register_executor("event", EventEngine)

@@ -48,7 +48,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
-from repro.graph.registry import op_def
+from repro.graph.registry import _REGISTRY_VERSION, op_def, registry_version
 
 from .batching import signature_prefix
 
@@ -109,13 +109,40 @@ class FramePlan:
                 f"slots={self.num_slots}>")
 
 
+def _refresh_registry_version(graph) -> None:
+    """Drop the graph's plan caches: the op registry mutated since they
+    were compiled.
+
+    Plans bake registry state in: resolved ``OpDef``/kernel references
+    and batch-signature prefixes (``None`` while an op type has no
+    ``batched_kernel``).  Registering an op, a gradient, or a batched
+    kernel/async *after* a plan compiled would otherwise leave stale
+    plans serving forever — e.g. a ``register_batched_kernel`` call made
+    after the first ``Session.run`` would never batch.  The registry
+    bumps a monotonic version on every mutation; plan caches stamp the
+    version they were compiled at, ``plan_for``/``plan_for_fetches``
+    compare it inline (one int compare per call — spawn-path cheap), and
+    this slow path re-routes a mismatch through the existing
+    invalidation state under the graph lock.
+    """
+    version = registry_version()
+    with graph._lock:
+        if graph._plan_registry_version != version:
+            graph._frame_plans.clear()
+            graph._fetch_plans.clear()
+            graph._plan_registry_version = version
+
+
 def plan_for(graph, op_ids: Optional[Iterable[int]] = None) -> FramePlan:
     """The (cached) plan for ``graph`` over ``op_ids`` (default: all ops).
 
     The first call per ``(graph, op-id set)`` compiles the plan; later
     calls return the cached object.  Safe under the graph lock from
-    multiple engine threads; invalidated by graph mutation.
+    multiple engine threads; invalidated by graph mutation and by op
+    registry mutation (see :func:`_refresh_registry_version`).
     """
+    if graph._plan_registry_version != _REGISTRY_VERSION[0]:
+        _refresh_registry_version(graph)
     key = _ALL_OPS if op_ids is None else tuple(op_ids)
     cache = graph._frame_plans
     plan = cache.get(key)
@@ -135,6 +162,8 @@ def plan_for_fetches(graph, fetch_ops) -> FramePlan:
     so a serving session admitting the same fetches per request performs
     the graph pruning exactly once.
     """
+    if graph._plan_registry_version != _REGISTRY_VERSION[0]:
+        _refresh_registry_version(graph)
     key = tuple(sorted({op.id for op in fetch_ops}))
     cache = graph._fetch_plans
     plan = cache.get(key)

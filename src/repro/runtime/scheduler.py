@@ -1,0 +1,672 @@
+"""The scheduler core: one frame-lifecycle engine, pluggable executors.
+
+The paper's central capability — recursion-aware scheduling (frame
+spawning over compiled :class:`~repro.runtime.plan.FramePlan` slot
+arrays, cross-instance dynamic micro-batching, selective caching of
+forward values) — is a *framework* property, independent of how kernels
+are ultimately executed.  This module makes that layering explicit:
+
+* :class:`SchedulerCore` owns everything the execution backends used to
+  duplicate: frame spawn/seed/complete, the ready-queue and
+  :class:`~repro.runtime.batching.Coalescer` integration points,
+  selective-cache store decisions, serving admission
+  (``begin_serving`` / ``submit_root`` / ``drain`` / ``end_serving``),
+  error wrapping, and :class:`~repro.runtime.stats.RunStats`
+  accounting.
+
+* **Executor backends** subclass it and implement only the execution
+  mechanics — a clock (``now``), deferred callbacks
+  (``post_continuation``), async-return posting (``finish_async``),
+  ``run``, and the dispatch loop that takes ready instances to kernels:
+
+  - ``"event"`` — :class:`~repro.runtime.engine.EventEngine`, the
+    deterministic virtual-time discrete-event simulator;
+  - ``"threaded"`` — :class:`~repro.runtime.threaded.ThreadedEngine`,
+    wall-clock thread-pool workers that both schedule and execute;
+  - ``"workerpool"`` — :class:`~repro.runtime.workerpool
+    .WorkerPoolEngine`, a wall-clock backend with one centralized
+    scheduling master and a kernel pool that executes independent
+    fused buckets concurrently.
+
+The split follows Cortex (Fegade et al.) and the static-dataflow
+recursion work (see PAPERS.md): scheduling decisions for recursive
+models are made once, in one place, and every backend inherits them —
+values, gradients and (for the event engine) virtual-time results are
+bit-identical across backends.  See ARCHITECTURE.md for the layer
+diagram and the "how to add an executor" recipe.
+
+Registry: backends self-register under a name (:func:`register_executor`)
+and :class:`~repro.runtime.session.Session` /
+:class:`~repro.harness.runners.RunnerConfig` resolve ``engine="..."``
+through :func:`resolve_executor`; :func:`available_executors` lists the
+registered names (the cross-executor equivalence tests and the bench
+provenance stamps iterate it).
+
+Locking contract: ``_master_lock`` is ``None`` on single-threaded
+executors (the event engine) and an ``RLock`` on multi-threaded ones.
+``_complete_instance`` and ``_start_frame`` mutate master state and are
+*lock-free by design*: every entry point either holds the lock already
+(worker completions, starters, ``submit_root``) or runs on the only
+thread that touches frames.  ``submit_root`` and ``_complete_batch``
+take the lock themselves when one exists.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Optional, Sequence
+
+from repro.graph.graph import Graph, Operation
+from repro.graph.registry import ExecContext
+from repro.graph.tensor import Tensor
+
+from .batching import (BatchPolicy, Coalescer, resolve_batching,
+                       value_signature)
+from .cost_model import CostModel, testbed_cpu
+from .plan import FramePlan, plan_for, plan_for_fetches
+from .stats import RunStats
+
+__all__ = ["SchedulerCore", "Frame", "Instance", "EngineError",
+           "should_store", "seed_frame", "collect_cache_entries",
+           "register_executor", "resolve_executor", "available_executors"]
+
+
+class EngineError(RuntimeError):
+    """An error raised while executing a graph, annotated with op context."""
+
+
+def should_store(frame, op_id: int, out_idx: int) -> bool:
+    """Selective caching: after differentiation each body graph knows
+    which forward values its backward body looks up.  The scheduler core
+    consults the plan's precomputed ``store_masks`` on the hot path; this
+    is the reference predicate those masks bake in (kept for tests and
+    out-of-plan callers)."""
+    cache_filter = getattr(frame.graph, "cache_filter", None)
+    return cache_filter is None or (op_id, out_idx) in cache_filter
+
+
+def seed_frame(frame: "Frame", complete_instance: Callable,
+               push: Callable) -> None:
+    """Seed a fresh frame: complete bound placeholders, enqueue ready ops.
+
+    Shared by every executor (the only difference is the ready sink) so
+    the spawn semantics — bindings complete in op-id order exactly like
+    the pre-plan engines, bindings outside a pruned op set are ignored,
+    zero-dep ops enqueue in slot order — cannot diverge between them.
+    """
+    plan = frame.plan
+    pending = frame.pending
+    bindings = frame.bindings
+    if bindings:
+        if len(bindings) == 1:
+            # the common spawn shape: a single bound input
+            op_id, value = next(iter(bindings.items()))
+            slot = plan.index_of.get(op_id)
+            if slot is not None:
+                pending[slot] = -1
+                complete_instance(Instance(plan.ops[slot], frame, slot),
+                                  [value])
+        else:
+            index_of = plan.index_of
+            for op_id in sorted(bindings):
+                slot = index_of.get(op_id)
+                if slot is None:
+                    continue
+                pending[slot] = -1
+                complete_instance(Instance(plan.ops[slot], frame, slot),
+                                  [bindings[op_id]])
+    for slot in plan.zero_dep_slots:
+        if pending[slot] == 0:
+            pending[slot] = -1
+            push(Instance(plan.ops[slot], frame, slot))
+
+
+def collect_cache_entries(members, outputs_list) -> list:
+    """The record-set of one fused batch as ``store_many`` entries.
+
+    Shared by every executor's batch-completion path so the set of
+    cached values (and its bulk-write layout) cannot diverge between
+    them.
+    """
+    entries = []
+    for inst, outputs in zip(members, outputs_list):
+        frame = inst.frame
+        if frame.record:
+            mask = frame.plan.store_masks[inst.slot]
+            graph_id = frame.plan.graph_id
+            op_id = inst.op.id
+            for i, value in enumerate(outputs):
+                if mask[i]:
+                    entries.append((frame.key, graph_id, op_id, i, value))
+    return entries
+
+
+class Frame:
+    """One activation of a graph (the whole run, or one SubGraph call).
+
+    Per-frame state is dense over the plan's slot numbering: ``values``
+    holds each slot's output list (None until produced), ``pending`` the
+    remaining-producer counters (-1 once dispatched or bound).
+    """
+
+    __slots__ = ("plan", "graph", "key", "depth", "record", "bindings",
+                 "values", "pending", "remaining", "on_complete", "owner",
+                 "ctx")
+
+    def __init__(self, plan: FramePlan, bindings: dict, key: tuple,
+                 depth: int, record: bool, on_complete: Callable,
+                 owner: Optional["Instance"]):
+        self.plan = plan
+        self.graph = plan.graph
+        self.key = key
+        self.depth = depth
+        self.record = record
+        self.bindings = bindings
+        self.values: list = [None] * plan.num_slots
+        self.pending: list = list(plan.dep_counts)
+        self.remaining = plan.num_slots
+        self.on_complete = on_complete
+        self.owner = owner  # parent Instance (None for the root frame)
+        self.ctx = None  # lazily-built ExecContext, shared by this
+        # frame's kernel invocations (runtime/frame/record are fixed)
+
+    def value_of(self, tensor: Tensor):
+        return self.values[self.plan.index_of[tensor.op.id]][tensor.index]
+
+    def values_at(self, locs) -> list:
+        """Gather ``(op_id, output_index)`` locations from this frame.
+
+        The spawn starters' completion callbacks use this with the
+        SubGraph's cached ``output_locs``, so the frame storage layout
+        is encapsulated here next to :meth:`value_of`.
+        """
+        values = self.values
+        index_of = self.plan.index_of
+        return [values[index_of[op_id]][i] for op_id, i in locs]
+
+    def exec_context(self, runtime) -> ExecContext:
+        """The frame's (memoized) kernel execution context."""
+        ctx = self.ctx
+        if ctx is None:
+            ctx = self.ctx = ExecContext(runtime, self, self.record)
+        return ctx
+
+
+class Instance:
+    """A schedulable (operation, frame) pair.
+
+    ``slot`` is the op's dense index in the frame's plan; ``sig``
+    memoizes the batch signature so an instance requeued after a partial
+    bucket flush never recomputes it, and ``seq`` its first ready-queue
+    arrival order (assigned by the depth-priority queue) so a requeue
+    preserves the original tie-break position.
+    """
+
+    __slots__ = ("op", "frame", "slot", "sig", "seq")
+
+    def __init__(self, op: Operation, frame: Frame, slot: int):
+        self.op = op
+        self.frame = frame
+        self.slot = slot
+        self.sig = None
+        self.seq = None
+
+
+class _FifoReady(deque):
+    """FIFO ready queue: a deque subclass so push/pop/len stay C-level."""
+
+    __slots__ = ()
+
+    push = deque.append
+    pop = deque.popleft
+
+
+class _DepthPriorityReady:
+    """Deeper frames first — the paper's suggested priority policy.
+
+    First-push order breaks depth ties (instances are pushed the moment
+    they become ready, so the counter reproduces global ready order);
+    the seq is memoized on the instance so a straggler requeued by a
+    partial bucket flush keeps its original position.
+    """
+
+    __slots__ = ("_q", "_seq")
+
+    def __init__(self):
+        self._q: list[tuple[int, int, Instance]] = []
+        self._seq = itertools.count()
+
+    def push(self, inst: Instance) -> None:
+        seq = inst.seq
+        if seq is None:
+            seq = inst.seq = next(self._seq)
+        heapq.heappush(self._q, (-inst.frame.depth, seq, inst))
+
+    def pop(self) -> Instance:
+        return heapq.heappop(self._q)[2]
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+def _unconfigured_push(inst) -> None:
+    raise EngineError("executor has no active session (run/begin_serving "
+                      "must configure the ready sink before frames start)")
+
+
+class SchedulerCore:
+    """Frame-lifecycle scheduler shared by every executor backend.
+
+    Owns the recursion-aware scheduling semantics — frame spawn/seed/
+    complete over :class:`~repro.runtime.plan.FramePlan` slot arrays,
+    coalescer signatures and flush decisions, selective-cache stores,
+    serving admission, error wrapping and stats accounting — while the
+    backend supplies the clock and the kernel-execution mechanics.
+
+    Args:
+        runtime: the :class:`~repro.runtime.session.Runtime` providing
+            variables, accumulators and the backprop cache.
+        num_workers: worker count (virtual workers for the event engine,
+            threads for the wall-clock backends).
+        cost_model: virtual-time cost model; defaults to the CPU testbed.
+        record: cache forward values of recursive frames (training mode).
+        scheduler: "fifo" (paper default) or "depth" priority (the
+            event engine honors it; wall-clock backends are FIFO).
+        max_depth: recursion guard.
+        batching: coalesce same-signature ready ops across frames into
+            fused vectorized kernel calls (cross-instance micro-batching).
+            ``True`` uses the fixed flush policy, ``"adaptive"`` the
+            per-signature :class:`~repro.runtime.batching.AdaptiveBatchPolicy`.
+        batch_policy: bucket capacity / flush policy when batching.
+    """
+
+    #: True when the backend runs on a simulated clock (the event
+    #: engine): the server then schedules arrivals at virtual instants
+    #: and drives the simulation through ``drain`` instead of waiting on
+    #: wall time.
+    virtual_clock = False
+
+    def __init__(self, runtime, num_workers: int = 1,
+                 cost_model: Optional[CostModel] = None, record: bool = False,
+                 scheduler: str = "fifo", max_depth: int = 5000,
+                 batching: bool = False,
+                 batch_policy: Optional[BatchPolicy] = None):
+        self.runtime = runtime
+        self.num_workers = max(1, num_workers)
+        self.cost_model = cost_model or testbed_cpu()
+        self.record = record
+        self.scheduler = scheduler
+        self.max_depth = max_depth
+        self.batching, batch_policy = resolve_batching(batching, batch_policy)
+        self.batch_policy = batch_policy or BatchPolicy()
+        self.stats = RunStats()
+        #: master-state mutex (None on single-threaded executors); see
+        #: the module docstring for the locking contract.
+        self._master_lock: Optional[threading.RLock] = None
+        #: condition against the master lock, notified when a root frame
+        #: completes (wall-clock executors create it for ``drain``).
+        self._roots_cv: Optional[threading.Condition] = None
+        self._open_roots = 0
+        self._push_ready: Callable = _unconfigured_push
+        self._coalescer: Optional[Coalescer] = None
+        self._error: Optional[Exception] = None
+        self._error_listener: Optional[Callable] = None
+        #: True once the error listener has been invoked (wall-clock
+        #: backends deliver at failure time; drain must not re-deliver).
+        self._error_delivered = False
+        #: sticky copy of a raised session error: failed roots never
+        #: complete, so a repeat drain() must raise again, not hang.
+        self._fatal_error: Optional[Exception] = None
+        self._serve_wall0 = 0.0
+
+    # -- Executor interface ---------------------------------------------------
+    #
+    # The mechanics a backend must implement.  ``now`` is the backend
+    # clock (virtual or wall); ``post_continuation`` defers a callback
+    # (loop iterations); ``finish_async`` posts an async op's return
+    # once its child frame(s) completed; ``run`` executes one fixed
+    # fetch set to completion.  The serving hooks (`_start_serving`,
+    # `_drain_events`, `_stamp_clock`, `_stop_serving`, `_admitted`)
+    # back the shared begin_serving/submit_root/drain/end_serving
+    # implementations below.
+
+    @property
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def post_continuation(self, delay: float, fn: Callable) -> None:
+        raise NotImplementedError
+
+    def finish_async(self, inst: Instance, outputs: list) -> None:
+        raise NotImplementedError
+
+    def run(self, graph: Graph, fetches: Sequence[Tensor],
+            feed_map: dict[int, Any]) -> tuple[list, RunStats]:
+        raise NotImplementedError
+
+    def _start_serving(self) -> None:
+        """Initialize session state (and start workers, if any)."""
+        raise NotImplementedError
+
+    def _drain_events(self) -> None:
+        """Run/await all admitted work (event loop or quiescence wait)."""
+        raise NotImplementedError
+
+    def _stamp_clock(self, stats: RunStats) -> None:
+        """Record the backend clock's elapsed serving time on ``stats``."""
+        raise NotImplementedError
+
+    def _stop_serving(self) -> None:
+        """Tear down the serving session (stop workers, stamp clocks)."""
+
+    def _admitted(self) -> None:
+        """Hook: a root was admitted from a (possibly foreign) thread."""
+
+    # -- frame lifecycle ------------------------------------------------------
+
+    def spawn_frame(self, subgraph, bindings: dict, key: tuple, depth: int,
+                    on_complete: Callable, owner: Optional[Instance]) -> Frame:
+        """Start executing a SubGraph body as a new frame (paper step 4)."""
+        if depth > self.max_depth:
+            raise EngineError(
+                f"recursion limit exceeded (depth {depth}); "
+                "check the base case of your recursive SubGraph")
+        graph = subgraph.graph
+        record = self.record and not getattr(graph, "is_backward_body", False)
+        frame = self._make_frame(plan_for(graph), bindings, key=key,
+                                 depth=depth, record=record,
+                                 on_complete=on_complete, owner=owner)
+        self._start_frame(frame)
+        return frame
+
+    def _make_frame(self, plan: FramePlan, bindings, key, depth, record,
+                    on_complete, owner) -> Frame:
+        frame = Frame(plan, bindings, key, depth, record, on_complete, owner)
+        self.stats.frames_created += 1
+        if depth > self.stats.max_frame_depth:
+            self.stats.max_frame_depth = depth
+        return frame
+
+    def _start_frame(self, frame: Frame) -> None:
+        seed_frame(frame, self._complete_instance, self._push_ready)
+
+    def _complete_instance(self, inst: Instance, outputs: list,
+                           store: bool = True) -> None:
+        """Record an instance's outputs, resolve dependents, finish frames.
+
+        Mutates master state: on locking executors every entry point
+        (worker completion paths, starters, ``submit_root``, seeding)
+        already holds the master lock when this runs.
+        """
+        frame = inst.frame
+        plan = frame.plan
+        slot = inst.slot
+        if len(outputs) != plan.n_outputs[slot]:
+            op = inst.op
+            raise EngineError(
+                f"kernel of {op.name} ({op.op_type}) returned {len(outputs)} "
+                f"values, expected {op.num_outputs}")
+        frame.values[slot] = outputs
+        if store and frame.record:
+            mask = plan.store_masks[slot]
+            for i, value in enumerate(outputs):
+                if mask[i]:
+                    self.runtime.cache.store(frame.key, plan.graph_id,
+                                             inst.op.id, i, value)
+        consumers = plan.consumer_slots[slot]
+        if consumers:
+            pending = frame.pending
+            push = self._push_ready
+            for consumer_slot in consumers:
+                count = pending[consumer_slot]
+                if count == 1:
+                    pending[consumer_slot] = -1
+                    push(Instance(plan.ops[consumer_slot], frame,
+                                  consumer_slot))
+                else:
+                    pending[consumer_slot] = count - 1
+        frame.remaining -= 1
+        if frame.remaining == 0:
+            frame.on_complete(frame)
+
+    def _complete_batch(self, members: list, outputs_list: list) -> None:
+        """Scatter a fused batch's results; one bulk store for the cache.
+
+        The bulk cache write happens outside the master lock (the
+        :class:`~repro.core.cache.ValueCache` has its own shard locks);
+        the scatter-back takes the lock once for the whole bucket.
+        """
+        entries = collect_cache_entries(members, outputs_list)
+        if entries:
+            self.runtime.cache.store_many(entries)
+        lock = self._master_lock
+        if lock is None:
+            for inst, outputs in zip(members, outputs_list):
+                self._complete_instance(inst, outputs, store=False)
+        else:
+            with lock:
+                for inst, outputs in zip(members, outputs_list):
+                    self._complete_instance(inst, outputs, store=False)
+
+    # -- batching integration -------------------------------------------------
+
+    @staticmethod
+    def _batch_signature_of(inst: Instance, inputs: list, prefix) -> tuple:
+        """The instance's full batch signature (memoized on the instance
+        so a straggler requeued by a partial flush never recomputes it)."""
+        signature = inst.sig
+        if signature is None:
+            signature = inst.sig = prefix + (value_signature(inputs),)
+        return signature
+
+    def _bucket_fused(self, bucket) -> bool:
+        """Flush decision: run the fused kernel, or fall back to scalars."""
+        return len(bucket) >= self._coalescer.policy.min_batch_for(
+            bucket.signature)
+
+    @staticmethod
+    def _check_batch_result(bucket, outputs_list) -> None:
+        if len(outputs_list) != len(bucket):
+            raise EngineError(
+                f"batched kernel of {bucket.op_type} returned "
+                f"{len(outputs_list)} results for {len(bucket)} members")
+
+    def _spawn_async_bucket(self, bucket, fused: bool) -> None:
+        """Fused (or straggler) frame spawn on a wall-clock backend: run
+        every member's starter under the master lock, accounting one
+        ``note_batch`` when fused else per-member ``note_op``.  The
+        event engine has its own path (starters run at virtual
+        completion instants with the fused overhead charged up front).
+        Exceptions propagate to the caller's failure handler.
+        """
+        first = bucket.instances[0]
+        starter = first.frame.plan.starters[first.slot]
+        with self._master_lock:
+            for inst, inputs in zip(bucket.instances, bucket.inputs):
+                starter(self, inst, inputs)
+            if fused:
+                self.stats.note_batch(bucket.op_type, len(bucket), 0.0,
+                                      bucket.signature)
+            else:
+                for inst in bucket.instances:
+                    self.stats.note_op(inst.op.op_type, 0.0)
+
+    # -- serving admission ----------------------------------------------------
+    #
+    # ``run`` executes one fixed fetch set to completion.  The serving
+    # path (:class:`repro.runtime.server.RecursiveServer`) instead keeps
+    # the executor alive across requests: ``begin_serving`` opens a
+    # persistent session, ``submit_root`` injects a new root instance
+    # into the *live* ready queue (so its ops interleave — and fuse —
+    # with whatever is already in flight), and ``drain`` runs/awaits the
+    # backend until every admitted root has completed.  Clock and stats
+    # accumulate across the whole serving session.
+
+    def begin_serving(self, error_listener: Optional[Callable] = None) -> None:
+        """Enter persistent serving mode (clears any previous run state).
+
+        ``error_listener`` (optional) is called once, outside the master
+        lock, if any kernel raises — root frames in flight at that point
+        will never complete, so the server must fail their requests.
+        On the single-threaded event engine errors surface from
+        ``drain()``, which invokes the listener before raising.
+        """
+        self._open_roots = 0
+        self._error_listener = None
+        self._error_delivered = False
+        self._fatal_error = None
+        self._start_serving()
+        self._serve_wall0 = time.perf_counter()
+        self._error_listener = error_listener
+
+    def submit_root(self, graph: Graph, fetches: Sequence[Tensor],
+                    feed_map: dict[int, Any], key: tuple,
+                    on_complete: Callable) -> Frame:
+        """Admit a new root instance into the live ready queue.
+
+        The fetch set's reachable ops become a fresh depth-0 frame whose
+        ready ops join the one shared queue — inner operations of the new
+        request coalesce with in-flight requests' ops exactly like
+        sibling recursive calls.  ``on_complete`` receives the fetch
+        values (in ``fetches`` order) when the root frame finishes.
+        The pruned root plan is memoized per fetch set, so repeat
+        requests skip the reachability walk entirely.  Thread-safe on
+        locking executors (admission takes the master lock).
+        """
+        fetch_list = list(fetches)
+        plan = plan_for_fetches(graph, {t.op for t in fetch_list})
+
+        def frame_done(frame):
+            values = [frame.value_of(t) for t in fetch_list]
+            self._open_roots -= 1
+            on_complete(values)
+            cv = self._roots_cv
+            if cv is not None:
+                cv.notify_all()
+
+        lock = self._master_lock
+        if lock is None:
+            self._open_roots += 1
+            frame = self._make_frame(plan, feed_map, key=key, depth=0,
+                                     record=False, on_complete=frame_done,
+                                     owner=None)
+            self._start_frame(frame)
+        else:
+            with lock:
+                self._open_roots += 1
+                frame = self._make_frame(plan, feed_map, key=key, depth=0,
+                                         record=False, on_complete=frame_done,
+                                         owner=None)
+                self._start_frame(frame)
+        self._admitted()
+        return frame
+
+    def drain(self) -> RunStats:
+        """Complete all admitted work (and, on the event engine, all
+        scheduled arrivals); returns the session-cumulative stats.
+        Raises the engine error if the session failed."""
+        self._drain_events()
+        # stats reflect the session as far as it got, error or not
+        stats = self.stats
+        self._stamp_clock(stats)
+        stats.wall_time = time.perf_counter() - self._serve_wall0
+        stats.cache_stores = self.runtime.cache.stores
+        stats.cache_lookups = self.runtime.cache.lookups
+        if self._error is not None:
+            error, self._error = self._error, None
+            self._fatal_error = error
+            if self._error_listener is not None and not self._error_delivered:
+                # let the server fail outstanding tickets before we raise
+                self._error_listener(error)
+            raise error
+        if self._fatal_error is not None and self._open_roots:
+            # repeat drain after a failure: the outstanding roots will
+            # never complete, so re-raise instead of waiting forever
+            raise self._fatal_error
+        return stats
+
+    def end_serving(self) -> RunStats:
+        """Leave serving mode (stops workers, if any; returns stats)."""
+        self._stop_serving()
+        return self.stats
+
+    # -- errors ---------------------------------------------------------------
+
+    @staticmethod
+    def _wrap_error(exc: Exception, op: Operation) -> EngineError:
+        err = EngineError(
+            f"error executing {op.name} ({op.op_type}) in graph "
+            f"{op.graph.name}: {exc}")
+        err.__cause__ = exc
+        return err
+
+    # -- wall-clock serving helpers (shared by the threaded backends) ---------
+
+    def _wait_for_roots(self) -> None:
+        """Block until every admitted root completed (or the session
+        failed — including a failure already raised by an earlier
+        drain).  Short waits keep the caller responsive to the SIGALRM
+        test watchdog."""
+        with self._roots_cv:
+            while (self._open_roots and self._error is None
+                   and self._fatal_error is None):
+                self._roots_cv.wait(0.05)
+
+    def _stamp_wall_clock(self, stats: RunStats) -> None:
+        stats.virtual_time = time.perf_counter() - self._serve_wall0
+
+
+# -- executor registry --------------------------------------------------------
+
+_EXECUTORS: dict[str, type] = {}
+#: modules whose import registers the built-in backends.  In practice
+#: ``repro.runtime.__init__`` imports all three eagerly (they are public
+#: API), so this list is a guarantee, not the common path: it keeps
+#: ``resolve_executor``/``available_executors`` correct under any import
+#: order without creating an import cycle in this module.  A new
+#: built-in backend must appear here *and* in the package ``__init__``;
+#: third-party backends need neither (importing their module runs their
+#: ``register_executor`` call).
+_BUILTIN_MODULES = ("repro.runtime.engine", "repro.runtime.threaded",
+                    "repro.runtime.workerpool")
+
+
+def register_executor(name: str, cls: type, *, replace: bool = False) -> None:
+    """Register an executor backend under ``name``.
+
+    ``Session(engine=name)`` / ``RunnerConfig(engine=name)`` construct
+    the class with the shared :class:`SchedulerCore` keyword signature.
+    Re-registering a different class under a taken name requires
+    ``replace=True``.
+    """
+    if not replace and name in _EXECUTORS and _EXECUTORS[name] is not cls:
+        raise ValueError(f"executor {name!r} already registered "
+                         f"({_EXECUTORS[name].__name__})")
+    _EXECUTORS[name] = cls
+
+
+def _load_builtins() -> None:
+    import importlib
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+
+
+def resolve_executor(name: str) -> type:
+    """The executor class registered under ``name`` (raises ValueError)."""
+    _load_builtins()
+    try:
+        return _EXECUTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; registered executors: "
+            f"{', '.join(sorted(_EXECUTORS))}") from None
+
+
+def available_executors() -> list[str]:
+    """Sorted names of every registered executor backend."""
+    _load_builtins()
+    return sorted(_EXECUTORS)

@@ -58,7 +58,6 @@ from typing import Any, Callable, Optional
 
 from repro.graph.tensor import Tensor
 
-from .engine import EventEngine
 from .stats import RunStats
 
 __all__ = ["RecursiveServer", "RequestTicket", "ServerOverloaded"]
@@ -187,7 +186,7 @@ class RecursiveServer:
         self._session = session
         self._engine = session._engine
         self._graph = session.graph
-        self._virtual = isinstance(self._engine, EventEngine)
+        self._virtual = bool(getattr(self._engine, "virtual_clock", False))
         self.max_in_flight = max_in_flight
         self.queue_cap = queue_cap
         self.admission = admission
@@ -267,8 +266,8 @@ class RecursiveServer:
         if at is not None:
             if not self._virtual:
                 raise ValueError("scheduled arrivals (at=...) require the "
-                                 "event engine; the threaded engine serves "
-                                 "in wall-clock time")
+                                 "event engine; wall-clock backends serve "
+                                 "in real time")
             self._engine.schedule(at, lambda: self._arrive(ticket))
         else:
             self._arrive(ticket)
@@ -400,8 +399,7 @@ class RecursiveServer:
             self._in_flight -= 1
             self._completed += 1
             self._outstanding.pop(ticket.request_id, None)
-            self._engine.stats.note_request(ticket.queue_time,
-                                            ticket.engine_time)
+            self._engine.stats.note_ticket(ticket)
             ticket._finish()
             self._cond.notify_all()
         self._pump()

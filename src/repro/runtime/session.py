@@ -20,7 +20,7 @@ from repro.graph.tensor import Tensor
 
 from .batching import AdaptiveBatchPolicy, BatchPolicy, resolve_batching
 from .cost_model import CostModel, testbed_cpu
-from .engine import EventEngine
+from .scheduler import resolve_executor
 from .stats import RunStats
 from .variables import GradientAccumulator, VariableStore
 
@@ -73,8 +73,12 @@ class Session:
             into the backprop cache.  Runs that execute backward ops
             (InvokeGrad etc.) require ``record=True``.
         scheduler: "fifo" (paper default) or "depth" priority scheduling.
-        engine: "event" for the deterministic virtual-time engine, or
-            "threaded" for the wall-clock thread-pool engine.
+        engine: executor backend name, resolved through the executor
+            registry (:mod:`repro.runtime.scheduler`): "event" for the
+            deterministic virtual-time backend, "threaded" for the
+            wall-clock thread-pool backend, "workerpool" for the
+            centralized-master backend with a concurrent kernel pool —
+            plus any backend registered via ``register_executor``.
         batching: fuse same-signature ready ops from concurrent frames
             into vectorized kernel calls (cross-instance dynamic
             micro-batching, :mod:`repro.runtime.batching`).  ``True``
@@ -96,23 +100,12 @@ class Session:
                  batch_policy: Optional[BatchPolicy] = None):
         self.graph = graph or get_default_graph()
         self.runtime = runtime or default_runtime()
-        if engine == "event":
-            self._engine = EventEngine(self.runtime, num_workers=num_workers,
-                                       cost_model=cost_model, record=record,
-                                       scheduler=scheduler,
-                                       max_depth=max_depth,
-                                       batching=batching,
-                                       batch_policy=batch_policy)
-        elif engine == "threaded":
-            from .threaded import ThreadedEngine
-            self._engine = ThreadedEngine(self.runtime,
-                                          num_workers=num_workers,
-                                          cost_model=cost_model,
-                                          record=record, max_depth=max_depth,
-                                          batching=batching,
-                                          batch_policy=batch_policy)
-        else:
-            raise ValueError(f"unknown engine {engine!r}")
+        executor_cls = resolve_executor(engine)
+        self._engine = executor_cls(self.runtime, num_workers=num_workers,
+                                    cost_model=cost_model, record=record,
+                                    scheduler=scheduler, max_depth=max_depth,
+                                    batching=batching,
+                                    batch_policy=batch_policy)
         self.last_stats: Optional[RunStats] = None
 
     def run(self, fetches, feed_dict: Optional[dict] = None,

@@ -122,6 +122,19 @@ class RunStats:
             self.queue_times[slot] = queue_time
             self.engine_times[slot] = engine_time
 
+    def note_ticket(self, ticket) -> None:
+        """Record one completed request straight from its ticket timeline.
+
+        ``ticket`` is any object with the
+        :class:`~repro.runtime.server.RequestTicket` timeline surface
+        (``queue_time`` = arrival → admit, ``engine_time`` = admit →
+        complete).  This is the single point where the ticket timeline
+        feeds the latency samples — the server and the serving harness
+        both plumb per-request accounting through it instead of
+        extracting the component times themselves.
+        """
+        self.note_request(ticket.queue_time, ticket.engine_time)
+
     def note_rejected(self) -> None:
         """Record one request bounced by the queue-depth cap."""
         self.rejected_requests += 1

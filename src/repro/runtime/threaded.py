@@ -1,27 +1,29 @@
-"""Wall-clock engine: a real thread pool behind the same execution model.
+"""Wall-clock thread-pool executor backend (``engine="threaded"``).
 
-Matches :class:`~repro.runtime.engine.EventEngine` semantics exactly (same
-frames, same ready-queue discipline, same async control flow) but executes
-kernels on ``threading`` workers and reports host wall-clock time instead
-of virtual time.  Used to validate that the virtual-time engine computes
-identical values, and to demonstrate the architecture on real threads.
-
-Master state (frames, dependency counters) is guarded by one re-entrant
-lock; kernels run outside the lock so numpy work can overlap.
+The frame lifecycle lives in :class:`~repro.runtime.scheduler
+.SchedulerCore`; this backend contributes only the wall-clock execution
+mechanics: a pool of ``threading`` workers that pull ready instances
+from one shared queue, execute kernels *outside* the master lock (so
+numpy work can overlap), and report completions back under it.  It
+matches the :class:`~repro.runtime.engine.EventEngine` scheduling
+semantics exactly (same frames, same ready-queue discipline, same async
+control flow) but reports host wall-clock time instead of virtual time
+— used to validate that the virtual-time backend computes identical
+values, and to demonstrate the architecture on real threads.
 
 Dynamic micro-batching (``batching=True`` / ``"adaptive"``): batchable
-ready operations are offered to a shared
+ready operations are offered to the shared
 :class:`~repro.runtime.batching.Coalescer` instead of executing
-immediately.  A bucket flushes when it is full, when the worker that filed
-it finds the ready queue empty (wavefront drained), or — since real
-threads cannot see the future — when a worker's idle ``get`` times out
-after ``BatchPolicy.flush_timeout`` seconds, which bounds how long a
-partially-filled bucket can defer its members and rules out deadlock
+immediately.  A bucket flushes when it is full, when the worker that
+filed it finds the ready queue empty (wavefront drained), or — since
+real threads cannot see the future — when a worker's idle ``get`` times
+out after ``BatchPolicy.flush_timeout`` seconds, which bounds how long
+a partially-filled bucket can defer its members and rules out deadlock
 (per-signature deadlines come from the policy; expiry pops an amortized
-O(1) deadline heap).  Training batches too: fused ``InvokeGrad`` buckets
-run every member's starter under the master lock, batched ``CacheLookup``
-kernels issue one bulk sharded-cache read outside it, and a fused batch's
-recorded values are stored through one bulk write.
+O(1) deadline heap).  Training batches too: fused ``InvokeGrad``
+buckets run every member's starter under the master lock, batched
+``CacheLookup`` kernels issue one bulk sharded-cache read outside it,
+and a fused batch's recorded values are stored through one bulk write.
 
 Serving (continuous batching): ``begin_serving`` keeps the worker pool
 alive across requests so a :class:`~repro.runtime.server.RecursiveServer`
@@ -41,12 +43,11 @@ from repro.core.cache import ROOT_KEY
 from repro.graph.graph import Graph
 from repro.graph.tensor import Tensor
 
-from .batching import (BatchPolicy, Coalescer, resolve_batching,
-                       value_signature)
-from .cost_model import CostModel, testbed_cpu
-from .engine import (EngineError, Frame, Instance, collect_cache_entries,
-                     seed_frame)
-from .plan import FramePlan, plan_for, plan_for_fetches
+from .batching import BatchPolicy, Coalescer
+from .cost_model import CostModel
+from .plan import plan_for_fetches
+from .scheduler import (EngineError, Instance, SchedulerCore,
+                        register_executor)
 from .stats import RunStats
 
 __all__ = ["ThreadedEngine"]
@@ -54,23 +55,25 @@ __all__ = ["ThreadedEngine"]
 _SENTINEL = object()
 
 
-class ThreadedEngine:
-    """Thread-pool execution with the Figure-4 master/worker structure."""
+class ThreadedEngine(SchedulerCore):
+    """Thread-pool executor with the Figure-4 master/worker structure.
+
+    ``scheduler="depth"`` is accepted for interface parity but the
+    worker queue is FIFO; see :class:`~repro.runtime.scheduler
+    .SchedulerCore` for the shared knobs.
+    """
 
     def __init__(self, runtime, num_workers: int = 4,
                  cost_model: Optional[CostModel] = None, record: bool = False,
-                 max_depth: int = 5000, batching: bool = False,
+                 scheduler: str = "fifo", max_depth: int = 5000,
+                 batching: bool = False,
                  batch_policy: Optional[BatchPolicy] = None):
-        self.runtime = runtime
-        self.num_workers = max(1, num_workers)
-        self.cost_model = cost_model or testbed_cpu()
-        self.record = record
-        self.max_depth = max_depth
-        self.batching, batch_policy = resolve_batching(batching, batch_policy)
-        self.batch_policy = batch_policy or BatchPolicy()
+        super().__init__(runtime, num_workers=num_workers,
+                         cost_model=cost_model, record=record,
+                         scheduler=scheduler, max_depth=max_depth,
+                         batching=batching, batch_policy=batch_policy)
 
-    # The async-op starters call these three methods plus ``spawn_frame``;
-    # the interface is shared with EventEngine.
+    # -- SchedulerCore executor hooks ----------------------------------------
 
     @property
     def now(self) -> float:
@@ -81,72 +84,24 @@ class ThreadedEngine:
         fn()
 
     def finish_async(self, inst: Instance, outputs: list) -> None:
-        self._complete_instance(inst, outputs)
+        with self._master_lock:
+            self._complete_instance(inst, outputs)
 
-    def spawn_frame(self, subgraph, bindings: dict, key: tuple, depth: int,
-                    on_complete: Callable, owner: Optional[Instance]) -> Frame:
-        if depth > self.max_depth:
-            raise EngineError(
-                f"recursion limit exceeded (depth {depth}); "
-                "check the base case of your recursive SubGraph")
-        graph = subgraph.graph
-        record = self.record and not getattr(graph, "is_backward_body", False)
-        frame = self._make_frame(plan_for(graph), bindings, key, depth,
-                                 record, on_complete, owner)
-        self._start_frame(frame)
-        return frame
-
-    # -- serving mode: incremental root admission -----------------------------
-    #
-    # The wall-clock counterpart of EventEngine's serving API: workers
-    # stay alive across requests, ``submit_root`` may be called from any
-    # thread while kernels are executing (admission takes the master
-    # lock), and completion flows through per-root callbacks instead of
-    # one done-event.  A server (:class:`repro.runtime.server
-    # .RecursiveServer`) owns the request queue and calls ``end_serving``
-    # to stop the pool.
-
-    def begin_serving(self, error_listener: Optional[Callable] = None) -> None:
-        """Start the worker pool for a persistent serving session.
-
-        ``error_listener`` (optional) is called once, outside the master
-        lock, if any kernel raises — root frames in flight at that point
-        will never complete, so the server must fail their requests.
-        """
-        self._lock = threading.RLock()
-        self._queue = queue.Queue()
-        self._done = threading.Event()
-        self._error = None
-        self._error_listener = error_listener
-        self._coalescer = (Coalescer(self.batch_policy) if self.batching
-                           else None)
-        self.stats = RunStats()
-        self._serve_wall0 = time.perf_counter()
+    def _start_serving(self) -> None:
+        self._begin_session()
         self._serve_workers = [threading.Thread(target=self._worker,
                                                 daemon=True)
                                for _ in range(self.num_workers)]
         for w in self._serve_workers:
             w.start()
 
-    def submit_root(self, graph: Graph, fetches: Sequence[Tensor],
-                    feed_map: dict[int, Any], key: tuple,
-                    on_complete: Callable) -> Frame:
-        """Admit a root instance into the live ready queue (thread-safe)."""
-        fetch_list = list(fetches)
-        plan = plan_for_fetches(graph, {t.op for t in fetch_list})
+    def _drain_events(self) -> None:
+        self._wait_for_roots()
 
-        def frame_done(frame):
-            on_complete([frame.value_of(t) for t in fetch_list])
+    def _stamp_clock(self, stats: RunStats) -> None:
+        self._stamp_wall_clock(stats)
 
-        with self._lock:
-            frame = self._make_frame(plan, feed_map, key, 0, False,
-                                     frame_done, None)
-            self._start_frame(frame)
-        return frame
-
-    def end_serving(self) -> RunStats:
-        """Stop the worker pool.  Does not raise: engine errors surface
-        through the error listener / the server's drain."""
+    def _stop_serving(self) -> None:
         for _ in self._serve_workers:
             self._queue.put(_SENTINEL)
         for w in self._serve_workers:
@@ -154,30 +109,22 @@ class ThreadedEngine:
         self._serve_workers = []
         self.stats.wall_time = time.perf_counter() - self._serve_wall0
         self.stats.virtual_time = self.stats.wall_time
-        return self.stats
 
     # -- run ------------------------------------------------------------------
 
     def run(self, graph: Graph, fetches: Sequence[Tensor],
             feed_map: dict[int, Any]) -> tuple[list, RunStats]:
         wall0 = time.perf_counter()
-        self._lock = threading.RLock()
-        self._queue: queue.Queue = queue.Queue()
-        self._done = threading.Event()
-        self._error: Optional[Exception] = None
-        self._error_listener = None
-        self._coalescer = (Coalescer(self.batch_policy) if self.batching
-                           else None)
-        self.stats = RunStats()
-
+        self._begin_session()
         plan = plan_for_fetches(graph, {t.op for t in fetches})
 
         def root_done(frame):
             self._done.set()
 
-        with self._lock:
-            root = self._make_frame(plan, feed_map, ROOT_KEY, 0,
-                                    False, root_done, None)
+        with self._master_lock:
+            root = self._make_frame(plan, feed_map, key=ROOT_KEY, depth=0,
+                                    record=False, on_complete=root_done,
+                                    owner=None)
             self._start_frame(root)
             if root.remaining == 0:
                 self._done.set()
@@ -198,17 +145,21 @@ class ThreadedEngine:
         self.stats.virtual_time = self.stats.wall_time
         return values, self.stats
 
-    # -- internals ---------------------------------------------------------------
+    # -- internals ------------------------------------------------------------
 
-    def _make_frame(self, plan: FramePlan, bindings, key, depth, record,
-                    on_complete, owner) -> Frame:
-        frame = Frame(plan, bindings, key, depth, record, on_complete, owner)
-        self.stats.frames_created += 1
-        self.stats.max_frame_depth = max(self.stats.max_frame_depth, depth)
-        return frame
-
-    def _start_frame(self, frame: Frame) -> None:
-        seed_frame(frame, self._complete_instance, self._queue.put)
+    def _begin_session(self) -> None:
+        """Fresh master state: lock, work queue, coalescer, stats."""
+        self._master_lock = threading.RLock()
+        self._roots_cv = threading.Condition(self._master_lock)
+        self._queue: queue.Queue = queue.Queue()
+        self._push_ready = self._queue.put
+        self._done = threading.Event()
+        self._error = None
+        self._error_listener = None
+        self._error_delivered = False
+        self._coalescer = (Coalescer(self.batch_policy) if self.batching
+                           else None)
+        self.stats = RunStats()
 
     def _worker(self) -> None:
         while True:
@@ -224,7 +175,7 @@ class ThreadedEngine:
                     # This is the liveness guarantee — once the queue goes
                     # quiet, a held bucket waits at most ~flush_timeout
                     # (one idle poll) before some worker expires it.
-                    with self._lock:
+                    with self._master_lock:
                         bucket = self._coalescer.pop_expired(
                             time.perf_counter())
                     if bucket is not None:
@@ -232,7 +183,9 @@ class ThreadedEngine:
                     continue
             if inst is _SENTINEL:
                 return
-            if self._error is not None:
+            if self._error is not None or self._fatal_error is not None:
+                # failed session (including one whose error a drain()
+                # already raised): never resume doomed work
                 continue
             op = inst.op
             frame = inst.frame
@@ -247,47 +200,46 @@ class ThreadedEngine:
                     # carry a batched-async registration
                     prefix = plan.sig_prefixes[slot]
                     if prefix is not None:
-                        signature = inst.sig
-                        if signature is None:
-                            signature = prefix + (value_signature(inputs),)
-                            inst.sig = signature
+                        signature = self._batch_signature_of(inst, inputs,
+                                                             prefix)
                         self._offer_to_batch(signature, inst, inputs)
                         continue
                 if definition.is_async:
-                    with self._lock:
+                    with self._master_lock:
                         plan.starters[slot](self, inst, inputs)
                 else:
                     # benign race: two workers may build the frame's
                     # context concurrently; ExecContext is stateless
                     ctx = frame.ctx or frame.exec_context(self.runtime)
                     outputs = definition.kernel(op, inputs, ctx)
-                    self._complete_instance(inst, outputs)
-                with self._lock:
+                    with self._master_lock:
+                        self._complete_instance(inst, outputs)
+                with self._master_lock:
                     self.stats.note_op(op.op_type, 0.0)
             except Exception as exc:
                 self._fail(op, exc)
 
     def _fail(self, op, exc: Exception) -> None:
         listener = None
-        with self._lock:
+        with self._master_lock:
             if self._error is None:
-                err = EngineError(
-                    f"error executing {op.name} ({op.op_type}): {exc}")
-                err.__cause__ = exc
-                self._error = err
+                self._error = self._wrap_error(exc, op)
                 listener = self._error_listener
+                self._error_delivered = listener is not None
             self._done.set()
+            if self._roots_cv is not None:
+                self._roots_cv.notify_all()
         if listener is not None:
             # outside the master lock: the serving error listener takes
             # the server's own lock to fail pending requests
             listener(self._error)
 
-    # -- micro-batching ----------------------------------------------------------
+    # -- micro-batching --------------------------------------------------------
 
     def _offer_to_batch(self, signature, inst: Instance,
                         inputs: list) -> None:
         """File a batchable ready op; flush when full or queue drained."""
-        with self._lock:
+        with self._master_lock:
             full = self._coalescer.offer(signature, inst, inputs,
                                          time.perf_counter())
         if full is not None:
@@ -295,7 +247,7 @@ class ThreadedEngine:
             return
         if self._queue.empty():
             # current wavefront drained: flush rather than sit on work
-            with self._lock:
+            with self._master_lock:
                 bucket = self._coalescer.pop()
             if bucket is not None:
                 self._run_bucket(bucket)
@@ -305,23 +257,13 @@ class ThreadedEngine:
         first = bucket.instances[0]
         definition = first.frame.plan.defs[first.slot]
         ops = [inst.op for inst in bucket.instances]
-        with self._lock:  # the policy's per-signature state is lock-guarded
-            fused = len(bucket) >= self._coalescer.policy.min_batch_for(
-                bucket.signature)
+        with self._master_lock:  # the policy's state is lock-guarded
+            fused = self._bucket_fused(bucket)
         try:
             if definition.is_async:
-                # fused (or straggler) frame spawn: starters mutate master
-                # state, so they run under the lock like the scalar path
-                starter = first.frame.plan.starters[first.slot]
-                with self._lock:
-                    for inst, inputs in zip(bucket.instances, bucket.inputs):
-                        starter(self, inst, inputs)
-                    if fused:
-                        self.stats.note_batch(bucket.op_type, len(bucket),
-                                              0.0, bucket.signature)
-                    else:
-                        for inst in bucket.instances:
-                            self.stats.note_op(inst.op.op_type, 0.0)
+                # starters mutate master state: the shared fused-spawn
+                # path runs them under the lock like the scalar path
+                self._spawn_async_bucket(bucket, fused)
                 return
             if not fused:
                 outputs_list = []
@@ -336,13 +278,9 @@ class ThreadedEngine:
                         for inst in bucket.instances]
                 outputs_list = definition.batched_kernel(ops, bucket.inputs,
                                                          ctxs)
-                if len(outputs_list) != len(bucket):
-                    raise EngineError(
-                        f"batched kernel of {bucket.op_type} returned "
-                        f"{len(outputs_list)} results for {len(bucket)} "
-                        "members")
+                self._check_batch_result(bucket, outputs_list)
             self._complete_batch(bucket.instances, outputs_list)
-            with self._lock:
+            with self._master_lock:
                 if fused:
                     self.stats.note_batch(bucket.op_type, len(bucket), 0.0,
                                           bucket.signature)
@@ -352,42 +290,5 @@ class ThreadedEngine:
         except Exception as exc:
             self._fail(ops[0], exc)
 
-    def _complete_batch(self, members, outputs_list) -> None:
-        """Bulk-store a fused batch's recorded values, then scatter."""
-        entries = collect_cache_entries(members, outputs_list)
-        if entries:
-            # one bulk transaction (one lock round-trip per touched shard)
-            self.runtime.cache.store_many(entries)
-        for inst, outputs in zip(members, outputs_list):
-            self._complete_instance(inst, outputs, store=False)
 
-    def _complete_instance(self, inst: Instance, outputs: list,
-                           store: bool = True) -> None:
-        with self._lock:
-            frame = inst.frame
-            op = inst.op
-            plan = frame.plan
-            slot = inst.slot
-            if len(outputs) != op.num_outputs:
-                raise EngineError(
-                    f"kernel of {op.name} returned {len(outputs)} values, "
-                    f"expected {op.num_outputs}")
-            frame.values[slot] = outputs
-            if store and frame.record:
-                mask = plan.store_masks[slot]
-                for i, value in enumerate(outputs):
-                    if mask[i]:
-                        self.runtime.cache.store(frame.key, plan.graph_id,
-                                                 op.id, i, value)
-            pending = frame.pending
-            for consumer_slot in plan.consumer_slots[slot]:
-                count = pending[consumer_slot]
-                if count == 1:
-                    pending[consumer_slot] = -1
-                    self._queue.put(Instance(plan.ops[consumer_slot], frame,
-                                             consumer_slot))
-                else:
-                    pending[consumer_slot] = count - 1
-            frame.remaining -= 1
-            if frame.remaining == 0:
-                frame.on_complete(frame)
+register_executor("threaded", ThreadedEngine)

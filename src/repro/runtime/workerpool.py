@@ -1,0 +1,403 @@
+"""Worker-pool executor backend (``engine="workerpool"``).
+
+The proof-of-layering backend the scheduler/executor split unlocks: a
+wall-clock executor whose *scheduling* is centralized in one master
+(like the event engine) while *kernel execution* runs on a pool of
+worker threads (like the threaded engine).  The division of labour:
+
+* the **master** — the calling thread during ``run``, a dedicated
+  thread while serving — owns all frame state.  It applies completions,
+  resolves dependents, and drains the entire ready wavefront into the
+  shared :class:`~repro.runtime.batching.Coalescer` before flushing, so
+  fused buckets reach event-engine widths instead of the narrower
+  buckets the threaded backend's racing workers produce;
+* the **kernel pool** executes the flushed buckets (and non-batchable
+  scalar kernels) off-thread: independent buckets — different batch
+  signatures ready in the same wavefront — run *concurrently*, since
+  numpy kernels release the GIL.  Async starters (frame spawns) mutate
+  master state and therefore run in the master under the lock.
+
+Compared to the threaded backend, workers never touch the master lock:
+they pull ``(kernel, inputs)`` tasks and push results, so lock traffic
+is one acquisition per completion batch instead of several per
+instance.  Values and gradients are bit-identical to both existing
+backends (batched kernels are value-preserving and the gradient
+accumulator is canonically ordered); completion *order* is
+nondeterministic exactly as in the threaded backend.
+
+This backend exists to demonstrate that a new execution strategy is now
+~250 lines of mechanics with zero scheduling logic; see ARCHITECTURE.md
+for the recipe it instantiates and ``benchmarks/bench_overhead.py``
+(``workerpool_buckets``) for the measured payoff on the multi-instance
+serving canary.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.cache import ROOT_KEY
+from repro.graph.graph import Graph
+from repro.graph.tensor import Tensor
+
+from .batching import BatchPolicy, Coalescer
+from .cost_model import CostModel
+from .plan import plan_for_fetches
+from .scheduler import (EngineError, Instance, SchedulerCore,
+                        register_executor)
+from .stats import RunStats
+
+__all__ = ["WorkerPoolEngine"]
+
+_STOP = object()
+#: poked through the results queue to wake an idle master (admission,
+#: shutdown)
+_WAKE = object()
+
+
+class WorkerPoolEngine(SchedulerCore):
+    """Centralized-master executor with a concurrent kernel pool.
+
+    ``num_workers`` sizes the kernel pool; the master is not counted
+    (it schedules, it does not execute sync kernels).  See
+    :class:`~repro.runtime.scheduler.SchedulerCore` for the shared
+    knobs; ``scheduler="depth"`` is accepted but the ready queue is
+    FIFO, like the threaded backend.
+    """
+
+    def __init__(self, runtime, num_workers: int = 4,
+                 cost_model: Optional[CostModel] = None, record: bool = False,
+                 scheduler: str = "fifo", max_depth: int = 5000,
+                 batching: bool = False,
+                 batch_policy: Optional[BatchPolicy] = None):
+        super().__init__(runtime, num_workers=num_workers,
+                         cost_model=cost_model, record=record,
+                         scheduler=scheduler, max_depth=max_depth,
+                         batching=batching, batch_policy=batch_policy)
+
+    # -- SchedulerCore executor hooks ----------------------------------------
+
+    @property
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def post_continuation(self, delay: float, fn: Callable) -> None:
+        # Wall-clock mode does not simulate overheads; run immediately
+        # (always called from master context, under the lock).
+        fn()
+
+    def finish_async(self, inst: Instance, outputs: list) -> None:
+        with self._master_lock:
+            self._complete_instance(inst, outputs)
+
+    def _start_serving(self) -> None:
+        self._begin_session()
+        self._stop_master = False
+        self._start_pool()
+        self._master_thread = threading.Thread(target=self._serve_master,
+                                               daemon=True)
+        self._master_thread.start()
+
+    def _drain_events(self) -> None:
+        self._wait_for_roots()
+
+    def _stamp_clock(self, stats: RunStats) -> None:
+        self._stamp_wall_clock(stats)
+
+    def _stop_serving(self) -> None:
+        self._stop_master = True
+        self._results.put(_WAKE)
+        self._master_thread.join()
+        self._stop_pool()
+        self.stats.wall_time = time.perf_counter() - self._serve_wall0
+        self.stats.virtual_time = self.stats.wall_time
+
+    def _admitted(self) -> None:
+        # submit_root may run on any thread while the serving master
+        # sleeps on the results queue: poke it so admission latency is
+        # bounded by the queue wake-up, not the idle poll.
+        self._results.put(_WAKE)
+
+    # -- run ------------------------------------------------------------------
+
+    def run(self, graph: Graph, fetches: Sequence[Tensor],
+            feed_map: dict[int, Any]) -> tuple[list, RunStats]:
+        wall0 = time.perf_counter()
+        self._begin_session()
+        self._start_pool()
+        done = threading.Event()
+        try:
+            plan = plan_for_fetches(graph, {t.op for t in fetches})
+            with self._master_lock:
+                root = self._make_frame(plan, feed_map, key=ROOT_KEY, depth=0,
+                                        record=False,
+                                        on_complete=lambda f: done.set(),
+                                        owner=None)
+                self._start_frame(root)
+                if root.remaining == 0:
+                    done.set()
+            self._pump(done.is_set)
+        finally:
+            self._stop_pool()
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+        values = [root.value_of(t) for t in fetches]
+        self.stats.wall_time = time.perf_counter() - wall0
+        self.stats.virtual_time = self.stats.wall_time
+        self.stats.cache_stores = self.runtime.cache.stores
+        self.stats.cache_lookups = self.runtime.cache.lookups
+        return values, self.stats
+
+    # -- master ---------------------------------------------------------------
+
+    def _begin_session(self) -> None:
+        self._master_lock = threading.RLock()
+        self._roots_cv = threading.Condition(self._master_lock)
+        self._ready: deque = deque()
+        self._push_ready = self._ready.append
+        self._tasks: queue.SimpleQueue = queue.SimpleQueue()
+        self._results: queue.SimpleQueue = queue.SimpleQueue()
+        self._inflight = 0  # pool tasks outstanding (master-only counter)
+        self._error = None
+        self._error_listener = None
+        self._error_delivered = False
+        self._coalescer = (Coalescer(self.batch_policy) if self.batching
+                           else None)
+        self.stats = RunStats()
+
+    def _start_pool(self) -> None:
+        self._pool = [threading.Thread(target=self._kernel_worker,
+                                       daemon=True)
+                      for _ in range(self.num_workers)]
+        for w in self._pool:
+            w.start()
+
+    def _stop_pool(self) -> None:
+        for _ in self._pool:
+            self._tasks.put(_STOP)
+        for w in self._pool:
+            w.join()
+        self._pool = []
+
+    def _pump(self, done: Callable[[], bool]) -> None:
+        """Master loop: apply completions and dispatch until ``done``."""
+        while not done() and self._error is None:
+            if self._master_step():
+                continue
+            try:
+                item = self._results.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            if item is not _WAKE:
+                self._apply(item)
+
+    def _serve_master(self) -> None:
+        """The persistent serving master: runs until end_serving, then
+        drains whatever is still in flight (unless the session failed)."""
+        while True:
+            progressed = self._master_step()
+            if self._stop_master:
+                with self._master_lock:
+                    idle = (self._inflight == 0 and not self._ready
+                            and (self._coalescer is None
+                                 or len(self._coalescer) == 0))
+                if idle or self._error is not None \
+                        or self._fatal_error is not None:
+                    return
+            if progressed:
+                continue
+            try:
+                item = self._results.get(timeout=0.02)
+            except queue.Empty:
+                continue
+            if item is not _WAKE:
+                self._apply(item)
+
+    def _master_step(self) -> bool:
+        """Apply every queued completion, then dispatch ready work."""
+        progressed = False
+        while True:
+            try:
+                item = self._results.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _WAKE:
+                self._apply(item)
+            progressed = True
+        if self._error is None:
+            progressed = self._dispatch() or progressed
+        return progressed
+
+    def _dispatch(self) -> bool:
+        """Drain the ready wavefront; flush all pending buckets after.
+
+        Scalar sync kernels and fused buckets go to the kernel pool;
+        async starters (frame spawns) run here under the master lock.
+        """
+        lock = self._master_lock
+        coalescer = self._coalescer
+        progressed = False
+        while self._error is None and self._fatal_error is None:
+            with lock:
+                try:
+                    inst = self._ready.popleft()
+                except IndexError:
+                    break
+                frame = inst.frame
+                plan = frame.plan
+                slot = inst.slot
+                values = frame.values
+                inputs = [values[s][i] for s, i in plan.input_locs[slot]]
+                full = None
+                batchable = False
+                if coalescer is not None:
+                    prefix = plan.sig_prefixes[slot]
+                    if prefix is not None:
+                        batchable = True
+                        full = coalescer.offer(
+                            self._batch_signature_of(inst, inputs, prefix),
+                            inst, inputs, time.perf_counter())
+            progressed = True
+            if batchable:
+                if full is not None:
+                    self._submit_bucket(full)
+                continue
+            definition = plan.defs[slot]
+            if definition.is_async:
+                spawn_exc = None
+                with lock:
+                    try:
+                        plan.starters[slot](self, inst, inputs)
+                        self.stats.note_op(inst.op.op_type, 0.0)
+                    except Exception as exc:
+                        spawn_exc = exc
+                if spawn_exc is not None:
+                    # outside the lock: _set_error delivers to the
+                    # serving error listener, which takes the server lock
+                    self._set_error(spawn_exc, inst.op)
+            else:
+                self._inflight += 1
+                self._tasks.put((inst, inputs))
+        # wavefront drained: flush every pending bucket — independent
+        # signatures land on the pool together and execute concurrently
+        if coalescer is not None:
+            while self._error is None and self._fatal_error is None:
+                with lock:
+                    bucket = coalescer.pop()
+                if bucket is None:
+                    break
+                self._submit_bucket(bucket)
+                progressed = True
+        return progressed
+
+    def _submit_bucket(self, bucket) -> None:
+        with self._master_lock:
+            fused = self._bucket_fused(bucket)
+        first = bucket.instances[0]
+        definition = first.frame.plan.defs[first.slot]
+        if definition.is_async:
+            # starters mutate master state: the shared fused-spawn path
+            # runs them in the master under the lock
+            try:
+                self._spawn_async_bucket(bucket, fused)
+            except Exception as exc:
+                self._set_error(exc, first.op)
+            return
+        self._inflight += 1
+        self._tasks.put((bucket, fused))
+
+    def _apply(self, item) -> None:
+        """Apply one pool completion to master state."""
+        self._inflight -= 1
+        kind = item[0]
+        if kind == "error":
+            _, op, exc = item
+            self._set_error(exc, op)
+            return
+        try:
+            if kind == "single":
+                _, inst, outputs = item
+                with self._master_lock:
+                    self._complete_instance(inst, outputs)
+                    self.stats.note_op(inst.op.op_type, 0.0)
+            else:
+                _, bucket, outputs_list, fused = item
+                self._complete_batch(bucket.instances, outputs_list)
+                with self._master_lock:
+                    if fused:
+                        self.stats.note_batch(bucket.op_type, len(bucket),
+                                              0.0, bucket.signature)
+                    else:
+                        for inst in bucket.instances:
+                            self.stats.note_op(inst.op.op_type, 0.0)
+        except Exception as exc:
+            failed = item[1]
+            op = (failed.instances[0].op if kind == "bucket"
+                  else failed.op)
+            self._set_error(exc, op)
+
+    def _set_error(self, exc: Exception, op) -> None:
+        listener = None
+        with self._master_lock:
+            if self._error is None:
+                self._error = (exc if isinstance(exc, EngineError)
+                               else self._wrap_error(exc, op))
+                listener = self._error_listener
+                self._error_delivered = listener is not None
+            self._roots_cv.notify_all()
+        if listener is not None:
+            # outside the master lock: the serving error listener takes
+            # the server's own lock to fail pending requests
+            listener(self._error)
+
+    # -- kernel pool -----------------------------------------------------------
+
+    def _kernel_worker(self) -> None:
+        """Pool worker: executes kernels only, never touches frames."""
+        runtime = self.runtime
+        while True:
+            task = self._tasks.get()
+            if task is _STOP:
+                return
+            payload, extra = task
+            if isinstance(payload, Instance):
+                inst = payload
+                try:
+                    definition = inst.frame.plan.defs[inst.slot]
+                    ctx = inst.frame.ctx or inst.frame.exec_context(runtime)
+                    outputs = definition.kernel(inst.op, extra, ctx)
+                    self._results.put(("single", inst, outputs))
+                except Exception as exc:
+                    self._results.put(("error", inst.op, exc))
+            else:
+                bucket, fused = payload, extra
+                first = bucket.instances[0]
+                try:
+                    definition = first.frame.plan.defs[first.slot]
+                    if fused:
+                        ops = [inst.op for inst in bucket.instances]
+                        ctxs = [inst.frame.ctx
+                                or inst.frame.exec_context(runtime)
+                                for inst in bucket.instances]
+                        outputs_list = definition.batched_kernel(
+                            ops, bucket.inputs, ctxs)
+                        self._check_batch_result(bucket, outputs_list)
+                    else:
+                        outputs_list = [
+                            definition.kernel(
+                                inst.op, inputs,
+                                inst.frame.ctx
+                                or inst.frame.exec_context(runtime))
+                            for inst, inputs in zip(bucket.instances,
+                                                    bucket.inputs)]
+                    self._results.put(("bucket", bucket, outputs_list, fused))
+                except Exception as exc:
+                    self._results.put(("error", first.op, exc))
+
+
+register_executor("workerpool", WorkerPoolEngine)

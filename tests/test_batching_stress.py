@@ -22,6 +22,8 @@ from repro.models import TreeRNNSentiment
 from repro.models.common import ModelConfig
 from repro.runtime.batching import BatchPolicy
 
+pytestmark = pytest.mark.stress
+
 WORKER_COUNTS = (1, 2, 8)
 
 

@@ -1,0 +1,221 @@
+"""Cross-executor equivalence: every registered backend computes the
+same numbers.
+
+The layering contract (see ARCHITECTURE.md): the
+:class:`~repro.runtime.scheduler.SchedulerCore` owns all scheduling
+semantics and an executor backend may only change *when and where*
+kernels run, never what they compute.  These tests iterate the executor
+registry — so a newly registered backend is pulled into the equivalence
+bar automatically — and assert bit-identical fetches and gradients
+against the virtual-time reference on a randomized tree workload,
+batched and unbatched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ops
+from repro.core.subgraph import SubGraph
+from repro.data import make_treebank
+from repro.data.batching import batch_trees
+from repro.models import ModelConfig, TreeRNNSentiment
+from repro.runtime import (EventEngine, SchedulerCore, available_executors,
+                           register_executor, resolve_executor)
+
+ENGINES = available_executors()
+
+
+@pytest.fixture(scope="module")
+def bank():
+    # seeded random trees: the randomized tree workload
+    return make_treebank(num_train=6, num_val=2, vocab_size=40, seed=23)
+
+
+@pytest.fixture(scope="module")
+def model(bank):
+    return TreeRNNSentiment(ModelConfig(hidden=10, embed_dim=10,
+                                        vocab_size=40), repro.Runtime())
+
+
+@pytest.fixture(scope="module")
+def built(model):
+    return model.build_recursive(1)
+
+
+@pytest.fixture(scope="module")
+def grad_fetches(built):
+    """loss + accumulate-only gradient updates (variables untouched)."""
+    with built.graph.as_default():
+        _, updates = repro.gradients(built.loss, [])
+    return [built.loss] + [op.outputs[-1] for op in updates]
+
+
+def _reference_logits(model, built, bank):
+    session = repro.Session(built.graph, model.runtime, num_workers=4)
+    return [session.run(built.root_logits,
+                        built.feed_dict(batch_trees([tree])))
+            for tree in bank.train]
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"event", "threaded", "workerpool"} <= set(ENGINES)
+
+    def test_legacy_names_resolve_to_legacy_engines(self):
+        from repro.runtime.threaded import ThreadedEngine
+        from repro.runtime.workerpool import WorkerPoolEngine
+        assert resolve_executor("event") is EventEngine
+        assert resolve_executor("threaded") is ThreadedEngine
+        assert resolve_executor("workerpool") is WorkerPoolEngine
+        for name in ENGINES:
+            assert issubclass(resolve_executor(name), SchedulerCore)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_executor("quantum")
+        with pytest.raises(ValueError, match="unknown engine"):
+            repro.Session(repro.Graph("x"), repro.Runtime(), engine="quantum")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_executor("event", SchedulerCore)
+        # re-registering the same class is an idempotent no-op
+        register_executor("event", EventEngine)
+
+    def test_only_event_engine_is_virtual(self):
+        for name in ENGINES:
+            cls = resolve_executor(name)
+            assert cls.virtual_clock == (name == "event"), name
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestCrossExecutorEquivalence:
+    @pytest.mark.parametrize("batching", [False, True])
+    @pytest.mark.timeout(120)
+    def test_fetches_bit_identical(self, bank, model, built, engine,
+                                   batching):
+        """Per-tree root logits match the event reference exactly."""
+        reference = _reference_logits(model, built, bank)
+        session = repro.Session(built.graph, model.runtime, num_workers=4,
+                                engine=engine, batching=batching)
+        for tree, expected in zip(bank.train, reference):
+            got = session.run(built.root_logits,
+                              built.feed_dict(batch_trees([tree])))
+            assert np.array_equal(expected, got)
+
+    @pytest.mark.parametrize("batching", [False, True])
+    @pytest.mark.timeout(120)
+    def test_gradients_bit_identical(self, bank, model, built, grad_fetches,
+                                     engine, batching):
+        """Accumulated gradients match the event reference exactly
+        (canonical frame-key ordering makes them order-independent)."""
+        feed = built.feed_dict(batch_trees([bank.train[0]]))
+        accumulators = model.runtime.accumulators
+        names = [v.name for v in model.runtime.trainable_variables()]
+
+        def grads_under(engine_name, batching_mode):
+            session = repro.Session(built.graph, model.runtime,
+                                    num_workers=4, engine=engine_name,
+                                    record=True, batching=batching_mode)
+            accumulators.zero()
+            loss = session.run(grad_fetches, feed)[0]
+            return loss, {name: np.copy(accumulators.read(name))
+                          for name in names}
+
+        ref_loss, reference = grads_under("event", False)
+        loss, grads = grads_under(engine, batching)
+        assert loss == ref_loss
+        assert set(grads) == set(reference)
+        for name in names:
+            assert np.array_equal(reference[name], grads[name]), name
+
+    @pytest.mark.timeout(120)
+    def test_recursion_limit_enforced(self, engine, bank, model, built):
+        graph = repro.Graph("limit")
+        with graph.as_default():
+            with SubGraph("down") as down:
+                n = down.input(repro.int32, ())
+                down.declare_outputs([(repro.int32, ())])
+                down.output(ops.cond(ops.less_equal(n, 0),
+                                     lambda: ops.constant(0),
+                                     lambda: down(n - 1)))
+            out = down(ops.constant(100))
+        session = repro.Session(graph, repro.Runtime(), num_workers=2,
+                                engine=engine, max_depth=10)
+        with pytest.raises(repro.EngineError, match="recursion limit"):
+            session.run(out)
+
+    @pytest.mark.timeout(120)
+    def test_kernel_error_propagates(self, engine, bank, model, built):
+        graph = repro.Graph("err")
+        with graph.as_default():
+            bad = ops.reshape(ops.constant([1.0, 2.0]), (3,))
+        session = repro.Session(graph, repro.Runtime(), num_workers=2,
+                                engine=engine)
+        with pytest.raises(repro.EngineError):
+            session.run(bad)
+
+    @pytest.mark.timeout(60)
+    def test_repeat_drain_after_failure_raises_not_hangs(self, engine,
+                                                         bank, model, built):
+        """A failed serving session stays failed: draining again must
+        re-raise the session error, not wait forever on roots that will
+        never complete."""
+        graph = repro.Graph("redrain")
+        with graph.as_default():
+            table = ops.constant(np.arange(4, dtype=np.float32))
+            idx = ops.placeholder(repro.int32, (), "idx")
+            out = ops.gather(table, idx)
+        session = repro.Session(graph, repro.Runtime(), num_workers=2,
+                                engine=engine)
+        eng = session._engine
+        eng.begin_serving()
+        eng.submit_root(graph, [out], {idx.op.id: np.int32(99)}, ("r0",),
+                        lambda values: None)
+        with pytest.raises(repro.EngineError):
+            eng.drain()
+        with pytest.raises(repro.EngineError):
+            eng.drain()
+        eng.end_serving()
+
+
+class TestWorkerPoolSpecifics:
+    """Behaviour only the centralized-master backend exhibits."""
+
+    @pytest.mark.timeout(120)
+    def test_serving_reuse_and_fusion(self, bank, model, built):
+        session = repro.Session(built.graph, model.runtime, num_workers=3,
+                                engine="workerpool", batching=True)
+        reference = _reference_logits(model, built, bank)
+        feeds = [built.feed_dict(batch_trees([t])) for t in bank.train]
+        with session.serve(max_in_flight=4) as server:
+            first = [server.submit(built.root_logits, f) for f in feeds]
+            server.drain()
+            second = [server.submit(built.root_logits, f) for f in feeds]
+            server.drain()
+        assert server.completed == 2 * len(feeds)
+        for tickets in (first, second):
+            for ticket, expected in zip(tickets, reference):
+                assert np.array_equal(expected, ticket.result())
+        # the centralized master coalesces whole wavefronts
+        assert server.stats.batches > 0
+
+    @pytest.mark.timeout(60)
+    def test_serving_error_fails_outstanding(self):
+        graph = repro.Graph("wp_err")
+        with graph.as_default():
+            table = ops.constant(np.arange(4, dtype=np.float32))
+            idx = ops.placeholder(repro.int32, (), "idx")
+            out = ops.gather(table, idx)
+        session = repro.Session(graph, repro.Runtime(), num_workers=2,
+                                engine="workerpool")
+        server = session.serve(max_in_flight=2)
+        bad = server.submit(out, {idx: 77})
+        with pytest.raises(repro.EngineError):
+            server.drain()
+        with pytest.raises(repro.EngineError):
+            bad.result(timeout=10)
+        server.close()

@@ -89,6 +89,55 @@ class TestPlanCompilation:
         other = next(op for op in fresh.ops if op.id != out.op.id)
         assert fresh.store_masks[fresh.index_of[other.id]] == (False,)
 
+    def test_plan_invalidated_by_registry_mutation(self, graph):
+        """Registering a batched kernel *after* a plan compiled must not
+        leave the stale (never-batching) plan in the caches.
+
+        Plans bake in resolved OpDefs and batch-signature prefixes
+        (``None`` while no ``batched_kernel`` exists), so registry
+        mutation bumps a version that drops compiled plans on the next
+        ``plan_for``/``plan_for_fetches``."""
+        from repro.graph import registry
+
+        name = "PlanStaleProbe"
+        if name not in registry.all_op_types():
+            registry.register_op(
+                name,
+                infer=lambda op: [(op.inputs[0].dtype, op.inputs[0].shape)],
+                kernel=lambda op, inputs, ctx: [np.tanh(inputs[0])])
+        x = ops.placeholder(repro.float32, (2, 2), "x")
+        probed = graph.add_op(name, [x], {}).outputs[0]
+        plan = plan_for(graph)
+        fetch_plan = plan_for_fetches(graph, {probed.op})
+        slot = plan.index_of[probed.op.id]
+        assert plan.sig_prefixes[slot] is None  # not batchable yet
+
+        registry.register_batched_kernel(name, None)  # member-loop fallback
+        try:
+            fresh = plan_for(graph)
+            assert fresh is not plan
+            assert plan_for_fetches(graph, {probed.op}) is not fetch_plan
+            assert fresh.sig_prefixes[fresh.index_of[probed.op.id]] \
+                is not None
+            # and the recompiled plan actually batches through a session
+            wide = repro.Graph("stale_wide")
+            with wide.as_default():
+                xs = ops.placeholder(repro.float32, (2, 2), "xs")
+                tails = [wide.add_op(name, [xs], {}).outputs[0]
+                         for _ in range(6)]
+                out = tails[0]
+                for t in tails[1:]:
+                    out = ops.add(out, t)
+            sess = repro.Session(wide, repro.Runtime(), num_workers=4,
+                                 batching=True)
+            sess.run(out, {xs: np.zeros((2, 2), np.float32)})
+            assert sess.last_stats.batches > 0
+        finally:
+            # leave the registry as this test found it for later tests
+            registry.op_def(name).batched_kernel = None
+            registry.op_def(name).meta.pop("batch_attrs", None)
+            registry._bump_version()
+
     def test_fetch_plans_prune_and_memoize(self, graph):
         a = ops.constant(1.0)
         b = ops.tanh(a)

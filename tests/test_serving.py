@@ -10,6 +10,8 @@ runs are reproducible bit-for-bit.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -17,10 +19,12 @@ import repro
 from repro import ops
 from repro.data import make_treebank
 from repro.data.batching import batch_trees
+from repro.graph.registry import all_op_types, register_op
 from repro.harness import (compare_admission, compare_batching,
                            poisson_request_stream, serve_stream)
 from repro.harness.serving import burst_request_stream
 from repro.models import ModelConfig, TreeLSTMSentiment, TreeRNNSentiment
+from repro.runtime import available_executors, resolve_executor
 from repro.runtime.batching import QueueAwareBatchPolicy
 from repro.runtime.server import ServerOverloaded
 
@@ -118,61 +122,6 @@ class TestAdmission:
         assert (continuous.latency_summary()["queue"]["p95"]
                 < wave.latency_summary()["queue"]["p95"])
 
-    def test_max_in_flight_is_respected(self, bank):
-        """Root instances in the engine never exceed the admission cap."""
-        model = _model(bank)
-        built = model.build_recursive(1)
-        session = repro.Session(built.graph, model.runtime, num_workers=36)
-        server = session.serve(max_in_flight=3)
-        engine = session._engine
-        live = {"now": 0, "peak": 0}
-        original = engine.submit_root
-
-        def counting_submit(graph, fetches, feed_map, key, on_complete):
-            live["now"] += 1
-            live["peak"] = max(live["peak"], live["now"])
-
-            def wrapped(values):
-                live["now"] -= 1
-                on_complete(values)
-            return original(graph, fetches, feed_map, key, wrapped)
-
-        engine.submit_root = counting_submit
-        feeds = built.feed_dict(batch_trees([bank.train[0]]))
-        for k in range(9):
-            server.submit(built.root_logits, feeds, at=0.0)
-        server.drain()
-        server.close()
-        assert server.completed == 9
-        assert live["now"] == 0
-        assert live["peak"] == 3
-
-    def test_queue_cap_rejects_with_backpressure(self, bank):
-        """Arrivals beyond the queue cap are rejected, not lost."""
-        model = _model(bank)
-        built = model.build_recursive(1)
-        session = repro.Session(built.graph, model.runtime, num_workers=36)
-        feeds = built.feed_dict(batch_trees([bank.train[1]]))
-        with session.serve(max_in_flight=1, queue_cap=2) as server:
-            tickets = [server.submit(built.root_logits, feeds, at=0.0)
-                       for _ in range(8)]
-            server.drain()
-        # capacity at the burst instant = 1 free slot + 2 queue seats;
-        # the remaining 5 simultaneous arrivals bounce off the cap
-        rejected = [t for t in tickets if t.rejected]
-        served = [t for t in tickets if not t.rejected]
-        assert len(rejected) == 5
-        assert server.completed == len(served) == 3
-        assert server.rejected == 5
-        assert server.stats.rejected_requests == 5
-        for ticket in served:
-            assert ticket.result() is not None
-        for ticket in rejected:
-            with pytest.raises(ServerOverloaded):
-                ticket.result()
-        # nothing lost: every submitted request resolved one way or other
-        assert all(t.done for t in tickets)
-
     def test_rejected_requests_surface_in_result(self, bank):
         model = _model(bank)
         result = serve_stream(model, bank.train, num_requests=8,
@@ -222,6 +171,112 @@ class TestAdmission:
             session.serve(queue_cap=0)
         with pytest.raises(ValueError):
             session.serve(admission="bursty")
+
+
+# -- backpressure on every registered executor --------------------------------
+#
+# ``queue_cap`` rejection and ``max_in_flight`` throttling are admission
+# decisions the server takes synchronously at submit time, so they can be
+# asserted deterministically on every backend: under the event engine all
+# arrivals land at the same virtual instant (``at=0.0``); under the
+# wall-clock backends the first admitted request parks on a gate op whose
+# kernel blocks until the test releases it, so every later arrival
+# deterministically finds zero free in-flight slots.
+
+
+def _gate_kernel(op, inputs, ctx):
+    gate = op.attrs["gate"]
+    if not gate.wait(timeout=30):
+        raise RuntimeError("serving gate never released")
+    return [inputs[0]]
+
+
+def _gated_graph(gate):
+    if "ServingGate" not in all_op_types():
+        register_op("ServingGate",
+                    infer=lambda op: [(op.inputs[0].dtype,
+                                       op.inputs[0].shape)],
+                    kernel=_gate_kernel)
+    graph = repro.Graph("gated_serving")
+    with graph.as_default():
+        x = ops.placeholder(repro.float32, (), "x")
+        out = graph.add_op("ServingGate", [x], {"gate": gate}).outputs[0]
+    return graph, x, out
+
+
+@pytest.mark.parametrize("engine", available_executors())
+class TestBackpressureAllExecutors:
+    @pytest.mark.timeout(90)
+    def test_queue_cap_rejects_with_backpressure(self, engine):
+        """Arrivals beyond the queue cap are rejected, not lost."""
+        virtual = resolve_executor(engine).virtual_clock
+        gate = threading.Event()
+        if virtual:
+            gate.set()  # single-threaded simulator: kernels may not block
+        graph, x, out = _gated_graph(gate)
+        session = repro.Session(graph, repro.Runtime(), num_workers=2,
+                                engine=engine)
+        kwargs = {"at": 0.0} if virtual else {}
+        with session.serve(max_in_flight=1, queue_cap=2) as server:
+            tickets = [server.submit(out, {x: float(k)}, **kwargs)
+                       for k in range(8)]
+            if not virtual:
+                gate.set()
+            server.drain()
+        # capacity at the burst instant = 1 free slot + 2 queue seats;
+        # the remaining 5 arrivals bounce off the cap
+        rejected = [t for t in tickets if t.rejected]
+        served = [t for t in tickets if not t.rejected]
+        assert len(rejected) == 5
+        assert server.completed == len(served) == 3
+        assert server.rejected == 5
+        assert server.stats.rejected_requests == 5
+        for ticket in served:
+            assert ticket.result() is not None
+        for ticket in rejected:
+            with pytest.raises(ServerOverloaded):
+                ticket.result()
+        # nothing lost: every submitted request resolved one way or other
+        assert all(t.done for t in tickets)
+
+    @pytest.mark.timeout(90)
+    def test_max_in_flight_is_respected(self, engine):
+        """Root instances in the engine never exceed the admission cap."""
+        virtual = resolve_executor(engine).virtual_clock
+        gate = threading.Event()
+        if virtual:
+            gate.set()
+        graph, x, out = _gated_graph(gate)
+        session = repro.Session(graph, repro.Runtime(), num_workers=2,
+                                engine=engine)
+        server = session.serve(max_in_flight=3)
+        engine_obj = session._engine
+        count_lock = threading.Lock()
+        live = {"now": 0, "peak": 0}
+        original = engine_obj.submit_root
+
+        def counting_submit(graph, fetches, feed_map, key, on_complete):
+            with count_lock:
+                live["now"] += 1
+                live["peak"] = max(live["peak"], live["now"])
+
+            def wrapped(values):
+                with count_lock:
+                    live["now"] -= 1
+                on_complete(values)
+            return original(graph, fetches, feed_map, key, wrapped)
+
+        engine_obj.submit_root = counting_submit
+        kwargs = {"at": 0.0} if virtual else {}
+        tickets = [server.submit(out, {x: 1.0}, **kwargs) for _ in range(9)]
+        if not virtual:
+            gate.set()
+        server.drain()
+        server.close()
+        assert server.completed == 9
+        assert all(t.result() == pytest.approx(1.0) for t in tickets)
+        assert live["now"] == 0
+        assert live["peak"] == 3
 
 
 # -- determinism (seeded request streams) -------------------------------------

@@ -20,7 +20,7 @@ from repro.data.batching import batch_trees
 from repro.models import ModelConfig, TreeRNNSentiment
 from repro.runtime.batching import QueueAwareBatchPolicy
 
-pytestmark = pytest.mark.serving
+pytestmark = [pytest.mark.serving, pytest.mark.stress]
 
 NUM_REQUESTS = 200
 
