@@ -1,8 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-fast check test-batching test-serving bench bench-fig8 \
-        bench-serving bench-smoke bench-overhead profile
+.PHONY: test test-fast check test-batching test-serving soak soak-ci \
+        bench bench-fig8 bench-serving bench-serving-slo bench-smoke \
+        bench-overhead profile
 
 # Tier-1: the full test suite (what CI gates on).
 test:
@@ -11,12 +12,23 @@ test:
 # The quick inner-loop subset: everything except the serving suites and
 # the long-running stress/soak suites (both still run under `make test`).
 test-fast:
-	$(PYTHON) -m pytest -x -q -m "not serving and not stress"
+	$(PYTHON) -m pytest -x -q -m "not serving and not stress and not soak"
 
-# The pre-push gate: fast tests plus the bench-smoke canaries (tiny
-# fig7/table2 sweeps, the continuous-serving canary and the
+# The pre-push gate: fast tests, the CI-sized soak (~30s: bounded-memory
+# and SLO counters under sustained load), plus the bench-smoke canaries
+# (tiny fig7/table2 sweeps, the continuous-serving canary and the
 # spawn-overhead regression gate).
-check: test-fast bench-smoke
+check: test-fast soak-ci bench-smoke
+
+# CI-sized sustained soak (a few thousand requests, ~30s).
+soak-ci:
+	$(PYTHON) -m pytest -x -q -m soak
+
+# The full sustained soak: 10^5 requests through one long-lived server
+# (heavy-tailed tree sizes, deadlines, cancellations, bounded-memory
+# assertion); records its row into BENCH_serving.json.
+soak:
+	SOAK_REQUESTS=100000 SOAK_RECORD=1 $(PYTHON) -m pytest -x -q -m soak -s
 
 # The micro-batching equivalence + stress subset.
 test-batching:
@@ -38,6 +50,12 @@ bench-fig8:
 # (wave vs continuous admission x unbatched vs batched, tail latency).
 bench-serving:
 	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/bench_serving.py -q -s
+
+# SLO serving bench: FIFO+queue-cap vs EDF+cost-shedding under overload
+# (goodput and small-tree p99.9); merges the "slo" section into
+# BENCH_serving.json.
+bench-serving-slo:
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/bench_serving_slo.py -q -s
 
 # Tiny-config fig7/table2 canary plus a ~1s continuous-serving canary
 # (open-loop arrivals, wave vs continuous): every runner kind, both

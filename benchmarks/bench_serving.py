@@ -23,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from benchmarks.common import (WORKERS, bench_engine, fresh_model,
-                               save_bench_json, treebank)
+                               merge_bench_json, treebank)
 from repro.harness import (format_latency, format_table,
                            poisson_request_stream, save_results, serve_stream)
 
@@ -104,7 +104,9 @@ def test_serving_continuous_vs_wave(benchmark):
           f"batched/unbatched (continuous): "
           f"{payload['batched_over_unbatched_continuous']:.2f}x")
     save_results("serving_continuous_batching", payload["configs"])
-    save_bench_json("serving", payload)
+    # merge: the SLO bench and the soak own their own sections of
+    # BENCH_serving.json ("slo", "soak") — don't clobber them
+    merge_bench_json("serving", payload)
 
     # values never depend on admission or batching
     reference = results[("wave", False)]

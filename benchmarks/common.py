@@ -99,3 +99,25 @@ def save_bench_json(name: str, payload: dict) -> str:
         json.dump(payload, fh, indent=2, sort_keys=True, default=float)
         fh.write("\n")
     return path
+
+
+def merge_bench_json(name: str, updates: dict) -> str:
+    """Merge top-level sections into ``BENCH_<name>.json`` in place.
+
+    Lets independent benches share one trajectory file — e.g. the SLO
+    overload bench and the soak harness each own a section of
+    ``BENCH_serving.json`` without clobbering the admission baseline
+    recorded by ``bench_serving.py``.  Missing or unreadable files start
+    from an empty payload.
+    """
+    root = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+    path = os.path.join(root, f"BENCH_{name}.json")
+    payload = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            payload = {}
+    payload.update(updates)
+    return save_bench_json(name, payload)

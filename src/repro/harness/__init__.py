@@ -24,9 +24,10 @@ from .reporting import (ascii_series, format_adaptive_policy,
 from .runners import (BatchedRecursiveRunner, FoldingRunner, IterativeRunner,
                       RecursiveRunner, RunnerConfig, UnrolledRunner,
                       make_runner)
-from .serving import (RequestStream, ServingResult, burst_request_stream,
-                      compare_admission, compare_batching,
-                      poisson_request_stream, serve_concurrent, serve_stream)
+from .serving import (RequestStream, ServingResult, SoakResult,
+                      burst_request_stream, compare_admission,
+                      compare_batching, poisson_request_stream, run_soak,
+                      serve_concurrent, serve_stream)
 from .throughput import (ThroughputResult, measure_latency_curve,
                          measure_throughput)
 
@@ -37,6 +38,7 @@ __all__ = ["ConvergencePoint", "ConvergenceResult", "evaluate_accuracy",
            "save_results", "BatchedRecursiveRunner", "FoldingRunner",
            "IterativeRunner", "RecursiveRunner", "RunnerConfig",
            "UnrolledRunner", "make_runner", "RequestStream", "ServingResult",
-           "burst_request_stream", "compare_admission", "compare_batching",
-           "poisson_request_stream", "serve_concurrent", "serve_stream",
+           "SoakResult", "burst_request_stream", "compare_admission",
+           "compare_batching", "poisson_request_stream", "run_soak",
+           "serve_concurrent", "serve_stream",
            "ThroughputResult", "measure_latency_curve", "measure_throughput"]

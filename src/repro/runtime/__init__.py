@@ -34,7 +34,8 @@ from .engine import EngineError, EventEngine
 from .plan import FramePlan, plan_for, plan_for_fetches
 from .scheduler import (SchedulerCore, available_executors,
                         register_executor, resolve_executor)
-from .server import RecursiveServer, RequestTicket, ServerOverloaded
+from .server import (DeadlineExceeded, RecursiveServer, RequestCancelled,
+                     RequestTicket, ServerOverloaded)
 from .session import Runtime, Session, default_runtime, reset_default_runtime
 from .stats import RunStats, percentile
 from .threaded import ThreadedEngine
@@ -49,6 +50,7 @@ __all__ = ["AdaptiveBatchPolicy", "BatchPolicy", "Coalescer",
            "WorkerPoolEngine", "SchedulerCore", "available_executors",
            "register_executor", "resolve_executor", "FramePlan",
            "plan_for", "plan_for_fetches", "RecursiveServer",
-           "RequestTicket", "ServerOverloaded", "Runtime", "Session",
+           "RequestTicket", "ServerOverloaded", "RequestCancelled",
+           "DeadlineExceeded", "Runtime", "Session",
            "default_runtime", "reset_default_runtime", "RunStats",
            "percentile", "GradientAccumulator", "Variable", "VariableStore"]

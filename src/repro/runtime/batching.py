@@ -230,13 +230,28 @@ class QueueAwareBatchPolicy(AdaptiveBatchPolicy):
     shallow_scale: float = 0.25
     #: timeout multiplier when the request queue is at its cap
     deep_scale: float = 2.0
+    #: deadline pressure: flush deadlines are clamped to this fraction of
+    #: the nearest queued request's deadline slack, so an urgent request
+    #: is never parked behind a patient flush timer
+    urgency_fraction: float = 0.25
     _load: float = field(default=0.0, repr=False)
+    _slack: Optional[float] = field(default=None, repr=False)
 
     def note_queue_depth(self, depth: int, cap: int) -> None:
         """Report request-queue occupancy (``depth`` of ``cap`` slots)."""
         if cap <= 0:
             raise ValueError("queue cap must be positive")
         self._load = min(1.0, max(0.0, depth / cap))
+
+    def note_deadline_slack(self, slack: Optional[float]) -> None:
+        """Report the tightest queued deadline's remaining slack (seconds).
+
+        ``None`` clears the pressure (no deadline-carrying requests
+        waiting).  The server refreshes this alongside
+        :meth:`note_queue_depth` on every enqueue/admit, outside its own
+        lock — see the serving lock-ordering rules in ARCHITECTURE.md.
+        """
+        self._slack = slack
 
     @property
     def load(self) -> float:
@@ -247,7 +262,13 @@ class QueueAwareBatchPolicy(AdaptiveBatchPolicy):
         base = super().timeout_for(signature)
         scale = (self.shallow_scale
                  + self._load * (self.deep_scale - self.shallow_scale))
-        return min(self.max_timeout, max(self.min_timeout, base * scale))
+        timeout = base * scale
+        if self._slack is not None:
+            # EDF pressure: the widest acceptable flush delay is a
+            # fraction of the most urgent waiting request's slack
+            timeout = min(timeout, max(0.0, self._slack)
+                          * self.urgency_fraction)
+        return min(self.max_timeout, max(self.min_timeout, timeout))
 
 
 def resolve_batching(batching, policy: Optional[BatchPolicy]):
@@ -463,6 +484,31 @@ class Coalescer:
         self._pending -= len(bucket)
         self.policy.observe(signature, len(bucket), cause)
         return bucket
+
+    def discard_root(self, root) -> int:
+        """Evict every pending instance whose frame tree is rooted at
+        ``root`` (request cancellation).  Buckets emptied by the
+        eviction vanish from the table; their deadline-heap entries go
+        stale and are discarded lazily like any flushed bucket's.  Not a
+        flush: the policy's ``observe`` feedback is not invoked.
+        Returns the number of instances dropped.
+        """
+        dropped = 0
+        emptied = []
+        for signature, bucket in self._buckets.items():
+            keep = [i for i, inst in enumerate(bucket.instances)
+                    if inst.frame.root is not root]
+            if len(keep) == len(bucket.instances):
+                continue
+            dropped += len(bucket.instances) - len(keep)
+            bucket.instances = [bucket.instances[i] for i in keep]
+            bucket.inputs = [bucket.inputs[i] for i in keep]
+            if not bucket.instances:
+                emptied.append(signature)
+        for signature in emptied:
+            del self._buckets[signature]
+        self._pending -= dropped
+        return dropped
 
     def __len__(self) -> int:
         """Number of pending *instances* across all buckets."""

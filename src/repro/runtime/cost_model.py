@@ -218,6 +218,38 @@ class CostModel:
     def dispatch(self, op) -> float:
         return self.dispatch_cost
 
+    def plan_cost(self, plan) -> float:
+        """Static engine-cost estimate of one activation of ``plan``.
+
+        Sums per-slot overheads from the plan's precomputed cost kinds —
+        dispatch plus kernel overhead per sync op, caller-context setup
+        plus return for async ops (frame spawns), the lookup round-trip
+        for cache reads — with *no* floating-point work term: runtime
+        input shapes do not exist before admission, and for the small
+        per-node tensors of recursive models the fixed overheads
+        dominate (the premise of the whole cost model).
+
+        This is the admission-time half of the server's cost-predicted
+        load shedding: ``plan_cost(root_plan) × size_hint`` estimates a
+        request's engine seconds before any of it has run, and an EWMA
+        of observed (actual / predicted) ratios calibrates away the
+        constant factors this estimate ignores (recursion multiplier,
+        flops, batching discounts).
+        """
+        total = 0.0
+        for op, definition, kind in zip(plan.ops, plan.defs,
+                                        plan.cost_kinds):
+            total += self.dispatch_cost
+            if definition.is_async:
+                total += self.async_overhead(op) + self.return_overhead
+            elif kind == "cache":
+                total += self.cache_lookup_cost
+            elif kind == "trivial":
+                total += 0.25 * self.op_overhead
+            else:
+                total += self.op_overhead
+        return total
+
 
 def calibrate_batch_member_cost(widths=(4, 8, 16, 32, 64),
                                 shape=(64, 64), repeats=30,

@@ -43,8 +43,8 @@ from .batching import BatchPolicy, Coalescer
 from .cost_model import CostModel
 from .plan import plan_for_fetches
 from .scheduler import (EngineError, Frame, Instance, SchedulerCore,
-                        _DepthPriorityReady, _FifoReady, register_executor,
-                        should_store)
+                        _DepthPriorityReady, _FifoReady, prune_cancelled,
+                        register_executor, should_store)
 from .stats import RunStats
 
 __all__ = ["Frame", "Instance", "EventEngine", "EngineError",
@@ -190,8 +190,12 @@ class EventEngine(SchedulerCore):
                     if isinstance(inst, list):  # fused micro-batch members
                         if starter_inputs is not None:
                             # fused frame spawn: run every member's starter
+                            # (skipping members whose root was cancelled
+                            # while the spawn event was in flight)
                             for member, member_inputs in zip(inst,
                                                              starter_inputs):
+                                if member.frame.root.cancelled:
+                                    continue
                                 starter = member.frame.plan.starters[
                                     member.slot]
                                 starter(self, member, member_inputs)
@@ -199,7 +203,7 @@ class EventEngine(SchedulerCore):
                             self._complete_batch(inst, outputs)
                     elif starter_inputs is None:
                         self._complete_instance(inst, outputs)
-                    else:
+                    elif not inst.frame.root.cancelled:
                         starter = inst.frame.plan.starters[inst.slot]
                         starter(self, inst, starter_inputs)
                 except Exception as exc:  # annotate and stop
@@ -228,6 +232,8 @@ class EventEngine(SchedulerCore):
             while ready and self._free > 0 and self._error is None:
                 inst = ready.pop()
                 frame = inst.frame
+                if frame.root.cancelled:
+                    continue
                 values = frame.values
                 inputs = [values[s][i]
                           for s, i in frame.plan.input_locs[inst.slot]]
@@ -237,6 +243,8 @@ class EventEngine(SchedulerCore):
             while ready and self._free > 0 and self._error is None:
                 inst = ready.pop()
                 frame = inst.frame
+                if frame.root.cancelled:
+                    continue
                 plan = frame.plan
                 slot = inst.slot
                 values = frame.values
@@ -322,6 +330,8 @@ class EventEngine(SchedulerCore):
 
     def _execute_batch(self, bucket) -> None:
         """Run one fused kernel call for a bucket of same-signature ops."""
+        if not prune_cancelled(bucket):
+            return
         if not self._bucket_fused(bucket):
             for inst, inputs in zip(bucket.instances, bucket.inputs):
                 if self._free <= 0:

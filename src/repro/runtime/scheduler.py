@@ -72,7 +72,8 @@ from .stats import RunStats
 
 __all__ = ["SchedulerCore", "Frame", "Instance", "EngineError",
            "should_store", "seed_frame", "collect_cache_entries",
-           "register_executor", "resolve_executor", "available_executors"]
+           "prune_cancelled", "register_executor", "resolve_executor",
+           "available_executors"]
 
 
 class EngineError(RuntimeError):
@@ -125,6 +126,27 @@ def seed_frame(frame: "Frame", complete_instance: Callable,
             push(Instance(plan.ops[slot], frame, slot))
 
 
+def prune_cancelled(bucket) -> bool:
+    """Drop members of cancelled request trees from a popped bucket.
+
+    Shared by every executor's bucket-execution path: a bucket may have
+    been filled before its members' root was cancelled (or popped from
+    the coalescer concurrently with ``cancel_root``'s discard), so the
+    flush filters again.  Returns True when live members remain.
+    """
+    instances = bucket.instances
+    for inst in instances:
+        if inst.frame.root.cancelled:
+            break
+    else:
+        return bool(instances)
+    keep = [i for i, inst in enumerate(instances)
+            if not inst.frame.root.cancelled]
+    bucket.instances = [instances[i] for i in keep]
+    bucket.inputs = [bucket.inputs[i] for i in keep]
+    return bool(keep)
+
+
 def collect_cache_entries(members, outputs_list) -> list:
     """The record-set of one fused batch as ``store_many`` entries.
 
@@ -155,7 +177,7 @@ class Frame:
 
     __slots__ = ("plan", "graph", "key", "depth", "record", "bindings",
                  "values", "pending", "remaining", "on_complete", "owner",
-                 "ctx")
+                 "ctx", "root", "cancelled")
 
     def __init__(self, plan: FramePlan, bindings: dict, key: tuple,
                  depth: int, record: bool, on_complete: Callable,
@@ -173,6 +195,10 @@ class Frame:
         self.owner = owner  # parent Instance (None for the root frame)
         self.ctx = None  # lazily-built ExecContext, shared by this
         # frame's kernel invocations (runtime/frame/record are fixed)
+        #: the depth-0 ancestor; only the root's ``cancelled`` flag is
+        #: ever consulted, so cancelling one root retires its whole tree
+        self.root = owner.frame.root if owner is not None else self
+        self.cancelled = False
 
     def value_of(self, tensor: Tensor):
         return self.values[self.plan.index_of[tensor.op.id]][tensor.index]
@@ -401,8 +427,16 @@ class SchedulerCore:
         Mutates master state: on locking executors every entry point
         (worker completion paths, starters, ``submit_root``, seeding)
         already holds the master lock when this runs.
+
+        Cancelled request trees quiesce here: a completion belonging to
+        a cancelled root is dropped — no dependents are pushed, the
+        frame never reaches ``remaining == 0``, so ``on_complete`` never
+        fires.  This single chokepoint covers every completion path
+        (sync kernels, fused batches, async returns) on all executors.
         """
         frame = inst.frame
+        if frame.root.cancelled:
+            return
         plan = frame.plan
         slot = inst.slot
         if len(outputs) != plan.n_outputs[slot]:
@@ -483,11 +517,13 @@ class SchedulerCore:
         completion instants with the fused overhead charged up front).
         Exceptions propagate to the caller's failure handler.
         """
-        first = bucket.instances[0]
-        starter = first.frame.plan.starters[first.slot]
         with self._master_lock:
             for inst, inputs in zip(bucket.instances, bucket.inputs):
-                starter(self, inst, inputs)
+                # re-checked under the lock: a cancel may land between
+                # the caller's prune (outside the lock) and the spawn
+                if inst.frame.root.cancelled:
+                    continue
+                inst.frame.plan.starters[inst.slot](self, inst, inputs)
             if fused:
                 self.stats.note_batch(bucket.op_type, len(bucket), 0.0,
                                       bucket.signature)
@@ -564,6 +600,41 @@ class SchedulerCore:
                 self._start_frame(frame)
         self._admitted()
         return frame
+
+    def cancel_root(self, frame: Frame) -> bool:
+        """Retire a root frame mid-flight (request cancellation/timeout).
+
+        Marks the tree cancelled, evicts its pending coalescer-bucket
+        members, and releases the root from ``_open_roots`` so ``drain``
+        does not wait for it.  Ready-queue instances and kernels already
+        executing are dropped lazily: dispatch loops skip cancelled
+        instances and :meth:`_complete_instance` discards their
+        completions, so the tree quiesces without new work.  The frame's
+        plan slots and values become garbage the moment the caller drops
+        its references (nothing pins a cancelled frame).
+
+        Returns False — and does nothing — when the root already
+        completed or was already cancelled: completion and cancellation
+        race atomically under the master lock, exactly one wins.
+        """
+        lock = self._master_lock
+        if lock is None:
+            return self._cancel_root_locked(frame)
+        with lock:
+            return self._cancel_root_locked(frame)
+
+    def _cancel_root_locked(self, frame: Frame) -> bool:
+        root = frame.root
+        if root.cancelled or root.remaining == 0:
+            return False
+        root.cancelled = True
+        self._open_roots -= 1
+        if self._coalescer is not None:
+            self._coalescer.discard_root(root)
+        cv = self._roots_cv
+        if cv is not None:
+            cv.notify_all()
+        return True
 
     def drain(self) -> RunStats:
         """Complete all admitted work (and, on the event engine, all

@@ -140,7 +140,12 @@ class Session:
 
     def serve(self, *, max_in_flight: int = 16,
               queue_cap: Optional[int] = None,
-              admission: str = "continuous", keep_tickets: bool = True):
+              admission: str = "continuous", keep_tickets: bool = True,
+              order: str = "edf", shedding: str = "cap",
+              queue_cost_cap: Optional[float] = None,
+              capacity_factor: Optional[float] = None,
+              tenant_weights: Optional[dict] = None,
+              enforce_deadlines: bool = True):
         """Enter persistent serving mode; returns a
         :class:`~repro.runtime.server.RecursiveServer`.
 
@@ -154,6 +159,14 @@ class Session:
         continuous or legacy wave-synchronized admission.  Per-request
         values are bit-identical to :meth:`run` on the same fetches.
 
+        SLO knobs (see :class:`~repro.runtime.server.RecursiveServer`):
+        ``order`` picks EDF or FIFO admission, ``shedding`` picks
+        queue-depth or cost-predicted load shedding (``queue_cost_cap``,
+        ``capacity_factor``), ``tenant_weights`` configures weighted
+        fair queueing across tenants, and ``enforce_deadlines`` cancels
+        requests that miss their deadline — dropping them from the queue
+        or unwinding their in-flight frames.
+
         The server owns the engine until ``server.close()``; interleaving
         ``session.run`` with an open server is unsupported.  Usable as a
         context manager::
@@ -165,7 +178,12 @@ class Session:
         from .server import RecursiveServer
         return RecursiveServer(self, max_in_flight=max_in_flight,
                                queue_cap=queue_cap, admission=admission,
-                               keep_tickets=keep_tickets)
+                               keep_tickets=keep_tickets, order=order,
+                               shedding=shedding,
+                               queue_cost_cap=queue_cost_cap,
+                               capacity_factor=capacity_factor,
+                               tenant_weights=tenant_weights,
+                               enforce_deadlines=enforce_deadlines)
 
     def _check_fetches(self, fetch_list: Sequence[Tensor]) -> None:
         for t in fetch_list:

@@ -16,8 +16,9 @@ from dataclasses import dataclass, field
 
 __all__ = ["RunStats", "percentile"]
 
-#: the percentile levels latency_summary reports
-LATENCY_PERCENTILES = (50.0, 95.0, 99.0)
+#: the percentile levels latency_summary reports ("p99.9" needs the
+#: long-tail soak sample sizes to be meaningful; short runs clamp to max)
+LATENCY_PERCENTILES = (50.0, 95.0, 99.0, 99.9)
 
 
 def _percentile_sorted(data: list, q: float) -> float:
@@ -90,8 +91,17 @@ class RunStats:
     batch_width_hist: dict = field(default_factory=dict)
     #: requests completed through a serving session
     requests: int = 0
-    #: requests rejected by admission control (queue-depth cap)
+    #: requests rejected by admission control (queue-depth cap, or the
+    #: cost-predicted shedding path)
     rejected_requests: int = 0
+    #: requests cancelled by the client while queued or in flight
+    cancelled_requests: int = 0
+    #: requests dropped by deadline enforcement (queued or in flight)
+    timed_out_requests: int = 0
+    #: deadline-carrying requests that did not complete by their
+    #: deadline: every timed-out request plus every late completion.
+    #: ``goodput_requests`` = completions inside their deadline.
+    deadline_misses: int = 0
     #: per-request time spent waiting in the server's request queue
     queue_times: list = field(default_factory=list)
     #: per-request time spent executing in the engine (admit -> complete)
@@ -132,12 +142,43 @@ class RunStats:
         feeds the latency samples — the server and the serving harness
         both plumb per-request accounting through it instead of
         extracting the component times themselves.
+
+        Deadline accounting rides along: a ticket carrying a
+        ``deadline`` that completed past it counts as a deadline miss
+        (late completions and timed-out requests together make up
+        ``deadline_misses``).
         """
         self.note_request(ticket.queue_time, ticket.engine_time)
+        deadline = getattr(ticket, "deadline", None)
+        if deadline is not None and ticket.complete_time > deadline:
+            self.deadline_misses += 1
 
     def note_rejected(self) -> None:
-        """Record one request bounced by the queue-depth cap."""
+        """Record one request shed at admission (cap or predicted cost).
+
+        Rejected requests contribute *no* latency samples: the latency
+        distribution describes served requests only.
+        """
         self.rejected_requests += 1
+
+    def note_cancelled(self) -> None:
+        """Record one client-cancelled request (no latency sample)."""
+        self.cancelled_requests += 1
+
+    def note_timed_out(self) -> None:
+        """Record one request dropped by deadline enforcement.
+
+        Counts as a deadline miss; contributes no latency sample.
+        """
+        self.timed_out_requests += 1
+        self.deadline_misses += 1
+
+    @property
+    def goodput_requests(self) -> int:
+        """Completions that made their deadline (deadline-free requests
+        count: an absent SLO cannot be missed)."""
+        return self.requests - (self.deadline_misses
+                                - self.timed_out_requests)
 
     @property
     def request_latencies(self) -> list:
@@ -156,6 +197,10 @@ class RunStats:
             return {}
         return {"requests": self.requests,
                 "rejected": self.rejected_requests,
+                "cancelled": self.cancelled_requests,
+                "timed_out": self.timed_out_requests,
+                "deadline_misses": self.deadline_misses,
+                "goodput": self.goodput_requests,
                 "queue": _component_summary(self.queue_times),
                 "engine": _component_summary(self.engine_times),
                 "total": _component_summary(self.request_latencies)}
@@ -220,6 +265,9 @@ class RunStats:
                                    other.max_frame_depth)
         self.requests += other.requests
         self.rejected_requests += other.rejected_requests
+        self.cancelled_requests += other.cancelled_requests
+        self.timed_out_requests += other.timed_out_requests
+        self.deadline_misses += other.deadline_misses
         self.queue_times.extend(other.queue_times)
         self.engine_times.extend(other.engine_times)
         if len(self.queue_times) > self.max_latency_samples:
@@ -266,6 +314,13 @@ class RunStats:
                 f"latency p50={lat['p50'] * 1e3:.3f} ms  "
                 f"p95={lat['p95'] * 1e3:.3f} ms  "
                 f"p99={lat['p99'] * 1e3:.3f} ms")
+            if (self.cancelled_requests or self.timed_out_requests
+                    or self.deadline_misses):
+                lines.append(
+                    f"cancelled={self.cancelled_requests}  "
+                    f"timed_out={self.timed_out_requests}  "
+                    f"deadline_misses={self.deadline_misses}  "
+                    f"goodput={self.goodput_requests}")
         top = sorted(self.per_type_time.items(), key=lambda kv: -kv[1])[:8]
         for op_type, t in top:
             lines.append(f"  {op_type:<22} n={self.per_type_count[op_type]:<7}"

@@ -47,7 +47,7 @@ from .batching import BatchPolicy, Coalescer
 from .cost_model import CostModel
 from .plan import plan_for_fetches
 from .scheduler import (EngineError, Instance, SchedulerCore,
-                        register_executor)
+                        prune_cancelled, register_executor)
 from .stats import RunStats
 
 __all__ = ["ThreadedEngine"]
@@ -187,6 +187,9 @@ class ThreadedEngine(SchedulerCore):
                 # failed session (including one whose error a drain()
                 # already raised): never resume doomed work
                 continue
+            if inst.frame.root.cancelled:
+                # request cancelled while the instance sat in the queue
+                continue
             op = inst.op
             frame = inst.frame
             plan = frame.plan
@@ -254,6 +257,8 @@ class ThreadedEngine(SchedulerCore):
 
     def _run_bucket(self, bucket) -> None:
         """Execute one bucket: fused kernel outside the lock, then scatter."""
+        if not prune_cancelled(bucket):
+            return
         first = bucket.instances[0]
         definition = first.frame.plan.defs[first.slot]
         ops = [inst.op for inst in bucket.instances]

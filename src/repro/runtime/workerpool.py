@@ -48,7 +48,7 @@ from .batching import BatchPolicy, Coalescer
 from .cost_model import CostModel
 from .plan import plan_for_fetches
 from .scheduler import (EngineError, Instance, SchedulerCore,
-                        register_executor)
+                        prune_cancelled, register_executor)
 from .stats import RunStats
 
 __all__ = ["WorkerPoolEngine"]
@@ -249,6 +249,10 @@ class WorkerPoolEngine(SchedulerCore):
                 except IndexError:
                     break
                 frame = inst.frame
+                if frame.root.cancelled:
+                    # request cancelled while the instance sat ready
+                    progressed = True
+                    continue
                 plan = frame.plan
                 slot = inst.slot
                 values = frame.values
@@ -296,6 +300,8 @@ class WorkerPoolEngine(SchedulerCore):
         return progressed
 
     def _submit_bucket(self, bucket) -> None:
+        if not prune_cancelled(bucket):
+            return
         with self._master_lock:
             fused = self._bucket_fused(bucket)
         first = bucket.instances[0]

@@ -1,0 +1,97 @@
+"""Sustained-soak serving: bounded memory and SLO accounting at scale.
+
+One long-lived server (event engine, ``keep_tickets=False``) serves a
+heavy-tailed request stream in chunks — deadlines enforced, cost
+shedding on, a client cancellation every few hundred requests — and the
+resident set must *plateau*: completed tickets, their feeds and values
+are dropped as requests finish, the latency reservoir is bounded, and
+the coalescer/queue end every chunk empty.
+
+CI runs a ~30s variant (a few thousand requests).  ``make soak`` runs
+the full 10^5-request version (``SOAK_REQUESTS=100000``) and records
+its row into ``BENCH_serving.json`` (``SOAK_RECORD=1``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+import repro
+from repro.data import make_treebank
+from repro.harness import run_soak
+from repro.models import ModelConfig, TreeRNNSentiment
+
+pytestmark = [pytest.mark.soak, pytest.mark.serving]
+
+#: CI-sized default; `make soak` overrides to 100_000
+NUM_REQUESTS = int(os.environ.get("SOAK_REQUESTS", "2500"))
+
+
+@pytest.mark.timeout(1800)
+def test_sustained_soak_bounded_memory_and_slo_accounting():
+    # heavy-tailed sizes: log-normal lengths, tail an order of magnitude
+    # above the mean — the overload comes in bursts of big trees
+    bank = make_treebank(num_train=48, num_val=4, vocab_size=80,
+                         mean_log_words=2.1, sigma_log_words=0.8,
+                         max_words=120, seed=17)
+    model = TreeRNNSentiment(ModelConfig(hidden=6, embed_dim=6,
+                                         vocab_size=80), repro.Runtime())
+    result = run_soak(
+        model, bank.train,
+        num_requests=NUM_REQUESTS,
+        chunk=max(250, NUM_REQUESTS // 40),
+        arrival_rate=600.0,
+        max_in_flight=16,
+        shedding="cost",
+        queue_cost_cap=0.08,
+        deadline_slack=0.02,
+        cancel_every=200,
+        batching=True,
+        seed=29,
+    )
+    print()
+    print(result.summary())
+
+    # every submitted request is accounted for, exactly once
+    assert (result.completed + result.rejected + result.timed_out
+            + result.cancelled) == result.requests
+    # the server actually served under load (not shed everything)
+    assert result.completed > result.requests // 2
+    assert result.cancelled > 0
+    # misses = timed-out drops + late completions; goodput covers the rest
+    assert result.deadline_misses >= result.timed_out
+    assert result.goodput == (result.completed
+                              - (result.deadline_misses - result.timed_out))
+    # the tail percentile the SLO story is about exists and is ordered
+    total = result.latency["total"]
+    assert total["p50"] <= total["p99"] <= total["p99.9"] <= total["max"]
+
+    # bounded memory: with keep_tickets=False the resident set plateaus
+    # (late-half peak within a small tolerance of early-half peak)
+    growth = result.rss_growth
+    assert growth is not None, "need >= 4 RSS samples"
+    assert growth < 1.35, (
+        f"RSS grew {growth:.2f}x across the soak: {result.rss_samples_kb}")
+
+    if os.environ.get("SOAK_RECORD"):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        sys.path.insert(0, root)
+        from benchmarks.common import merge_bench_json
+        path = merge_bench_json("serving", {"soak": {
+            "requests": result.requests,
+            "completed": result.completed,
+            "rejected": result.rejected,
+            "timed_out": result.timed_out,
+            "cancelled": result.cancelled,
+            "deadline_misses": result.deadline_misses,
+            "goodput": result.goodput,
+            "virtual_seconds": result.virtual_seconds,
+            "wall_seconds": result.wall_seconds,
+            "latency_total": result.latency.get("total", {}),
+            "rss_samples_kb": result.rss_samples_kb,
+            "rss_growth": result.rss_growth,
+        }})
+        print(f"recorded soak row -> {path}")
