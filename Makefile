@@ -3,7 +3,7 @@ export PYTHONPATH := src:$(PYTHONPATH)
 
 .PHONY: test test-fast check test-batching test-serving soak soak-ci \
         bench bench-fig8 bench-serving bench-serving-slo bench-smoke \
-        bench-overhead profile
+        bench-overhead bench-level profile
 
 # Tier-1: the full test suite (what CI gates on).
 test:
@@ -69,6 +69,14 @@ bench-smoke:
 # ("after" block — the recorded "before" is the pre-FramePlan engine).
 bench-overhead:
 	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/bench_overhead.py -q -s
+
+# Level-plan compilation bench: paired dynamic-vs-compiled dispatch at
+# the paper's batch sizes (infer + train); merges the "level_plan"
+# section into BENCH_overhead.json and gates on the >=1.5x bar at
+# batch 10.  The fast equivalence canary rides `make check` via
+# bench-smoke; this is the full paired measurement.
+bench-level:
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/bench_level_plan.py -q -s
 
 # TreeLSTM continuous-serving canary under cProfile: prints the top-20
 # cumulative hot spots of the scheduler/serving path.

@@ -1,0 +1,143 @@
+"""Level-plan compilation microbench: dynamic vs compiled dispatch.
+
+Paired host-wall-clock measurement of the same admissions executed twice
+— once through the dynamic scheduler (frame spawns, signature matching,
+coalescer bookkeeping per node) and once through the compiled level-plan
+fast path (:mod:`repro.runtime.level_plan`), which lowers each known
+tree shape to a fixed sequence of pre-bucketed fused dispatches.  The
+workload sweeps the benchmark treebank's sentence-length distribution at
+the paper's batch sizes, so compiled plans are memoized per distinct
+shape profile exactly as a serving process would reuse them.
+
+Reported per mode: µs per tree-node instance (host wall-clock over the
+whole epoch sweep) and the level-plan hit/fallback counters.  The
+``level_plan`` section of ``BENCH_overhead.json`` records the paired
+rows; the acceptance gate is a >= 1.5x per-instance throughput win at
+batch >= 10.  ``benchmarks/bench_smoke.py`` carries the always-on
+equivalence canary.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+import repro
+from repro.data.batching import batch_trees
+
+from benchmarks.common import (WORKERS, bench_engine, fresh_model,
+                               merge_bench_json, treebank)
+
+BATCH_SIZES = (1, 10)
+MODEL = "TreeRNN"
+REPEATS = 3
+
+
+def _epoch_batches(batch_size: int):
+    bank = treebank()
+    trees = bank.train[:(len(bank.train) // batch_size) * batch_size]
+    return [batch_trees(trees[i:i + batch_size])
+            for i in range(0, len(trees), batch_size)]
+
+
+def _measure(batch_size: int, compiled: bool, train: bool) -> dict:
+    """Best-of-N wall clock for one epoch sweep, one dispatch mode."""
+    model = fresh_model(MODEL)
+    runtime = model.runtime
+    built = model.build_recursive(batch_size)
+    fetches = [built.loss, built.root_logits]
+    if train:
+        _, updates = repro.gradients(built.loss, [])
+        fetches += [op.outputs[-1] for op in updates]
+    session = repro.Session(built.graph, runtime, num_workers=WORKERS,
+                            engine=bench_engine(), record=train)
+    batches = _epoch_batches(batch_size)
+    instances = sum(sum(t.num_nodes for t in b.trees) for b in batches)
+
+    def sweep():
+        for batch in batches:
+            kwargs = ({"shape_profile": built.shape_profiles(batch)}
+                      if compiled else {})
+            session.run(fetches, built.feed_dict(batch), **kwargs)
+
+    sweep()  # warm: plan caches, and (compiled) per-profile level plans
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        sweep()
+        best = min(best, time.perf_counter() - t0)
+    hits = fallbacks = 0
+    if compiled:
+        # one timed sweep's counters (last run's session stats accumulate
+        # per run; re-read per batch for totals)
+        for batch in batches:
+            session.run(fetches, built.feed_dict(batch),
+                        shape_profile=built.shape_profiles(batch))
+            hits += session.last_stats.level_plan_hits
+            fallbacks += session.last_stats.level_plan_fallbacks
+    return {"batch_size": batch_size,
+            "mode": "train" if train else "infer",
+            "trees": sum(b.size for b in batches),
+            "instances": instances,
+            "wall_s": best,
+            "us_per_instance": 1e6 * best / instances,
+            "level_plan_hits": hits,
+            "level_plan_fallbacks": fallbacks}
+
+
+def test_level_plan_dispatch_bench():
+    rows = {}
+    for train in (False, True):
+        for batch_size in BATCH_SIZES:
+            dynamic = _measure(batch_size, compiled=False, train=train)
+            compiled = _measure(batch_size, compiled=True, train=train)
+            # the compiled path must never miss on this workload
+            assert compiled["level_plan_fallbacks"] == 0
+            assert compiled["level_plan_hits"] > 0
+            key = f"{dynamic['mode']}_b{batch_size}"
+            rows[key] = {
+                "dynamic": dynamic,
+                "compiled": compiled,
+                "speedup": (dynamic["us_per_instance"]
+                            / compiled["us_per_instance"]),
+            }
+
+    payload = {
+        "description": "paired dynamic vs compiled level-plan dispatch "
+                       "(host wall-clock, treebank length distribution)",
+        "model": MODEL,
+        "rows": rows,
+    }
+    merge_bench_json("overhead", {"level_plan": payload})
+
+    print("\nlevel-plan dispatch bench (host wall-clock):")
+    for key, row in rows.items():
+        print(f"  {key}: dynamic "
+              f"{row['dynamic']['us_per_instance']:.1f} us/inst, compiled "
+              f"{row['compiled']['us_per_instance']:.1f} us/inst "
+              f"-> {row['speedup']:.2f}x "
+              f"(hits={row['compiled']['level_plan_hits']}, "
+              f"fallbacks={row['compiled']['level_plan_fallbacks']})")
+
+    # the acceptance gate: per-instance throughput at batch >= 10
+    for mode in ("infer", "train"):
+        speedup = rows[f"{mode}_b10"]["speedup"]
+        assert speedup >= 1.5, (
+            f"compiled {mode} path {speedup:.2f}x at batch 10 — "
+            "below the 1.5x acceptance bar")
+
+
+def test_level_plan_values_match_dynamic():
+    """The bench workload itself is value-checked (belt and braces on
+    top of tests/test_level_plan.py): one batch, both paths, bit-equal."""
+    model = fresh_model(MODEL)
+    built = model.build_recursive(10)
+    batch = _epoch_batches(10)[0]
+    session = repro.Session(built.graph, model.runtime, num_workers=WORKERS,
+                            engine=bench_engine())
+    ref = session.run(built.root_logits, built.feed_dict(batch))
+    got = session.run(built.root_logits, built.feed_dict(batch),
+                      shape_profile=built.shape_profiles(batch))
+    assert session.last_stats.level_plan_hits == 1
+    assert np.array_equal(ref, got)

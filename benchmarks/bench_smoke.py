@@ -97,6 +97,29 @@ def test_smoke_batched_training_is_equivalent_and_fused():
         assert vtimes["BatchedRecursive"] <= vtimes["Recursive"] / 0.9
 
 
+def test_smoke_level_plan_canary():
+    """Compiled-dispatch canary: the level-plan fast path must admit a
+    profiled smoke batch (hit, no fallback) and reproduce the dynamic
+    path's logits bit-for-bit — the always-on guard for the two-tier
+    dispatch equivalence contract (the full paired bench is
+    ``make bench-level``)."""
+    bank = smoke_bank()
+    batch = batch_trees(bank.train[:6])
+    model = SMOKE_FACTORIES["TreeRNN"]()
+    built = model.build_recursive(6)
+    config = runner_config()
+    session = repro.Session(built.graph, model.runtime,
+                            num_workers=config.num_workers,
+                            engine=config.engine)
+    ref = session.run(built.root_logits, built.feed_dict(batch))
+    got = session.run(built.root_logits, built.feed_dict(batch),
+                      shape_profile=built.shape_profiles(batch))
+    stats = session.last_stats
+    assert stats.level_plan_hits == 1
+    assert stats.level_plan_fallbacks == 0
+    assert np.array_equal(ref, got)
+
+
 def test_smoke_continuous_serving_canary():
     """Continuous-batching serving in miniature: one seeded open-loop
     stream served wave-synchronized then continuously at equal

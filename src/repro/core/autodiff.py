@@ -42,7 +42,8 @@ from repro.graph.tensor import Tensor
 from repro.ops import array_ops, math_ops, tensor_array
 from repro.ops.common import build, out1
 
-__all__ = ["gradients", "differentiate_subgraph", "GradContext"]
+__all__ = ["gradients", "differentiate_subgraph", "GradContext",
+           "cond_grad_slot_tensors"]
 
 
 def _differentiable(dtype: dtypes.DType) -> bool:
@@ -333,6 +334,27 @@ def _cond_grad_infer(op):
     return specs
 
 
+def cond_grad_slot_tensors(subgraph: SubGraph) -> dict:
+    """Map a Cond branch's capture placeholder ids to the backward-body
+    output tensors carrying their gradients.
+
+    This is the slot wiring both CondGrad executions share: the dynamic
+    starter's completion callback reads the tensors out of the finished
+    backward frame, and the level-plan compiler
+    (:mod:`repro.runtime.level_plan`) bakes the same wiring into its
+    CondGrad finisher nodes — keeping the two paths structurally
+    identical.
+    """
+    backward = subgraph.grad_subgraph
+    slot_tensors = {}
+    for (kind, index), t in zip(subgraph.differentiable_input_slots(),
+                                backward.output_tensors):
+        assert kind == "capture", "cond branches have no declared inputs"
+        placeholder = subgraph.captures[index][1]
+        slot_tensors[placeholder.op.id] = t
+    return slot_tensors
+
+
 def _cond_grad_starter(scheduler, inst, inputs):
     op = inst.op
     n_seeds = op.attrs["n_seeds"]
@@ -351,12 +373,8 @@ def _cond_grad_starter(scheduler, inst, inputs):
     key = child_key(inst.frame.key, op.attrs["site_id"])
 
     def on_complete(frame):
-        slot_values = {}
-        for (kind, index), t in zip(subgraph.differentiable_input_slots(),
-                                    backward.output_tensors):
-            assert kind == "capture", "cond branches have no declared inputs"
-            placeholder = subgraph.captures[index][1]
-            slot_values[placeholder.op.id] = frame.value_of(t)
+        slot_values = {ph_id: frame.value_of(t)
+                       for ph_id, t in cond_grad_slot_tensors(subgraph).items()}
         outputs = []
         for (entry_role, ph_id), ref in zip(entries, refs):
             if entry_role == role and ph_id in slot_values:

@@ -29,6 +29,9 @@ class TreeBatch:
     n_nodes: np.ndarray    # int32 [B]
     root: np.ndarray       # int32 [B]
     trees: list
+    #: per-tree cached shape profiles (nested tuples, batch order) — the
+    #: admission key for the compiled level-plan fast path
+    profiles: tuple = ()
 
     @property
     def size(self) -> int:
@@ -69,7 +72,8 @@ def batch_trees(trees: Sequence[Tree]) -> TreeBatch:
         root[b] = a.root
     return TreeBatch(words=words, children=children, is_leaf=is_leaf,
                      labels=labels, n_nodes=n_nodes, root=root,
-                     trees=list(trees))
+                     trees=list(trees),
+                     profiles=tuple(t.shape_profile for t in trees))
 
 
 def iterate_batches(trees: Sequence[Tree], batch_size: int,

@@ -14,7 +14,51 @@ from typing import Iterator, Optional
 
 import numpy as np
 
-__all__ = ["TreeNode", "Tree", "TreeArrays"]
+__all__ = ["TreeNode", "Tree", "TreeArrays", "shape_profile_of"]
+
+
+def shape_profile_of(node: "TreeNode") -> tuple:
+    """The structural shape signature of a subtree as nested tuples.
+
+    A leaf is ``()``; an internal node is the tuple of its children's
+    profiles — so two trees have equal profiles iff they have identical
+    shape (ignoring words/labels).  This is the key the level-plan
+    compiler (:mod:`repro.runtime.level_plan`) memoizes on: equal
+    profiles reuse one compiled wavefront schedule.
+    """
+    # iterative post-order build: degenerate chain trees exceed the
+    # default recursion limit long before they exceed memory
+    out: dict[int, tuple] = {}
+    stack = [(node, False)]
+    while stack:
+        cur, expanded = stack.pop()
+        if cur.is_leaf:
+            out[id(cur)] = ()
+        elif expanded:
+            out[id(cur)] = (out[id(cur.left)], out[id(cur.right)])
+        else:
+            stack.append((cur, True))
+            stack.append((cur.right, False))
+            stack.append((cur.left, False))
+    return out[id(node)]
+
+
+def _profile_stats(profile: tuple) -> tuple[int, int, int]:
+    """(num_nodes, num_leaves, depth) of a shape profile, iteratively."""
+    nodes = leaves = 0
+    depth = 0
+    stack = [(profile, 1)]
+    while stack:
+        p, d = stack.pop()
+        nodes += 1
+        if d > depth:
+            depth = d
+        if not p:
+            leaves += 1
+        else:
+            for child in p:
+                stack.append((child, d + 1))
+    return nodes, leaves, depth
 
 
 class TreeNode:
@@ -92,22 +136,41 @@ class Tree:
 
     def __init__(self, root: TreeNode):
         self.root = root
+        self._shape_profile: Optional[tuple] = None
+        self._stats: Optional[tuple] = None
+
+    @property
+    def shape_profile(self) -> tuple:
+        """Cached structural shape signature (see :func:`shape_profile_of`).
+
+        Computed once per tree; admission-time consumers (the level-plan
+        fast path, serving size hints) read the cached tuple instead of
+        re-walking the tree on every request.
+        """
+        if self._shape_profile is None:
+            self._shape_profile = shape_profile_of(self.root)
+        return self._shape_profile
+
+    def _cached_stats(self) -> tuple:
+        if self._stats is None:
+            self._stats = _profile_stats(self.shape_profile)
+        return self._stats
 
     @property
     def num_nodes(self) -> int:
-        return self.root.size()
+        return self._cached_stats()[0]
 
     @property
     def num_leaves(self) -> int:
-        return self.root.num_leaves()
+        return self._cached_stats()[1]
 
     @property
     def num_words(self) -> int:
-        return self.root.num_leaves()
+        return self._cached_stats()[1]
 
     @property
     def depth(self) -> int:
-        return self.root.depth()
+        return self._cached_stats()[2]
 
     @property
     def label(self) -> int:

@@ -104,6 +104,9 @@ class Graph:
         self._frame_plans: dict = {}
         #: Pruned root-frame plans keyed by fetch-op-id set.
         self._fetch_plans: dict = {}
+        #: Compiled LevelPlans keyed by (root plan, shape profile, record)
+        #: (see repro.runtime.level_plan); invalidated with the frame plans.
+        self._level_plans: dict = {}
         #: Registry mutation counter the cached plans were compiled at:
         #: registering an op, gradient or batched kernel *after* a plan
         #: compiled invalidates it (plans bake in resolved OpDefs and
@@ -152,6 +155,7 @@ class Graph:
             self._consumers_cache = None
             self._frame_plans.clear()
             self._fetch_plans.clear()
+            self._level_plans.clear()
         return op
 
     def _check_input(self, op_type: str, position: int, tensor) -> Tensor:
@@ -214,6 +218,7 @@ class Graph:
             self._consumers_cache = None
             self._frame_plans.clear()
             self._fetch_plans.clear()
+            self._level_plans.clear()
 
     def set_cache_filter(self, refs) -> None:
         """Install the selective-caching record set.
@@ -232,6 +237,7 @@ class Graph:
             self.cache_filter = refs
             self._frame_plans.clear()
             self._fetch_plans.clear()
+            self._level_plans.clear()
 
     def dependency_count(self, op: Operation) -> int:
         """Number of distinct producer operations this op waits on."""

@@ -8,7 +8,7 @@ from typing import Any, Optional, Sequence
 
 __all__ = ["format_table", "save_results", "results_dir", "ascii_series",
            "format_batch_histogram", "format_adaptive_policy",
-           "format_latency", "engine_provenance"]
+           "format_latency", "format_level_histogram", "engine_provenance"]
 
 
 def engine_provenance(engine: Optional[str] = None) -> dict:
@@ -98,6 +98,44 @@ def format_batch_histogram(stats, max_types: int = 12,
             lines.append(f"    w={width:<4d} {count:>6d}  {bar}")
     if len(by_mass) > max_types:
         lines.append(f"  ... {len(by_mass) - max_types} more op types")
+    return "\n".join(lines)
+
+
+def format_level_histogram(stats, max_levels: int = 16,
+                           bar_width: int = 30) -> str:
+    """Render a run's compiled level-plan counters and width histogram.
+
+    ``stats`` is a :class:`~repro.runtime.stats.RunStats` whose
+    ``level_plan_hits``/``level_plan_fallbacks`` and ``level_width_hist``
+    were filled by the compiled fast path
+    (:mod:`repro.runtime.level_plan`).  One row per depth level (deepest
+    mass first): fused-dispatch width buckets with counts and a bar
+    scaled to the level's most common width.  Healthy compiled sweeps
+    show widths near ``batch × merged runs``; a high fallback count
+    means admissions are missing the fast path (ineligible graph shape,
+    no profile, or plan-cache invalidation churn).
+    """
+    hits, fallbacks = stats.level_plan_hits, stats.level_plan_fallbacks
+    if not (hits or fallbacks):
+        return "level-plan: (no profiled admissions)"
+    lines = [f"level-plan: hits={hits}  fallbacks={fallbacks}"]
+    if not stats.level_width_hist:
+        lines.append("  (no compiled dispatches recorded)")
+        return "\n".join(lines)
+    by_mass = sorted(stats.level_width_hist.items(),
+                     key=lambda kv: -sum(w * c for w, c in kv[1].items()))
+    for level, hist in by_mass[:max_levels]:
+        total = sum(hist.values())
+        peak = max(hist.values())
+        mean = sum(w * c for w, c in hist.items()) / total
+        lines.append(f"  level {level}  (dispatches={total}, "
+                     f"mean width={mean:.1f})")
+        for width in sorted(hist):
+            count = hist[width]
+            bar = "#" * max(1, round(bar_width * count / peak))
+            lines.append(f"    w={width:<4d} {count:>6d}  {bar}")
+    if len(by_mass) > max_levels:
+        lines.append(f"  ... {len(by_mass) - max_levels} more levels")
     return "\n".join(lines)
 
 

@@ -60,6 +60,21 @@ class BuiltModel:
                 self.placeholders["n_nodes"]: batch.n_nodes,
                 self.placeholders["root"]: batch.root}
 
+    def shape_profiles(self, batch: TreeBatch) -> tuple:
+        """Per-root tree shape signatures for the level-plan fast path.
+
+        The recursive builders create one root ``Invoke`` per batch
+        member in op-id order, so ``batch.profiles`` (one cached
+        :func:`repro.data.trees.shape_profile_of` signature per tree,
+        batch order) lines up with the call sites exactly — pass the
+        result as ``Session.run(..., shape_profile=...)``.
+        """
+        if batch.size != self.batch_size:
+            raise ValueError(
+                f"graph was built for batch size {self.batch_size}, got "
+                f"{batch.size}")
+        return batch.profiles
+
 
 def make_batch_placeholders(batch_size: int) -> dict[str, Tensor]:
     """Placeholders for a padded :class:`TreeBatch` (node dim is dynamic)."""

@@ -250,6 +250,31 @@ class CostModel:
                 total += self.op_overhead
         return total
 
+    def level_plan_cost(self, lp, runs: int = 1) -> float:
+        """Static virtual cost of one compiled level-plan sweep.
+
+        What a compiled sweep (:mod:`repro.runtime.level_plan`) pays per
+        level: each scalar node is one per-run kernel dispatch, each
+        pre-fused bucket is *one* kernel call whose members (bucket
+        width × merged runs) add only the gather/scatter term.  The
+        frame-spawn machinery the plan eliminated (``invoke_overhead``,
+        coalescer bookkeeping, per-op cache round-trips) is deliberately
+        absent — that omission *is* the modelled speedup.
+
+        Sums the dataclass constants directly (never the overridable
+        cost methods): :func:`unit_cost` replaces those methods by
+        attribute assignment, and the compiled path must stay cheap and
+        deterministic under every profile.
+        """
+        total = 0.0
+        for scalars, buckets in lp.levels:
+            total += runs * len(scalars) * (self.dispatch_cost
+                                            + self.op_overhead)
+            for bucket in buckets:
+                total += (self.dispatch_cost + self.op_overhead
+                          + len(bucket) * runs * self.batch_member_cost)
+        return total
+
 
 def calibrate_batch_member_cost(widths=(4, 8, 16, 32, 64),
                                 shape=(64, 64), repeats=30,

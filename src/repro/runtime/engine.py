@@ -82,10 +82,22 @@ class EventEngine(SchedulerCore):
     # -- public API ---------------------------------------------------------
 
     def run(self, graph: Graph, fetches: Sequence[Tensor],
-            feed_map: dict[int, Any]) -> tuple[list, RunStats]:
+            feed_map: dict[int, Any],
+            shape_profile=None) -> tuple[list, RunStats]:
         """Execute ``graph`` until all ``fetches`` are produced."""
         wall0 = time.perf_counter()
         self._reset()
+        if shape_profile is not None:
+            hit = self._try_level_run(graph, list(fetches), feed_map,
+                                      shape_profile)
+            if hit is not None:
+                values, cost = hit
+                self._now = cost
+                self.stats.virtual_time = self._now
+                self.stats.wall_time = time.perf_counter() - wall0
+                self.stats.cache_stores = self.runtime.cache.stores
+                self.stats.cache_lookups = self.runtime.cache.lookups
+                return values, self.stats
         plan = plan_for_fetches(graph, {t.op for t in fetches})
         root = self._make_frame(plan, feed_map, key=ROOT_KEY,
                                 depth=0, record=False,
@@ -117,6 +129,27 @@ class EventEngine(SchedulerCore):
 
     def _stamp_clock(self, stats: RunStats) -> None:
         stats.virtual_time = self._now
+
+    def _schedule_level_flush(self) -> None:
+        # defer to an event at the current virtual instant: every root
+        # admitted at this instant lands in one flush, so same-profile
+        # arrivals merge into a single wavefront deterministically
+        self._post(self._now, self._flush_level_runs)
+
+    def _execute_level_group(self, lp, runs) -> None:
+        from .level_plan import execute_level_plan
+        try:
+            results = execute_level_plan(self, lp, runs)
+        except Exception as exc:  # noqa: BLE001 - session failure path
+            self._fail_level(exc)
+            return
+        done_at = self._now + self.cost_model.level_plan_cost(lp, len(runs))
+        for run, values in zip(runs, results):
+            if values is None:
+                continue
+            self._post(done_at,
+                       lambda run=run, values=values:
+                       self._complete_level_run(run, values))
 
     def finish_async(self, inst: Instance, outputs: list) -> None:
         """Complete an async op once its frame(s) produced the outputs.

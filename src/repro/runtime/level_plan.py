@@ -1,0 +1,880 @@
+"""Level-synchronous tree compilation: the compiled fast path.
+
+The dynamic runtime discovers batching at execution time — every tree
+node is a frame spawn, and the coalescer finds same-signature work in
+the live ready queue.  That flexibility costs a per-node scheduling
+floor (frame spawn, signature matching, bucket bookkeeping) that
+dominates on small trees.  When the *shape* of a recursive input is
+known at admission (the data loader has it — ``TreeBatch.profiles``),
+none of that discovery is necessary: the entire frame tree, every
+branch decision, and every fusable wavefront can be computed once per
+shape and replayed.
+
+This module compiles a per-(root plan, shape profile, record mode)
+:class:`LevelPlan`: the recursion is unrolled into a flat node list
+(placeholder bindings, kernels, and call-site "finisher" nodes that
+replicate the async starters' completion semantics), leveled with a
+Kahn pass, and pre-bucketed — per level, kernel nodes sharing a batch
+signature prefix form one fused dispatch.  Executing a LevelPlan is a
+fixed sequence of batched kernel calls with precomputed index wiring;
+no frames are spawned and no signatures are matched.  Several
+concurrent roots with the *same* profile share one wavefront: the
+executor widens every bucket across runs (cross-request level
+merging in serving mode).
+
+Equivalence contract: values and gradients are bit-identical to the
+dynamic path.  The compiler replays the exact binding semantics of the
+four async starters (Invoke, Cond, InvokeGrad, CondGrad), derives
+frame cache keys from the same ``child_key`` suffix scheme (so
+selective-cache stores and ``CacheLookup`` reads hit the same entries),
+and executes stateful kernels (``AccumGrad``) with the same frame keys
+— the canonical-order :class:`GradientAccumulator` then makes the
+replayed backward schedule sum gradients in the dynamic order.
+
+Eligibility (anything else raises an internal marker and the root
+falls back to the dynamic coalescer, counted in
+``RunStats.level_plan_fallbacks``):
+
+* every root ``Invoke`` targets one shared recursive SubGraph, one
+  profile per call site;
+* structure is profile-determined: a profiled body either contains
+  exactly as many recursive call sites as the profile has children, or
+  exactly one ``Cond`` whose branches differ in recursive-call count
+  (the profile selects the branch — the compiled finisher *verifies*
+  the predicate at run time and raises on mismatch);
+* no ``Loop``/``LoopGrad``, no async op behind a control dependency,
+  no unbound placeholders.
+
+Plans are memoized on ``graph._level_plans`` keyed by the root
+FramePlan object, invalidated by graph mutation and by the op-registry
+version stamp (via :func:`plan_for` — a LevelPlan additionally records
+the body FramePlans it baked in and revalidates their identity on
+every cache hit, so ``set_cache_filter`` on a body graph recompiles).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.core.autodiff import cond_grad_slot_tensors
+from repro.graph.registry import ExecContext
+from repro.ops import tensor_array
+from repro.ops.common import role_captures
+
+from .plan import plan_for
+from .scheduler import EngineError, SchedulerCore
+
+__all__ = ["LevelPlan", "level_plan_for", "execute_level_plan"]
+
+# node kinds
+_KERNEL = 0        # synchronous op: run its kernel
+_BIND_FEED = 1     # root placeholder: read the run's feed map
+_BIND_ALIAS = 2    # bound op in a child frame: alias the wired value
+_FIN_PASS = 3      # Invoke finisher: forward the child frame's outputs
+_FIN_COND = 4      # Cond finisher: verify predicate, forward branch outputs
+_FIN_IGRAD = 5     # InvokeGrad finisher: forward outputs + done flag
+_FIN_CGRAD = 6     # CondGrad finisher: scatter grads / zeros + done flag
+
+_FINISHERS = (_FIN_PASS, _FIN_COND, _FIN_IGRAD, _FIN_CGRAD)
+
+#: memo sentinel for shapes that compiled to "not eligible"
+_INELIGIBLE = object()
+
+
+class _Ineligible(Exception):
+    """Internal: this root cannot be level-compiled; use the dynamic path."""
+
+
+class _CNode:
+    """One compiled node: a value producer in the flattened frame tree."""
+
+    __slots__ = ("kind", "frame_idx", "op", "defn", "inputs", "extra_deps",
+                 "store_mask", "graph_id", "sig_prefix", "feed_op_id",
+                 "expected", "recipe")
+
+    def __init__(self, kind, frame_idx, op, defn):
+        self.kind = kind
+        self.frame_idx = frame_idx
+        self.op = op
+        self.defn = defn
+        #: value inputs: tuple of (producer node id, output index)
+        self.inputs = ()
+        #: ordering-only dependencies (node ids) for the level assignment
+        self.extra_deps = ()
+        #: per-output store booleans (None when this node records nothing)
+        self.store_mask = None
+        self.graph_id = -1
+        #: interned batch-signature prefix (kernel nodes only)
+        self.sig_prefix = None
+        self.feed_op_id = -1
+        #: expected predicate value (Cond/CondGrad finishers)
+        self.expected = False
+        #: per-output take-grad/zero booleans (CondGrad finisher)
+        self.recipe = ()
+
+
+class _CFrame:
+    """Stand-in for :class:`Frame` inside compiled ExecContexts.
+
+    Kernels only touch ``ctx.frame.key`` (cache keys, accumulator order
+    keys) and ``ctx.frame.record``; compiled execution never needs the
+    rest of the frame machinery.
+    """
+
+    __slots__ = ("key", "record")
+
+    def __init__(self, key, record):
+        self.key = key
+        self.record = record
+
+
+class _FrameJob:
+    """One frame context queued for expansion (BFS over the frame tree)."""
+
+    __slots__ = ("plan", "suffix", "depth", "mode", "profile", "bindings",
+                 "frame_idx", "fill")
+
+    def __init__(self, plan, suffix, depth, mode, profile, bindings,
+                 frame_idx, fill):
+        self.plan = plan
+        self.suffix = suffix
+        self.depth = depth
+        self.mode = mode          # "root" | "node" | "branch" | "helper" | "grad"
+        self.profile = profile    # children profiles (profiled frames) or None
+        self.bindings = bindings  # op id -> (node id, out idx), child frames
+        self.frame_idx = frame_idx
+        self.fill = fill          # finisher wiring callback, run after the scan
+
+
+class LevelPlan:
+    """A compiled level-synchronous schedule for one (root plan, profile).
+
+    ``nodes`` is the flattened frame tree; ``levels`` is the wavefront
+    schedule — per level, a tuple of scalar node ids (binds, finishers,
+    unfusable kernels) and a tuple of fused buckets (node-id tuples
+    sharing a batch-signature prefix).  ``frames`` holds per-frame
+    ``(key suffix, record)`` pairs; a run's frame key is its root key
+    plus the suffix, which is exactly the dynamic ``child_key`` chain.
+    """
+
+    __slots__ = ("nodes", "levels", "frames", "root_node_of", "body_deps",
+                 "max_depth", "num_nodes", "num_frames", "profiles",
+                 "scalar_counts")
+
+    def __init__(self, nodes, levels, frames, root_node_of, body_deps,
+                 max_depth, profiles, scalar_counts):
+        self.nodes = nodes
+        self.levels = levels
+        self.frames = frames
+        self.root_node_of = root_node_of
+        self.body_deps = body_deps
+        self.max_depth = max_depth
+        self.num_nodes = len(nodes)
+        self.num_frames = len(frames)
+        self.profiles = profiles
+        #: per-plan op counts for the scalar schedule (op type -> count):
+        #: the fixed schedule makes scalar accounting static, so a sweep
+        #: books these once per run instead of calling note_op per node
+        self.scalar_counts = scalar_counts
+
+    def __repr__(self):
+        return (f"<LevelPlan nodes={self.num_nodes} levels={len(self.levels)} "
+                f"frames={self.num_frames} depth={self.max_depth}>")
+
+
+def level_plan_for(graph, root_plan, shape_profile, record: bool
+                   ) -> Optional["LevelPlan"]:
+    """Compile (or fetch the memoized) LevelPlan for one root shape.
+
+    ``shape_profile`` is a sequence of per-root-call-site shape profiles
+    in op-id order — ``TreeBatch.profiles`` for the tree models.
+    Returns ``None`` when the root is not eligible (the caller falls
+    back to the dynamic path).  Memoized on ``graph._level_plans``;
+    ineligible shapes are memoized too, so repeated fallbacks are one
+    dict probe.
+    """
+    try:
+        profiles = tuple(shape_profile)
+    except TypeError:
+        return None
+    key = (root_plan, profiles, bool(record))
+    cache = graph._level_plans
+    entry = cache.get(key)
+    if entry is _INELIGIBLE:
+        return None
+    if entry is not None:
+        # revalidate baked-in body plans: set_cache_filter (installed by
+        # differentiate_subgraph) invalidates a *body* graph's frame
+        # plans without touching this root graph's caches
+        if all(plan_for(g) is p for g, p in entry.body_deps):
+            return entry
+    try:
+        lp = _compile(root_plan, profiles, record)
+    except _Ineligible:
+        lp = None
+    with graph._lock:
+        cache[key] = lp if lp is not None else _INELIGIBLE
+    return lp
+
+
+# ---------------------------------------------------------------------------
+# compilation
+# ---------------------------------------------------------------------------
+
+def _compile(root_plan, profiles, session_record) -> "LevelPlan":
+    # -- pre-pass: identify the recursive SubGraph at the root ------------
+    root_invokes = [op for op in root_plan.ops if op.op_type == "Invoke"]
+    if not root_invokes:
+        raise _Ineligible("no recursive call sites in the root plan")
+    s_rec = root_invokes[0].attrs["subgraph"]
+    for op in root_invokes[1:]:
+        if op.attrs["subgraph"] is not s_rec:
+            raise _Ineligible("root call sites target multiple SubGraphs")
+    if len(root_invokes) != len(profiles):
+        raise _Ineligible("profile count does not match root call sites")
+    if not s_rec.finalized:
+        raise _Ineligible("recursive SubGraph is not finalized")
+
+    nodes: list[_CNode] = []
+    frames: list[tuple] = []
+    body_deps: dict = {}          # body graph -> FramePlan baked in
+    cond_roles: dict = {}         # (frame suffix, cond op id) -> "true"/"false"
+    store_index: dict = {}        # (suffix, graph_id, op_id, out_idx) -> node
+    root_node_of: dict = {}       # root op id -> node id
+    jobs: deque = deque()
+    max_depth = [0]
+
+    def body_plan(g):
+        p = body_deps.get(g)
+        if p is None:
+            p = body_deps[g] = plan_for(g)
+        return p
+
+    def struct_count_of(sg):
+        """Recursive call sites (Invokes of s_rec) in a SubGraph body."""
+        return sum(1 for o in body_plan(sg.graph).ops
+                   if o.op_type == "Invoke"
+                   and o.attrs.get("subgraph") is s_rec)
+
+    def add_job(plan, suffix, depth, mode, profile, bindings, fill):
+        if mode == "root":
+            record = False
+        else:
+            record = (session_record
+                      and not getattr(plan.graph, "is_backward_body", False))
+        frame_idx = len(frames)
+        frames.append((suffix, record))
+        if depth > max_depth[0]:
+            max_depth[0] = depth
+        jobs.append(_FrameJob(plan, suffix, depth, mode, profile, bindings,
+                              frame_idx, fill))
+
+    def _scan(job):
+        plan = job.plan
+        suffix = job.suffix
+        frame_idx = job.frame_idx
+        record = frames[frame_idx][1]
+        index_of = plan.index_of
+        node_of_slot: list = [None] * plan.num_slots
+        first_node = len(nodes)
+        children = job.profile
+        cursor = 0
+        cond_seen = False
+
+        def emit(kind, op, defn, slot):
+            nid = len(nodes)
+            node = _CNode(kind, frame_idx, op, defn)
+            if record:
+                mask = plan.store_masks[slot]
+                if any(mask):
+                    node.store_mask = mask
+                    node.graph_id = plan.graph_id
+                    for i, m in enumerate(mask):
+                        if m:
+                            store_index[(suffix, plan.graph_id, op.id, i)] = nid
+            nodes.append(node)
+            node_of_slot[slot] = nid
+            return nid, node
+
+        # -- pass 1: bound / fed slots (bypass deps, like seed_frame) ------
+        # Capture placeholders can sit at *later* plan slots than their
+        # in-frame consumers (they are created lazily at capture time), so
+        # every binding node must exist before the wiring pass reads it.
+        for slot, op in enumerate(plan.ops):
+            defn = plan.defs[slot]
+            if job.mode == "root":
+                if op.op_type == "Placeholder":
+                    _, node = emit(_BIND_FEED, op, defn, slot)
+                    node.feed_op_id = op.id
+            else:
+                bound = job.bindings.get(op.id)
+                if bound is not None:
+                    _, node = emit(_BIND_ALIAS, op, defn, slot)
+                    node.inputs = (bound,)
+                elif op.op_type == "Placeholder":
+                    raise _Ineligible(f"unbound placeholder {op.name}")
+
+        # -- pass 2: kernels and call sites in slot order ------------------
+        for slot, op in enumerate(plan.ops):
+            if node_of_slot[slot] is not None:
+                continue
+            defn = plan.defs[slot]
+            op_type = op.op_type
+
+            # -- value wiring + control dependencies ----------------------
+            in_refs = []
+            for s, i in plan.input_locs[slot]:
+                src = node_of_slot[s]
+                if src is None:
+                    raise _Ineligible(f"unwired input of {op.name}")
+                in_refs.append((src, i))
+            extra = ()
+            if op.control_inputs:
+                if defn.is_async:
+                    # the dynamic path gates the *spawn* on control deps;
+                    # a compiled child would not wait — bail out
+                    raise _Ineligible("control dependency on a call site")
+                ex = []
+                for c in op.control_inputs:
+                    s2 = index_of.get(c.id)
+                    if s2 is None or node_of_slot[s2] is None:
+                        raise _Ineligible("control producer outside the plan")
+                    ex.append(node_of_slot[s2])
+                extra = tuple(ex)
+
+            if not defn.is_async:
+                if op_type == "CacheLookup":
+                    skey = (suffix, op.attrs["target_graph_id"],
+                            op.attrs["target_op_id"],
+                            op.attrs["target_out_idx"])
+                    storer = store_index.get(skey)
+                    if storer is None:
+                        raise _Ineligible(
+                            "cache lookup without a compiled producer")
+                    # order after the store: same-level fusion would read
+                    # the cache before the producing level flushed it
+                    extra = extra + (storer,)
+                nid, node = emit(_KERNEL, op, defn, slot)
+                node.inputs = tuple(in_refs)
+                node.extra_deps = extra
+                node.sig_prefix = plan.sig_prefixes[slot]
+                continue
+
+            # -- async call sites: finisher node + child frame job ---------
+            if op_type == "Invoke":
+                sg = op.attrs["subgraph"]
+                if not sg.finalized:
+                    raise _Ineligible("call target is not finalized")
+                if sg is s_rec:
+                    if job.mode in ("helper", "grad"):
+                        raise _Ineligible(
+                            "recursive call outside the profiled structure")
+                    if children is None or cursor >= len(children):
+                        raise _Ineligible("more call sites than the profile")
+                    child_profile = children[cursor]
+                    cursor += 1
+                    child_mode = "node"
+                else:
+                    child_profile = None
+                    child_mode = "helper"
+                input_ids = sg.input_op_ids[:op.attrs["n_args"]]
+                if len(in_refs) < len(input_ids):
+                    raise _Ineligible("call site is missing arguments")
+                bindings = dict(zip(input_ids, in_refs))
+                for ph_id, pos in role_captures(op, "main"):
+                    if pos >= len(in_refs):
+                        raise _Ineligible("capture position out of range")
+                    bindings[ph_id] = in_refs[pos]
+                child_plan = body_plan(sg.graph)
+                nid, node = emit(_FIN_PASS, op, defn, slot)
+                out_locs = sg.output_locs
+
+                def fill(child_nos, own, node=node, out_locs=out_locs,
+                         child_plan=child_plan, base_extra=extra):
+                    node.inputs = tuple(
+                        (child_nos[child_plan.index_of[oid]], i)
+                        for oid, i in out_locs)
+                    node.extra_deps = base_extra + own
+
+                add_job(child_plan, suffix + (op.id,), job.depth + 1,
+                        child_mode, child_profile, bindings, fill)
+
+            elif op_type == "Cond":
+                if job.mode != "node" or cond_seen:
+                    raise _Ineligible("data-dependent control flow here")
+                cond_seen = True
+                c = len(children)
+                t_sg = op.attrs["true_subgraph"]
+                f_sg = op.attrs["false_subgraph"]
+                if not (t_sg.finalized and f_sg.finalized):
+                    raise _Ineligible("branch body is not finalized")
+                tc, fc = struct_count_of(t_sg), struct_count_of(f_sg)
+                if tc == c and fc != c:
+                    role = "true"
+                elif fc == c and tc != c:
+                    role = "false"
+                else:
+                    raise _Ineligible(
+                        "branch is not determined by the shape profile")
+                cond_roles[(suffix, op.id)] = role
+                chosen = t_sg if role == "true" else f_sg
+                bindings = {}
+                for ph_id, pos in role_captures(op, role):
+                    if pos >= len(in_refs):
+                        raise _Ineligible("capture position out of range")
+                    bindings[ph_id] = in_refs[pos]
+                pred = in_refs[0]
+                child_plan = body_plan(chosen.graph)
+                nid, node = emit(_FIN_COND, op, defn, slot)
+                node.expected = (role == "true")
+                out_locs = chosen.output_locs
+
+                def fill(child_nos, own, node=node, out_locs=out_locs,
+                         child_plan=child_plan, pred=pred, base_extra=extra):
+                    node.inputs = (pred,) + tuple(
+                        (child_nos[child_plan.index_of[oid]], i)
+                        for oid, i in out_locs)
+                    node.extra_deps = base_extra + own
+
+                add_job(child_plan, suffix + (op.id,), job.depth + 1,
+                        "branch", children, bindings, fill)
+
+            elif op_type == "InvokeGrad":
+                if job.mode not in ("root", "grad"):
+                    raise _Ineligible("backward call in a forward body")
+                fwd = op.attrs["fwd_subgraph"]
+                if fwd._grad_subgraph is None:
+                    raise _Ineligible("gradient body not built yet")
+                gsg = fwd.grad_subgraph
+                if not gsg.finalized:
+                    raise _Ineligible("gradient body is not finalized")
+                if len(in_refs) < len(gsg.input_op_ids):
+                    raise _Ineligible("backward call is missing seeds")
+                bindings = dict(zip(gsg.input_op_ids, in_refs))
+                site_id = op.attrs["site_id"]
+                child_plan = body_plan(gsg.graph)
+                nid, node = emit(_FIN_IGRAD, op, defn, slot)
+                out_locs = gsg.output_locs
+
+                def fill(child_nos, own, node=node, out_locs=out_locs,
+                         child_plan=child_plan, base_extra=extra):
+                    node.inputs = tuple(
+                        (child_nos[child_plan.index_of[oid]], i)
+                        for oid, i in out_locs)
+                    node.extra_deps = base_extra + own
+
+                add_job(child_plan, suffix + (site_id,), job.depth + 1,
+                        "grad", None, bindings, fill)
+
+            elif op_type == "CondGrad":
+                if job.mode not in ("root", "grad"):
+                    raise _Ineligible("backward branch in a forward body")
+                site_id = op.attrs["site_id"]
+                role = cond_roles.get((suffix, site_id))
+                if role is None:
+                    raise _Ineligible("no compiled branch decision to mirror")
+                sg = op.attrs[f"{role}_subgraph"]
+                if sg._grad_subgraph is None:
+                    raise _Ineligible("gradient body not built yet")
+                backward = sg.grad_subgraph
+                if not backward.finalized:
+                    raise _Ineligible("gradient body is not finalized")
+                n_seeds = op.attrs["n_seeds"]
+                entries = op.attrs["cap_entries"]
+                if len(in_refs) < 1 + n_seeds:
+                    raise _Ineligible("backward branch is missing seeds")
+                pred = in_refs[0]
+                seeds = in_refs[1:1 + n_seeds]
+                refs = in_refs[1 + n_seeds:]
+                if len(refs) != len(entries):
+                    raise _Ineligible("capture entries out of sync")
+                if len(seeds) < len(backward.input_op_ids):
+                    raise _Ineligible("backward branch is missing seeds")
+                bindings = dict(zip(backward.input_op_ids, seeds))
+                slot_tensors = cond_grad_slot_tensors(sg)
+                child_plan = body_plan(backward.graph)
+                nid, node = emit(_FIN_CGRAD, op, defn, slot)
+                node.expected = (role == "true")
+
+                def fill(child_nos, own, node=node, child_plan=child_plan,
+                         pred=pred, refs=tuple(refs), entries=entries,
+                         role=role, slot_tensors=slot_tensors,
+                         base_extra=extra):
+                    srcs = []
+                    takes = []
+                    for (entry_role, ph_id), ref in zip(entries, refs):
+                        t = (slot_tensors.get(ph_id)
+                             if entry_role == role else None)
+                        if t is not None:
+                            srcs.append(
+                                (child_nos[child_plan.index_of[t.op.id]],
+                                 t.index))
+                            takes.append(True)
+                        else:
+                            srcs.append(ref)
+                            takes.append(False)
+                    node.inputs = (pred,) + tuple(srcs)
+                    node.recipe = tuple(takes)
+                    node.extra_deps = base_extra + own
+
+                add_job(child_plan, suffix + (site_id,), job.depth + 1,
+                        "grad", None, bindings, fill)
+
+            else:
+                raise _Ineligible(f"async op {op_type} is not compilable")
+
+        # -- structural accounting ----------------------------------------
+        if children is not None:
+            if cond_seen:
+                if cursor != 0:
+                    raise _Ineligible(
+                        "mixed direct recursion and branch recursion")
+            elif cursor != len(children):
+                raise _Ineligible("fewer call sites than the profile")
+        if job.mode == "root":
+            for slot, op in enumerate(plan.ops):
+                root_node_of[op.id] = node_of_slot[slot]
+        if job.fill is not None:
+            job.fill(node_of_slot, tuple(range(first_node, len(nodes))))
+
+    add_job(root_plan, (), 0, "root", profiles, None, None)
+    while jobs:
+        _scan(jobs.popleft())
+
+    _collapse_aliases(nodes)
+    levels, scalar_counts = _level_schedule(nodes)
+    return LevelPlan(tuple(nodes), levels, tuple(frames), root_node_of,
+                     tuple(body_deps.items()), max_depth[0], profiles,
+                     scalar_counts)
+
+
+def _collapse_aliases(nodes) -> None:
+    """Forward consumers of pure ``_BIND_ALIAS`` nodes to their source.
+
+    A binding alias is pure data movement (a child placeholder reading
+    the parent's wired value) — one scheduled node per binding per frame,
+    a large fraction of the scalar sweep on deep trees.  Rewriting every
+    value input and ordering dep through store-less aliases leaves them
+    unreferenced; ``_level_schedule`` then drops them from the schedule.
+    Aliases that record to the value cache keep their node (the store is
+    a side effect the schedule must retain), so chains stop there: a dep
+    pointing at a recording alias still orders after its store.
+    """
+    def resolve(nid, idx):
+        node = nodes[nid]
+        while node.kind == _BIND_ALIAS and node.store_mask is None:
+            nid, idx = node.inputs[0]
+            node = nodes[nid]
+        return nid, idx
+
+    for node in nodes:
+        if node.inputs:
+            node.inputs = tuple(resolve(s, i) for s, i in node.inputs)
+        if node.extra_deps:
+            node.extra_deps = tuple(resolve(d, 0)[0]
+                                    for d in node.extra_deps)
+
+
+def _level_schedule(nodes) -> tuple:
+    """Kahn-level the node DAG and pre-bucket each level.
+
+    Level of a node = longest dependency chain below it; per level,
+    kernel nodes with the same batch-signature prefix form one fused
+    bucket and everything else (bindings, finishers, unfusable or
+    stateful kernels) runs scalar in node-id order.  Collapsed aliases
+    (store-less ``_BIND_ALIAS`` nodes left unreferenced by
+    :func:`_collapse_aliases`) are dropped from the schedule entirely.
+    Returns ``(levels, scalar_counts)``: the wavefront schedule plus the
+    static per-op-type counts of scheduled scalar nodes that the dynamic
+    path would have booked through ``note_op``.
+    """
+    n = len(nodes)
+    referenced = set()
+    for node in nodes:
+        referenced.update(s for s, _ in node.inputs)
+        referenced.update(node.extra_deps)
+    indeg = [0] * n
+    out: list = [[] for _ in range(n)]
+    level = [0] * n
+    for nid, node in enumerate(nodes):
+        deps = {s for s, _ in node.inputs}
+        deps.update(node.extra_deps)
+        indeg[nid] = len(deps)
+        for d in deps:
+            out[d].append(nid)
+    queue = deque(nid for nid in range(n) if indeg[nid] == 0)
+    seen = 0
+    while queue:
+        nid = queue.popleft()
+        seen += 1
+        base = level[nid] + 1
+        for c in out[nid]:
+            if base > level[c]:
+                level[c] = base
+            indeg[c] -= 1
+            if indeg[c] == 0:
+                queue.append(c)
+    if seen != n:
+        raise _Ineligible("compiled schedule has a cycle")
+
+    by_level: dict = {}
+    for nid in range(n):
+        by_level.setdefault(level[nid], []).append(nid)
+    levels = []
+    scalar_counts: dict = {}
+    for li in sorted(by_level):
+        scalars = []
+        buckets: dict = {}
+        for nid in by_level[li]:
+            node = nodes[nid]
+            kind = node.kind
+            if kind == _KERNEL and node.sig_prefix is not None:
+                buckets.setdefault(node.sig_prefix, []).append(nid)
+                continue
+            if kind == _BIND_ALIAS and node.store_mask is None \
+                    and nid not in referenced:
+                continue  # collapsed: every consumer reads the source
+            scalars.append(nid)
+            if kind != _BIND_FEED and kind != _BIND_ALIAS:
+                op_type = node.op.op_type
+                scalar_counts[op_type] = scalar_counts.get(op_type, 0) + 1
+        if scalars or buckets:
+            levels.append((tuple(scalars),
+                           tuple(tuple(b) for b in buckets.values())))
+    return tuple(levels), tuple(scalar_counts.items())
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+def _ctx_of(core: SchedulerCore, lp: LevelPlan, run, frame_idx: int):
+    ctx = run.ctxs[frame_idx]
+    if ctx is None:
+        suffix, record = lp.frames[frame_idx]
+        frame = _CFrame(run.prefix + suffix, record)
+        ctx = run.ctxs[frame_idx] = ExecContext(core.runtime, frame, record)
+    return ctx
+
+
+def _run_scalar(core, lp, node, nid, run, entries):
+    # scalar stats are booked in bulk by execute_level_plan (the scalar
+    # schedule is static per plan), so this path never touches note_op
+    values = run.node_values
+    ins = [values[s][i] for s, i in node.inputs]
+    kind = node.kind
+    if kind == _KERNEL:
+        ctx = _ctx_of(core, lp, run, node.frame_idx)
+        try:
+            outputs = node.defn.kernel(node.op, ins, ctx)
+        except EngineError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - wrapped like the dynamic path
+            raise SchedulerCore._wrap_error(exc, node.op) from exc
+    elif kind == _BIND_FEED:
+        try:
+            outputs = [run.feed[node.feed_op_id]]
+        except KeyError:
+            raise EngineError(
+                f"placeholder {node.op.name} was not fed") from None
+    elif kind == _BIND_ALIAS:
+        outputs = [ins[0]]
+    elif kind == _FIN_PASS:
+        outputs = ins
+    elif kind == _FIN_COND:
+        if bool(np.asarray(ins[0])) != node.expected:
+            raise EngineError(
+                f"shape profile mismatch at {node.op.name}: the fed data "
+                "disagrees with the compiled branch decision")
+        outputs = ins[1:]
+    elif kind == _FIN_IGRAD:
+        outputs = list(ins)
+        outputs.append(np.bool_(True))
+    else:  # _FIN_CGRAD
+        if bool(np.asarray(ins[0])) != node.expected:
+            raise EngineError(
+                f"shape profile mismatch at {node.op.name}: the fed data "
+                "disagrees with the compiled branch decision")
+        outputs = [v if take else tensor_array.zero_value_like(v)
+                   for take, v in zip(node.recipe, ins[1:])]
+        outputs.append(np.bool_(True))
+    values[nid] = outputs
+    mask = node.store_mask
+    if mask is not None:
+        key = _ctx_of(core, lp, run, node.frame_idx).frame.key
+        gid = node.graph_id
+        oid = node.op.id
+        for i, v in enumerate(outputs):
+            if mask[i]:
+                entries.append((key, gid, oid, i, v))
+
+
+def _member_sig(ins):
+    """Lean per-member fusion-legality key: dtype + shape per input.
+
+    Equivalent partitioning to the coalescer's ``value_signature`` but
+    cheap enough for the per-member hot loop: ndarrays key on
+    ``(dtype.num, shape)``, numpy scalars on ``(-1, dtype.num)``, other
+    python values on their type name (the three forms cannot collide).
+    """
+    sig = []
+    for v in ins:
+        cls = v.__class__
+        if cls is np.ndarray:
+            sig.append((v.dtype.num, v.shape))
+        elif isinstance(v, np.generic):
+            sig.append((-1, v.dtype.num))
+        else:
+            sig.append(cls.__name__)
+    return tuple(sig)
+
+
+def _scatter(member, outputs, entries, core, lp):
+    node, nid, run, _ = member
+    run.node_values[nid] = outputs
+    mask = node.store_mask
+    if mask is not None:
+        key = _ctx_of(core, lp, run, node.frame_idx).frame.key
+        gid = node.graph_id
+        oid = node.op.id
+        for j, v in enumerate(outputs):
+            if mask[j]:
+                entries.append((key, gid, oid, j, v))
+
+
+def _run_batched(core, lp, defn, members, sig, entries):
+    first_node = members[0][0]
+    width = len(members)
+    ops = [m[0].op for m in members]
+    b_inputs = [m[3] for m in members]
+    ctxs = [_ctx_of(core, lp, m[2], m[0].frame_idx) for m in members]
+    try:
+        outputs_list = defn.batched_kernel(ops, b_inputs, ctxs)
+    except EngineError:
+        raise
+    except Exception as exc:  # noqa: BLE001
+        raise SchedulerCore._wrap_error(exc, ops[0]) from exc
+    if len(outputs_list) != width:
+        raise EngineError(
+            f"batched kernel for {first_node.op.op_type} returned "
+            f"{len(outputs_list)} results for {width} ops")
+    core.stats.note_batch(first_node.op.op_type, width, 0.0,
+                          first_node.sig_prefix + (sig,))
+    for member, outputs in zip(members, outputs_list):
+        _scatter(member, outputs, entries, core, lp)
+
+
+def _run_single(core, lp, defn, member, entries):
+    node, nid, run, ins = member
+    ctx = _ctx_of(core, lp, run, node.frame_idx)
+    try:
+        outputs = defn.kernel(node.op, ins, ctx)
+    except EngineError:
+        raise
+    except Exception as exc:  # noqa: BLE001
+        raise SchedulerCore._wrap_error(exc, node.op) from exc
+    core.stats.note_op(node.op.op_type, 0.0)
+    _scatter(member, outputs, entries, core, lp)
+
+
+def _run_bucket(core, lp, bucket, live, entries, hist):
+    nodes = lp.nodes
+    defn = nodes[bucket[0]].defn
+    members = []  # (node, nid, run, inputs)
+    for nid in bucket:
+        node = nodes[nid]
+        node_inputs = node.inputs
+        for run in live:
+            values = run.node_values
+            members.append((node, nid, run,
+                            [values[s][i] for s, i in node_inputs]))
+    n = len(members)
+    if n == 1:
+        _run_single(core, lp, defn, members[0], entries)
+        hist[1] = hist.get(1, 0) + 1
+        return
+    sigs = [_member_sig(m[3]) for m in members]
+    sig0 = sigs[0]
+    uniform = True
+    for s in sigs:
+        if s != sig0:
+            uniform = False
+            break
+    if uniform:
+        # the common case on profiled workloads: one fused call, no
+        # regrouping — every member stacked the same way
+        _run_batched(core, lp, defn, members, sig0, entries)
+        hist[n] = hist.get(n, 0) + 1
+        return
+    groups: dict = {}
+    for i, s in enumerate(sigs):
+        groups.setdefault(s, []).append(i)
+    for sig, idxs in groups.items():
+        width = len(idxs)
+        if width > 1:
+            _run_batched(core, lp, defn, [members[i] for i in idxs],
+                         sig, entries)
+        else:
+            _run_single(core, lp, defn, members[idxs[0]], entries)
+        hist[width] = hist.get(width, 0) + 1
+
+
+def execute_level_plan(core: SchedulerCore, lp: LevelPlan, runs) -> list:
+    """Execute one wavefront sweep for ``runs`` (same LevelPlan).
+
+    Buckets widen across runs — concurrent same-profile roots share one
+    fused dispatch per level.  Returns one entry per run: the fetched
+    values, or ``None`` for runs cancelled mid-sweep.
+    """
+    cache = core.runtime.cache
+    live = []
+    for run in runs:
+        if run.cancelled:
+            continue
+        run.node_values = [None] * lp.num_nodes
+        run.ctxs = [None] * lp.num_frames
+        live.append(run)
+    if live and lp.scalar_counts:
+        # the scalar schedule is static, so its op accounting is too:
+        # one bulk book-in per sweep instead of note_op per node (runs
+        # cancelled mid-sweep keep the full count, matching the spirit
+        # of the dynamic path's best-effort stats under cancellation)
+        stats = core.stats
+        k = len(live)
+        counts, times = stats.per_type_count, stats.per_type_time
+        for op_type, count in lp.scalar_counts:
+            c = count * k
+            stats.ops_executed += c
+            counts[op_type] = counts.get(op_type, 0) + c
+            times[op_type] = times.get(op_type, 0.0)
+    nodes = lp.nodes
+    for level_idx, (scalars, buckets) in enumerate(lp.levels):
+        live = [r for r in live if not r.cancelled]
+        if not live:
+            break
+        entries: list = []
+        for nid in scalars:
+            node = nodes[nid]
+            for run in live:
+                _run_scalar(core, lp, node, nid, run, entries)
+        if buckets:
+            hist = core.stats.level_width_hist.setdefault(level_idx, {})
+            for bucket in buckets:
+                _run_bucket(core, lp, bucket, live, entries, hist)
+        if entries:
+            # one bulk store per level, after every node of the level —
+            # CacheLookup consumers are ordered into later levels
+            cache.store_many(entries)
+    results = []
+    for run in runs:
+        if run.cancelled or run.node_values is None:
+            results.append(None)
+        else:
+            results.append([run.node_values[nid][i]
+                            for nid, i in run.fetch_locs])
+        run.node_values = None
+        run.ctxs = None
+    return results

@@ -130,6 +130,7 @@ def _refresh_registry_version(graph) -> None:
         if graph._plan_registry_version != version:
             graph._frame_plans.clear()
             graph._fetch_plans.clear()
+            graph._level_plans.clear()
             graph._plan_registry_version = version
 
 

@@ -242,6 +242,38 @@ class Instance:
         self.seq = None
 
 
+class _LevelRun:
+    """Handle for a root admitted through the compiled level-plan path.
+
+    Plays the :class:`Frame` role in the admission bookkeeping — the
+    server holds it, ``cancel_root`` flips it, ``drain`` waits on it —
+    without any frame machinery: a compiled root spawns no frames.
+    ``prefix`` is the root cache key; every compiled frame's key is
+    ``prefix + suffix`` with the suffixes baked into the LevelPlan, so
+    cache entries and accumulator order keys match the dynamic path
+    bit-for-bit.
+    """
+
+    #: duck-type marker consulted by ``_cancel_root_locked``
+    is_level_run = True
+
+    __slots__ = ("lp", "prefix", "feed", "fetch_locs", "on_complete",
+                 "cancelled", "done", "node_values", "ctxs")
+
+    def __init__(self, lp, prefix: tuple, feed: dict, fetch_list,
+                 on_complete: Optional[Callable]):
+        self.lp = lp
+        self.prefix = prefix
+        self.feed = feed
+        self.fetch_locs = [(lp.root_node_of[t.op.id], t.index)
+                           for t in fetch_list]
+        self.on_complete = on_complete
+        self.cancelled = False
+        self.done = False
+        self.node_values = None
+        self.ctxs = None
+
+
 class _FifoReady(deque):
     """FIFO ready queue: a deque subclass so push/pop/len stay C-level."""
 
@@ -348,6 +380,11 @@ class SchedulerCore:
         #: complete, so a repeat drain() must raise again, not hang.
         self._fatal_error: Optional[Exception] = None
         self._serve_wall0 = 0.0
+        #: compiled roots admitted but not yet executed (level-plan path)
+        self._pending_level_runs: list = []
+        #: True while a thread is inside the level-flush loop; late
+        #: admissions just append and the running flush picks them up
+        self._level_flushing = False
 
     # -- Executor interface ---------------------------------------------------
     #
@@ -371,7 +408,8 @@ class SchedulerCore:
         raise NotImplementedError
 
     def run(self, graph: Graph, fetches: Sequence[Tensor],
-            feed_map: dict[int, Any]) -> tuple[list, RunStats]:
+            feed_map: dict[int, Any],
+            shape_profile=None) -> tuple[list, RunStats]:
         raise NotImplementedError
 
     def _start_serving(self) -> None:
@@ -555,13 +593,15 @@ class SchedulerCore:
         self._error_listener = None
         self._error_delivered = False
         self._fatal_error = None
+        self._pending_level_runs = []
+        self._level_flushing = False
         self._start_serving()
         self._serve_wall0 = time.perf_counter()
         self._error_listener = error_listener
 
     def submit_root(self, graph: Graph, fetches: Sequence[Tensor],
                     feed_map: dict[int, Any], key: tuple,
-                    on_complete: Callable) -> Frame:
+                    on_complete: Callable, shape_profile=None) -> Frame:
         """Admit a new root instance into the live ready queue.
 
         The fetch set's reachable ops become a fresh depth-0 frame whose
@@ -572,9 +612,22 @@ class SchedulerCore:
         The pruned root plan is memoized per fetch set, so repeat
         requests skip the reachability walk entirely.  Thread-safe on
         locking executors (admission takes the master lock).
+
+        ``shape_profile`` (per-call-site tree shapes, in op-id order)
+        routes the root through the compiled level-plan fast path when
+        it is eligible (:mod:`repro.runtime.level_plan`): no frames are
+        spawned, and concurrent same-profile roots share one wavefront.
+        Ineligible roots fall back to the dynamic path below, counted in
+        ``RunStats.level_plan_fallbacks``.
         """
         fetch_list = list(fetches)
         plan = plan_for_fetches(graph, {t.op for t in fetch_list})
+        if shape_profile is not None:
+            handle = self._try_submit_level_root(
+                graph, plan, fetch_list, feed_map, key, on_complete,
+                shape_profile)
+            if handle is not None:
+                return handle
 
         def frame_done(frame):
             values = [frame.value_of(t) for t in fetch_list]
@@ -601,6 +654,185 @@ class SchedulerCore:
         self._admitted()
         return frame
 
+    # -- compiled level-plan path ---------------------------------------------
+    #
+    # When the caller knows the tree shape at admission, the recursion
+    # lowers to a fixed wavefront schedule (repro.runtime.level_plan).
+    # The scheduler owns the admission/merge/complete bookkeeping so all
+    # backends share it; the event engine overrides the two small hooks
+    # (`_schedule_level_flush`, `_execute_level_group`) to run the sweep
+    # at virtual instants with modeled cost.
+
+    def _try_level_run(self, graph, fetch_list, feed_map, shape_profile):
+        """One-shot compiled execution for ``run()``.
+
+        Returns ``(values, modeled_cost)`` on a hit, None on fallback.
+        The run's key prefix is the root key ``()``, so cache entries
+        and accumulator order keys are bit-identical to the dynamic
+        path.  Errors propagate to the caller like dynamic ``run``.
+        """
+        from .level_plan import execute_level_plan, level_plan_for
+        plan = plan_for_fetches(graph, {t.op for t in fetch_list})
+        lp = level_plan_for(graph, plan, shape_profile, self.record)
+        if lp is None or lp.max_depth > self.max_depth:
+            self.stats.level_plan_fallbacks += 1
+            return None
+        try:
+            run = _LevelRun(lp, (), feed_map, fetch_list, None)
+        except KeyError:
+            self.stats.level_plan_fallbacks += 1
+            return None
+        self.stats.level_plan_hits += 1
+        values = execute_level_plan(self, lp, [run])[0]
+        return values, self.cost_model.level_plan_cost(lp, 1)
+
+    def _try_submit_level_root(self, graph, plan, fetch_list, feed_map,
+                               key, on_complete, shape_profile):
+        """Serving-mode admission onto the compiled path (or None)."""
+        from .level_plan import level_plan_for
+        lp = level_plan_for(graph, plan, shape_profile, self.record)
+        lock = self._master_lock
+        eligible = lp is not None and lp.max_depth <= self.max_depth
+        run = None
+        if eligible:
+            try:
+                run = _LevelRun(lp, key, feed_map, fetch_list, on_complete)
+            except KeyError:  # fetch outside the compiled root plan
+                run = None
+        if run is None:
+            if lock is None:
+                self.stats.level_plan_fallbacks += 1
+            else:
+                with lock:
+                    self.stats.level_plan_fallbacks += 1
+            return None
+        if lock is None:
+            self.stats.level_plan_hits += 1
+            self._open_roots += 1
+            self._pending_level_runs.append(run)
+        else:
+            with lock:
+                self.stats.level_plan_hits += 1
+                self._open_roots += 1
+                self._pending_level_runs.append(run)
+        self._schedule_level_flush()
+        self._admitted()
+        return run
+
+    def _schedule_level_flush(self) -> None:
+        """Arrange for pending compiled roots to execute.  Base backends
+        flush immediately on the admitting thread; the event engine
+        defers to an event at the current virtual instant so
+        same-instant arrivals merge into one wavefront."""
+        self._flush_level_runs()
+
+    def _flush_level_runs(self) -> None:
+        """Drain ``_pending_level_runs``, batching same-plan runs.
+
+        Single-flusher discipline: the thread that wins the
+        ``_level_flushing`` flag loops until the pending list is empty
+        — the emptiness check and the flag clear happen in the same
+        locked section, so an admission racing with the final check
+        either lands in the observed batch or finds the flag down and
+        flushes itself.  Reentrant admissions (a completion callback
+        submitting the next request) append and return immediately; the
+        outer loop picks them up.
+        """
+        lock = self._master_lock
+        if lock is None:
+            if self._level_flushing:
+                return
+            self._level_flushing = True
+            try:
+                while self._pending_level_runs:
+                    batch = self._pending_level_runs
+                    self._pending_level_runs = []
+                    self._run_level_batch(batch)
+            finally:
+                self._level_flushing = False
+            return
+        with lock:
+            if self._level_flushing:
+                return
+            self._level_flushing = True
+        while True:
+            with lock:
+                batch = self._pending_level_runs
+                if not batch:
+                    self._level_flushing = False
+                    return
+                self._pending_level_runs = []
+            try:
+                self._run_level_batch(batch)
+            except BaseException:
+                with lock:
+                    self._level_flushing = False
+                raise
+
+    def _run_level_batch(self, batch) -> None:
+        groups: dict = {}
+        for run in batch:
+            groups.setdefault(id(run.lp), (run.lp, []))[1].append(run)
+        for lp, runs in groups.values():
+            self._execute_level_group(lp, runs)
+
+    def _execute_level_group(self, lp, runs) -> None:
+        """Execute one merged wavefront sweep and complete its runs."""
+        from .level_plan import execute_level_plan
+        try:
+            results = execute_level_plan(self, lp, runs)
+        except Exception as exc:  # noqa: BLE001 - session failure path
+            self._fail_level(exc)
+            return
+        for run, values in zip(runs, results):
+            if values is not None:
+                self._complete_level_run(run, values)
+
+    def _complete_level_run(self, run, values) -> None:
+        """Retire one compiled root (mirrors the dynamic ``frame_done``:
+        bookkeeping and the completion callback under the master lock)."""
+        lock = self._master_lock
+        if lock is None:
+            if run.cancelled or run.done:
+                return
+            run.done = True
+            self._open_roots -= 1
+            run.on_complete(values)
+            return
+        with lock:
+            if run.cancelled or run.done:
+                return
+            run.done = True
+            self._open_roots -= 1
+            run.on_complete(values)
+            cv = self._roots_cv
+            if cv is not None:
+                cv.notify_all()
+
+    def _fail_level(self, exc: Exception) -> None:
+        """Fail the serving session from the compiled path (one shot)."""
+        err = exc if isinstance(exc, EngineError) else EngineError(str(exc))
+        if err is not exc:
+            err.__cause__ = exc
+        lock = self._master_lock
+        if lock is None:
+            if self._error is None:
+                self._error = err
+            return  # single-threaded: drain() delivers + raises
+        listener = None
+        with lock:
+            if self._error is None:
+                self._error = err
+                listener = self._error_listener
+                self._error_delivered = listener is not None
+            done = getattr(self, "_done", None)
+            if done is not None:
+                done.set()
+            if self._roots_cv is not None:
+                self._roots_cv.notify_all()
+        if listener is not None:
+            listener(err)
+
     def cancel_root(self, frame: Frame) -> bool:
         """Retire a root frame mid-flight (request cancellation/timeout).
 
@@ -624,6 +856,17 @@ class SchedulerCore:
             return self._cancel_root_locked(frame)
 
     def _cancel_root_locked(self, frame: Frame) -> bool:
+        if getattr(frame, "is_level_run", False):
+            # compiled-path handle: no frame tree, no coalescer state —
+            # the executing sweep drops it at the next level boundary
+            if frame.cancelled or frame.done:
+                return False
+            frame.cancelled = True
+            self._open_roots -= 1
+            cv = self._roots_cv
+            if cv is not None:
+                cv.notify_all()
+            return True
         root = frame.root
         if root.cancelled or root.remaining == 0:
             return False

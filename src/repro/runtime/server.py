@@ -145,9 +145,9 @@ class RequestTicket:
                  "arrival_time", "admit_time", "complete_time", "value",
                  "error", "rejected", "cancelled", "timed_out", "deadline",
                  "priority", "tenant", "size_hint", "predicted_cost",
-                 "frame", "_base_cost", "_rel_timeout", "_admitted",
-                 "_cancel_requested", "_queued", "_dequeued", "_timer",
-                 "_server", "_done")
+                 "shape_profile", "frame", "_base_cost", "_rel_timeout",
+                 "_admitted", "_cancel_requested", "_queued", "_dequeued",
+                 "_timer", "_server", "_done")
 
     def __init__(self, request_id: int, fetches: list, feed_map: dict,
                  single: bool, server: "RecursiveServer"):
@@ -168,6 +168,9 @@ class RequestTicket:
         self.tenant: Optional[str] = None
         self.size_hint = 1
         self.predicted_cost = 0.0
+        #: per-call-site tree shapes routing this request through the
+        #: compiled level-plan fast path (None: dynamic path)
+        self.shape_profile = None
         self._base_cost = 0.0
         #: the admitted root Frame (set under the server lock after
         #: submit_root returns; the cancellation handle)
@@ -556,7 +559,8 @@ class RecursiveServer:
                at: Optional[float] = None, deadline: Optional[float] = None,
                timeout: Optional[float] = None, priority: int = 0,
                tenant: Optional[str] = None,
-               size_hint: Optional[int] = None) -> RequestTicket:
+               size_hint: Optional[int] = None,
+               shape_profile=None) -> RequestTicket:
         """Enqueue one request; returns its completion future.
 
         ``fetches``/``feed_dict`` follow ``Session.run`` semantics
@@ -578,6 +582,11 @@ class RecursiveServer:
         * ``size_hint`` — expected number of recursive frames (e.g.
           ``tree.num_nodes``); multiplies the root plan's static cost in
           the admission-time prediction.
+        * ``shape_profile`` — per-call-site tree shapes (in op-id
+          order, e.g. ``TreeBatch.profiles``): eligible requests take
+          the compiled level-plan fast path, and concurrent
+          same-profile requests merge into one wavefront; ineligible
+          ones fall back to the dynamic path transparently.
         """
         if deadline is not None and timeout is not None:
             raise ValueError("pass deadline= (absolute) or timeout= "
@@ -595,6 +604,7 @@ class RecursiveServer:
         ticket.priority = priority
         ticket.tenant = tenant
         ticket.size_hint = max(1, int(size_hint)) if size_hint else 1
+        ticket.shape_profile = shape_profile
         ticket._base_cost = self._base_cost(fetch_list, ticket.size_hint)
         ticket.predicted_cost = ticket._base_cost * self._cost_scale
         with self._lock:
@@ -817,10 +827,15 @@ class RecursiveServer:
                 # may complete synchronously inside submit_root
                 ticket.admit_time = self._engine.now
                 feed_map, ticket.feed_map = ticket.feed_map, None
+                # pass the kwarg only when set: keeps the positional call
+                # shape for executors (and test doubles) that predate it
+                kwargs = ({"shape_profile": ticket.shape_profile}
+                          if ticket.shape_profile is not None else {})
                 frame = self._engine.submit_root(
                     self._graph, ticket.fetches, feed_map,
                     (f"req{ticket.request_id}",),
-                    lambda values, t=ticket: self._request_done(t, values))
+                    lambda values, t=ticket: self._request_done(t, values),
+                    **kwargs)
                 with self._lock:
                     ticket.frame = frame
                     pending = ticket._cancel_requested

@@ -109,13 +109,22 @@ class Session:
         self.last_stats: Optional[RunStats] = None
 
     def run(self, fetches, feed_dict: Optional[dict] = None,
-            record: Optional[bool] = None, batching: Optional[bool] = None):
+            record: Optional[bool] = None, batching: Optional[bool] = None,
+            shape_profile=None):
         """Execute the graph until ``fetches`` are produced.
 
         ``fetches`` may be a Tensor or a list/tuple of Tensors; the return
         value matches that structure.  ``feed_dict`` maps placeholder
         tensors to numpy-compatible values.  ``record`` and ``batching``
         override the session-level modes for this call onward.
+
+        ``shape_profile`` — per-call-site tree shape signatures in
+        op-id order (``TreeBatch.profiles`` for the tree models) —
+        enables the compiled level-plan fast path
+        (:mod:`repro.runtime.level_plan`): eligible roots execute as a
+        fixed pre-bucketed wavefront schedule, bit-identical to the
+        dynamic path; ineligible ones fall back transparently
+        (``last_stats.level_plan_fallbacks``).
         """
         single = isinstance(fetches, Tensor)
         fetch_list = [fetches] if single else list(fetches)
@@ -134,7 +143,13 @@ class Session:
             if policy is not None:
                 self._engine.batch_policy = policy
         self.runtime.cache.clear()
-        values, stats = self._engine.run(self.graph, fetch_list, feed_map)
+        if shape_profile is None:
+            # keep the positional call shape for third-party executors
+            # that predate the shape_profile keyword
+            values, stats = self._engine.run(self.graph, fetch_list, feed_map)
+        else:
+            values, stats = self._engine.run(self.graph, fetch_list, feed_map,
+                                             shape_profile=shape_profile)
         self.last_stats = stats
         return values[0] if single else values
 

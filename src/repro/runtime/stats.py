@@ -89,6 +89,17 @@ class RunStats:
     #: This is the observability surface for the adaptive flush policy —
     #: see :func:`repro.harness.reporting.format_batch_histogram`.
     batch_width_hist: dict = field(default_factory=dict)
+    #: roots admitted through the compiled level-plan fast path
+    #: (:mod:`repro.runtime.level_plan`)
+    level_plan_hits: int = 0
+    #: roots that carried a shape profile but fell back to dynamic
+    #: execution (ineligible graph shape, depth cap, stale plan)
+    level_plan_fallbacks: int = 0
+    #: per-level fused-dispatch width histograms for compiled sweeps:
+    #: level index -> {width: count}.  The compiled-path analogue of
+    #: ``batch_width_hist`` — see
+    #: :func:`repro.harness.reporting.format_level_histogram`.
+    level_width_hist: dict = field(default_factory=dict)
     #: requests completed through a serving session
     requests: int = 0
     #: requests rejected by admission control (queue-depth cap, or the
@@ -288,6 +299,12 @@ class RunStats:
             into = self.batch_width_hist.setdefault(sig, {})
             for width, count in hist.items():
                 into[width] = into.get(width, 0) + count
+        self.level_plan_hits += other.level_plan_hits
+        self.level_plan_fallbacks += other.level_plan_fallbacks
+        for level, hist in other.level_width_hist.items():
+            into = self.level_width_hist.setdefault(level, {})
+            for width, count in hist.items():
+                into[width] = into.get(width, 0) + count
         for k, v in other.per_type_count.items():
             self.per_type_count[k] = self.per_type_count.get(k, 0) + v
         for k, v in other.per_type_time.items():
@@ -306,6 +323,13 @@ class RunStats:
                 f"batches={self.batches}  batched_ops={self.batched_ops}  "
                 f"mean_batch={self.batch_efficiency:.1f}  "
                 f"max_batch={self.max_batch}")
+        if self.level_plan_hits or self.level_plan_fallbacks:
+            fused = sum(count for hist in self.level_width_hist.values()
+                        for count in hist.values())
+            lines.append(
+                f"level_plan_hits={self.level_plan_hits}  "
+                f"level_plan_fallbacks={self.level_plan_fallbacks}  "
+                f"level_dispatches={fused}")
         if self.requests:
             lat = self.latency_summary()["total"]
             lines.append(

@@ -113,9 +113,20 @@ class ThreadedEngine(SchedulerCore):
     # -- run ------------------------------------------------------------------
 
     def run(self, graph: Graph, fetches: Sequence[Tensor],
-            feed_map: dict[int, Any]) -> tuple[list, RunStats]:
+            feed_map: dict[int, Any],
+            shape_profile=None) -> tuple[list, RunStats]:
         wall0 = time.perf_counter()
         self._begin_session()
+        if shape_profile is not None:
+            hit = self._try_level_run(graph, list(fetches), feed_map,
+                                      shape_profile)
+            if hit is not None:
+                values, _ = hit
+                self.stats.wall_time = time.perf_counter() - wall0
+                self.stats.virtual_time = self.stats.wall_time
+                self.stats.cache_stores = self.runtime.cache.stores
+                self.stats.cache_lookups = self.runtime.cache.lookups
+                return values, self.stats
         plan = plan_for_fetches(graph, {t.op for t in fetches})
 
         def root_done(frame):

@@ -1,0 +1,400 @@
+"""Level-plan compilation: profiles, bit-identity, fallbacks, caching.
+
+The compiled fast path (:mod:`repro.runtime.level_plan`) lowers an
+admission whose tree shape is known up front into a fixed sequence of
+pre-bucketed batched dispatches.  Its contract is *bit-identity* with
+the dynamic scheduler — same values, same gradients, same cache keys —
+with transparent fallback for anything it cannot compile.  These tests
+pin that contract across every registered executor.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ops
+from repro.core.subgraph import SubGraph
+from repro.data import batch_trees, make_treebank
+from repro.data.trees import Tree, TreeNode, shape_profile_of
+from repro.models import (ModelConfig, RNTNSentiment, TreeLSTMSentiment,
+                          TreeRNNSentiment, tree_lstm_config)
+from repro.runtime.level_plan import level_plan_for
+from repro.runtime.plan import plan_for_fetches
+from repro.runtime.scheduler import available_executors
+
+ENGINES = available_executors()
+
+MODELS = [
+    ("treernn", TreeRNNSentiment,
+     ModelConfig(vocab_size=50, hidden=8, embed_dim=8)),
+    ("rntn", RNTNSentiment,
+     ModelConfig(vocab_size=50, hidden=6, embed_dim=6)),
+    ("treelstm", TreeLSTMSentiment,
+     tree_lstm_config(vocab_size=50, hidden=6, embed_dim=5)),
+]
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return make_treebank(num_train=16, num_val=4, vocab_size=50,
+                         max_words=12, mean_log_words=2.2, seed=11)
+
+
+class TestShapeProfiles:
+    """The cached per-tree depth profile (data-layer satellite)."""
+
+    def _tree(self):
+        #      internal
+        #     /        \
+        #  leaf      internal
+        #            /      \
+        #          leaf    leaf
+        return Tree(TreeNode(left=TreeNode(word=1),
+                             right=TreeNode(left=TreeNode(word=2),
+                                            right=TreeNode(word=3))))
+
+    def test_profile_of_known_shape(self):
+        tree = self._tree()
+        assert shape_profile_of(tree.root) == ((), ((), ()))
+        assert shape_profile_of(tree.root.left) == ()
+
+    def test_profile_is_cached_on_the_tree(self):
+        tree = self._tree()
+        assert tree.shape_profile is tree.shape_profile
+
+    def test_profile_equality_tracks_shape_only(self):
+        a = Tree(TreeNode(left=TreeNode(word=1), right=TreeNode(word=2)))
+        b = Tree(TreeNode(left=TreeNode(word=9), right=TreeNode(word=4),
+                          label=1))
+        assert a.shape_profile == b.shape_profile
+
+    def test_profile_stats_match_tree_counts(self, bank):
+        for tree in bank.train[:6]:
+            assert tree.num_nodes == tree.root.size()
+            assert tree.num_leaves == tree.root.num_leaves()
+            assert tree.depth == tree.root.depth()
+
+    def test_deep_chain_profile_is_iterative(self):
+        node = TreeNode(word=0)
+        for _ in range(3000):  # far beyond the default recursion limit
+            node = TreeNode(left=node, right=TreeNode(word=1))
+        profile = Tree(node).shape_profile
+        depth = 1
+        while profile:
+            profile = profile[0]
+            depth += 1
+        assert depth == 3001
+
+    def test_batch_carries_profiles_in_order(self, bank):
+        trees = bank.train[:4]
+        batch = batch_trees(trees)
+        assert batch.profiles == tuple(t.shape_profile for t in trees)
+
+
+def _model_pair(engine, cls, config, trees, train, workers=4):
+    """Run (dynamic, compiled) on a fresh build each; return results."""
+    out = []
+    for use_profile in (False, True):
+        runtime = repro.Runtime()
+        model = cls(config, runtime)
+        built = model.build_recursive(len(trees))
+        batch = batch_trees(trees)
+        fetches = [built.loss, built.root_logits]
+        if train:
+            _, updates = repro.gradients(built.loss, [])
+            fetches += [op.outputs[-1] for op in updates]
+        session = repro.Session(built.graph, runtime, num_workers=workers,
+                                engine=engine, record=train)
+        runtime.accumulators.zero()
+        kwargs = ({"shape_profile": built.shape_profiles(batch)}
+                  if use_profile else {})
+        values = session.run(fetches, built.feed_dict(batch), **kwargs)
+        grads = ({name: np.copy(runtime.accumulators.read(name))
+                  for name in runtime.accumulators.names()} if train else {})
+        out.append((values, grads, session.last_stats))
+    return out
+
+
+def _assert_bit_identical(dynamic, compiled):
+    (ref_values, ref_grads, _), (values, grads, stats) = dynamic, compiled
+    assert stats.level_plan_hits == 1
+    assert stats.level_plan_fallbacks == 0
+    for ref, got in zip(ref_values, values):
+        assert np.array_equal(ref, got)
+    assert set(grads) == set(ref_grads)
+    for name in ref_grads:
+        assert np.array_equal(grads[name], ref_grads[name]), name
+
+
+class TestBitIdentity:
+    """Compiled forward/backward values must equal the dynamic path
+    exactly — not approximately — on every registered executor."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_forward_identical(self, bank, engine):
+        pair = _model_pair(engine, TreeRNNSentiment, MODELS[0][2],
+                           bank.train[:3], train=False)
+        _assert_bit_identical(*pair)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_gradients_identical(self, bank, engine):
+        pair = _model_pair(engine, TreeRNNSentiment, MODELS[0][2],
+                           bank.train[:3], train=True)
+        _assert_bit_identical(*pair)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_treelstm_gradients_identical(self, bank, engine):
+        pair = _model_pair(engine, TreeLSTMSentiment, MODELS[2][2],
+                           bank.train[:2], train=True)
+        _assert_bit_identical(*pair)
+
+    @pytest.mark.stress
+    @pytest.mark.timeout(600)
+    @pytest.mark.parametrize("name,cls,config", MODELS,
+                             ids=[m[0] for m in MODELS])
+    def test_randomized_trees_identical(self, name, cls, config):
+        """Randomized shapes × all models × all executors, training mode."""
+        wide = make_treebank(num_train=24, num_val=0, vocab_size=50,
+                             max_words=18, mean_log_words=2.5, seed=23)
+        for engine in ENGINES:
+            for lo in (0, 8, 16):
+                pair = _model_pair(engine, cls, config,
+                                   wide.train[lo:lo + 4], train=True)
+                _assert_bit_identical(*pair)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_nary_recursion_identical(self, engine):
+        """Profiles are not binary-specific: a 3-ary reduction compiles."""
+        graph = repro.Graph("nary")
+        with graph.as_default():
+            values = ops.placeholder(repro.float32, (None,))
+            children = ops.placeholder(repro.int32, (None, 3))
+            is_leaf = ops.placeholder(repro.bool_, (None,))
+            with SubGraph("tsum3") as tsum:
+                idx = tsum.input(repro.int32, ())
+                tsum.declare_outputs([(repro.float32, ())])
+
+                def leaf():
+                    return ops.gather(values, idx)
+
+                def internal():
+                    kids = ops.gather(children, idx)
+                    return ops.add(
+                        ops.add(tsum(ops.gather(kids, 0)),
+                                tsum(ops.gather(kids, 1))),
+                        ops.add(tsum(ops.gather(kids, 2)),
+                                ops.gather(values, idx)))
+
+                tsum.output(ops.cond(ops.gather(is_leaf, idx), leaf,
+                                     internal))
+            out = tsum(ops.constant(6))
+        # nodes 0..5 leaves; node 6 = (0, 1, 2); values weight the sum
+        feeds = {values: np.arange(7, dtype=np.float32),
+                 children: np.array([[-1] * 3] * 6 + [[0, 1, 2]],
+                                    dtype=np.int32),
+                 is_leaf: np.array([True] * 6 + [False])}
+        profile = ((), (), ())
+        runtime = repro.Runtime()
+        session = repro.Session(graph, runtime, num_workers=4, engine=engine)
+        ref = session.run(out, feeds)
+        got = session.run(out, feeds, shape_profile=(profile,))
+        assert session.last_stats.level_plan_hits == 1
+        assert np.array_equal(ref, got)
+
+
+def _binary_tree_sum(graph):
+    """The Figure-1 array-backed binary reduction, as a level-plan target."""
+    with graph.as_default():
+        values = ops.placeholder(repro.float32, (None,))
+        children = ops.placeholder(repro.int32, (None, 2))
+        is_leaf = ops.placeholder(repro.bool_, (None,))
+        with SubGraph("tsum") as tsum:
+            idx = tsum.input(repro.int32, ())
+            tsum.declare_outputs([(repro.float32, ())])
+
+            def leaf():
+                return ops.gather(values, idx)
+
+            def internal():
+                pair = ops.gather(children, idx)
+                return ops.add(tsum(ops.gather(pair, 0)),
+                               tsum(ops.gather(pair, 1)))
+
+            tsum.output(ops.cond(ops.gather(is_leaf, idx), leaf, internal))
+        out = tsum(ops.constant(2))
+    feeds = {values: np.array([2.0, 3.0, 1.0], dtype=np.float32),
+             children: np.array([[-1, -1], [-1, -1], [0, 1]],
+                                dtype=np.int32),
+             is_leaf: np.array([True, True, False])}
+    return out, feeds
+
+
+class TestFallbacks:
+    """Ineligible admissions must run dynamically — correct values, one
+    fallback counted, no error."""
+
+    def test_shape_invisible_branch_falls_back(self):
+        """A Cond whose branches recurse identically cannot be compiled:
+        the shape profile does not determine the branch decision."""
+        graph = repro.Graph("ambiguous")
+        with graph.as_default():
+            with SubGraph("amb") as amb:
+                n = amb.input(repro.int32, ())
+                amb.declare_outputs([(repro.int32, ())])
+
+                def base():
+                    return ops.identity(n)
+
+                def rec():
+                    return ops.cond(ops.less_equal(n, 3),
+                                    lambda: amb(n - 1),
+                                    lambda: amb(n - 2))
+
+                amb.output(ops.cond(ops.less_equal(n, 1), base, rec))
+            out = amb(ops.constant(7))
+        session = repro.Session(graph, repro.Runtime(), num_workers=2)
+        ref = session.run(out)
+        got = session.run(out, shape_profile=(((),),))
+        assert session.last_stats.level_plan_fallbacks == 1
+        assert session.last_stats.level_plan_hits == 0
+        assert got == ref
+
+    def test_profile_count_mismatch_falls_back(self, bank):
+        runtime = repro.Runtime()
+        model = TreeRNNSentiment(MODELS[0][2], runtime)
+        built = model.build_recursive(2)
+        batch = batch_trees(bank.train[:2])
+        session = repro.Session(built.graph, runtime, num_workers=2)
+        ref = session.run(built.loss, built.feed_dict(batch))
+        got = session.run(built.loss, built.feed_dict(batch),
+                          shape_profile=built.shape_profiles(batch)[:1])
+        assert session.last_stats.level_plan_fallbacks == 1
+        assert np.array_equal(ref, got)
+
+    def test_graph_without_recursion_falls_back(self):
+        graph = repro.Graph("flat")
+        with graph.as_default():
+            x = ops.placeholder(repro.float32, ())
+            y = ops.tanh(x)
+        session = repro.Session(graph, repro.Runtime())
+        got = session.run(y, {x: 0.5}, shape_profile=((),))
+        assert session.last_stats.level_plan_fallbacks == 1
+        assert got == np.tanh(np.float32(0.5))
+
+    def test_lying_profile_raises(self):
+        """A profile inconsistent with the fed data is an error, not a
+        wrong answer: the compiled branch decision is verified at the
+        predicate."""
+        graph = repro.Graph("liar")
+        out, feeds = _binary_tree_sum(graph)
+        session = repro.Session(graph, repro.Runtime(), num_workers=2)
+        assert session.run(out, feeds) == pytest.approx(5.0)
+        # claim the root is a leaf: compiles, then contradicts the data
+        with pytest.raises(repro.EngineError, match="shape profile"):
+            session.run(out, feeds, shape_profile=((),))
+
+
+class TestPlanCache:
+    """Compiled level plans memoize per (root plan, profiles, record) and
+    drop on any event that invalidates FramePlans."""
+
+    def _compiled(self, graph, fetch, profiles):
+        plan = plan_for_fetches(graph, {fetch.op})
+        return level_plan_for(graph, plan, profiles, False)
+
+    def test_memoized_per_profile(self):
+        graph = repro.Graph("memo")
+        out, _ = _binary_tree_sum(graph)
+        lp = self._compiled(graph, out, (((), ()),))
+        assert self._compiled(graph, out, (((), ()),)) is lp
+        other = self._compiled(graph, out, ((((), ()), ()),))
+        assert other is not lp
+
+    def test_ineligible_memoized_as_none(self):
+        graph = repro.Graph("inel")
+        with graph.as_default():
+            y = ops.tanh(ops.constant(1.0))
+        assert self._compiled(graph, y, ((),)) is None
+        assert self._compiled(graph, y, ((),)) is None
+
+    def test_invalidated_by_add_op(self):
+        graph = repro.Graph("addop")
+        out, _ = _binary_tree_sum(graph)
+        lp = self._compiled(graph, out, (((), ()),))
+        with graph.as_default():
+            ops.constant(99.0)
+        assert self._compiled(graph, out, (((), ()),)) is not lp
+
+    def test_invalidated_by_registry_mutation(self):
+        """A registry bump must recompile level plans: they bake in the
+        FramePlans (OpDefs, batch signatures) of every frame they span."""
+        from repro.graph import registry
+
+        graph = repro.Graph("regbump")
+        out, _ = _binary_tree_sum(graph)
+        lp = self._compiled(graph, out, (((), ()),))
+        registry._bump_version()
+        fresh = self._compiled(graph, out, (((), ()),))
+        assert fresh is not None
+        assert fresh is not lp
+
+    def test_record_mode_is_part_of_the_key(self):
+        graph = repro.Graph("reckey")
+        out, _ = _binary_tree_sum(graph)
+        plan = plan_for_fetches(graph, {out.op})
+        lp_infer = level_plan_for(graph, plan, (((), ()),), False)
+        lp_train = level_plan_for(graph, plan, (((), ()),), True)
+        assert lp_infer is not lp_train
+
+
+class TestServingMerge:
+    """Same-profile requests arriving together merge into one wavefront."""
+
+    def test_event_engine_merges_same_instant(self, bank):
+        tree = bank.train[0]
+        runtime = repro.Runtime()
+        model = TreeRNNSentiment(MODELS[0][2], runtime)
+        built = model.build_recursive(1)
+        batch = batch_trees([tree])
+        session = repro.Session(built.graph, runtime, num_workers=4)
+        ref = session.run(built.root_logits, built.feed_dict(batch))
+        with session.serve(max_in_flight=8) as server:
+            tickets = [server.submit(built.root_logits,
+                                     built.feed_dict(batch), at=0.0,
+                                     shape_profile=built.shape_profiles(batch))
+                       for _ in range(4)]
+            server.drain()
+            values = [t.result() for t in tickets]
+            stats = server.stats
+        assert stats.level_plan_hits == 4
+        assert stats.level_plan_fallbacks == 0
+        for got in values:
+            assert np.array_equal(ref, got)
+        # the merged sweep fused across requests: some level dispatched
+        # at least the 4-way cross-request width
+        widest = max(w for hist in stats.level_width_hist.values()
+                     for w in hist)
+        assert widest >= 4
+
+    @pytest.mark.serving
+    @pytest.mark.timeout(60)
+    @pytest.mark.parametrize("engine", [e for e in ENGINES if e != "event"])
+    def test_wall_clock_serving_identical(self, bank, engine):
+        runtime = repro.Runtime()
+        model = TreeRNNSentiment(MODELS[0][2], runtime)
+        built = model.build_recursive(1)
+        session = repro.Session(built.graph, runtime, num_workers=4,
+                                engine=engine)
+        batches = [batch_trees([t]) for t in bank.train[:4]]
+        refs = [session.run(built.root_logits, built.feed_dict(b))
+                for b in batches]
+        with session.serve(max_in_flight=8) as server:
+            tickets = [server.submit(built.root_logits, built.feed_dict(b),
+                                     shape_profile=built.shape_profiles(b))
+                       for b in batches]
+            server.drain()
+            values = [t.result() for t in tickets]
+            stats = server.stats
+        assert stats.level_plan_hits == 4
+        for ref, got in zip(refs, values):
+            assert np.array_equal(ref, got)
