@@ -1,9 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-fast check test-batching test-serving soak soak-ci \
-        bench bench-fig8 bench-serving bench-serving-slo bench-smoke \
-        bench-overhead bench-level profile
+.PHONY: test test-fast check test-batching test-serving test-procpool \
+        soak soak-ci bench bench-fig8 bench-serving bench-serving-slo \
+        bench-smoke bench-overhead bench-level bench-procpool profile
 
 # Tier-1: the full test suite (what CI gates on).
 test:
@@ -17,7 +17,10 @@ test-fast:
 # The pre-push gate: fast tests, the CI-sized soak (~30s: bounded-memory
 # and SLO counters under sustained load), plus the bench-smoke canaries
 # (tiny fig7/table2 sweeps, the continuous-serving canary and the
-# spawn-overhead regression gate).
+# spawn-overhead regression gate).  REPRO_TEST_TIMEOUT arms the conftest
+# watchdog for every unmarked test so a wedged procpool worker fails the
+# gate fast instead of hanging it on a queue read.
+check: export REPRO_TEST_TIMEOUT ?= 180
 check: test-fast soak-ci bench-smoke
 
 # CI-sized sustained soak (a few thousand requests, ~30s).
@@ -41,6 +44,12 @@ bench:
 # The serving-path subset (server semantics, latency accounting, soak).
 test-serving:
 	$(PYTHON) -m pytest -q -m serving
+
+# The multi-process backend: crash robustness, registry staleness,
+# measured data-parallel training, plus the cross-executor equivalence
+# matrix procpool is parametrized into.
+test-procpool:
+	REPRO_TEST_TIMEOUT=180 $(PYTHON) -m pytest -q tests/test_procpool.py tests/test_executors.py
 
 # The inference-throughput bench; refreshes BENCH_fig8.json.
 bench-fig8:
@@ -77,6 +86,14 @@ bench-overhead:
 # bench-smoke; this is the full paired measurement.
 bench-level:
 	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/bench_level_plan.py -q -s
+
+# Multi-process pool scaling: serving throughput at 1/2/4 procpool
+# workers against the threaded workerpool, plus measured data-parallel
+# cluster scaling; merges the "procpool_scaling" section into
+# BENCH_overhead.json (host cpu_count provenance stamps the rows —
+# expect ~1.0x on a 1-CPU host).
+bench-procpool:
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/bench_procpool.py -q -s
 
 # TreeLSTM continuous-serving canary under cProfile: prints the top-20
 # cumulative hot spots of the scheduler/serving path.

@@ -1,0 +1,147 @@
+"""Multi-process pool scaling: the GIL-escape measurement.
+
+Two paired measurements, merged as the ``procpool_scaling`` section of
+``BENCH_overhead.json`` (next to ``workerpool_buckets``, its in-process
+counterpart):
+
+* **Serving throughput** on the same TreeLSTM bucket canary the
+  workerpool bench uses, at 1/2/4 procpool worker *processes*, against
+  the threaded in-process workerpool at the same width.  In-process
+  pools serialize on the GIL wherever numpy holds it; worker processes
+  do not — on a multi-core host the 4-process row should clear the
+  threaded pool by >1.5x, while on a 1-CPU host every row collapses to
+  ~1.0x (which is why the payload carries host cpu_count provenance).
+* **Measured data-parallel training** through
+  :class:`~repro.distributed.cluster.DataParallelCluster` in
+  ``execution="procpool"`` mode at M=1/2/4 — real wall-clock compute
+  per step instead of the simulated mode's virtual times.
+
+Run via ``make bench-procpool``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import repro
+from common import merge_bench_json
+from repro.runtime import available_executors
+
+PROC_WORKER_SWEEP = (1, 2, 4)
+REQUESTS = 24
+IN_FLIGHT = 12
+HIDDEN = 64
+CLUSTER_BATCH = 8
+CLUSTER_STEPS = 2
+
+
+def _canary_setup():
+    from repro.data import make_treebank
+    from repro.harness.serving import burst_request_stream
+    from repro.models import TreeLSTMSentiment, tree_lstm_config
+
+    bank = make_treebank(num_train=24, num_val=4, vocab_size=80, seed=9)
+    config = tree_lstm_config(hidden=HIDDEN, embed_dim=32, vocab_size=80)
+    stream = burst_request_stream(REQUESTS, len(bank.train), seed=7)
+    make_model = lambda: TreeLSTMSentiment(config, repro.Runtime())  # noqa
+    return bank, stream, make_model
+
+
+def _serve(bank, stream, make_model, engine: str, workers: int,
+           repeats: int = 3) -> dict:
+    from repro.harness import serve_stream
+
+    best = None
+    for _ in range(repeats):
+        model = make_model()
+        t0 = time.perf_counter()
+        result = serve_stream(model, bank.train, stream=stream,
+                              max_in_flight=IN_FLIGHT, engine=engine,
+                              batching=True, num_workers=workers, seed=7)
+        wall = time.perf_counter() - t0
+        assert result.instances == REQUESTS
+        if best is None or wall < best:
+            best = wall
+    return {"engine": engine, "workers": workers, "wall_s": best,
+            "requests_per_sec": REQUESTS / best}
+
+
+def measure_procpool_serving() -> dict:
+    """Procpool at 1/2/4 processes vs the threaded workerpool."""
+    bank, stream, make_model = _canary_setup()
+    rows = {f"procpool_{w}": _serve(bank, stream, make_model, "procpool", w)
+            for w in PROC_WORKER_SWEEP}
+    rows["workerpool_4"] = _serve(bank, stream, make_model, "workerpool", 4)
+    widest = rows[f"procpool_{PROC_WORKER_SWEEP[-1]}"]
+    return {
+        "workload": {"model": "TreeLSTM", "hidden": HIDDEN,
+                     "requests": REQUESTS, "max_in_flight": IN_FLIGHT},
+        **rows,
+        # process-parallel win over one process; bounded by host cores
+        "pool_scaling_speedup":
+            rows["procpool_1"]["wall_s"] / widest["wall_s"],
+        # the GIL-escape headline: 4 processes vs the 4-thread pool
+        "vs_workerpool_speedup":
+            rows["workerpool_4"]["wall_s"] / widest["wall_s"],
+    }
+
+
+def measure_cluster_scaling() -> dict:
+    """Measured data-parallel training step times at M machines."""
+    from repro.data import make_treebank
+    from repro.distributed.cluster import DataParallelCluster
+    from repro.models import ModelConfig, TreeRNNSentiment
+    from repro.nn import Adagrad
+
+    bank = make_treebank(num_train=CLUSTER_BATCH, num_val=2, vocab_size=40,
+                         seed=13)
+    rows = {}
+    for machines in PROC_WORKER_SWEEP:
+        runtime = repro.Runtime()
+        model = TreeRNNSentiment(
+            ModelConfig(hidden=16, embed_dim=16, vocab_size=40), runtime)
+        with DataParallelCluster(model, global_batch=CLUSTER_BATCH,
+                                 num_machines=machines,
+                                 optimizer=Adagrad(0.05), runtime=runtime,
+                                 execution="procpool") as cluster:
+            throughput = cluster.throughput(bank.train, steps=CLUSTER_STEPS)
+        rows[f"machines_{machines}"] = {
+            "machines": machines, "instances_per_sec": throughput}
+    base = rows[f"machines_{PROC_WORKER_SWEEP[0]}"]["instances_per_sec"]
+    for row in rows.values():
+        row["speedup"] = row["instances_per_sec"] / base
+    return {"workload": {"model": "TreeRNN", "hidden": 16,
+                         "global_batch": CLUSTER_BATCH,
+                         "steps": CLUSTER_STEPS},
+            "execution": "procpool (measured wall clock + modeled comm)",
+            **rows}
+
+
+def test_procpool_scaling():
+    assert "procpool" in available_executors(), \
+        "multi-process backend unavailable (no fork start method)"
+    section = {"serving": measure_procpool_serving(),
+               "cluster": measure_cluster_scaling()}
+    path = merge_bench_json("overhead", {"procpool_scaling": section})
+    print(f"\nwrote {path}")
+    serving = section["serving"]
+    print(f"host cpus: {os.cpu_count()}")
+    for key in [f"procpool_{w}" for w in PROC_WORKER_SWEEP] + ["workerpool_4"]:
+        row = serving[key]
+        print(f"  {key:<14} wall={row['wall_s']:.3f}s "
+              f"({row['requests_per_sec']:.1f} req/s)")
+    print(f"  pool_scaling_speedup: {serving['pool_scaling_speedup']:.2f}x")
+    print(f"  vs_workerpool_speedup: {serving['vs_workerpool_speedup']:.2f}x")
+    for key, row in section["cluster"].items():
+        if key.startswith("machines_"):
+            print(f"  cluster {key}: {row['instances_per_sec']:.1f} inst/s "
+                  f"({row['speedup']:.2f}x)")
+    # The acceptance bar — >1.5x vs the threaded workerpool at 4 workers
+    # — needs >= 4 real cores to be physically expressible.  On fewer
+    # cores a process pool is pure IPC overhead with zero parallel
+    # headroom (slower than in-process is *expected*), so the bench
+    # records the honest numbers plus cpu_count provenance and gates
+    # nothing; the recorded row is interpretable wherever it was run.
+    if (os.cpu_count() or 1) >= 4:
+        assert serving["vs_workerpool_speedup"] > 1.5, serving

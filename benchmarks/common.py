@@ -26,7 +26,7 @@ import numpy as np
 import repro
 from repro.data import make_treebank
 from repro.harness import RunnerConfig
-from repro.harness.reporting import engine_provenance
+from repro.harness.reporting import engine_provenance, host_provenance
 from repro.models import (ModelConfig, RNTNSentiment, TreeLSTMSentiment,
                           TreeRNNSentiment, tree_lstm_config)
 from repro.runtime.scheduler import resolve_executor
@@ -90,9 +90,11 @@ def save_bench_json(name: str, payload: dict) -> str:
     (e.g. ``BENCH_fig8.json`` records unbatched vs batched inference
     throughput).  Every payload is stamped with executor provenance
     (which backend produced the rows, and the registry listing at the
-    time) unless the bench recorded its own.
+    time) and host provenance (cpu_count/platform — pool-scaling rows
+    are uninterpretable without it) unless the bench recorded its own.
     """
     payload.setdefault("engine_provenance", engine_provenance(bench_engine()))
+    payload.setdefault("host_provenance", host_provenance())
     root = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
     path = os.path.join(root, f"BENCH_{name}.json")
     with open(path, "w") as fh:

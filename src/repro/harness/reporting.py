@@ -8,7 +8,28 @@ from typing import Any, Optional, Sequence
 
 __all__ = ["format_table", "save_results", "results_dir", "ascii_series",
            "format_batch_histogram", "format_adaptive_policy",
-           "format_latency", "format_level_histogram", "engine_provenance"]
+           "format_latency", "format_level_histogram", "engine_provenance",
+           "host_provenance"]
+
+
+def host_provenance() -> dict:
+    """Provenance stamp for bench rows: what host produced them.
+
+    Pool-scaling numbers are meaningless without the core count — a
+    workerpool/procpool speedup of ~1.0 is *expected* on a 1-CPU bench
+    host and a regression on an 8-CPU one.  Returns::
+
+        {"cpu_count": os.cpu_count(), "platform": ..., "python": ...}
+
+    Benchmarks embed this in their JSON payloads (``save_bench_json``
+    does it automatically) so recorded baselines are interpretable
+    across bench hosts.
+    """
+    import platform
+
+    return {"cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version()}
 
 
 def engine_provenance(engine: Optional[str] = None) -> dict:

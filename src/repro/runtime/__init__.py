@@ -6,9 +6,12 @@ frame spawn/seed/complete over compiled plans, serving admission,
 selective caching, micro-batching decisions — and executor backends
 supply only the mechanics: the virtual-time :class:`EventEngine`
 (``engine="event"``), the wall-clock :class:`~repro.runtime.threaded
-.ThreadedEngine` (``"threaded"``) and the centralized-master
+.ThreadedEngine` (``"threaded"``), the centralized-master
 :class:`~repro.runtime.workerpool.WorkerPoolEngine` (``"workerpool"``)
-with a concurrent kernel pool.  Backends register by name
+with a concurrent kernel pool, and the multi-process
+:class:`~repro.runtime.procpool.ProcPoolEngine` (``"procpool"``) that
+ships fused buckets to worker processes over shared memory, escaping
+the GIL.  Backends register by name
 (:func:`register_executor`) and :class:`Session` resolves ``engine=``
 through the registry.  See ARCHITECTURE.md for the layer diagram.
 
@@ -32,6 +35,7 @@ from .cost_model import (CostModel, calibrate_batch_member_cost, client_eager,
                          gpu_profile, testbed_cpu, unit_cost)
 from .engine import EngineError, EventEngine
 from .plan import FramePlan, plan_for, plan_for_fetches
+from .procpool import ProcPoolEngine
 from .scheduler import (SchedulerCore, available_executors,
                         register_executor, resolve_executor)
 from .server import (DeadlineExceeded, RecursiveServer, RequestCancelled,
@@ -47,7 +51,8 @@ __all__ = ["AdaptiveBatchPolicy", "BatchPolicy", "Coalescer",
            "calibrate_batch_member_cost",
            "client_eager", "gpu_profile", "testbed_cpu",
            "unit_cost", "EngineError", "EventEngine", "ThreadedEngine",
-           "WorkerPoolEngine", "SchedulerCore", "available_executors",
+           "WorkerPoolEngine", "ProcPoolEngine", "SchedulerCore",
+           "available_executors",
            "register_executor", "resolve_executor", "FramePlan",
            "plan_for", "plan_for_fetches", "RecursiveServer",
            "RequestTicket", "ServerOverloaded", "RequestCancelled",

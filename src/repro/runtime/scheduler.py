@@ -946,7 +946,7 @@ _EXECUTORS: dict[str, type] = {}
 #: third-party backends need neither (importing their module runs their
 #: ``register_executor`` call).
 _BUILTIN_MODULES = ("repro.runtime.engine", "repro.runtime.threaded",
-                    "repro.runtime.workerpool")
+                    "repro.runtime.workerpool", "repro.runtime.procpool")
 
 
 def register_executor(name: str, cls: type, *, replace: bool = False) -> None:

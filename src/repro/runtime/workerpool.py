@@ -110,7 +110,7 @@ class WorkerPoolEngine(SchedulerCore):
 
     def _stop_serving(self) -> None:
         self._stop_master = True
-        self._results.put(_WAKE)
+        self._post_wake()
         self._master_thread.join()
         self._stop_pool()
         self.stats.wall_time = time.perf_counter() - self._serve_wall0
@@ -120,7 +120,40 @@ class WorkerPoolEngine(SchedulerCore):
         # submit_root may run on any thread while the serving master
         # sleeps on the results queue: poke it so admission latency is
         # bounded by the queue wake-up, not the idle poll.
+        self._post_wake()
+
+    # -- pool mechanics hooks -------------------------------------------------
+    #
+    # The seams a process-based subclass overrides: thread pools share
+    # one address space, so tasks/results are plain object queues, the
+    # wake sentinel is compared by identity, and workers cannot die.  A
+    # multi-process backend replaces exactly these — serialization at
+    # the submit/apply boundary, a picklable wake token, and a liveness
+    # check — while the master loops above stay untouched.
+
+    def _is_wake(self, item) -> bool:
+        """True when a results-queue item is the master wake sentinel."""
+        return item is _WAKE
+
+    def _post_wake(self) -> None:
+        """Poke the master's results wait (admission, shutdown)."""
         self._results.put(_WAKE)
+
+    def _check_health(self) -> None:
+        """Liveness hook, called whenever the master's results wait
+        times out.  Worker threads cannot die independently, so this is
+        a no-op; process pools override it to turn a dead worker into a
+        sticky session error instead of an infinite wait."""
+
+    def _submit_single(self, inst: Instance, inputs: list) -> None:
+        """Hand one non-batchable sync instance to the kernel pool."""
+        self._inflight += 1
+        self._tasks.put((inst, inputs))
+
+    def _submit_bucket_task(self, bucket, fused: bool) -> None:
+        """Hand one flushed sync bucket to the kernel pool."""
+        self._inflight += 1
+        self._tasks.put((bucket, fused))
 
     # -- run ------------------------------------------------------------------
 
@@ -204,8 +237,9 @@ class WorkerPoolEngine(SchedulerCore):
             try:
                 item = self._results.get(timeout=0.05)
             except queue.Empty:
+                self._check_health()
                 continue
-            if item is not _WAKE:
+            if not self._is_wake(item):
                 self._apply(item)
 
     def _serve_master(self) -> None:
@@ -226,8 +260,9 @@ class WorkerPoolEngine(SchedulerCore):
             try:
                 item = self._results.get(timeout=0.02)
             except queue.Empty:
+                self._check_health()
                 continue
-            if item is not _WAKE:
+            if not self._is_wake(item):
                 self._apply(item)
 
     def _master_step(self) -> bool:
@@ -238,7 +273,7 @@ class WorkerPoolEngine(SchedulerCore):
                 item = self._results.get_nowait()
             except queue.Empty:
                 break
-            if item is not _WAKE:
+            if not self._is_wake(item):
                 self._apply(item)
             progressed = True
         if self._error is None:
@@ -297,8 +332,7 @@ class WorkerPoolEngine(SchedulerCore):
                     # serving error listener, which takes the server lock
                     self._set_error(spawn_exc, inst.op)
             else:
-                self._inflight += 1
-                self._tasks.put((inst, inputs))
+                self._submit_single(inst, inputs)
         # wavefront drained: flush every pending bucket — independent
         # signatures land on the pool together and execute concurrently
         if coalescer is not None:
@@ -326,8 +360,7 @@ class WorkerPoolEngine(SchedulerCore):
             except Exception as exc:
                 self._set_error(exc, first.op)
             return
-        self._inflight += 1
-        self._tasks.put((bucket, fused))
+        self._submit_bucket_task(bucket, fused)
 
     def _apply(self, item) -> None:
         """Apply one pool completion to master state."""
@@ -377,45 +410,54 @@ class WorkerPoolEngine(SchedulerCore):
 
     def _kernel_worker(self) -> None:
         """Pool worker: executes kernels only, never touches frames."""
-        runtime = self.runtime
         while True:
             task = self._tasks.get()
             if task is _STOP:
                 return
-            payload, extra = task
-            if isinstance(payload, Instance):
-                inst = payload
-                try:
-                    definition = inst.frame.plan.defs[inst.slot]
-                    ctx = inst.frame.ctx or inst.frame.exec_context(runtime)
-                    outputs = definition.kernel(inst.op, extra, ctx)
-                    self._results.put(("single", inst, outputs))
-                except Exception as exc:
-                    self._results.put(("error", inst.op, exc))
+            self._results.put(self._execute_task(*task))
+
+    def _execute_task(self, payload, extra) -> tuple:
+        """Execute one pool task and return its completion item.
+
+        The item is exactly what :meth:`_apply` consumes —
+        ``("single", inst, outputs)``, ``("bucket", bucket,
+        outputs_list, fused)`` or ``("error", op, exc)`` — so the same
+        code serves the pool workers and any master-side inline
+        execution path a subclass adds.
+        """
+        runtime = self.runtime
+        if isinstance(payload, Instance):
+            inst, inputs = payload, extra
+            try:
+                definition = inst.frame.plan.defs[inst.slot]
+                ctx = inst.frame.ctx or inst.frame.exec_context(runtime)
+                return ("single", inst, definition.kernel(inst.op, inputs,
+                                                          ctx))
+            except Exception as exc:
+                return ("error", inst.op, exc)
+        bucket, fused = payload, extra
+        first = bucket.instances[0]
+        try:
+            definition = first.frame.plan.defs[first.slot]
+            if fused:
+                ops = [inst.op for inst in bucket.instances]
+                ctxs = [inst.frame.ctx
+                        or inst.frame.exec_context(runtime)
+                        for inst in bucket.instances]
+                outputs_list = definition.batched_kernel(
+                    ops, bucket.inputs, ctxs)
+                self._check_batch_result(bucket, outputs_list)
             else:
-                bucket, fused = payload, extra
-                first = bucket.instances[0]
-                try:
-                    definition = first.frame.plan.defs[first.slot]
-                    if fused:
-                        ops = [inst.op for inst in bucket.instances]
-                        ctxs = [inst.frame.ctx
-                                or inst.frame.exec_context(runtime)
-                                for inst in bucket.instances]
-                        outputs_list = definition.batched_kernel(
-                            ops, bucket.inputs, ctxs)
-                        self._check_batch_result(bucket, outputs_list)
-                    else:
-                        outputs_list = [
-                            definition.kernel(
-                                inst.op, inputs,
-                                inst.frame.ctx
-                                or inst.frame.exec_context(runtime))
-                            for inst, inputs in zip(bucket.instances,
-                                                    bucket.inputs)]
-                    self._results.put(("bucket", bucket, outputs_list, fused))
-                except Exception as exc:
-                    self._results.put(("error", first.op, exc))
+                outputs_list = [
+                    definition.kernel(
+                        inst.op, inputs,
+                        inst.frame.ctx
+                        or inst.frame.exec_context(runtime))
+                    for inst, inputs in zip(bucket.instances,
+                                            bucket.inputs)]
+            return ("bucket", bucket, outputs_list, fused)
+        except Exception as exc:
+            return ("error", first.op, exc)
 
 
 register_executor("workerpool", WorkerPoolEngine)

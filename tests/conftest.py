@@ -5,10 +5,16 @@ pytest.ini) via ``SIGALRM``: threaded-engine tests use it as a watchdog so
 a scheduler deadlock fails the test instead of hanging CI.  The offline
 environment has no pytest-timeout plugin; this covers the same need for
 main-thread tests on POSIX.
+
+Setting ``REPRO_TEST_TIMEOUT=<seconds>`` additionally arms the watchdog
+for every test *without* an explicit marker — ``make check`` sets it so
+a wedged worker process (procpool) fails the run fast instead of
+hanging CI on a queue read.  Explicit markers always win.
 """
 
 from __future__ import annotations
 
+import os
 import signal
 
 import numpy as np
@@ -21,15 +27,21 @@ import repro
 def _watchdog(request):
     """Abort a test that outlives its ``timeout`` marker (POSIX only)."""
     marker = request.node.get_closest_marker("timeout")
-    if marker is None or not hasattr(signal, "SIGALRM"):
+    if not hasattr(signal, "SIGALRM"):
         yield
         return
-    seconds = int(marker.args[0])
+    if marker is not None:
+        seconds = int(marker.args[0])
+    else:
+        seconds = int(os.environ.get("REPRO_TEST_TIMEOUT", 0))
+        if seconds <= 0:
+            yield
+            return
 
     def _expired(signum, frame):
         raise TimeoutError(
             f"test exceeded its {seconds}s watchdog — likely a deadlock "
-            "in the threaded engine / flush policy")
+            "(threaded engine / flush policy) or a wedged worker process")
 
     previous = signal.signal(signal.SIGALRM, _expired)
     signal.alarm(seconds)

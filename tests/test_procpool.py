@@ -1,0 +1,249 @@
+"""The multi-process backend: what only procpool can get wrong.
+
+Cross-executor bit-identity (values, gradients, serving, backpressure)
+is covered by the parametrized matrices in ``test_executors.py`` and
+``test_serving.py`` — procpool rides those automatically.  This file
+covers the failure modes unique to crossing a process boundary:
+
+* a **dead worker process** must surface as a sticky ``EngineError`` on
+  the next ``drain()`` (mirroring the in-process sticky-fatal-error
+  semantics), never a hang;
+* **registry mutation after the pool forked** must not let workers
+  execute stale plans — the version-stamp check flips the session to
+  inline execution and keeps results correct;
+* the **shared-memory transport** must actually carry tasks (shipped
+  counters observable), and **measured data-parallel training** must
+  produce gradients bit-identical at any replica count.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ops
+from repro.data import make_treebank
+from repro.graph.registry import all_op_types, register_op, registry_version
+from repro.runtime import EngineError, available_executors
+
+pytestmark = pytest.mark.skipif(
+    "procpool" not in available_executors(),
+    reason="multi-process backend unavailable (no fork start method)")
+
+#: 64 float32s = 256 bytes — exactly the default SHIP_MIN_BYTES, so the
+#: SleepOp instance below is eligible for worker-process dispatch
+_SHIP_WIDTH = 64
+
+
+def _ensure_sleep_op():
+    """A pure, shippable kernel that holds a worker for ``seconds``."""
+    if "ProcpoolSleep" in all_op_types():
+        return
+
+    def kernel(op, inputs, ctx):
+        time.sleep(op.attrs["seconds"])
+        return [np.asarray(inputs[0])]
+
+    register_op("ProcpoolSleep",
+                infer=lambda op: [(op.inputs[0].dtype, op.inputs[0].shape)],
+                kernel=kernel)
+
+
+def _sleep_graph(seconds: float):
+    _ensure_sleep_op()
+    graph = repro.Graph("procpool_sleep")
+    with graph.as_default():
+        x = ops.placeholder(repro.float32, (_SHIP_WIDTH,), "x")
+        out = graph.add_op("ProcpoolSleep", [x],
+                           {"seconds": float(seconds)}).outputs[0]
+    return graph, x, out
+
+
+class TestWorkerCrash:
+    @pytest.mark.timeout(60)
+    def test_dead_worker_is_a_sticky_engine_error(self):
+        """SIGKILL every worker mid-kernel: drain() raises (no hang) and
+        keeps raising — the session is failed, like any fatal error."""
+        graph, x, out = _sleep_graph(30.0)
+        session = repro.Session(graph, repro.Runtime(), num_workers=2,
+                                engine="procpool")
+        engine = session._engine
+        engine.begin_serving()
+        try:
+            feed = session._build_feed_map(
+                {x: np.arange(_SHIP_WIDTH, dtype=np.float32)})
+            engine.submit_root(graph, [out], feed, key=(0,),
+                               on_complete=lambda values: None)
+            deadline = time.time() + 10.0
+            while engine._shipped_tasks == 0 and time.time() < deadline:
+                time.sleep(0.02)
+            assert engine._shipped_tasks == 1, "sleep task never shipped"
+            time.sleep(0.2)  # let a worker actually pick it up
+            for proc in engine._procs:
+                os.kill(proc.pid, signal.SIGKILL)
+            with pytest.raises(EngineError, match="died"):
+                engine.drain()
+            # sticky: the session stays failed on repeat drains
+            with pytest.raises(EngineError):
+                engine.drain()
+        finally:
+            engine.end_serving()
+
+    @pytest.mark.timeout(60)
+    def test_healthy_pool_round_trips_through_workers(self):
+        """Control for the crash test: same shipped task, no kill —
+        the value comes back through shared memory byte-exact."""
+        graph, x, out = _sleep_graph(0.0)
+        session = repro.Session(graph, repro.Runtime(), num_workers=2,
+                                engine="procpool")
+        engine = session._engine
+        engine.begin_serving()
+        try:
+            sent = np.arange(_SHIP_WIDTH, dtype=np.float32)
+            got = {}
+            engine.submit_root(graph, [out], session._build_feed_map({x: sent}),
+                               key=(0,),
+                               on_complete=lambda values: got.update(v=values))
+            engine.drain()
+        finally:
+            engine.end_serving()
+        assert engine._shipped_tasks >= 1
+        assert np.array_equal(got["v"][0], sent)
+
+
+class TestRegistryStaleness:
+    @pytest.mark.timeout(120)
+    def test_mutation_after_pool_start_stops_shipping(self):
+        """Registering an op after the pool forked must not reach stale
+        worker plans: the stamp check reroutes everything inline, and
+        results stay correct."""
+        bank = make_treebank(num_train=2, num_val=1, vocab_size=20, seed=1)
+        from repro.models import ModelConfig, TreeRNNSentiment
+        from repro.data.batching import batch_trees
+
+        def logits_under(engine_name, mutate=False):
+            model = TreeRNNSentiment(
+                ModelConfig(hidden=8, embed_dim=8, vocab_size=20),
+                repro.Runtime())
+            built = model.build_recursive(1)
+            session = repro.Session(built.graph, model.runtime,
+                                    num_workers=2, engine=engine_name)
+            engine = session._engine
+            engine.begin_serving()
+            try:
+                results = {}
+
+                def submit(rid, tree):
+                    feed = session._build_feed_map(
+                        built.feed_dict(batch_trees([tree])))
+                    engine.submit_root(
+                        built.graph, [built.root_logits], feed, key=(rid,),
+                        on_complete=lambda v, rid=rid: results.update(
+                            {rid: v[0]}))
+
+                submit(0, bank.train[0])
+                engine.drain()
+                if mutate:
+                    assert registry_version() == engine._stamp
+                    name = f"ProcpoolDummy{registry_version()}"
+                    register_op(name, infer=lambda op: [],
+                                kernel=lambda op, i, c: [])
+                    assert registry_version() != engine._stamp
+                    before = engine._shipped_tasks
+                submit(1, bank.train[1])
+                engine.drain()
+                if mutate:
+                    assert engine._registry_stale is True
+                    # nothing shipped after the mutation was detected
+                    assert engine._shipped_tasks == before
+                return results
+            finally:
+                engine.end_serving()
+
+        reference = logits_under("event")
+        stale = logits_under("procpool", mutate=True)
+        for rid, ref in reference.items():
+            assert np.array_equal(ref, stale[rid]), rid
+
+    @pytest.mark.timeout(120)
+    def test_fresh_pool_restamps_after_mutation(self):
+        """A pool started *after* a registry mutation is not stale: the
+        stamp is captured at fork time, per session."""
+        _ensure_sleep_op()  # mutates the registry (first test run only)
+        graph, x, out = _sleep_graph(0.0)
+        session = repro.Session(graph, repro.Runtime(), num_workers=1,
+                                engine="procpool")
+        engine = session._engine
+        engine.begin_serving()
+        try:
+            assert engine._stamp == registry_version()
+            sent = np.arange(_SHIP_WIDTH, dtype=np.float32)
+            got = {}
+            engine.submit_root(graph, [out], session._build_feed_map({x: sent}),
+                               key=(0,),
+                               on_complete=lambda values: got.update(v=values))
+            engine.drain()
+            assert engine._registry_stale is False
+            assert engine._shipped_tasks >= 1
+        finally:
+            engine.end_serving()
+        assert np.array_equal(got["v"][0], sent)
+
+
+class TestMeasuredDataParallel:
+    @pytest.mark.timeout(300)
+    def test_gradients_bit_identical_at_any_replica_count(self):
+        """Measured procpool cluster: same global batch through M=1 and
+        M=2 worker processes accumulates the same gradient, bit for bit
+        (canonical per-tree frame keys make the reduction order
+        independent of placement)."""
+        from repro.distributed.cluster import DataParallelCluster
+        from repro.models import ModelConfig, TreeRNNSentiment
+        from repro.nn import SGD
+
+        bank = make_treebank(num_train=4, num_val=1, vocab_size=24, seed=7)
+
+        def step_at(num_machines):
+            runtime = repro.Runtime()
+            model = TreeRNNSentiment(
+                ModelConfig(hidden=8, embed_dim=8, vocab_size=24), runtime)
+            with DataParallelCluster(model, global_batch=4,
+                                     num_machines=num_machines,
+                                     optimizer=SGD(0.05), runtime=runtime,
+                                     execution="procpool") as cluster:
+                loss, step_time = cluster.train_step(bank.train[:4])
+                names = [v.name for v in runtime.trainable_variables()]
+                grads = {n: np.copy(runtime.accumulators.read(n))
+                         for n in names}
+                params = {n: np.copy(runtime.variables.read(n))
+                          for n in names}
+            assert step_time > 0.0
+            return loss, grads, params
+
+        loss1, grads1, params1 = step_at(1)
+        loss2, grads2, params2 = step_at(2)
+        assert loss1 == loss2
+        assert set(grads1) == set(grads2)
+        for name in grads1:
+            assert np.array_equal(grads1[name], grads2[name]), name
+            # and the applied update (optimizer state) agrees too
+            assert np.array_equal(params1[name], params2[name]), name
+
+    @pytest.mark.timeout(120)
+    def test_invalid_modes_rejected(self):
+        from repro.distributed.cluster import DataParallelCluster
+        from repro.models import ModelConfig, TreeRNNSentiment
+        from repro.nn import SGD
+
+        runtime = repro.Runtime()
+        model = TreeRNNSentiment(
+            ModelConfig(hidden=4, embed_dim=4, vocab_size=10), runtime)
+        with pytest.raises(ValueError, match="unknown execution mode"):
+            DataParallelCluster(model, global_batch=2, num_machines=1,
+                                optimizer=SGD(0.05), runtime=runtime,
+                                execution="quantum")
