@@ -3,7 +3,8 @@ export PYTHONPATH := src:$(PYTHONPATH)
 
 .PHONY: test test-fast check test-batching test-serving test-procpool \
         soak soak-ci bench bench-fig8 bench-serving bench-serving-slo \
-        bench-smoke bench-overhead bench-level bench-procpool profile
+        bench-smoke bench-overhead bench-level bench-procpool \
+        bench-memory profile
 
 # Tier-1: the full test suite (what CI gates on).
 test:
@@ -94,6 +95,15 @@ bench-level:
 # expect ~1.0x on a 1-CPU host).
 bench-procpool:
 	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/bench_procpool.py -q -s
+
+# Memory-aware execution bench: dense vs sparse embedding gradients and
+# unbounded vs budgeted dispatch on a large-vocab TreeLSTM training step
+# (peak live-scratch estimate + process RSS per row); merges the
+# "memory" section into BENCH_overhead.json and gates on the >=5x
+# peak-scratch reduction at >=0.95x throughput.  A miniature peak-RSS
+# canary rides `make check` via bench-smoke.
+bench-memory:
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/bench_memory.py -q -s
 
 # TreeLSTM continuous-serving canary under cProfile: prints the top-20
 # cumulative hot spots of the scheduler/serving path.

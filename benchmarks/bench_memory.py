@@ -1,0 +1,163 @@
+"""Memory-aware execution bench: sparse gradients and budgeted dispatch.
+
+``make bench-memory`` runs this file.  The workload is the memory story
+of a large-vocabulary TreeLSTM training step at batch 25: with dense
+``GatherGrad``, every embedding-gradient instance materializes a
+``[vocab, embed]`` zero table and the accumulator retains one table per
+recursive frame — peak scratch is O(batch x vocab).  With
+:class:`~repro.graph.sparse.IndexedSlices` gradients the same step
+retains O(touched rows).
+
+Two paired comparisons, recorded as the ``memory`` section of
+``BENCH_overhead.json`` (each row carries the engine's
+``peak_live_bytes`` estimate and the process ``peak_rss_mb`` stamp —
+RSS is a sticky high-water mark, so the reduction gates use the
+per-run live-bytes estimate):
+
+* **dense vs sparse** — same step, GatherGrad emission flipped.  Gates:
+  peak-scratch reduction >= 5x, virtual-time throughput >= 0.95x, and
+  gradients bit-identical.
+* **unbounded vs budgeted** — same recorded step under a
+  ``memory_budget`` half the unbounded peak: under pressure the
+  scheduler prefers deep subtrees over breadth-first fan-out.  Gates:
+  bit-identical loss/gradients, same instance count (reorders, never
+  sheds), budgeted peak <= unbounded peak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from benchmarks.common import WORKERS, bench_engine, merge_bench_json
+from repro.data import batch_trees, make_treebank
+from repro.graph.sparse import set_sparse_gather_grads
+from repro.harness.reporting import format_table, peak_rss_mb
+from repro.models import TreeLSTMSentiment, tree_lstm_config
+from repro.nn import Adagrad, Trainer
+
+BATCH = 25
+VOCAB = 10000
+LEARNING_RATE = 0.05
+
+#: acceptance gates (ISSUE: memory-aware execution)
+MIN_PEAK_REDUCTION = 5.0
+MIN_THROUGHPUT_RATIO = 0.95
+
+
+def _bank():
+    return make_treebank(num_train=BATCH, num_val=0, vocab_size=VOCAB,
+                         max_words=24, mean_log_words=2.6, seed=13)
+
+
+def _config():
+    return tree_lstm_config(vocab_size=VOCAB)
+
+
+def _train_step(bank, sparse: bool, memory_budget=None) -> dict:
+    """One full large-vocab training step on a fresh model; returns the
+    measured row plus the gradient snapshot for bit-identity checks."""
+    previous = set_sparse_gather_grads(sparse)
+    try:
+        runtime = repro.Runtime()
+        model = TreeLSTMSentiment(_config(), runtime)
+        built = model.build_recursive(BATCH)
+        batch = batch_trees(bank.train[:BATCH])
+        trainer = Trainer(
+            built.graph, built.loss,
+            Adagrad(LEARNING_RATE, sparse=sparse), runtime,
+            session_kwargs=dict(num_workers=WORKERS, engine=bench_engine(),
+                                track_live_bytes=True,
+                                memory_budget=memory_budget))
+        loss = trainer.step(built.feed_dict(batch))
+        stats = trainer.last_step_stats
+        grads = trainer.gradient_snapshot()
+    finally:
+        set_sparse_gather_grads(previous)
+    return {
+        "row": {
+            "gather_grad": "sparse" if sparse else "dense",
+            "memory_budget": memory_budget,
+            "loss": float(loss),
+            "peak_live_bytes": stats.peak_live_bytes,
+            "peak_live_mb": stats.peak_live_bytes / 2**20,
+            "ops_executed": stats.ops_executed,
+            "virtual_time": stats.virtual_time,
+            "instances_per_sec": BATCH / stats.virtual_time,
+            "peak_rss_mb": peak_rss_mb(),
+        },
+        "grads": grads,
+    }
+
+
+def _grads_identical(a: dict, b: dict) -> bool:
+    return (set(a) == set(b)
+            and all(np.array_equal(a[name], b[name]) for name in a))
+
+
+def test_memory_bench():
+    bank = _bank()
+
+    # -- dense vs sparse ------------------------------------------------
+    dense = _train_step(bank, sparse=False)
+    sparse = _train_step(bank, sparse=True)
+    reduction = (dense["row"]["peak_live_bytes"]
+                 / sparse["row"]["peak_live_bytes"])
+    throughput_ratio = (sparse["row"]["instances_per_sec"]
+                        / dense["row"]["instances_per_sec"])
+    grads_ok = _grads_identical(dense["grads"], sparse["grads"])
+
+    # -- unbounded vs budgeted (both sparse) ---------------------------
+    budget = sparse["row"]["peak_live_bytes"] // 2
+    budgeted = _train_step(bank, sparse=True, memory_budget=budget)
+    budget_ok = (budgeted["row"]["loss"] == sparse["row"]["loss"]
+                 and _grads_identical(sparse["grads"], budgeted["grads"]))
+
+    section = {
+        "workload": {"model": "TreeLSTM", "vocab_size": VOCAB,
+                     "batch_size": BATCH, "workers": WORKERS,
+                     "engine": bench_engine(), "steps": 1,
+                     "optimizer": "Adagrad"},
+        "dense": dense["row"],
+        "sparse": sparse["row"],
+        "budgeted": budgeted["row"],
+        "peak_scratch_reduction": reduction,
+        "throughput_ratio": throughput_ratio,
+        "gradients_bit_identical": grads_ok,
+        "budget_bytes": budget,
+        "budget_bit_identical": budget_ok,
+        "budget_peak_ratio": (budgeted["row"]["peak_live_bytes"]
+                              / sparse["row"]["peak_live_bytes"]),
+    }
+    merge_bench_json("overhead", {"memory": section})
+
+    rows = [(r["gather_grad"],
+             "none" if r["memory_budget"] is None
+             else f"{r['memory_budget'] / 2**20:.1f} MB",
+             r["peak_live_mb"], r["ops_executed"],
+             r["instances_per_sec"], r["peak_rss_mb"])
+            for r in (dense["row"], sparse["row"], budgeted["row"])]
+    print()
+    print(format_table(
+        f"memory-aware execution (TreeLSTM vocab={VOCAB}, batch={BATCH})",
+        ["grad", "budget", "peak MiB", "ops", "inst/s", "rss MiB"], rows))
+    print(f"  peak-scratch reduction: {reduction:.1f}x  "
+          f"throughput ratio: {throughput_ratio:.3f}x  "
+          f"gradients identical: {grads_ok}")
+    print(f"  budgeted @ {budget / 2**20:.1f} MB: peak ratio "
+          f"{section['budget_peak_ratio']:.2f}, identical: {budget_ok}")
+
+    assert grads_ok, "sparse gradients diverged from the dense scatter"
+    assert reduction >= MIN_PEAK_REDUCTION, (
+        f"peak scratch reduced only {reduction:.1f}x "
+        f"(gate {MIN_PEAK_REDUCTION}x)")
+    # virtual-time gates only hold on the deterministic backend
+    if bench_engine() == "event":
+        assert throughput_ratio >= MIN_THROUGHPUT_RATIO, (
+            f"sparse throughput {throughput_ratio:.3f}x of dense "
+            f"(gate {MIN_THROUGHPUT_RATIO}x)")
+    assert budget_ok, "memory budget changed the computed values"
+    assert budgeted["row"]["ops_executed"] == sparse["row"]["ops_executed"]
+    assert (budgeted["row"]["peak_live_bytes"]
+            <= sparse["row"]["peak_live_bytes"]), (
+        "budgeted dispatch increased peak scratch")

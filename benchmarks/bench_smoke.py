@@ -154,6 +154,63 @@ def test_smoke_continuous_serving_canary():
         assert result.stats.batches > 0
 
 
+def test_smoke_memory_canary():
+    """Memory-aware execution canary: a miniature large-vocab TreeLSTM
+    training step with sparse GatherGrad must hold peak live scratch
+    well under the dense run's, with bit-identical gradients; the
+    recorded ``memory`` section of ``BENCH_overhead.json`` (written by
+    ``make bench-memory``) must still satisfy its gates and every row
+    must carry a populated ``peak_rss_mb`` stamp."""
+    from repro.graph.sparse import set_sparse_gather_grads
+    from repro.nn import Adagrad, Trainer
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(root, "BENCH_overhead.json")
+    if os.path.exists(path):
+        with open(path) as fh:
+            memory = json.load(fh).get("memory")
+        if memory is not None:
+            assert memory["peak_scratch_reduction"] >= 5.0
+            assert memory["gradients_bit_identical"]
+            for row in ("dense", "sparse", "budgeted"):
+                assert memory[row]["peak_rss_mb"] > 0, row
+
+    bank = smoke_bank()
+    batch = batch_trees(bank.train[:6])
+    config = runner_config()
+    results = {}
+    for sparse in (False, True):
+        previous = set_sparse_gather_grads(sparse)
+        try:
+            runtime = Runtime()
+            model = TreeLSTMSentiment(
+                tree_lstm_config(hidden=12, embed_dim=16, vocab_size=2000),
+                runtime)
+            built = model.build_recursive(6)
+            trainer = Trainer(built.graph, built.loss, Adagrad(0.05),
+                              runtime,
+                              session_kwargs=dict(
+                                  num_workers=config.num_workers,
+                                  engine=config.engine,
+                                  track_live_bytes=True))
+            loss = trainer.step(built.feed_dict(batch))
+            results[sparse] = (loss, trainer.gradient_snapshot(),
+                               trainer.last_step_stats.peak_live_bytes)
+        finally:
+            set_sparse_gather_grads(previous)
+    dense_loss, dense_grads, dense_peak = results[False]
+    sparse_loss, sparse_grads, sparse_peak = results[True]
+    assert dense_loss == sparse_loss
+    for name in dense_grads:
+        assert np.array_equal(dense_grads[name], sparse_grads[name]), name
+    assert sparse_peak > 0
+    # generous 2x floor (the full bench gates 5x on the bigger workload):
+    # at vocab 2000 the dense table scratch dominates by far more, so a
+    # miss here means sparse emission silently stopped engaging
+    assert 2 * sparse_peak <= dense_peak, (
+        f"sparse peak {sparse_peak} not well under dense {dense_peak}")
+
+
 def test_smoke_spawn_overhead_canary():
     """Regression canary for the frame-plan scheduler: per-frame spawn
     overhead (wall-clock, miniature invoke-chain) must stay within 2x of

@@ -26,7 +26,8 @@ import numpy as np
 import repro
 from repro.data import make_treebank
 from repro.harness import RunnerConfig
-from repro.harness.reporting import engine_provenance, host_provenance
+from repro.harness.reporting import (engine_provenance, host_provenance,
+                                     peak_rss_mb)
 from repro.models import (ModelConfig, RNTNSentiment, TreeLSTMSentiment,
                           TreeRNNSentiment, tree_lstm_config)
 from repro.runtime.scheduler import resolve_executor
@@ -95,6 +96,9 @@ def save_bench_json(name: str, payload: dict) -> str:
     """
     payload.setdefault("engine_provenance", engine_provenance(bench_engine()))
     payload.setdefault("host_provenance", host_provenance())
+    #: process peak RSS at save time — the memory footprint stamp every
+    #: recorded row set carries (MiB; sticky high-water mark)
+    payload.setdefault("peak_rss_mb", peak_rss_mb())
     root = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
     path = os.path.join(root, f"BENCH_{name}.json")
     with open(path, "w") as fh:

@@ -1,0 +1,171 @@
+"""Sparse embedding-gradient value: an ``IndexedSlices``-style triple.
+
+``Gather`` on a ``[vocab, embed]`` table touches O(batch) rows; its
+dense gradient is O(vocab).  :class:`IndexedSlices` keeps the gradient
+as ``(indices, values, dense_shape)`` — O(touched rows) — so it can flow
+through the accumulator, the optimizers and the shm transport without
+ever materializing the table-shaped zero matrix, densifying only at the
+explicit ``read_accum(dense=True)`` boundary (or when an optimizer that
+needs every row, e.g. Adam's decay, asks for it).
+
+Bit-identity contract
+---------------------
+Every ``IndexedSlices`` produced by a kernel has **unique** indices:
+duplicate rows are pre-combined at emission time by
+:meth:`IndexedSlices.from_scatter`, which replicates exactly the
+left-fold order ``np.add.at`` applies in the dense scatter.  Because
+each slice carries at most one value per row, downstream reductions
+(concatenating segments, scattering a segment into a running buffer)
+perform precisely the same float additions in precisely the same order
+as the dense path — gradients stay bit-identical on every executor and
+in level-plan mode.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["IndexedSlices", "sparse_gather_grads_enabled",
+           "set_sparse_gather_grads"]
+
+
+#: Process-wide mode switch for GatherGrad emission.  Defaults on; the
+#: paired memory bench flips it to record the dense baseline.
+_SPARSE_GRADS = os.environ.get("REPRO_SPARSE_GRADS", "1") not in (
+    "0", "false", "False", "")
+
+
+def sparse_gather_grads_enabled() -> bool:
+    """Whether ``GatherGrad`` kernels emit :class:`IndexedSlices`."""
+    return _SPARSE_GRADS
+
+
+def set_sparse_gather_grads(enabled: bool) -> bool:
+    """Flip sparse GatherGrad emission; returns the previous setting."""
+    global _SPARSE_GRADS
+    previous = _SPARSE_GRADS
+    _SPARSE_GRADS = bool(enabled)
+    return previous
+
+
+class IndexedSlices:
+    """``(indices, values, dense_shape)`` gradient for a row-gathered
+    tensor.
+
+    ``indices`` is a 1-D int array of **unique** row ids; ``values`` is
+    ``[len(indices), *dense_shape[1:]]``; ``dense_shape`` is the shape of
+    the dense tensor this sparsely represents.  Instances are treated as
+    immutable by the runtime (kernels never mutate a received slice).
+    """
+
+    __slots__ = ("indices", "values", "dense_shape")
+
+    #: Opt out of numpy's binary-ufunc dispatch so ``ndarray + slices``
+    #: routes through ``__radd__`` instead of element-broadcasting.
+    __array_ufunc__ = None
+
+    def __init__(self, indices: np.ndarray, values: np.ndarray,
+                 dense_shape: Tuple[int, ...]):
+        self.indices = indices
+        self.values = values
+        self.dense_shape = tuple(int(d) for d in dense_shape)
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_scatter(cls, indices, grads, dense_shape,
+                     dtype=None) -> "IndexedSlices":
+        """Build a unique-index slice equal to ``np.add.at(zeros, i, g)``.
+
+        ``indices`` may be any integer shape; ``grads`` must have shape
+        ``indices.shape + dense_shape[1:]``.  Duplicate rows are combined
+        here, in appearance order — the same left-fold the dense scatter
+        performs — so the result is bit-identical to the dense gradient
+        restricted to its touched rows.  ``dtype`` (the table's dtype)
+        matches the cast the dense scatter applies on accumulate.
+        """
+        dense_shape = tuple(int(d) for d in dense_shape)
+        idx = np.asarray(indices).reshape(-1)
+        cols = dense_shape[1:]
+        vals = np.ascontiguousarray(grads, dtype=dtype).reshape(
+            (idx.size,) + cols)
+        uniq, inverse = np.unique(idx, return_inverse=True)
+        if uniq.size == idx.size:
+            return cls(idx, vals, dense_shape)
+        combined = np.zeros((uniq.size,) + cols, dtype=vals.dtype)
+        np.add.at(combined, inverse, vals)
+        return cls(uniq, combined, dense_shape)
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def dtype(self):
+        return self.values.dtype
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """The *dense* shape (what downstream shape inference sees)."""
+        return self.dense_shape
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.indices.nbytes + self.values.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"IndexedSlices(rows={self.indices.size}, "
+                f"dense_shape={self.dense_shape}, dtype={self.dtype})")
+
+    # -- conversion ----------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the dense tensor.  Exact: rows are unique, so the
+        scatter performs one plain add per touched row — the same
+        ``zeros + g`` fold the dense GatherGrad kernel applies."""
+        out = np.zeros(self.dense_shape, dtype=self.values.dtype)
+        np.add.at(out, self.indices, self.values)
+        return out
+
+    # -- arithmetic (the Add kernel is ``inputs[0] + inputs[1]``) ------
+
+    def __add__(self, other):
+        if isinstance(other, IndexedSlices):
+            if other.dense_shape != self.dense_shape:
+                raise ValueError("IndexedSlices dense_shape mismatch: "
+                                 f"{self.dense_shape} vs {other.dense_shape}")
+            # Concatenation preserves operand order; each side has unique
+            # rows, so any later reduction adds the left segment's value
+            # for a row before the right's — the dense pairwise order.
+            return IndexedSlices(
+                np.concatenate([self.indices, other.indices]),
+                np.concatenate([self.values, other.values]),
+                self.dense_shape)
+        # sparse + dense: densify (exact — unique rows scatter once each)
+        dense = self.to_dense()
+        dense += np.asarray(other, dtype=dense.dtype)
+        return dense
+
+    def __radd__(self, other):
+        dense = np.asarray(other).copy()
+        np.add.at(dense, self.indices, self.values)
+        return dense
+
+    # -- reduction helpers ---------------------------------------------
+
+    def add_to(self, buf: np.ndarray) -> None:
+        """In-place ``buf += self`` (unique rows: one add per row)."""
+        np.add.at(buf, self.indices, self.values)
+
+    def unique(self) -> "IndexedSlices":
+        """Canonical form: sorted unique rows, values combined in
+        left-to-right segment order (exact vs. the dense left-fold)."""
+        uniq, inverse = np.unique(self.indices, return_inverse=True)
+        if uniq.size == self.indices.size and np.array_equal(
+                uniq, self.indices):
+            return self
+        combined = np.zeros((uniq.size,) + self.values.shape[1:],
+                            dtype=self.values.dtype)
+        np.add.at(combined, inverse, self.values)
+        return IndexedSlices(uniq, combined, self.dense_shape)

@@ -9,7 +9,27 @@ from typing import Any, Optional, Sequence
 __all__ = ["format_table", "save_results", "results_dir", "ascii_series",
            "format_batch_histogram", "format_adaptive_policy",
            "format_latency", "format_level_histogram", "engine_provenance",
-           "host_provenance"]
+           "host_provenance", "peak_rss_mb"]
+
+
+def peak_rss_mb() -> float:
+    """Process peak resident-set size in MiB (0.0 when unavailable).
+
+    The OS high-water mark since process start — ``ru_maxrss`` is KiB on
+    Linux, bytes on macOS.  Sticky by construction: it never decreases
+    within a process, so paired in-process comparisons should rely on
+    the engine's ``RunStats.peak_live_bytes`` estimate and treat this as
+    the absolute footprint stamp for bench provenance.
+    """
+    try:
+        import resource
+        import sys
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":
+            return peak / 2**20
+        return peak / 1024.0
+    except Exception:  # noqa: BLE001 - platforms without resource
+        return 0.0
 
 
 def host_provenance() -> dict:

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro import ops
 from repro.graph.graph import Graph
+from repro.graph.sparse import IndexedSlices
 from repro.graph.tensor import Tensor
 from repro.runtime.variables import Variable
 
@@ -25,8 +26,18 @@ __all__ = ["SGD", "Adagrad", "Adam"]
 
 
 class _OptimizerBase:
-    def __init__(self, learning_rate: float):
+    #: subclasses whose update touches only the gradient's rows can apply
+    #: an IndexedSlices directly (fused sparse apply op); Adam cannot —
+    #: its momentum decay touches every row, so it reads densified.
+    _sparse_capable = False
+
+    def __init__(self, learning_rate: float, sparse: bool = False):
         self.learning_rate = float(learning_rate)
+        #: when on (and the subclass supports it) the apply graph reads
+        #: the accumulator with ``dense=False`` and applies IndexedSlices
+        #: gradients to touched rows only — bit-identical to the dense
+        #: update, O(touched rows) instead of O(vocab)
+        self.sparse = bool(sparse) and self._sparse_capable
 
     def build_apply(self, graph: Graph, variables: Sequence[Variable],
                     runtime) -> list[Tensor]:
@@ -34,12 +45,15 @@ class _OptimizerBase:
         fetches = []
         with graph.as_default():
             for var in variables:
-                grad = ops.read_accum(var.name, var.dtype, var.shape)
+                grad = ops.read_accum(var.name, var.dtype, var.shape,
+                                      dense=not self.sparse)
                 fetches.append(self._build_update(var, grad, runtime))
         return fetches
 
     def apply_numpy(self, runtime, grads: dict[str, np.ndarray]) -> None:
         for name, grad in grads.items():
+            if isinstance(grad, IndexedSlices):
+                grad = grad.to_dense()
             value = runtime.variables.read(name)
             runtime.variables.write(name,
                                     self._numpy_update(name, value, grad))
@@ -57,7 +71,11 @@ class _OptimizerBase:
 class SGD(_OptimizerBase):
     """Plain stochastic gradient descent: ``var -= lr * grad``."""
 
+    _sparse_capable = True
+
     def _build_update(self, var, grad, runtime):
+        if self.sparse:
+            return ops.apply_sgd(var.name, grad, self.learning_rate)
         step = ops.multiply(grad, self.learning_rate)
         return ops.assign_sub(var.name, step)
 
@@ -72,8 +90,11 @@ class Adagrad(_OptimizerBase):
     why it is the default in the model configs.
     """
 
-    def __init__(self, learning_rate: float = 0.05, epsilon: float = 1e-8):
-        super().__init__(learning_rate)
+    _sparse_capable = True
+
+    def __init__(self, learning_rate: float = 0.05, epsilon: float = 1e-8,
+                 sparse: bool = False):
+        super().__init__(learning_rate, sparse=sparse)
         self.epsilon = epsilon
         self._slots: dict[str, Variable] = {}
         self._np_slots: dict[str, np.ndarray] = {}
@@ -87,6 +108,9 @@ class Adagrad(_OptimizerBase):
 
     def _build_update(self, var, grad, runtime):
         slot = self._slot(var, runtime)
+        if self.sparse:
+            return ops.apply_adagrad(var.name, slot.name, grad,
+                                     self.learning_rate, self.epsilon)
         new_accum = ops.assign_add(slot.name, ops.square(grad))
         denom = ops.add(ops.sqrt(new_accum), self.epsilon)
         step = ops.divide(ops.multiply(grad, self.learning_rate), denom)

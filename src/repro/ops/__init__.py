@@ -16,8 +16,8 @@ from .array_ops import (argmax, concat, expand_dims, fill, gather, one_hot,
                         squeeze, stack, transpose, unstack, zeros_like)
 from .reduction_ops import reduce_max, reduce_mean, reduce_sum
 from .nn_ops import log_softmax, softmax, softmax_cross_entropy_with_logits
-from .var_ops import (accum_grad, assign, assign_add, assign_sub, read_accum,
-                      read_variable)
+from .var_ops import (accum_grad, apply_adagrad, apply_sgd, assign,
+                      assign_add, assign_sub, read_accum, read_variable)
 from .tensor_array import (TensorArrayValue, ta_add, ta_combine, ta_create,
                            ta_empty_like, ta_gather_rows, ta_read, ta_size,
                            ta_write)
@@ -35,8 +35,8 @@ __all__ = [
     "stack", "transpose", "unstack", "zeros_like",
     "reduce_max", "reduce_mean", "reduce_sum",
     "log_softmax", "softmax", "softmax_cross_entropy_with_logits",
-    "accum_grad", "assign", "assign_add", "assign_sub", "read_accum",
-    "read_variable",
+    "accum_grad", "apply_adagrad", "apply_sgd", "assign", "assign_add",
+    "assign_sub", "read_accum", "read_variable",
     "TensorArrayValue", "ta_add", "ta_combine", "ta_create", "ta_empty_like",
     "ta_gather_rows", "ta_read", "ta_size", "ta_write",
     "cond", "while_loop",

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.graph import dtypes
 from repro.graph.registry import register_op
+from repro.graph.sparse import IndexedSlices, sparse_gather_grads_enabled
 from repro.graph.tensor import Tensor
 
 from .common import build, out1
@@ -186,6 +187,9 @@ register_op(
 
 def _gather_grad_kernel(op, inputs, ctx):
     g, indices, params = inputs
+    if sparse_gather_grads_enabled() and isinstance(params, np.ndarray):
+        return [IndexedSlices.from_scatter(indices, g, params.shape,
+                                           dtype=params.dtype)]
     out = np.zeros_like(params)
     np.add.at(out, np.asarray(indices), g)
     return [out]
@@ -548,14 +552,29 @@ def _batched_gather_grad(ops, inputs_list, ctxs):
     if not all(isinstance(v, np.ndarray) for v in first):
         return [[_gather_grad_kernel(op, inputs, ctx)[0]]
                 for op, inputs, ctx in zip(ops, inputs_list, ctxs)]
-    n = len(inputs_list)
-    g = np.stack([inputs[0] for inputs in inputs_list])
-    idx = np.stack([np.asarray(inputs[1]) for inputs in inputs_list])
-    params = first[2]
-    out = np.zeros((n,) + params.shape, dtype=params.dtype)
-    member = np.arange(n).reshape((n,) + (1,) * (idx.ndim - 1))
-    np.add.at(out, (np.broadcast_to(member, idx.shape), idx), g)
-    return [[out[i]] for i in range(n)]
+    if sparse_gather_grads_enabled():
+        # O(touched rows) per member: no [n, vocab, embed] scratch at all.
+        return [[IndexedSlices.from_scatter(inputs[1], inputs[0],
+                                            inputs[2].shape,
+                                            dtype=inputs[2].dtype)]
+                for inputs in inputs_list]
+    # Dense path: fuse per distinct table so a bucket mixing embedding
+    # tables still vectorizes instead of degrading to the scalar loop.
+    results: list = [None] * len(inputs_list)
+    groups: dict = {}
+    for i, inputs in enumerate(inputs_list):
+        groups.setdefault(id(inputs[2]), []).append(i)
+    for members in groups.values():
+        params = inputs_list[members[0]][2]
+        n = len(members)
+        g = np.stack([inputs_list[i][0] for i in members])
+        idx = np.stack([np.asarray(inputs_list[i][1]) for i in members])
+        out = np.zeros((n,) + params.shape, dtype=params.dtype)
+        member = np.arange(n).reshape((n,) + (1,) * (idx.ndim - 1))
+        np.add.at(out, (np.broadcast_to(member, idx.shape), idx), g)
+        for j, i in enumerate(members):
+            results[i] = [out[j]]
+    return results
 
 
 def _batched_transpose(ops, inputs_list, ctxs):

@@ -19,12 +19,13 @@ import numpy as np
 
 from repro.graph import dtypes
 from repro.graph.registry import register_op
+from repro.graph.sparse import IndexedSlices
 from repro.graph.tensor import Tensor
 
 from .common import out1
 
 __all__ = ["read_variable", "assign", "assign_add", "assign_sub",
-           "accum_grad", "read_accum"]
+           "accum_grad", "read_accum", "apply_sgd", "apply_adagrad"]
 
 
 def _read_infer(op):
@@ -108,7 +109,12 @@ def assign_sub(var_name: str, delta, name=None) -> Tensor:
 def _accum_kernel(op, inputs, ctx):
     # The (frame key, op id) order key makes the per-variable sum canonical
     # across engines and scheduling modes (see GradientAccumulator).
-    ctx.accumulators.add(op.attrs["var_name"], np.asarray(inputs[0]),
+    # Sparse embedding gradients are retained as-is — O(touched rows),
+    # never densified here.
+    grad = inputs[0]
+    if not isinstance(grad, IndexedSlices):
+        grad = np.asarray(grad)
+    ctx.accumulators.add(op.attrs["var_name"], grad,
                          order=(ctx.frame.key, op.id))
     return [inputs[0]]
 
@@ -127,16 +133,105 @@ def accum_grad(var_name: str, grad, name=None) -> Tensor:
 def _read_accum_kernel(op, inputs, ctx):
     return [ctx.accumulators.read(op.attrs["var_name"],
                                   op.attrs.get("shape"),
-                                  op.attrs["dtype"].np_dtype)]
+                                  op.attrs["dtype"].np_dtype,
+                                  dense=op.attrs.get("dense", True))]
 
 
 register_op("ReadAccum", infer=_read_infer, kernel=_read_accum_kernel,
             grad=None, stateful=True, cost="trivial")
 
 
-def read_accum(var_name: str, dtype, shape=None, name=None) -> Tensor:
-    """Read the accumulated gradient for ``var_name`` (zeros if none)."""
+def _apply_sgd_kernel(op, inputs, ctx):
+    """Fused SGD update, sparse-capable.
+
+    Dense input replays exactly the graph-built ``assign_sub(var,
+    multiply(grad, lr))`` float operations.  An ``IndexedSlices`` input
+    touches only its rows: untouched rows of the dense path change by
+    ``-(0.0 * lr)`` — an exact no-op — so the sparse update stays
+    bit-identical while doing O(touched rows) work.
+    """
+    grad = inputs[0]
+    name = op.attrs["var_name"]
+    lr = np.float32(op.attrs["lr"])
+    if isinstance(grad, IndexedSlices):
+        var = ctx.variables.read(name)
+        new = var.copy()
+        rows = grad.indices
+        new[rows] = var[rows] + (-(grad.values * lr))
+        ctx.variables.write(name, new)
+        return [new]
+    return [ctx.variables.add(name, -(np.asarray(grad) * lr))]
+
+
+register_op("ApplySGD",
+            infer=lambda op: [(op.inputs[0].dtype, op.inputs[0].shape)],
+            kernel=_apply_sgd_kernel, grad=None, stateful=True,
+            cost="elementwise")
+
+
+def apply_sgd(var_name: str, grad, lr: float, name=None) -> Tensor:
+    """Fused ``var -= lr * grad`` (sparse-capable); returns the new value."""
+    return out1("ApplySGD", [grad], {"var_name": var_name, "lr": float(lr)},
+                name=name or f"apply_sgd_{var_name}")
+
+
+def _apply_adagrad_kernel(op, inputs, ctx):
+    """Fused Adagrad update, sparse-capable (slot += g²; var -= lr·g/√slot+ε).
+
+    Replays the exact float operations of the graph-built chain
+    ``assign_add(slot, square(g)); assign_sub(var, g*lr / (sqrt(slot)+eps))``
+    — on touched rows only when the gradient is an ``IndexedSlices``
+    (untouched rows: slot += 0², var -= ±0/denom — exact no-ops).
+    """
+    grad = inputs[0]
+    vname = op.attrs["var_name"]
+    sname = op.attrs["slot_name"]
+    lr = np.float32(op.attrs["lr"])
+    eps = np.float32(op.attrs["eps"])
+    if isinstance(grad, IndexedSlices):
+        var = ctx.variables.read(vname)
+        slot = ctx.variables.read(sname)
+        rows, vals = grad.indices, grad.values
+        new_slot = slot.copy()
+        new_slot[rows] = slot[rows] + np.square(vals)
+        denom = np.sqrt(new_slot[rows]) + eps
+        step = (vals * lr) / denom
+        new_var = var.copy()
+        new_var[rows] = var[rows] + (-step)
+        ctx.variables.write(sname, new_slot)
+        ctx.variables.write(vname, new_var)
+        return [new_var]
+    grad = np.asarray(grad)
+    new_slot = ctx.variables.add(sname, np.square(grad))
+    denom = np.sqrt(new_slot) + eps
+    step = (grad * lr) / denom
+    return [ctx.variables.add(vname, -step)]
+
+
+register_op("ApplyAdagrad",
+            infer=lambda op: [(op.inputs[0].dtype, op.inputs[0].shape)],
+            kernel=_apply_adagrad_kernel, grad=None, stateful=True,
+            cost="elementwise")
+
+
+def apply_adagrad(var_name: str, slot_name: str, grad, lr: float,
+                  eps: float, name=None) -> Tensor:
+    """Fused Adagrad step (sparse-capable); returns the new variable."""
+    return out1("ApplyAdagrad", [grad],
+                {"var_name": var_name, "slot_name": slot_name,
+                 "lr": float(lr), "eps": float(eps)},
+                name=name or f"apply_adagrad_{var_name}")
+
+
+def read_accum(var_name: str, dtype, shape=None, name=None, *,
+               dense: bool = True) -> Tensor:
+    """Read the accumulated gradient for ``var_name`` (zeros if none).
+
+    ``dense=True`` is the pipeline's explicit densification boundary;
+    ``dense=False`` yields an ``IndexedSlices`` when every accumulated
+    contribution was sparse (the sparse-optimizer fast path).
+    """
     return out1("ReadAccum", [],
                 {"var_name": var_name, "dtype": dtypes.as_dtype(dtype),
-                 "shape": shape},
+                 "shape": shape, "dense": dense},
                 name=name or f"read_accum_{var_name}")

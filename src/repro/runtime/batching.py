@@ -58,6 +58,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.graph.registry import OpDef, op_def
+from repro.graph.sparse import IndexedSlices
 
 __all__ = ["BatchPolicy", "AdaptiveBatchPolicy", "QueueAwareBatchPolicy",
            "Bucket", "Coalescer", "batch_signature", "signature_prefix",
@@ -76,6 +77,11 @@ class BatchPolicy:
     #: wall-clock engines flush buckets older than this (seconds); also the
     #: idle-poll interval of workers waiting for new ready work
     flush_timeout: float = 0.002
+    #: soft cap (bytes) on the engine's live-value estimate.  ``None``
+    #: disables budgeting.  Under pressure the dispatch loop prefers
+    #: completing deep subtrees (draining live frames) over breadth-first
+    #: fan-out — work is reordered, never shed.
+    memory_budget: Optional[int] = None
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -86,6 +92,8 @@ class BatchPolicy:
                 "execution)")
         if self.flush_timeout <= 0:
             raise ValueError("flush_timeout must be positive")
+        if self.memory_budget is not None and self.memory_budget <= 0:
+            raise ValueError("memory_budget must be positive (or None)")
 
     # -- per-signature interface (constant for the fixed policy) -----------
 
@@ -293,6 +301,12 @@ def _value_sig(value: Any):
         return ("nd", value.dtype.str, value.shape)
     if isinstance(value, np.generic):
         return ("np", value.dtype.str)
+    if isinstance(value, IndexedSlices):
+        # sparse gradients never mix with dense members in one bucket;
+        # the row count is part of the key so batched fallbacks see
+        # structurally-identical members
+        return ("sl", value.values.dtype.str, value.values.shape,
+                value.dense_shape)
     return ("py", type(value).__name__)
 
 

@@ -43,8 +43,9 @@ from .batching import BatchPolicy, Coalescer
 from .cost_model import CostModel
 from .plan import plan_for_fetches
 from .scheduler import (EngineError, Frame, Instance, SchedulerCore,
-                        _DepthPriorityReady, _FifoReady, prune_cancelled,
-                        register_executor, should_store)
+                        _DepthPriorityReady, _FifoReady, _MemoryBudgetReady,
+                        densify, prune_cancelled, register_executor,
+                        should_store)
 from .stats import RunStats
 
 __all__ = ["Frame", "Instance", "EventEngine", "EngineError",
@@ -71,11 +72,15 @@ class EventEngine(SchedulerCore):
                  cost_model: Optional[CostModel] = None, record: bool = False,
                  scheduler: str = "fifo", max_depth: int = 5000,
                  batching: bool = False,
-                 batch_policy: Optional[BatchPolicy] = None):
+                 batch_policy: Optional[BatchPolicy] = None,
+                 memory_budget: Optional[int] = None,
+                 track_live_bytes: bool = False):
         super().__init__(runtime, num_workers=num_workers,
                          cost_model=cost_model, record=record,
                          scheduler=scheduler, max_depth=max_depth,
-                         batching=batching, batch_policy=batch_policy)
+                         batching=batching, batch_policy=batch_policy,
+                         memory_budget=memory_budget,
+                         track_live_bytes=track_live_bytes)
         self._seq = itertools.count()
         self._reset()
 
@@ -101,12 +106,14 @@ class EventEngine(SchedulerCore):
         plan = plan_for_fetches(graph, {t.op for t in fetches})
         root = self._make_frame(plan, feed_map, key=ROOT_KEY,
                                 depth=0, record=False,
-                                on_complete=lambda f: None, owner=None)
+                                on_complete=lambda f: None, owner=None,
+                                pin_locs=tuple((t.op.id, t.index)
+                                               for t in fetches))
         self._start_frame(root)
         self._loop()
         if self._error is not None:
             raise self._error
-        values = [root.value_of(t) for t in fetches]
+        values = [densify(root.value_of(t)) for t in fetches]
         self.stats.virtual_time = self._now
         self.stats.wall_time = time.perf_counter() - wall0
         self.stats.cache_stores = self.runtime.cache.stores
@@ -181,14 +188,18 @@ class EventEngine(SchedulerCore):
         self._cache_clock = 0.0
         self._free = self.num_workers
         self._events: list = []
-        self._ready = (_DepthPriorityReady() if self.scheduler == "depth"
-                       else _FifoReady())
+        if self.memory_budget is not None:
+            self._ready = _MemoryBudgetReady(self)
+        else:
+            self._ready = (_DepthPriorityReady() if self.scheduler == "depth"
+                           else _FifoReady())
         self._push_ready = self._ready.push
         self._coalescer = (Coalescer(self.batch_policy) if self.batching
                            else None)
         self._error: Optional[Exception] = None
         self._error_listener = None
         self._error_delivered = False
+        self._live_bytes = 0
         self.stats = RunStats()
         # Per-dispatch fast paths, used only while the cost model keeps
         # the stock implementations (instance- or subclass-overridden

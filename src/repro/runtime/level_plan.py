@@ -61,11 +61,13 @@ import numpy as np
 
 from repro.core.autodiff import cond_grad_slot_tensors
 from repro.graph.registry import ExecContext
+from repro.graph.sparse import IndexedSlices
 from repro.ops import tensor_array
 from repro.ops.common import role_captures
 
 from .plan import plan_for
-from .scheduler import EngineError, SchedulerCore
+from .plan import _PERSISTENT_ALIAS_OPS
+from .scheduler import EngineError, SchedulerCore, _values_bytes, densify
 
 __all__ = ["LevelPlan", "level_plan_for", "execute_level_plan"]
 
@@ -162,11 +164,15 @@ class LevelPlan:
 
     __slots__ = ("nodes", "levels", "frames", "root_node_of", "body_deps",
                  "max_depth", "num_nodes", "num_frames", "profiles",
-                 "scalar_counts")
+                 "scalar_counts", "releases", "scratch_nodes")
 
     def __init__(self, nodes, levels, frames, root_node_of, body_deps,
-                 max_depth, profiles, scalar_counts):
+                 max_depth, profiles, scalar_counts, releases):
         self.nodes = nodes
+        #: mirrors FramePlan.scratch_slots: nodes whose outputs alias
+        #: persistent storage don't count toward live scratch bytes
+        self.scratch_nodes = tuple(
+            node.op.op_type not in _PERSISTENT_ALIAS_OPS for node in nodes)
         self.levels = levels
         self.frames = frames
         self.root_node_of = root_node_of
@@ -179,6 +185,10 @@ class LevelPlan:
         #: the fixed schedule makes scalar accounting static, so a sweep
         #: books these once per run instead of calling note_op per node
         self.scalar_counts = scalar_counts
+        #: per-level tuples of node ids whose last value reader sits in
+        #: that level: the sweep nulls them right after the level runs.
+        #: Root-frame nodes are pinned (any of them may be fetched).
+        self.releases = releases
 
     def __repr__(self):
         return (f"<LevelPlan nodes={self.num_nodes} levels={len(self.levels)} "
@@ -545,10 +555,10 @@ def _compile(root_plan, profiles, session_record) -> "LevelPlan":
         _scan(jobs.popleft())
 
     _collapse_aliases(nodes)
-    levels, scalar_counts = _level_schedule(nodes)
+    levels, scalar_counts, releases = _level_schedule(nodes)
     return LevelPlan(tuple(nodes), levels, tuple(frames), root_node_of,
                      tuple(body_deps.items()), max_depth[0], profiles,
-                     scalar_counts)
+                     scalar_counts, releases)
 
 
 def _collapse_aliases(nodes) -> None:
@@ -587,9 +597,12 @@ def _level_schedule(nodes) -> tuple:
     stateful kernels) runs scalar in node-id order.  Collapsed aliases
     (store-less ``_BIND_ALIAS`` nodes left unreferenced by
     :func:`_collapse_aliases`) are dropped from the schedule entirely.
-    Returns ``(levels, scalar_counts)``: the wavefront schedule plus the
-    static per-op-type counts of scheduled scalar nodes that the dynamic
-    path would have booked through ``note_op``.
+    Returns ``(levels, scalar_counts, releases)``: the wavefront
+    schedule, the static per-op-type counts of scheduled scalar nodes
+    that the dynamic path would have booked through ``note_op``, and —
+    per level — the node ids whose last value reader sits in that level
+    (the sweep nulls their values right after the level; root-frame
+    nodes are pinned because any of them may be fetched at the end).
     """
     n = len(nodes)
     referenced = set()
@@ -625,6 +638,7 @@ def _level_schedule(nodes) -> tuple:
         by_level.setdefault(level[nid], []).append(nid)
     levels = []
     scalar_counts: dict = {}
+    node_pos = [None] * n  # scheduled node -> index into `levels`
     for li in sorted(by_level):
         scalars = []
         buckets: dict = {}
@@ -633,18 +647,39 @@ def _level_schedule(nodes) -> tuple:
             kind = node.kind
             if kind == _KERNEL and node.sig_prefix is not None:
                 buckets.setdefault(node.sig_prefix, []).append(nid)
+                node_pos[nid] = len(levels)
                 continue
             if kind == _BIND_ALIAS and node.store_mask is None \
                     and nid not in referenced:
                 continue  # collapsed: every consumer reads the source
             scalars.append(nid)
+            node_pos[nid] = len(levels)
             if kind != _BIND_FEED and kind != _BIND_ALIAS:
                 op_type = node.op.op_type
                 scalar_counts[op_type] = scalar_counts.get(op_type, 0) + 1
         if scalars or buckets:
             levels.append((tuple(scalars),
                            tuple(tuple(b) for b in buckets.values())))
-    return tuple(levels), tuple(scalar_counts.items())
+    # last value-reader level per scheduled node -> per-level release set
+    last_pos = [None] * n
+    for nid, node in enumerate(nodes):
+        pos = node_pos[nid]
+        if pos is None:
+            continue  # collapsed alias: reads nothing at run time
+        for s, _ in node.inputs:
+            prev = last_pos[s]
+            if prev is None or pos > prev:
+                last_pos[s] = pos
+    releases = [[] for _ in levels]
+    for nid in range(n):
+        if node_pos[nid] is None or nodes[nid].frame_idx == 0:
+            continue  # unscheduled, or pinned (fetchable root value)
+        pos = last_pos[nid]
+        if pos is None:
+            pos = node_pos[nid]  # no reader: dies right after it runs
+        releases[pos].append(nid)
+    return (tuple(levels), tuple(scalar_counts.items()),
+            tuple(tuple(r) for r in releases))
 
 
 # ---------------------------------------------------------------------------
@@ -727,6 +762,11 @@ def _member_sig(ins):
             sig.append((v.dtype.num, v.shape))
         elif isinstance(v, np.generic):
             sig.append((-1, v.dtype.num))
+        elif cls is IndexedSlices:
+            # sparse gradients: same partitioning rule as the
+            # coalescer's _value_sig — never fused with dense members
+            sig.append((-2, v.values.dtype.num, v.values.shape,
+                        v.dense_shape))
         else:
             sig.append(cls.__name__)
     return tuple(sig)
@@ -851,6 +891,7 @@ def execute_level_plan(core: SchedulerCore, lp: LevelPlan, runs) -> list:
             counts[op_type] = counts.get(op_type, 0) + c
             times[op_type] = times.get(op_type, 0.0)
     nodes = lp.nodes
+    track = core._track_live
     for level_idx, (scalars, buckets) in enumerate(lp.levels):
         live = [r for r in live if not r.cancelled]
         if not live:
@@ -868,12 +909,47 @@ def execute_level_plan(core: SchedulerCore, lp: LevelPlan, runs) -> list:
             # one bulk store per level, after every node of the level —
             # CacheLookup consumers are ordered into later levels
             cache.store_many(entries)
+        if track:
+            scratch = lp.scratch_nodes
+            produced = [nid for nid in scalars if scratch[nid]]
+            for bucket in buckets:
+                produced.extend(nid for nid in bucket if scratch[nid])
+            added = 0
+            for run in live:
+                values = run.node_values
+                for nid in produced:
+                    outputs = values[nid]
+                    if outputs is not None:
+                        added += _values_bytes(outputs)
+            peak = (core._live_bytes + added
+                    + core.runtime.accumulators.retained_bytes)
+            core._live_bytes += added
+            if peak > core.stats.peak_live_bytes:
+                core.stats.peak_live_bytes = peak
+        release = lp.releases[level_idx]
+        if release:
+            for run in live:
+                values = run.node_values
+                for nid in release:
+                    outputs = values[nid]
+                    if outputs is not None:
+                        if track and lp.scratch_nodes[nid]:
+                            core._live_bytes -= _values_bytes(outputs)
+                        values[nid] = None
     results = []
     for run in runs:
         if run.cancelled or run.node_values is None:
             results.append(None)
         else:
-            results.append([run.node_values[nid][i]
+            values = run.node_values
+            if track:
+                scratch = lp.scratch_nodes
+                freed = 0
+                for nid, outputs in enumerate(values):
+                    if outputs is not None and scratch[nid]:
+                        freed += _values_bytes(outputs)
+                core._live_bytes -= freed
+            results.append([densify(values[nid][i])
                             for nid, i in run.fetch_locs])
         run.node_values = None
         run.ctxs = None

@@ -58,13 +58,20 @@ __all__ = ["FramePlan", "plan_for", "plan_for_fetches"]
 _ALL_OPS = "__all_ops__"
 
 
+#: Ops whose output arrays alias persistent runtime state (the variable
+#: store, the gradient accumulators, graph-owned constants) rather than
+#: fresh frame-owned scratch; excluded from live-bytes accounting.
+_PERSISTENT_ALIAS_OPS = frozenset({"ReadVariable", "ReadAccum", "Const"})
+
+
 class FramePlan:
     """Compiled scheduling metadata for one ``(graph, op-id set)`` body."""
 
     __slots__ = ("graph", "graph_id", "op_ids", "num_slots", "index_of",
                  "ops", "defs", "starters", "dep_counts", "consumer_slots",
                  "zero_dep_slots", "input_locs", "sig_prefixes",
-                 "store_masks", "cost_kinds", "n_outputs")
+                 "store_masks", "cost_kinds", "n_outputs", "edge_counts",
+                 "scratch_slots", "_release_memo")
 
     def __init__(self, graph, op_ids: Optional[Sequence[int]] = None):
         if op_ids is None:
@@ -103,6 +110,45 @@ class FramePlan:
                 for op in ops]
         self.cost_kinds = [d.meta.get("cost", "elementwise") for d in defs]
         self.n_outputs = [op.num_outputs for op in ops]
+        #: per-slot consumer-edge count: how many input edges (across all
+        #: consumer slots in this plan) read the slot's outputs.  The
+        #: basis of eager value release — a slot whose count reaches zero
+        #: has been read by its last consumer.
+        edge_counts = [0] * self.num_slots
+        for locs in self.input_locs:
+            for src, _ in locs:
+                edge_counts[src] += 1
+        self.edge_counts = edge_counts
+        #: per-slot "outputs are frame-owned scratch" mask.  Variable,
+        #: accumulator and constant reads return aliases of *persistent*
+        #: storage — a [vocab, embed] embedding table read by hundreds of
+        #: concurrent leaf frames is one array, not hundreds — so the
+        #: live-bytes estimate must not charge those slots to the frame.
+        self.scratch_slots = [op.op_type not in _PERSISTENT_ALIAS_OPS
+                              for op in ops]
+        self._release_memo: dict = {}
+
+    def release_counts(self, pin_locs: tuple) -> tuple:
+        """Per-slot release counters with pinned locations exempted.
+
+        ``pin_locs`` is a hashable tuple of ``(op_id, output_index)``
+        pairs whose values must outlive the frame's last consumer — the
+        fetch tensors of a root frame, or a SubGraph body's
+        ``output_locs`` (read by the parent's completion callback).
+        Pinned slots are marked ``-1`` so their counters never reach
+        zero.  Memoized per pin set: frames copy the tuple into their
+        live ``release_counts`` list at spawn.
+        """
+        cached = self._release_memo.get(pin_locs)
+        if cached is None:
+            counts = list(self.edge_counts)
+            index_of = self.index_of
+            for op_id, _ in pin_locs:
+                slot = index_of.get(op_id)
+                if slot is not None:
+                    counts[slot] = -1
+            cached = self._release_memo[pin_locs] = tuple(counts)
+        return cached
 
     def __repr__(self) -> str:
         return (f"<FramePlan graph={self.graph.name!r} "

@@ -75,6 +75,7 @@ import numpy as np
 from repro.graph import dtypes as _dtypes
 from repro.graph.graph import graph_by_id
 from repro.graph.registry import ExecContext, registry_version
+from repro.graph.sparse import IndexedSlices
 
 from .plan import plan_for
 from .scheduler import EngineError, Instance, register_executor
@@ -208,6 +209,7 @@ def _encode_lists(value_lists, acquire, pinned_desc=None):
     """
     descs = []
     pending = []  # (row, index, array-in-memory-order, shape, order, scalar)
+    sparse = []   # (row, index, indices, values, dense_shape)
     total = 0
     for values in value_lists:
         row = []
@@ -220,6 +222,14 @@ def _encode_lists(value_lists, acquire, pinned_desc=None):
                 pending.append((row, len(row), arr, (), "C", True))
                 row.append(None)
                 total += _align(arr.nbytes)
+            elif isinstance(v, IndexedSlices):
+                # sparse gradients ship as their two component arrays
+                # plus the dense shape; kernels emit them contiguous
+                idx = np.ascontiguousarray(v.indices)
+                vals = np.ascontiguousarray(v.values)
+                sparse.append((row, len(row), idx, vals, v.dense_shape))
+                row.append(None)
+                total += _align(idx.nbytes) + _align(vals.nbytes)
             elif isinstance(v, np.ndarray):
                 if v.dtype.hasobject:
                     row.append(("py", v))
@@ -242,19 +252,32 @@ def _encode_lists(value_lists, acquire, pinned_desc=None):
                 row.append(("py", v))
         descs.append(row)
     seg = None
-    if pending:
+    if pending or sparse:
         seg = acquire(total)
         name = seg.name
         off = 0
-        for row, idx, arr, shape, order, scalar in pending:
+
+        def put(arr):
+            nonlocal off
             n = arr.nbytes
             if n:
                 dst = np.frombuffer(seg.buf, dtype=arr.dtype, count=arr.size,
                                     offset=off)
                 np.copyto(dst, arr.reshape(-1))
-            row[idx] = (("np", name, off, arr.dtype.str) if scalar
-                        else ("nd", name, off, arr.dtype.str, shape, order))
+            at = off
             off += _align(n)
+            return at
+
+        for row, idx, arr, shape, order, scalar in pending:
+            at = put(arr)
+            row[idx] = (("np", name, at, arr.dtype.str) if scalar
+                        else ("nd", name, at, arr.dtype.str, shape, order))
+        for row, idx, iarr, varr, dense_shape in sparse:
+            iat = put(iarr)
+            vat = put(varr)
+            row[idx] = ("sl", name,
+                        (iat, iarr.dtype.str, iarr.shape),
+                        (vat, varr.dtype.str, varr.shape), dense_shape)
     return seg, descs
 
 
@@ -274,6 +297,23 @@ def _decode_lists(desc_lists, resolve, copy: bool):
             tag = d[0]
             if tag == "py":
                 values.append(d[1])
+                continue
+            if tag == "sl":
+                _, name, (iat, idt, ishape), (vat, vdt, vshape), dshape = d
+                buf = resolve(name).buf
+                icount = 1
+                for s in ishape:
+                    icount *= s
+                vcount = 1
+                for s in vshape:
+                    vcount *= s
+                idx = np.frombuffer(buf, dtype=np.dtype(idt), count=icount,
+                                    offset=iat).reshape(ishape)
+                vals = np.frombuffer(buf, dtype=np.dtype(vdt), count=vcount,
+                                     offset=vat).reshape(vshape)
+                if copy:
+                    idx, vals = idx.copy(), vals.copy()
+                values.append(IndexedSlices(idx, vals, dshape))
                 continue
             if tag == "nd":
                 _, name, off, dt, shape, order = d
@@ -353,11 +393,14 @@ class ProcPoolEngine(WorkerPoolEngine):
     def __init__(self, runtime, num_workers: int = 4, cost_model=None,
                  record: bool = False, scheduler: str = "fifo",
                  max_depth: int = 5000, batching: bool = False,
-                 batch_policy=None):
+                 batch_policy=None, memory_budget=None,
+                 track_live_bytes: bool = False):
         super().__init__(runtime, num_workers=num_workers,
                          cost_model=cost_model, record=record,
                          scheduler=scheduler, max_depth=max_depth,
-                         batching=batching, batch_policy=batch_policy)
+                         batching=batching, batch_policy=batch_policy,
+                         memory_budget=memory_budget,
+                         track_live_bytes=track_live_bytes)
         self._procs: list = []
         self._stopping = False
         self._stamp = None

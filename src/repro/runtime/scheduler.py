@@ -62,6 +62,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.graph.graph import Graph, Operation
 from repro.graph.registry import ExecContext
+from repro.graph.sparse import IndexedSlices
 from repro.graph.tensor import Tensor
 
 from .batching import (BatchPolicy, Coalescer, resolve_batching,
@@ -78,6 +79,25 @@ __all__ = ["SchedulerCore", "Frame", "Instance", "EngineError",
 
 class EngineError(RuntimeError):
     """An error raised while executing a graph, annotated with op context."""
+
+
+def densify(value):
+    """Fetch-boundary conversion: sparse gradients leave the runtime as
+    the dense tensors callers expect (``IndexedSlices`` is an internal
+    value representation, bit-identical to the dense gradient)."""
+    if isinstance(value, IndexedSlices):
+        return value.to_dense()
+    return value
+
+
+def _values_bytes(outputs) -> int:
+    """Byte estimate of one slot's output list (live-bytes accounting)."""
+    total = 0
+    for v in outputs:
+        nb = getattr(v, "nbytes", None)
+        if nb is not None:
+            total += nb
+    return total
 
 
 def should_store(frame, op_id: int, out_idx: int) -> bool:
@@ -177,7 +197,7 @@ class Frame:
 
     __slots__ = ("plan", "graph", "key", "depth", "record", "bindings",
                  "values", "pending", "remaining", "on_complete", "owner",
-                 "ctx", "root", "cancelled")
+                 "ctx", "root", "cancelled", "release_counts")
 
     def __init__(self, plan: FramePlan, bindings: dict, key: tuple,
                  depth: int, record: bool, on_complete: Callable,
@@ -199,6 +219,10 @@ class Frame:
         #: ever consulted, so cancelling one root retires its whole tree
         self.root = owner.frame.root if owner is not None else self
         self.cancelled = False
+        #: per-slot consumer-edge countdown for eager value release
+        #: (None disables release for this frame); set by ``_make_frame``
+        #: from the plan's memoized pin-aware counts
+        self.release_counts: Optional[list] = None
 
     def value_of(self, tensor: Tensor):
         return self.values[self.plan.index_of[tensor.op.id]][tensor.index]
@@ -311,6 +335,66 @@ class _DepthPriorityReady:
         return len(self._q)
 
 
+class _MemoryBudgetReady:
+    """FIFO below the memory budget, deepest-first above it.
+
+    Every push threads one shared ``[instance, served]`` entry through
+    both internal orders (a FIFO deque and a depth-priority heap); each
+    ``pop`` consults the core's live-bytes pressure and serves from the
+    matching order, lazily discarding entries the other order already
+    served.  Under pressure the engine thus finishes deep subtrees —
+    draining live frames and their retained values — before fanning out
+    new breadth; no work is dropped and the executed-op *set* is
+    unchanged, only its order.
+    """
+
+    __slots__ = ("_core", "_fifo", "_heap", "_seq", "_pushes", "_len")
+
+    def __init__(self, core: "SchedulerCore"):
+        self._core = core
+        self._fifo: deque = deque()
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._pushes = itertools.count()  # heap tiebreak for requeues
+        self._len = 0
+
+    def push(self, inst: Instance) -> None:
+        seq = inst.seq
+        if seq is None:
+            seq = inst.seq = next(self._seq)
+        entry = [inst, False]
+        self._fifo.append(entry)
+        heapq.heappush(self._heap,
+                       (-inst.frame.depth, seq, next(self._pushes), entry))
+        self._len += 1
+
+    def pop(self) -> Instance:
+        if self._len == 0:
+            raise IndexError("pop from an empty ready queue")
+        self._len -= 1
+        if self._core._over_budget():
+            heap = self._heap
+            while True:
+                entry = heapq.heappop(heap)[3]
+                if not entry[1]:
+                    entry[1] = True
+                    return entry[0]
+        fifo = self._fifo
+        while True:
+            entry = fifo.popleft()
+            if not entry[1]:
+                entry[1] = True
+                return entry[0]
+
+    def __len__(self) -> int:
+        return self._len
+
+    #: deque-compatible aliases so the wall-clock masters can drop this
+    #: queue in where they use a plain deque
+    append = push
+    popleft = pop
+
+
 def _unconfigured_push(inst) -> None:
     raise EngineError("executor has no active session (run/begin_serving "
                       "must configure the ready sink before frames start)")
@@ -340,6 +424,12 @@ class SchedulerCore:
             ``True`` uses the fixed flush policy, ``"adaptive"`` the
             per-signature :class:`~repro.runtime.batching.AdaptiveBatchPolicy`.
         batch_policy: bucket capacity / flush policy when batching.
+        memory_budget: soft live-bytes cap (bytes); under pressure the
+            event engine's dispatch prefers completing deep subtrees
+            over breadth-first fan-out (work is reordered, never shed).
+            Defaults to ``batch_policy.memory_budget``.
+        track_live_bytes: maintain the live-bytes estimate (and its
+            peak in ``RunStats``) even without a budget.
     """
 
     #: True when the backend runs on a simulated clock (the event
@@ -352,7 +442,9 @@ class SchedulerCore:
                  cost_model: Optional[CostModel] = None, record: bool = False,
                  scheduler: str = "fifo", max_depth: int = 5000,
                  batching: bool = False,
-                 batch_policy: Optional[BatchPolicy] = None):
+                 batch_policy: Optional[BatchPolicy] = None,
+                 memory_budget: Optional[int] = None,
+                 track_live_bytes: bool = False):
         self.runtime = runtime
         self.num_workers = max(1, num_workers)
         self.cost_model = cost_model or testbed_cpu()
@@ -361,6 +453,13 @@ class SchedulerCore:
         self.max_depth = max_depth
         self.batching, batch_policy = resolve_batching(batching, batch_policy)
         self.batch_policy = batch_policy or BatchPolicy()
+        self.memory_budget = (memory_budget if memory_budget is not None
+                              else self.batch_policy.memory_budget)
+        #: live-bytes accounting is hot-path work, so it only runs when a
+        #: budget needs the pressure signal or a caller asked to measure
+        self._track_live = (self.memory_budget is not None
+                            or track_live_bytes)
+        self._live_bytes = 0
         self.stats = RunStats()
         #: master-state mutex (None on single-threaded executors); see
         #: the module docstring for the locking contract.
@@ -443,17 +542,30 @@ class SchedulerCore:
         record = self.record and not getattr(graph, "is_backward_body", False)
         frame = self._make_frame(plan_for(graph), bindings, key=key,
                                  depth=depth, record=record,
-                                 on_complete=on_complete, owner=owner)
+                                 on_complete=on_complete, owner=owner,
+                                 pin_locs=subgraph.output_locs)
         self._start_frame(frame)
         return frame
 
     def _make_frame(self, plan: FramePlan, bindings, key, depth, record,
-                    on_complete, owner) -> Frame:
+                    on_complete, owner, pin_locs=None) -> Frame:
         frame = Frame(plan, bindings, key, depth, record, on_complete, owner)
+        if pin_locs is not None and not record:
+            # recording frames keep every slot alive for the backward
+            # pass's cache reads; eager release only applies otherwise
+            frame.release_counts = list(plan.release_counts(pin_locs))
         self.stats.frames_created += 1
         if depth > self.stats.max_frame_depth:
             self.stats.max_frame_depth = depth
         return frame
+
+    def _over_budget(self) -> bool:
+        """Is estimated live scratch above the configured budget?"""
+        budget = self.memory_budget
+        if budget is None:
+            return False
+        return (self._live_bytes
+                + self.runtime.accumulators.retained_bytes) > budget
 
     def _start_frame(self, frame: Frame) -> None:
         seed_frame(frame, self._complete_instance, self._push_ready)
@@ -483,6 +595,16 @@ class SchedulerCore:
                 f"kernel of {op.name} ({op.op_type}) returned {len(outputs)} "
                 f"values, expected {op.num_outputs}")
         frame.values[slot] = outputs
+        track = self._track_live
+        if track:
+            scratch = plan.scratch_slots
+            live = self._live_bytes
+            if scratch[slot]:
+                live += _values_bytes(outputs)
+                self._live_bytes = live
+            live += self.runtime.accumulators.retained_bytes
+            if live > self.stats.peak_live_bytes:
+                self.stats.peak_live_bytes = live
         if store and frame.record:
             mask = plan.store_masks[slot]
             for i, value in enumerate(outputs):
@@ -501,9 +623,35 @@ class SchedulerCore:
                                   consumer_slot))
                 else:
                     pending[consumer_slot] = count - 1
+        release = frame.release_counts
+        if release is not None:
+            # the inputs this op consumed were gathered at dispatch, so
+            # a producer slot whose last consumer edge just completed
+            # can drop its outputs now; pinned slots sit at -1 forever
+            values = frame.values
+            for src, _ in plan.input_locs[slot]:
+                n = release[src] - 1
+                release[src] = n
+                if n == 0 and values[src] is not None:
+                    if track and plan.scratch_slots[src]:
+                        self._live_bytes -= _values_bytes(values[src])
+                    values[src] = None
+            if release[slot] == 0 and values[slot] is not None:
+                if track and plan.scratch_slots[slot]:
+                    self._live_bytes -= _values_bytes(values[slot])
+                values[slot] = None
         frame.remaining -= 1
         if frame.remaining == 0:
             frame.on_complete(frame)
+            if track:
+                # whatever the frame still holds (pinned outputs, or the
+                # whole list on recording frames) dies with the frame
+                scratch = plan.scratch_slots
+                freed = 0
+                for i, v in enumerate(frame.values):
+                    if v is not None and scratch[i]:
+                        freed += _values_bytes(v)
+                self._live_bytes -= freed
 
     def _complete_batch(self, members: list, outputs_list: list) -> None:
         """Scatter a fused batch's results; one bulk store for the cache.
@@ -628,9 +776,10 @@ class SchedulerCore:
                 shape_profile)
             if handle is not None:
                 return handle
+        pins = tuple((t.op.id, t.index) for t in fetch_list)
 
         def frame_done(frame):
-            values = [frame.value_of(t) for t in fetch_list]
+            values = [densify(frame.value_of(t)) for t in fetch_list]
             self._open_roots -= 1
             on_complete(values)
             cv = self._roots_cv
@@ -642,14 +791,14 @@ class SchedulerCore:
             self._open_roots += 1
             frame = self._make_frame(plan, feed_map, key=key, depth=0,
                                      record=False, on_complete=frame_done,
-                                     owner=None)
+                                     owner=None, pin_locs=pins)
             self._start_frame(frame)
         else:
             with lock:
                 self._open_roots += 1
                 frame = self._make_frame(plan, feed_map, key=key, depth=0,
                                          record=False, on_complete=frame_done,
-                                         owner=None)
+                                         owner=None, pin_locs=pins)
                 self._start_frame(frame)
         self._admitted()
         return frame

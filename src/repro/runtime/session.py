@@ -90,6 +90,12 @@ class Session:
             kernels and ``CacheLookup`` value-cache reads all coalesce.
             Values are bit-identical to unbatched execution.
         batch_policy: bucket capacity / flush policy when batching.
+        memory_budget: soft cap (bytes) on estimated live scratch
+            values; under pressure dispatch prefers finishing deep
+            subtrees over breadth-first fan-out (reorders work, never
+            sheds it).  Values stay bit-identical.
+        track_live_bytes: maintain the live-bytes estimate (and its
+            ``RunStats.peak_live_bytes`` peak) even without a budget.
     """
 
     def __init__(self, graph: Optional[Graph] = None,
@@ -97,7 +103,9 @@ class Session:
                  cost_model: Optional[CostModel] = None, record: bool = False,
                  scheduler: str = "fifo", engine: str = "event",
                  max_depth: int = 5000, batching: bool = False,
-                 batch_policy: Optional[BatchPolicy] = None):
+                 batch_policy: Optional[BatchPolicy] = None,
+                 memory_budget: Optional[int] = None,
+                 track_live_bytes: bool = False):
         self.graph = graph or get_default_graph()
         self.runtime = runtime or default_runtime()
         executor_cls = resolve_executor(engine)
@@ -105,7 +113,9 @@ class Session:
                                     cost_model=cost_model, record=record,
                                     scheduler=scheduler, max_depth=max_depth,
                                     batching=batching,
-                                    batch_policy=batch_policy)
+                                    batch_policy=batch_policy,
+                                    memory_budget=memory_budget,
+                                    track_live_bytes=track_live_bytes)
         self.last_stats: Optional[RunStats] = None
 
     def run(self, fetches, feed_dict: Optional[dict] = None,

@@ -100,6 +100,16 @@ class RunStats:
     #: ``batch_width_hist`` — see
     #: :func:`repro.harness.reporting.format_level_histogram`.
     level_width_hist: dict = field(default_factory=dict)
+    #: high-water mark of the engine's live-bytes estimate — slot output
+    #: values currently held by in-flight frames/sweeps plus gradient
+    #: bytes retained by the accumulators.  Maintained only when the
+    #: engine has a ``memory_budget`` or ``track_live_bytes=True``.
+    peak_live_bytes: int = 0
+    #: process peak RSS (MiB) sampled at reporting time — see
+    #: :func:`repro.harness.reporting.peak_rss_mb`.  Unlike the
+    #: live-bytes estimate this is sticky: the OS high-water mark never
+    #: decreases within a process.
+    peak_rss_mb: float = 0.0
     #: requests completed through a serving session
     requests: int = 0
     #: requests rejected by admission control (queue-depth cap, or the
@@ -301,6 +311,9 @@ class RunStats:
                 into[width] = into.get(width, 0) + count
         self.level_plan_hits += other.level_plan_hits
         self.level_plan_fallbacks += other.level_plan_fallbacks
+        self.peak_live_bytes = max(self.peak_live_bytes,
+                                   other.peak_live_bytes)
+        self.peak_rss_mb = max(self.peak_rss_mb, other.peak_rss_mb)
         for level, hist in other.level_width_hist.items():
             into = self.level_width_hist.setdefault(level, {})
             for width, count in hist.items():
@@ -323,6 +336,10 @@ class RunStats:
                 f"batches={self.batches}  batched_ops={self.batched_ops}  "
                 f"mean_batch={self.batch_efficiency:.1f}  "
                 f"max_batch={self.max_batch}")
+        if self.peak_live_bytes:
+            lines.append(
+                f"peak_live_bytes={self.peak_live_bytes}"
+                f" ({self.peak_live_bytes / 2**20:.1f} MiB)")
         if self.level_plan_hits or self.level_plan_fallbacks:
             fused = sum(count for hist in self.level_width_hist.values()
                         for count in hist.values())

@@ -46,7 +46,7 @@ from repro.graph.tensor import Tensor
 from .batching import BatchPolicy, Coalescer
 from .cost_model import CostModel
 from .plan import plan_for_fetches
-from .scheduler import (EngineError, Instance, SchedulerCore,
+from .scheduler import (EngineError, Instance, SchedulerCore, densify,
                         prune_cancelled, register_executor)
 from .stats import RunStats
 
@@ -67,11 +67,18 @@ class ThreadedEngine(SchedulerCore):
                  cost_model: Optional[CostModel] = None, record: bool = False,
                  scheduler: str = "fifo", max_depth: int = 5000,
                  batching: bool = False,
-                 batch_policy: Optional[BatchPolicy] = None):
+                 batch_policy: Optional[BatchPolicy] = None,
+                 memory_budget: Optional[int] = None,
+                 track_live_bytes: bool = False):
+        # the budget's deep-first *reordering* needs a centralized
+        # dispatch point, which this backend's free-running workers do
+        # not have; eager slot release and live-bytes tracking apply
         super().__init__(runtime, num_workers=num_workers,
                          cost_model=cost_model, record=record,
                          scheduler=scheduler, max_depth=max_depth,
-                         batching=batching, batch_policy=batch_policy)
+                         batching=batching, batch_policy=batch_policy,
+                         memory_budget=memory_budget,
+                         track_live_bytes=track_live_bytes)
 
     # -- SchedulerCore executor hooks ----------------------------------------
 
@@ -135,7 +142,9 @@ class ThreadedEngine(SchedulerCore):
         with self._master_lock:
             root = self._make_frame(plan, feed_map, key=ROOT_KEY, depth=0,
                                     record=False, on_complete=root_done,
-                                    owner=None)
+                                    owner=None,
+                                    pin_locs=tuple((t.op.id, t.index)
+                                                   for t in fetches))
             self._start_frame(root)
             if root.remaining == 0:
                 self._done.set()
@@ -151,7 +160,7 @@ class ThreadedEngine(SchedulerCore):
             w.join()
         if self._error is not None:
             raise self._error
-        values = [root.value_of(t) for t in fetches]
+        values = [densify(root.value_of(t)) for t in fetches]
         self.stats.wall_time = time.perf_counter() - wall0
         self.stats.virtual_time = self.stats.wall_time
         return values, self.stats
@@ -170,6 +179,7 @@ class ThreadedEngine(SchedulerCore):
         self._error_delivered = False
         self._coalescer = (Coalescer(self.batch_policy) if self.batching
                            else None)
+        self._live_bytes = 0
         self.stats = RunStats()
 
     def _worker(self) -> None:

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.graph import dtypes
 from repro.graph.graph import get_default_graph
+from repro.graph.sparse import IndexedSlices
 from repro.graph.tensor import Tensor
 
 __all__ = ["VariableStore", "GradientAccumulator", "Variable"]
@@ -96,38 +97,76 @@ class GradientAccumulator:
     step.  Contributions without an order key (host-side callers) are
     summed last, in arrival order.
 
-    Trade-off: the canonical sum retains each contribution until
-    :meth:`read`/:meth:`zero`, so per-step memory is O(#backward frames)
-    gradient arrays instead of one running sum.  The dominant term is the
-    dense embedding-table gradient each leaf frame emits (tens of MB at
-    this repo's model scales); sparse embedding gradients / hierarchical
-    canonical reduction are the ROADMAP follow-up if vocabularies grow.
+    Contributions may be dense ndarrays or
+    :class:`~repro.graph.sparse.IndexedSlices` (the sparse embedding
+    gradients ``GatherGrad`` emits).  Sparse entries are retained as-is —
+    O(touched rows) each instead of O(vocab) — and reduced in canonical
+    order at the :meth:`read` boundary: scattered into the single dense
+    output buffer (``dense=True``, the default) or combined into one
+    canonical ``IndexedSlices`` (``dense=False``, the sparse-optimizer
+    fast path).  Each retained slice carries unique row indices, so the
+    canonical-order reduction performs the same per-row additions in the
+    same order as the dense chain — gradients stay bit-identical.
     """
 
     def __init__(self):
         #: name -> list of (order_key_repr, grad); summed lazily by read()
         self._entries: dict[str, list] = {}
         self._sums: dict[str, np.ndarray] = {}
+        self._sparse_sums: dict[str, IndexedSlices] = {}
+        self._retained = 0
         self._lock = threading.Lock()
 
-    def add(self, name: str, grad: np.ndarray, order=None) -> None:
+    def add(self, name: str, grad, order=None) -> None:
         key = repr(order) if order is not None else None
         with self._lock:
             self._entries.setdefault(name, []).append((key, grad))
             self._sums.pop(name, None)
+            self._sparse_sums.pop(name, None)
+            self._retained += int(getattr(grad, "nbytes", 0))
 
-    def read(self, name: str, shape=None, np_dtype=np.float32) -> np.ndarray:
+    @property
+    def retained_bytes(self) -> int:
+        """Bytes currently held by unreduced contributions (the dominant
+        live-memory term of a backward pass; feeds the live-bytes
+        estimate in :class:`~repro.runtime.stats.RunStats`)."""
+        return self._retained
+
+    def _ordered(self, entries):
+        ordered = sorted((e for e in entries if e[0] is not None),
+                         key=lambda e: e[0])
+        ordered += [e for e in entries if e[0] is None]
+        return ordered
+
+    def read(self, name: str, shape=None, np_dtype=np.float32, *,
+             dense: bool = True):
+        """The canonical per-variable gradient sum.
+
+        ``dense=True`` (the default — and the explicit densification
+        boundary of the sparse pipeline) always returns an ndarray,
+        accumulated **in place** into one freshly-allocated output buffer:
+        canonical order and bit-identity are preserved (same ufunc loop as
+        the pairwise chain) without the old per-entry reallocation.
+        ``dense=False`` returns an :class:`IndexedSlices` when every
+        contribution is sparse (rows deduplicated in canonical entry
+        order), else the dense sum.
+        """
         with self._lock:
-            if name in self._sums:
-                return self._sums[name]
             entries = self._entries.get(name)
             if entries:
-                ordered = sorted((e for e in entries if e[0] is not None),
-                                 key=lambda e: e[0])
-                ordered += [e for e in entries if e[0] is None]
-                total = np.array(ordered[0][1])
-                for _, grad in ordered[1:]:
-                    total = total + grad
+                if not dense:
+                    cached = self._sparse_sums.get(name)
+                    if cached is not None:
+                        return cached
+                    if all(isinstance(g, IndexedSlices)
+                           for _, g in entries):
+                        combined = self._combine_sparse(entries)
+                        self._sparse_sums[name] = combined
+                        return combined
+                cached = self._sums.get(name)
+                if cached is not None:
+                    return cached
+                total = self._reduce_dense(entries)
                 self._sums[name] = total
                 return total
         if shape is None:
@@ -135,6 +174,43 @@ class GradientAccumulator:
                 f"no gradient accumulated for {name!r} and no static shape "
                 "to synthesize zeros from")
         return np.zeros(shape, dtype=np_dtype)
+
+    def _reduce_dense(self, entries) -> np.ndarray:
+        """Canonical-order in-place reduction into one fresh buffer."""
+        ordered = self._ordered(entries)
+        first = ordered[0][1]
+        if isinstance(first, IndexedSlices):
+            total = first.to_dense()
+        else:
+            total = np.array(first)
+        for _, grad in ordered[1:]:
+            if isinstance(grad, IndexedSlices):
+                # unique rows: exactly one add per touched row, in the
+                # same order the dense chain would apply them
+                grad.add_to(total)
+            elif (isinstance(grad, np.ndarray)
+                    and grad.dtype == total.dtype
+                    and grad.shape == total.shape):
+                total += grad  # same ufunc loop as ``total = total + grad``
+            else:
+                total = total + grad  # dtype/shape promotion: keep exact
+        return total
+
+    def _combine_sparse(self, entries) -> IndexedSlices:
+        """Concatenate canonical-order slices, then deduplicate rows.
+
+        The concatenation preserves entry order and every segment has
+        unique rows, so the left-fold ``np.add.at`` performs for each row
+        adds that row's contributions in canonical entry order — the
+        exact additions the dense reduction performs for that row.
+        """
+        ordered = self._ordered(entries)
+        slices = [g for _, g in ordered]
+        combined = IndexedSlices(
+            np.concatenate([s.indices for s in slices]),
+            np.concatenate([s.values for s in slices]),
+            slices[0].dense_shape)
+        return combined.unique()
 
     def names(self) -> list[str]:
         with self._lock:
@@ -144,6 +220,8 @@ class GradientAccumulator:
         with self._lock:
             self._entries.clear()
             self._sums.clear()
+            self._sparse_sums.clear()
+            self._retained = 0
 
 
 class Variable:

@@ -48,7 +48,8 @@ from .batching import BatchPolicy, Coalescer
 from .cost_model import CostModel
 from .plan import plan_for_fetches
 from .scheduler import (EngineError, Instance, SchedulerCore,
-                        prune_cancelled, register_executor)
+                        _MemoryBudgetReady, densify, prune_cancelled,
+                        register_executor)
 from .stats import RunStats
 
 __all__ = ["WorkerPoolEngine"]
@@ -73,11 +74,15 @@ class WorkerPoolEngine(SchedulerCore):
                  cost_model: Optional[CostModel] = None, record: bool = False,
                  scheduler: str = "fifo", max_depth: int = 5000,
                  batching: bool = False,
-                 batch_policy: Optional[BatchPolicy] = None):
+                 batch_policy: Optional[BatchPolicy] = None,
+                 memory_budget: Optional[int] = None,
+                 track_live_bytes: bool = False):
         super().__init__(runtime, num_workers=num_workers,
                          cost_model=cost_model, record=record,
                          scheduler=scheduler, max_depth=max_depth,
-                         batching=batching, batch_policy=batch_policy)
+                         batching=batching, batch_policy=batch_policy,
+                         memory_budget=memory_budget,
+                         track_live_bytes=track_live_bytes)
 
     # -- SchedulerCore executor hooks ----------------------------------------
 
@@ -181,7 +186,9 @@ class WorkerPoolEngine(SchedulerCore):
                 root = self._make_frame(plan, feed_map, key=ROOT_KEY, depth=0,
                                         record=False,
                                         on_complete=lambda f: done.set(),
-                                        owner=None)
+                                        owner=None,
+                                        pin_locs=tuple((t.op.id, t.index)
+                                                       for t in fetches))
                 self._start_frame(root)
                 if root.remaining == 0:
                     done.set()
@@ -191,7 +198,7 @@ class WorkerPoolEngine(SchedulerCore):
         if self._error is not None:
             error, self._error = self._error, None
             raise error
-        values = [root.value_of(t) for t in fetches]
+        values = [densify(root.value_of(t)) for t in fetches]
         self.stats.wall_time = time.perf_counter() - wall0
         self.stats.virtual_time = self.stats.wall_time
         self.stats.cache_stores = self.runtime.cache.stores
@@ -203,7 +210,8 @@ class WorkerPoolEngine(SchedulerCore):
     def _begin_session(self) -> None:
         self._master_lock = threading.RLock()
         self._roots_cv = threading.Condition(self._master_lock)
-        self._ready: deque = deque()
+        self._ready = (_MemoryBudgetReady(self)
+                       if self.memory_budget is not None else deque())
         self._push_ready = self._ready.append
         self._tasks: queue.SimpleQueue = queue.SimpleQueue()
         self._results: queue.SimpleQueue = queue.SimpleQueue()
@@ -213,6 +221,7 @@ class WorkerPoolEngine(SchedulerCore):
         self._error_delivered = False
         self._coalescer = (Coalescer(self.batch_policy) if self.batching
                            else None)
+        self._live_bytes = 0
         self.stats = RunStats()
 
     def _start_pool(self) -> None:
