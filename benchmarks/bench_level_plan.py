@@ -19,6 +19,7 @@ equivalence canary.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -126,6 +127,220 @@ def test_level_plan_dispatch_bench():
         assert speedup >= 1.5, (
             f"compiled {mode} path {speedup:.2f}x at batch 10 — "
             "below the 1.5x acceptance bar")
+
+
+def _sweep_once(session, built, batches, fetches) -> tuple:
+    """One profiled epoch sweep; returns (wall_s, hits, fallbacks)."""
+    t0 = time.perf_counter()
+    for batch in batches:
+        session.run(fetches, built.feed_dict(batch),
+                    shape_profile=built.shape_profiles(batch))
+    return time.perf_counter() - t0
+
+
+def _measure_parallel_sweeps(parallel: bool) -> dict:
+    """Best-of-N compiled epoch sweep on the workerpool, with the
+    level-parallel knob pinned for the whole measurement."""
+    previous = os.environ.get("REPRO_LEVEL_PARALLEL")
+    os.environ["REPRO_LEVEL_PARALLEL"] = "1" if parallel else "0"
+    try:
+        model = fresh_model(MODEL)
+        built = model.build_recursive(10)
+        fetches = [built.loss, built.root_logits]
+        session = repro.Session(built.graph, model.runtime, num_workers=4,
+                                engine="workerpool")
+        batches = _epoch_batches(10)
+        _sweep_once(session, built, batches, fetches)  # warm plan caches
+        best = float("inf")
+        for _ in range(REPEATS):
+            best = min(best, _sweep_once(session, built, batches, fetches))
+        hits = fallbacks = 0
+        logits = []
+        for batch in batches:
+            _, batch_logits = session.run(
+                fetches, built.feed_dict(batch),
+                shape_profile=built.shape_profiles(batch))
+            logits.append(batch_logits)
+            hits += session.last_stats.level_plan_hits
+            fallbacks += session.last_stats.level_plan_fallbacks
+        instances = sum(sum(t.num_nodes for t in b.trees) for b in batches)
+        return {"parallel": parallel, "wall_s": best,
+                "us_per_instance": 1e6 * best / instances,
+                "level_plan_hits": hits,
+                "level_plan_fallbacks": fallbacks,
+                "_logits": logits}
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_LEVEL_PARALLEL", None)
+        else:
+            os.environ["REPRO_LEVEL_PARALLEL"] = previous
+
+
+def test_level_parallel_sweep_bench():
+    """Paired serial-vs-parallel compiled sweeps on the workerpool.
+
+    The parallel path fans independent same-level buckets out to the
+    kernel pool behind a per-level barrier; it must be bit-identical and
+    never fall back.  The >= 1.3x acceptance bar needs real cores to be
+    physically expressible — on fewer than 4 the bench records the
+    honest (likely ~1x or below) row plus cpu_count provenance and gates
+    nothing.
+    """
+    serial = _measure_parallel_sweeps(parallel=False)
+    parallel = _measure_parallel_sweeps(parallel=True)
+    for row in (serial, parallel):
+        assert row["level_plan_fallbacks"] == 0
+        assert row["level_plan_hits"] > 0
+    for ref, got in zip(serial.pop("_logits"), parallel.pop("_logits")):
+        assert np.array_equal(ref, got)
+
+    speedup = serial["us_per_instance"] / parallel["us_per_instance"]
+    payload = {
+        "description": "paired serial vs parallel compiled sweeps "
+                       "(workerpool kernel pool, host wall-clock)",
+        "model": MODEL, "batch_size": 10, "workers": 4,
+        "cpu_count": os.cpu_count(),
+        "serial": serial, "parallel": parallel,
+        "speedup": speedup,
+    }
+    merge_bench_json("overhead", {"level_plan_parallel": payload})
+    print(f"\nparallel sweep bench (host wall-clock, "
+          f"{os.cpu_count()} cpus):")
+    print(f"  serial   {serial['us_per_instance']:.1f} us/inst")
+    print(f"  parallel {parallel['us_per_instance']:.1f} us/inst "
+          f"-> {speedup:.2f}x")
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 1.3, (
+            f"parallel sweeps {speedup:.2f}x on a multi-core host — "
+            "below the 1.3x acceptance bar")
+
+
+# ---------------------------------------------------------------------------
+# profile canonicalization: heavy-tailed shape streams
+
+
+def tree_sum_graph(name):
+    """Array-backed binary reduction with a *fed* root index: one graph
+    serves a whole stream of distinct tree shapes (also used by the
+    bench_smoke canonicalization canary)."""
+    from repro import ops
+    from repro.core.subgraph import SubGraph
+
+    graph = repro.Graph(name)
+    with graph.as_default():
+        values = ops.placeholder(repro.float32, (None,))
+        children = ops.placeholder(repro.int32, (None, 2))
+        is_leaf = ops.placeholder(repro.bool_, (None,))
+        root = ops.placeholder(repro.int32, ())
+        with SubGraph("tsum") as tsum:
+            idx = tsum.input(repro.int32, ())
+            tsum.declare_outputs([(repro.float32, ())])
+
+            def leaf():
+                return ops.gather(values, idx)
+
+            def internal():
+                pair = ops.gather(children, idx)
+                return ops.add(tsum(ops.gather(pair, 0)),
+                               tsum(ops.gather(pair, 1)))
+
+            tsum.output(ops.cond(ops.gather(is_leaf, idx), leaf, internal))
+        out = tsum(root)
+    return graph, out, (values, children, is_leaf, root)
+
+
+def rand_profile(rng, depth, force=3):
+    """Random binary shape; the top ``force`` levels are internal, so
+    every stream tree is deeper than the canon bucket."""
+    if depth <= 1:
+        return ()
+    if force <= 0 and rng.random() < 0.3:
+        return ()
+    return (rand_profile(rng, depth - 1, force - 1),
+            rand_profile(rng, depth - 1, force - 1))
+
+
+def profile_feeds(placeholders, profile, rng):
+    """Post-order array encoding of a shape profile, random leaf values."""
+    values, children, is_leaf, root = placeholders
+    nodes = []
+
+    def build(p):
+        if not p:
+            nodes.append((True, -1, -1))
+        else:
+            left = build(p[0])
+            right = build(p[1])
+            nodes.append((False, left, right))
+        return len(nodes) - 1
+
+    root_idx = build(profile)
+    vals = rng.normal(size=len(nodes)).astype(np.float32)
+    kids = np.array([[l, r] for _, l, r in nodes], dtype=np.int32)
+    leaf = np.array([f for f, _, _ in nodes])
+    return {values: vals, children: kids, is_leaf: leaf, root: root_idx}
+
+
+def run_canon_stream(requests: int, canon_depth: int, seed: int,
+                     max_depth: int = 9) -> dict:
+    """Serve ``requests`` heavy-tailed tree shapes through one
+    canonicalizing session; returns the aggregated level-plan counters."""
+    rng = np.random.default_rng(seed)
+    graph, out, placeholders = tree_sum_graph(f"canon-stream-{seed}")
+    session = repro.Session(graph, repro.Runtime(), num_workers=2,
+                            level_canon_depth=canon_depth)
+    totals = {"hits": 0, "misses": 0, "fallbacks": 0, "partial_roots": 0,
+              "subtree_runs": 0, "evictions": 0, "compile_ms": 0.0}
+    shapes = set()
+    wall = 0.0
+    for _ in range(requests):
+        profile = rand_profile(rng, int(rng.integers(5, max_depth + 1)))
+        shapes.add(profile)
+        feeds = profile_feeds(placeholders, profile, rng)
+        t0 = time.perf_counter()
+        session.run(out, feeds, shape_profile=(profile,))
+        wall += time.perf_counter() - t0
+        stats = session.last_stats
+        totals["hits"] += stats.level_plan_cache_hits
+        totals["misses"] += stats.level_plan_cache_misses
+        totals["fallbacks"] += stats.level_plan_fallbacks
+        totals["partial_roots"] += stats.level_plan_partial_roots
+        totals["subtree_runs"] += stats.level_plan_subtree_runs
+        totals["evictions"] += stats.level_plan_evictions
+        totals["compile_ms"] += stats.level_plan_compile_ms
+    probes = totals["hits"] + totals["misses"]
+    return {"requests": requests, "canon_depth": canon_depth,
+            "distinct_shapes": len(shapes),
+            "compiled_plans": totals["misses"],
+            "cache_hit_rate": totals["hits"] / probes if probes else 0.0,
+            "wall_s": wall, **totals}
+
+
+def test_level_canonicalization_stream_bench():
+    """The heavy-tailed acceptance row: 500 requests, canon depth 3.
+
+    Without canonicalization every distinct shape compiles its own plan
+    (500 shapes -> ~480+ plans).  With the depth-3 bucket the cache must
+    converge onto the canonical subtree set — compiled-plan count <= 10%
+    of the distinct shapes seen, compile-cache hit rate >= 0.9, zero
+    fallbacks.
+    """
+    row = run_canon_stream(requests=500, canon_depth=3, seed=17)
+    payload = {
+        "description": "heavy-tailed shape stream through one "
+                       "canonicalizing session (fed-root binary "
+                       "reduction, event backend)",
+        **{k: v for k, v in row.items() if not k.startswith("_")},
+    }
+    merge_bench_json("overhead", {"level_plan_canonicalization": payload})
+    print(f"\ncanonicalization stream bench ({row['requests']} requests):")
+    print(f"  distinct shapes: {row['distinct_shapes']}, compiled plans: "
+          f"{row['compiled_plans']}, hit rate: {row['cache_hit_rate']:.3f}")
+    print(f"  partial roots: {row['partial_roots']}, subtree sweeps: "
+          f"{row['subtree_runs']}, compile: {row['compile_ms']:.1f} ms")
+    assert row["fallbacks"] == 0
+    assert row["compiled_plans"] <= row["distinct_shapes"] // 10, row
+    assert row["cache_hit_rate"] >= 0.9, row
 
 
 def test_level_plan_values_match_dynamic():

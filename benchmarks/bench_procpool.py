@@ -118,6 +118,78 @@ def measure_cluster_scaling() -> dict:
             **rows}
 
 
+def _measure_feed_coalescing(coalesce: bool) -> dict:
+    """One batched TreeLSTM run on procpool with the feed-queue
+    coalescing knob pinned; reads the engine's put/task counters."""
+    from repro.data import make_treebank
+    from repro.data.batching import batch_trees
+    from repro.models import TreeLSTMSentiment, tree_lstm_config
+
+    previous = os.environ.get("REPRO_PROCPOOL_COALESCE")
+    os.environ["REPRO_PROCPOOL_COALESCE"] = "1" if coalesce else "0"
+    try:
+        bank = make_treebank(num_train=8, num_val=2, vocab_size=80, seed=9)
+        model = TreeLSTMSentiment(
+            tree_lstm_config(hidden=HIDDEN, embed_dim=32, vocab_size=80),
+            repro.Runtime())
+        built = model.build_recursive(8)
+        batch = batch_trees(bank.train[:8])
+        session = repro.Session(built.graph, model.runtime, num_workers=2,
+                                engine="procpool", batching=True)
+        best = None
+        for _ in range(3):
+            t0 = time.perf_counter()
+            logits = session.run(built.root_logits, built.feed_dict(batch))
+            wall = time.perf_counter() - t0
+            if best is None or wall < best[0]:
+                engine = session._engine
+                best = (wall, engine._feed_puts, engine._feed_tasks,
+                        engine._shipped_tasks, logits)
+        wall, puts, tasks, shipped, logits = best
+        return {"coalesce": coalesce, "wall_s": wall, "feed_puts": puts,
+                "feed_tasks": tasks, "shipped_tasks": shipped,
+                "_logits": logits}
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_PROCPOOL_COALESCE", None)
+        else:
+            os.environ["REPRO_PROCPOOL_COALESCE"] = previous
+
+
+def test_procpool_feed_coalescing():
+    """Paired before/after micro-row for feed-queue put coalescing: one
+    queue put per dispatch wavefront instead of one per shipped bucket.
+    Values must be unchanged; uncoalesced runs pay one put per task by
+    construction, coalesced runs never pay more."""
+    import numpy as np
+
+    assert "procpool" in available_executors(), \
+        "multi-process backend unavailable (no fork start method)"
+    uncoalesced = _measure_feed_coalescing(coalesce=False)
+    coalesced = _measure_feed_coalescing(coalesce=True)
+    assert np.array_equal(uncoalesced.pop("_logits"),
+                          coalesced.pop("_logits"))
+    assert uncoalesced["feed_puts"] == uncoalesced["feed_tasks"]
+    assert coalesced["feed_puts"] <= coalesced["feed_tasks"]
+    reduction = (coalesced["feed_tasks"] / coalesced["feed_puts"]
+                 if coalesced["feed_puts"] else 1.0)
+    payload = {
+        "description": "feed-queue put coalescing, paired one-batch "
+                       "TreeLSTM run (tasks unchanged, puts per "
+                       "dispatch wavefront)",
+        "workload": {"model": "TreeLSTM", "hidden": HIDDEN, "batch": 8,
+                     "workers": 2},
+        "cpu_count": os.cpu_count(),
+        "uncoalesced": uncoalesced, "coalesced": coalesced,
+        "tasks_per_put": reduction,
+    }
+    merge_bench_json("overhead", {"procpool_feed_coalescing": payload})
+    print(f"\nfeed coalescing: uncoalesced "
+          f"{uncoalesced['feed_puts']} puts/{uncoalesced['feed_tasks']} "
+          f"tasks -> coalesced {coalesced['feed_puts']} puts/"
+          f"{coalesced['feed_tasks']} tasks ({reduction:.2f} tasks/put)")
+
+
 def test_procpool_scaling():
     assert "procpool" in available_executors(), \
         "multi-process backend unavailable (no fork start method)"

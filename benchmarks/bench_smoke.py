@@ -120,6 +120,23 @@ def test_smoke_level_plan_canary():
     assert np.array_equal(ref, got)
 
 
+def test_smoke_level_canon_canary():
+    """Canonicalization canary: a 50-shape heavy-tailed stream through
+    one canonicalizing session (canon depth 3) must produce zero
+    fallbacks and a compile-cache hit rate >= 0.9 — the always-on guard
+    that deep shape streams converge onto the small canonical plan set
+    (the full 500-request row is ``make bench-level``)."""
+    from benchmarks.bench_level_plan import run_canon_stream
+
+    row = run_canon_stream(requests=50, canon_depth=3, seed=23,
+                           max_depth=7)
+    assert row["fallbacks"] == 0
+    assert row["partial_roots"] == 50
+    assert row["subtree_runs"] >= 50
+    assert row["cache_hit_rate"] >= 0.9, row
+    assert row["compiled_plans"] <= 5  # binary shapes of depth <= 3
+
+
 def test_smoke_continuous_serving_canary():
     """Continuous-batching serving in miniature: one seeded open-loop
     stream served wave-synchronized then continuously at equal

@@ -66,6 +66,27 @@ def _invoke_starter(scheduler, inst, inputs):
         bindings[placeholder_id] = inputs[position]
     key = child_key(inst.frame.key, op.id)
 
+    # partial compilation: a spine frame carries per-call-site shape
+    # profiles; a fully-determined subtree runs as a compiled sub-sweep
+    # instead of a dynamic frame tree, and a partially-determined one
+    # spawns dynamically with its sub-profiles threaded one level down
+    rec = inst.frame.rec_profiles
+    entry = rec.get(op.id) if rec is not None else None
+    if entry is not None and entry[0] is subgraph:
+        profile = entry[1]
+        if scheduler._spawn_profiled_child(inst, subgraph, bindings, key,
+                                           profile):
+            return
+
+        def on_complete(frame):
+            scheduler.finish_async(inst, frame.values_at(output_locs))
+
+        frame = scheduler.spawn_frame(subgraph, bindings, key,
+                                      inst.frame.depth + 1, on_complete,
+                                      inst)
+        scheduler._attach_child_profiles(frame, subgraph, profile)
+        return
+
     def on_complete(frame):
         scheduler.finish_async(inst, frame.values_at(output_locs))
 

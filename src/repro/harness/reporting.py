@@ -157,9 +157,23 @@ def format_level_histogram(stats, max_levels: int = 16,
     no profile, or plan-cache invalidation churn).
     """
     hits, fallbacks = stats.level_plan_hits, stats.level_plan_fallbacks
-    if not (hits or fallbacks):
+    partial = getattr(stats, "level_plan_partial_roots", 0)
+    if not (hits or fallbacks or partial):
         return "level-plan: (no profiled admissions)"
     lines = [f"level-plan: hits={hits}  fallbacks={fallbacks}"]
+    if partial or getattr(stats, "level_plan_subtree_runs", 0):
+        lines.append(f"  partial roots={partial}  "
+                     f"subtree sweeps={stats.level_plan_subtree_runs}")
+    probes = (getattr(stats, "level_plan_cache_hits", 0)
+              + getattr(stats, "level_plan_cache_misses", 0))
+    if probes:
+        lines.append(
+            f"  compile cache: hit rate="
+            f"{stats.level_plan_cache_hit_rate:.2f} "
+            f"(hits={stats.level_plan_cache_hits}, "
+            f"misses={stats.level_plan_cache_misses}, "
+            f"evictions={stats.level_plan_evictions})  "
+            f"compile={stats.level_plan_compile_ms:.1f} ms")
     if not stats.level_width_hist:
         lines.append("  (no compiled dispatches recorded)")
         return "\n".join(lines)

@@ -70,8 +70,16 @@ def _cond_starter(scheduler, inst, inputs):
     def on_complete(frame):
         scheduler.finish_async(inst, frame.values_at(output_locs))
 
-    scheduler.spawn_frame(subgraph, bindings, key, inst.frame.depth + 1,
-                       on_complete, inst)
+    frame = scheduler.spawn_frame(subgraph, bindings, key,
+                                  inst.frame.depth + 1, on_complete, inst)
+    # partial compilation: a spine frame whose recursion hides behind a
+    # lone Cond stashed its children profiles under this op id — thread
+    # them into the chosen branch frame's call sites
+    rec = inst.frame.rec_profiles
+    if rec is not None:
+        entry = rec.get(op.id)
+        if entry is not None and entry[0] == "cond":
+            scheduler._attach_child_profiles(frame, entry[1], entry[2])
 
 
 register_op("Cond", infer=_cond_infer, is_async=True, starter=_cond_starter,

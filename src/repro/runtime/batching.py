@@ -82,6 +82,14 @@ class BatchPolicy:
     #: completing deep subtrees (draining live frames) over breadth-first
     #: fan-out — work is reordered, never shed.
     memory_budget: Optional[int] = None
+    #: profile-canonicalization depth for the compiled level-plan tier.
+    #: ``None`` compiles one plan per distinct shape profile (exact
+    #: behavior).  An integer ``d`` caps compiled plans at subtrees of
+    #: node depth <= ``d``: a deeper or partially-determined (``None``
+    #: holes) profile runs its root dynamically and launches compiled
+    #: sub-sweeps per determined subtree, so heavy-tailed shape streams
+    #: share a small canonical plan set instead of compiling per shape.
+    level_canon_depth: Optional[int] = None
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -94,6 +102,8 @@ class BatchPolicy:
             raise ValueError("flush_timeout must be positive")
         if self.memory_budget is not None and self.memory_budget <= 0:
             raise ValueError("memory_budget must be positive (or None)")
+        if self.level_canon_depth is not None and self.level_canon_depth < 1:
+            raise ValueError("level_canon_depth must be >= 1 (or None)")
 
     # -- per-signature interface (constant for the fixed policy) -----------
 

@@ -200,6 +200,10 @@ class EventEngine(SchedulerCore):
         self._error_listener = None
         self._error_delivered = False
         self._live_bytes = 0
+        self._pending_level_runs = []
+        self._level_flushing = False
+        self._level_flush_wanted = False
+        self._root_site_map = None
         self.stats = RunStats()
         # Per-dispatch fast paths, used only while the cost model keeps
         # the stock implementations (instance- or subclass-overridden

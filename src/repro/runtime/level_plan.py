@@ -54,6 +54,8 @@ every cache hit, so ``set_cache_filter`` on a body graph recompiles).
 
 from __future__ import annotations
 
+import os
+import time
 from collections import deque
 from typing import Optional
 
@@ -69,7 +71,15 @@ from .plan import plan_for
 from .plan import _PERSISTENT_ALIAS_OPS
 from .scheduler import EngineError, SchedulerCore, _values_bytes, densify
 
-__all__ = ["LevelPlan", "level_plan_for", "execute_level_plan"]
+__all__ = ["LevelPlan", "level_plan_for", "execute_level_plan",
+           "build_level_calls", "execute_level_call", "complete_level_call"]
+
+#: LRU caps for the per-graph plan memo — compiled plans are a few KB
+#: each, the ineligible sentinel is one dict row; both grow without
+#: bound on adversarial long-tail shape streams unless capped
+LEVEL_PLAN_CAP = int(os.environ.get("REPRO_LEVEL_PLAN_CAP", "256"))
+LEVEL_PLAN_INELIGIBLE_CAP = int(
+    os.environ.get("REPRO_LEVEL_PLAN_INELIGIBLE_CAP", "512"))
 
 # node kinds
 _KERNEL = 0        # synchronous op: run its kernel
@@ -86,6 +96,20 @@ _FINISHERS = (_FIN_PASS, _FIN_COND, _FIN_IGRAD, _FIN_CGRAD)
 _INELIGIBLE = object()
 
 
+def _profile_depth(profile) -> int:
+    """Node depth of a shape profile: a leaf ``()`` is depth 1."""
+    if not profile:
+        return 1
+    return 1 + max(_profile_depth(child) for child in profile)
+
+
+def _profile_has_holes(profile) -> bool:
+    """True when any subtree of the profile is undetermined (``None``)."""
+    if profile is None:
+        return True
+    return any(_profile_has_holes(child) for child in profile)
+
+
 class _Ineligible(Exception):
     """Internal: this root cannot be level-compiled; use the dynamic path."""
 
@@ -95,13 +119,17 @@ class _CNode:
 
     __slots__ = ("kind", "frame_idx", "op", "defn", "inputs", "extra_deps",
                  "store_mask", "graph_id", "sig_prefix", "feed_op_id",
-                 "expected", "recipe")
+                 "expected", "recipe", "src_plan", "src_slot")
 
     def __init__(self, kind, frame_idx, op, defn):
         self.kind = kind
         self.frame_idx = frame_idx
         self.op = op
         self.defn = defn
+        #: originating (FramePlan, slot) — lets process-pool shipping
+        #: reuse the per-slot ship masks and plan-reference transport
+        self.src_plan = None
+        self.src_slot = -1
         #: value inputs: tuple of (producer node id, output index)
         self.inputs = ()
         #: ordering-only dependencies (node ids) for the level assignment
@@ -195,8 +223,8 @@ class LevelPlan:
                 f"frames={self.num_frames} depth={self.max_depth}>")
 
 
-def level_plan_for(graph, root_plan, shape_profile, record: bool
-                   ) -> Optional["LevelPlan"]:
+def level_plan_for(graph, root_plan, shape_profile, record: bool,
+                   stats=None, subtree=None) -> Optional["LevelPlan"]:
     """Compile (or fetch the memoized) LevelPlan for one root shape.
 
     ``shape_profile`` is a sequence of per-root-call-site shape profiles
@@ -204,29 +232,64 @@ def level_plan_for(graph, root_plan, shape_profile, record: bool
     Returns ``None`` when the root is not eligible (the caller falls
     back to the dynamic path).  Memoized on ``graph._level_plans``;
     ineligible shapes are memoized too, so repeated fallbacks are one
-    dict probe.
+    dict probe.  The memo is LRU-bounded (``REPRO_LEVEL_PLAN_CAP`` /
+    ``REPRO_LEVEL_PLAN_INELIGIBLE_CAP``) so adversarial long-tail shape
+    streams cannot grow it without bound.
+
+    When ``subtree`` is a recursive SubGraph, the compiled plan covers
+    one *subtree* of the recursion (``shape_profile`` is that node's
+    children tuple) — the partial-compilation path launched from a
+    dynamic spine frame.  When ``stats`` (a RunStats) is given, cache
+    probes book ``level_plan_cache_hits``/``_misses`` and compile time
+    accrues into ``level_plan_compile_ms``.
     """
     try:
         profiles = tuple(shape_profile)
     except TypeError:
         return None
-    key = (root_plan, profiles, bool(record))
+    if subtree is None:
+        key = (root_plan, profiles, bool(record))
+    else:
+        key = (root_plan, profiles, bool(record), "sub")
     cache = graph._level_plans
     entry = cache.get(key)
     if entry is _INELIGIBLE:
+        if stats is not None:
+            stats.level_plan_cache_hits += 1
         return None
     if entry is not None:
         # revalidate baked-in body plans: set_cache_filter (installed by
         # differentiate_subgraph) invalidates a *body* graph's frame
         # plans without touching this root graph's caches
         if all(plan_for(g) is p for g, p in entry.body_deps):
+            if stats is not None:
+                stats.level_plan_cache_hits += 1
+            with graph._lock:
+                if cache.get(key) is entry:  # LRU touch: move to end
+                    del cache[key]
+                    cache[key] = entry
             return entry
+    if stats is not None:
+        stats.level_plan_cache_misses += 1
+    t0 = time.perf_counter()
     try:
-        lp = _compile(root_plan, profiles, record)
+        lp = _compile(root_plan, profiles, record, subtree)
     except _Ineligible:
         lp = None
+    if stats is not None:
+        stats.level_plan_compile_ms += (time.perf_counter() - t0) * 1e3
     with graph._lock:
         cache[key] = lp if lp is not None else _INELIGIBLE
+        cap = LEVEL_PLAN_CAP if lp is not None else LEVEL_PLAN_INELIGIBLE_CAP
+        if cap > 0:
+            same_kind = [k for k, v in cache.items()
+                         if (v is _INELIGIBLE) == (lp is None)]
+            evicted = 0
+            for k in same_kind[:max(0, len(same_kind) - cap)]:
+                del cache[k]
+                evicted += 1
+            if evicted and stats is not None:
+                stats.level_plan_evictions += evicted
     return lp
 
 
@@ -234,19 +297,29 @@ def level_plan_for(graph, root_plan, shape_profile, record: bool
 # compilation
 # ---------------------------------------------------------------------------
 
-def _compile(root_plan, profiles, session_record) -> "LevelPlan":
+def _compile(root_plan, profiles, session_record, subtree=None) -> "LevelPlan":
     # -- pre-pass: identify the recursive SubGraph at the root ------------
-    root_invokes = [op for op in root_plan.ops if op.op_type == "Invoke"]
-    if not root_invokes:
-        raise _Ineligible("no recursive call sites in the root plan")
-    s_rec = root_invokes[0].attrs["subgraph"]
-    for op in root_invokes[1:]:
-        if op.attrs["subgraph"] is not s_rec:
-            raise _Ineligible("root call sites target multiple SubGraphs")
-    if len(root_invokes) != len(profiles):
-        raise _Ineligible("profile count does not match root call sites")
-    if not s_rec.finalized:
-        raise _Ineligible("recursive SubGraph is not finalized")
+    if subtree is not None:
+        # partial compilation: the "root" of this plan is one recursive
+        # subtree body, launched from a dynamic spine frame; its feed is
+        # the runtime binding dict the starter would have passed to
+        # spawn_frame, and ``profiles`` is the subtree node's children
+        s_rec = subtree
+        if not s_rec.finalized:
+            raise _Ineligible("recursive SubGraph is not finalized")
+    else:
+        root_invokes = [op for op in root_plan.ops if op.op_type == "Invoke"]
+        if not root_invokes:
+            raise _Ineligible("no recursive call sites in the root plan")
+        s_rec = root_invokes[0].attrs["subgraph"]
+        for op in root_invokes[1:]:
+            if op.attrs["subgraph"] is not s_rec:
+                raise _Ineligible(
+                    "root call sites target multiple SubGraphs")
+        if len(root_invokes) != len(profiles):
+            raise _Ineligible("profile count does not match root call sites")
+        if not s_rec.finalized:
+            raise _Ineligible("recursive SubGraph is not finalized")
 
     nodes: list[_CNode] = []
     frames: list[tuple] = []
@@ -297,6 +370,8 @@ def _compile(root_plan, profiles, session_record) -> "LevelPlan":
         def emit(kind, op, defn, slot):
             nid = len(nodes)
             node = _CNode(kind, frame_idx, op, defn)
+            node.src_plan = plan
+            node.src_slot = slot
             if record:
                 mask = plan.store_masks[slot]
                 if any(mask):
@@ -315,7 +390,7 @@ def _compile(root_plan, profiles, session_record) -> "LevelPlan":
         # every binding node must exist before the wiring pass reads it.
         for slot, op in enumerate(plan.ops):
             defn = plan.defs[slot]
-            if job.mode == "root":
+            if job.mode in ("root", "subroot"):
                 if op.op_type == "Placeholder":
                     _, node = emit(_BIND_FEED, op, defn, slot)
                     node.feed_op_id = op.id
@@ -413,7 +488,7 @@ def _compile(root_plan, profiles, session_record) -> "LevelPlan":
                         child_mode, child_profile, bindings, fill)
 
             elif op_type == "Cond":
-                if job.mode != "node" or cond_seen:
+                if job.mode not in ("node", "subroot") or cond_seen:
                     raise _Ineligible("data-dependent control flow here")
                 cond_seen = True
                 c = len(children)
@@ -544,13 +619,17 @@ def _compile(root_plan, profiles, session_record) -> "LevelPlan":
                         "mixed direct recursion and branch recursion")
             elif cursor != len(children):
                 raise _Ineligible("fewer call sites than the profile")
-        if job.mode == "root":
+        if job.mode in ("root", "subroot"):
             for slot, op in enumerate(plan.ops):
                 root_node_of[op.id] = node_of_slot[slot]
         if job.fill is not None:
             job.fill(node_of_slot, tuple(range(first_node, len(nodes))))
 
-    add_job(root_plan, (), 0, "root", profiles, None, None)
+    if subtree is not None:
+        add_job(body_plan(s_rec.graph), (), 0, "subroot", profiles,
+                None, None)
+    else:
+        add_job(root_plan, (), 0, "root", profiles, None, None)
     while jobs:
         _scan(jobs.popleft())
 
@@ -785,81 +864,130 @@ def _scatter(member, outputs, entries, core, lp):
                 entries.append((key, gid, oid, j, v))
 
 
-def _run_batched(core, lp, defn, members, sig, entries):
-    first_node = members[0][0]
-    width = len(members)
+class _LevelCall:
+    """One prepared kernel dispatch of a level: a single or fused call.
+
+    The master builds these (input gather, fusion grouping, ExecContext
+    creation) so that *executing* one — the kernel invocation alone, in
+    :func:`execute_level_call` — is free of shared mutable state and can
+    run on a pool thread or be shipped to a worker process.  Scatter,
+    stats, histogram, and cache-store bookkeeping happen back on the
+    master in :func:`complete_level_call`, in original call order.
+    """
+
+    __slots__ = ("defn", "members", "sig", "ctxs")
+
+    #: duck-type marker: pool workers discriminate task payloads without
+    #: importing this module at load time
+    is_level_call = True
+
+    def __init__(self, defn, members, sig, ctxs):
+        self.defn = defn
+        #: list of (node, nid, run, inputs)
+        self.members = members
+        #: interned member signature for fused calls; None -> width-1
+        self.sig = sig
+        #: per-member ExecContexts, prebuilt on the master (worker
+        #: threads must never lazily touch ``run.ctxs``)
+        self.ctxs = ctxs
+
+
+def build_level_calls(core, lp, buckets, live):
+    """Gather one level's buckets across ``live`` runs into _LevelCalls.
+
+    Replicates the serial grouping exactly: one fused call per uniform
+    bucket, signature regrouping otherwise, width-1 groups as singles.
+    """
+    nodes = lp.nodes
+    calls = []
+    for bucket in buckets:
+        defn = nodes[bucket[0]].defn
+        members = []  # (node, nid, run, inputs)
+        for nid in bucket:
+            node = nodes[nid]
+            node_inputs = node.inputs
+            for run in live:
+                values = run.node_values
+                members.append((node, nid, run,
+                                [values[s][i] for s, i in node_inputs]))
+        if len(members) == 1:
+            m = members[0]
+            calls.append(_LevelCall(
+                defn, members, None,
+                [_ctx_of(core, lp, m[2], m[0].frame_idx)]))
+            continue
+        sigs = [_member_sig(m[3]) for m in members]
+        sig0 = sigs[0]
+        uniform = True
+        for s in sigs:
+            if s != sig0:
+                uniform = False
+                break
+        if uniform:
+            # the common case on profiled workloads: one fused call, no
+            # regrouping — every member stacked the same way
+            ctxs = [_ctx_of(core, lp, m[2], m[0].frame_idx)
+                    for m in members]
+            calls.append(_LevelCall(defn, members, sig0, ctxs))
+            continue
+        groups: dict = {}
+        for i, s in enumerate(sigs):
+            groups.setdefault(s, []).append(i)
+        for sig, idxs in groups.items():
+            group = [members[i] for i in idxs]
+            ctxs = [_ctx_of(core, lp, m[2], m[0].frame_idx) for m in group]
+            calls.append(_LevelCall(defn, group,
+                                    sig if len(group) > 1 else None, ctxs))
+    return calls
+
+
+def execute_level_call(call):
+    """Run one prepared call's kernel(s); return the per-member outputs.
+
+    The only piece of a sweep that may leave the master thread: pure
+    kernel execution against prebuilt contexts.  Errors match the serial
+    path — EngineError passes through, anything else is wrapped with the
+    offending op.
+    """
+    members = call.members
+    if call.sig is None:
+        node, _, _, ins = members[0]
+        try:
+            return [call.defn.kernel(node.op, ins, call.ctxs[0])]
+        except EngineError:
+            raise
+        except Exception as exc:  # noqa: BLE001
+            raise SchedulerCore._wrap_error(exc, node.op) from exc
     ops = [m[0].op for m in members]
     b_inputs = [m[3] for m in members]
-    ctxs = [_ctx_of(core, lp, m[2], m[0].frame_idx) for m in members]
     try:
-        outputs_list = defn.batched_kernel(ops, b_inputs, ctxs)
+        outputs_list = call.defn.batched_kernel(ops, b_inputs, call.ctxs)
     except EngineError:
         raise
     except Exception as exc:  # noqa: BLE001
         raise SchedulerCore._wrap_error(exc, ops[0]) from exc
-    if len(outputs_list) != width:
+    if len(outputs_list) != len(members):
         raise EngineError(
-            f"batched kernel for {first_node.op.op_type} returned "
-            f"{len(outputs_list)} results for {width} ops")
+            f"batched kernel for {members[0][0].op.op_type} returned "
+            f"{len(outputs_list)} results for {len(members)} ops")
+    return outputs_list
+
+
+def complete_level_call(core, lp, call, outputs_list, entries, hist):
+    """Master-side completion: stats, histogram, value scatter, stores."""
+    members = call.members
+    first_node = members[0][0]
+    if call.sig is None:
+        core.stats.note_op(first_node.op.op_type, 0.0)
+        hist[1] = hist.get(1, 0) + 1
+        _scatter(members[0], outputs_list[0], entries, core, lp)
+        return
+    width = len(members)
     core.stats.note_batch(first_node.op.op_type, width, 0.0,
-                          first_node.sig_prefix + (sig,))
+                          first_node.sig_prefix + (call.sig,))
+    hist[width] = hist.get(width, 0) + 1
     for member, outputs in zip(members, outputs_list):
         _scatter(member, outputs, entries, core, lp)
-
-
-def _run_single(core, lp, defn, member, entries):
-    node, nid, run, ins = member
-    ctx = _ctx_of(core, lp, run, node.frame_idx)
-    try:
-        outputs = defn.kernel(node.op, ins, ctx)
-    except EngineError:
-        raise
-    except Exception as exc:  # noqa: BLE001
-        raise SchedulerCore._wrap_error(exc, node.op) from exc
-    core.stats.note_op(node.op.op_type, 0.0)
-    _scatter(member, outputs, entries, core, lp)
-
-
-def _run_bucket(core, lp, bucket, live, entries, hist):
-    nodes = lp.nodes
-    defn = nodes[bucket[0]].defn
-    members = []  # (node, nid, run, inputs)
-    for nid in bucket:
-        node = nodes[nid]
-        node_inputs = node.inputs
-        for run in live:
-            values = run.node_values
-            members.append((node, nid, run,
-                            [values[s][i] for s, i in node_inputs]))
-    n = len(members)
-    if n == 1:
-        _run_single(core, lp, defn, members[0], entries)
-        hist[1] = hist.get(1, 0) + 1
-        return
-    sigs = [_member_sig(m[3]) for m in members]
-    sig0 = sigs[0]
-    uniform = True
-    for s in sigs:
-        if s != sig0:
-            uniform = False
-            break
-    if uniform:
-        # the common case on profiled workloads: one fused call, no
-        # regrouping — every member stacked the same way
-        _run_batched(core, lp, defn, members, sig0, entries)
-        hist[n] = hist.get(n, 0) + 1
-        return
-    groups: dict = {}
-    for i, s in enumerate(sigs):
-        groups.setdefault(s, []).append(i)
-    for sig, idxs in groups.items():
-        width = len(idxs)
-        if width > 1:
-            _run_batched(core, lp, defn, [members[i] for i in idxs],
-                         sig, entries)
-        else:
-            _run_single(core, lp, defn, members[idxs[0]], entries)
-        hist[width] = hist.get(width, 0) + 1
 
 
 def execute_level_plan(core: SchedulerCore, lp: LevelPlan, runs) -> list:
@@ -903,8 +1031,8 @@ def execute_level_plan(core: SchedulerCore, lp: LevelPlan, runs) -> list:
                 _run_scalar(core, lp, node, nid, run, entries)
         if buckets:
             hist = core.stats.level_width_hist.setdefault(level_idx, {})
-            for bucket in buckets:
-                _run_bucket(core, lp, bucket, live, entries, hist)
+            calls = build_level_calls(core, lp, buckets, live)
+            core._execute_level_calls(lp, calls, entries, hist)
         if entries:
             # one bulk store per level, after every node of the level —
             # CacheLookup consumers are ordered into later levels
@@ -949,8 +1077,14 @@ def execute_level_plan(core: SchedulerCore, lp: LevelPlan, runs) -> list:
                     if outputs is not None and scratch[nid]:
                         freed += _values_bytes(outputs)
                 core._live_bytes -= freed
-            results.append([densify(values[nid][i])
-                            for nid, i in run.fetch_locs])
+            if run.densify_fetches:
+                results.append([densify(values[nid][i])
+                                for nid, i in run.fetch_locs])
+            else:
+                # subtree boundary: hand back raw values (incl. sparse
+                # IndexedSlices) exactly like the dynamic finish_async
+                results.append([values[nid][i]
+                                for nid, i in run.fetch_locs])
         run.node_values = None
         run.ctxs = None
     return results

@@ -197,7 +197,8 @@ class Frame:
 
     __slots__ = ("plan", "graph", "key", "depth", "record", "bindings",
                  "values", "pending", "remaining", "on_complete", "owner",
-                 "ctx", "root", "cancelled", "release_counts")
+                 "ctx", "root", "cancelled", "release_counts",
+                 "rec_profiles")
 
     def __init__(self, plan: FramePlan, bindings: dict, key: tuple,
                  depth: int, record: bool, on_complete: Callable,
@@ -223,6 +224,11 @@ class Frame:
         #: (None disables release for this frame); set by ``_make_frame``
         #: from the plan's memoized pin-aware counts
         self.release_counts: Optional[list] = None
+        #: partial-compilation profile map for this frame's call sites:
+        #: op id -> (s_rec, subtree profile) for Invoke sites, or
+        #: ("cond", s_rec, children) under a lone Cond op id.  None on
+        #: frames without attached profiles (the overwhelming default).
+        self.rec_profiles: Optional[dict] = None
 
     def value_of(self, tensor: Tensor):
         return self.values[self.plan.index_of[tensor.op.id]][tensor.index]
@@ -280,6 +286,9 @@ class _LevelRun:
 
     #: duck-type marker consulted by ``_cancel_root_locked``
     is_level_run = True
+    is_subtree = False
+    #: fetch-boundary behavior: root fetches leave the runtime dense
+    densify_fetches = True
 
     __slots__ = ("lp", "prefix", "feed", "fetch_locs", "on_complete",
                  "cancelled", "done", "node_values", "ctxs")
@@ -296,6 +305,41 @@ class _LevelRun:
         self.done = False
         self.node_values = None
         self.ctxs = None
+
+
+class _SubtreeRun:
+    """One recursive subtree executed as a compiled sub-sweep.
+
+    The partial-compilation handle: a dynamic spine frame's Invoke
+    starter launches it instead of spawning a child frame tree, and its
+    boundary values return through ``finish_async`` exactly like a
+    dynamic child's ``on_complete`` — raw (no densify), so sparse
+    gradients cross the boundary bit-identically.  ``prefix`` is the
+    dynamic ``child_key`` the child frame would have had, so cache
+    entries and accumulator order keys match the dynamic path.
+    """
+
+    is_level_run = True
+    is_subtree = True
+    densify_fetches = False
+
+    __slots__ = ("lp", "prefix", "feed", "fetch_locs", "inst", "done",
+                 "node_values", "ctxs")
+
+    def __init__(self, lp, prefix: tuple, feed: dict, subgraph, inst):
+        self.lp = lp
+        self.prefix = prefix
+        self.feed = feed
+        self.fetch_locs = [(lp.root_node_of[op_id], i)
+                           for op_id, i in subgraph.output_locs]
+        self.inst = inst
+        self.done = False
+        self.node_values = None
+        self.ctxs = None
+
+    @property
+    def cancelled(self):
+        return self.inst.frame.root.cancelled
 
 
 class _FifoReady(deque):
@@ -484,6 +528,17 @@ class SchedulerCore:
         #: True while a thread is inside the level-flush loop; late
         #: admissions just append and the running flush picks them up
         self._level_flushing = False
+        #: set by backends that defer sweep flushes to their master loop
+        #: (workerpool/procpool — a starter-context flush would execute
+        #: sweeps under the master lock, inverting the barrier's order)
+        self._level_flush_wanted = False
+        #: depth bucket for canonical profiles (None = exact profiles);
+        #: mirrored from the batch policy so every admission sees it
+        self._level_canon_depth = getattr(self.batch_policy,
+                                          "level_canon_depth", None)
+        #: one-shot stash: _try_level_run parks the root's site map here
+        #: for the dynamic root frame _make_frame is about to build
+        self._root_site_map: Optional[dict] = None
 
     # -- Executor interface ---------------------------------------------------
     #
@@ -550,6 +605,11 @@ class SchedulerCore:
     def _make_frame(self, plan: FramePlan, bindings, key, depth, record,
                     on_complete, owner, pin_locs=None) -> Frame:
         frame = Frame(plan, bindings, key, depth, record, on_complete, owner)
+        if depth == 0 and self._root_site_map is not None:
+            # partial compilation: _try_level_run parked the root's
+            # per-call-site profile map for this dynamic spine frame
+            frame.rec_profiles = self._root_site_map
+            self._root_site_map = None
         if pin_locs is not None and not record:
             # recording frames keep every slot alive for the backward
             # pass's cache reads; eager release only applies otherwise
@@ -743,6 +803,8 @@ class SchedulerCore:
         self._fatal_error = None
         self._pending_level_runs = []
         self._level_flushing = False
+        self._level_flush_wanted = False
+        self._root_site_map = None
         self._start_serving()
         self._serve_wall0 = time.perf_counter()
         self._error_listener = error_listener
@@ -770,11 +832,16 @@ class SchedulerCore:
         """
         fetch_list = list(fetches)
         plan = plan_for_fetches(graph, {t.op for t in fetch_list})
+        site_map = None
         if shape_profile is not None:
             handle = self._try_submit_level_root(
                 graph, plan, fetch_list, feed_map, key, on_complete,
                 shape_profile)
-            if handle is not None:
+            if isinstance(handle, dict):
+                # spine root: run dynamically with the per-call-site
+                # profile map attached, compiled sub-sweeps per subtree
+                site_map = handle
+            elif handle is not None:
                 return handle
         pins = tuple((t.op.id, t.index) for t in fetch_list)
 
@@ -792,6 +859,8 @@ class SchedulerCore:
             frame = self._make_frame(plan, feed_map, key=key, depth=0,
                                      record=False, on_complete=frame_done,
                                      owner=None, pin_locs=pins)
+            if site_map is not None:
+                frame.rec_profiles = site_map
             self._start_frame(frame)
         else:
             with lock:
@@ -799,6 +868,8 @@ class SchedulerCore:
                 frame = self._make_frame(plan, feed_map, key=key, depth=0,
                                          record=False, on_complete=frame_done,
                                          owner=None, pin_locs=pins)
+                if site_map is not None:
+                    frame.rec_profiles = site_map
                 self._start_frame(frame)
         self._admitted()
         return frame
@@ -812,6 +883,54 @@ class SchedulerCore:
     # (`_schedule_level_flush`, `_execute_level_group`) to run the sweep
     # at virtual instants with modeled cost.
 
+    def _root_profile_map(self, plan, profiles):
+        """Map root Invoke op ids to their per-call-site sub-profiles.
+
+        The spine-admission precondition: every root call site targets
+        one shared recursive SubGraph and the profile count matches.
+        Returns ``{op.id: (s_rec, profile)}`` or None.
+        """
+        invokes = [op for op in plan.ops if op.op_type == "Invoke"]
+        if not invokes or len(invokes) != len(profiles):
+            return None
+        s_rec = invokes[0].attrs["subgraph"]
+        for op in invokes[1:]:
+            if op.attrs["subgraph"] is not s_rec:
+                return None
+        return {op.id: (s_rec, prof)
+                for op, prof in zip(invokes, profiles)}
+
+    def _resolve_level_profile(self, plan, shape_profile):
+        """Classify an admission profile for the compiled tier.
+
+        ``("full", profiles)``  — fully determined and within the canon
+        depth bucket (or canonicalization off): compile the whole root,
+        exactly the pre-canonicalization behavior.
+        ``("spine", site_map)`` — holes (undetermined subtrees) or a
+        tree deeper than ``level_canon_depth``: run the root dynamically
+        and launch compiled sub-sweeps per determined subtree of depth
+        ≤ the canon bucket, so many distinct shapes share the small
+        canonical plan set.
+        ``("dynamic", None)``   — profile unusable; plain fallback.
+        """
+        from .level_plan import _profile_depth, _profile_has_holes
+        try:
+            profiles = tuple(shape_profile)
+        except TypeError:
+            return "dynamic", None
+        holes = any(_profile_has_holes(p) for p in profiles)
+        canon = self._level_canon_depth
+        too_deep = (canon is not None
+                    and any(not _profile_has_holes(p)
+                            and _profile_depth(p) > canon
+                            for p in profiles))
+        if not holes and not too_deep:
+            return "full", profiles
+        site_map = self._root_profile_map(plan, profiles)
+        if site_map is not None:
+            return "spine", site_map
+        return "dynamic", None
+
     def _try_level_run(self, graph, fetch_list, feed_map, shape_profile):
         """One-shot compiled execution for ``run()``.
 
@@ -819,10 +938,22 @@ class SchedulerCore:
         The run's key prefix is the root key ``()``, so cache entries
         and accumulator order keys are bit-identical to the dynamic
         path.  Errors propagate to the caller like dynamic ``run``.
+        A spine-mode profile (holes / canonicalized depth) returns None
+        after parking the site map for the dynamic root frame.
         """
         from .level_plan import execute_level_plan, level_plan_for
+        self._root_site_map = None
         plan = plan_for_fetches(graph, {t.op for t in fetch_list})
-        lp = level_plan_for(graph, plan, shape_profile, self.record)
+        mode, resolved = self._resolve_level_profile(plan, shape_profile)
+        if mode == "dynamic":
+            self.stats.level_plan_fallbacks += 1
+            return None
+        if mode == "spine":
+            self.stats.level_plan_partial_roots += 1
+            self._root_site_map = resolved
+            return None
+        lp = level_plan_for(graph, plan, resolved, self.record,
+                            stats=self.stats)
         if lp is None or lp.max_depth > self.max_depth:
             self.stats.level_plan_fallbacks += 1
             return None
@@ -837,10 +968,26 @@ class SchedulerCore:
 
     def _try_submit_level_root(self, graph, plan, fetch_list, feed_map,
                                key, on_complete, shape_profile):
-        """Serving-mode admission onto the compiled path (or None)."""
+        """Serving-mode admission onto the compiled path.
+
+        Returns a ``_LevelRun`` handle on a full compiled hit, the root
+        site-map *dict* for spine-mode profiles (the caller builds a
+        dynamic frame and attaches it), or None for plain fallback.
+        """
         from .level_plan import level_plan_for
-        lp = level_plan_for(graph, plan, shape_profile, self.record)
         lock = self._master_lock
+        mode, resolved = self._resolve_level_profile(plan, shape_profile)
+        if mode == "spine":
+            if lock is None:
+                self.stats.level_plan_partial_roots += 1
+            else:
+                with lock:
+                    self.stats.level_plan_partial_roots += 1
+            return resolved
+        lp = None
+        if mode == "full":
+            lp = level_plan_for(graph, plan, resolved, self.record,
+                                stats=self.stats)
         eligible = lp is not None and lp.max_depth <= self.max_depth
         run = None
         if eligible:
@@ -867,6 +1014,61 @@ class SchedulerCore:
         self._schedule_level_flush()
         self._admitted()
         return run
+
+    def _attach_child_profiles(self, frame: Frame, s_rec, children) -> None:
+        """Thread sub-profiles one level down a dynamic spine frame.
+
+        Called by the async starters right after ``spawn_frame`` (safe:
+        starters hold the master lock on every backend, or run on the
+        single event thread).  Invoke sites of ``s_rec`` in plan slot
+        order zip with ``children``; a body with no direct sites and
+        exactly one Cond stashes the children under the Cond op id for
+        the branch frame.  On any mismatch nothing attaches and the
+        subtree silently stays dynamic.
+        """
+        from .plan import rec_invoke_sites
+        if children is None:
+            # fully undetermined subtree: no profiles to thread — the
+            # whole subtree runs dynamically
+            return
+        sites, lone_cond = rec_invoke_sites(frame.plan, s_rec)
+        if sites:
+            if len(sites) == len(children):
+                frame.rec_profiles = {
+                    op_id: (s_rec, child)
+                    for op_id, child in zip(sites, children)}
+        elif lone_cond is not None:
+            frame.rec_profiles = {lone_cond: ("cond", s_rec, children)}
+
+    def _spawn_profiled_child(self, inst: Instance, subgraph, bindings,
+                              key, profile) -> bool:
+        """Try to run one recursive subtree as a compiled sub-sweep.
+
+        The partial-compilation launch point, called from the Invoke
+        starter of a frame carrying ``rec_profiles``.  Returns False —
+        the caller spawns a dynamic child frame instead — when the
+        subtree still has holes, is deeper than the canon bucket
+        (intentional decomposition, not a fallback), or fails to
+        compile (counted per-subtree in ``level_plan_fallbacks``).
+        """
+        from .level_plan import (_profile_depth, _profile_has_holes,
+                                 level_plan_for)
+        if _profile_has_holes(profile):
+            return False
+        canon = self._level_canon_depth
+        if canon is not None and _profile_depth(profile) > canon:
+            return False
+        graph = subgraph.graph
+        lp = level_plan_for(graph, plan_for(graph), profile, self.record,
+                            stats=self.stats, subtree=subgraph)
+        if lp is None or lp.max_depth > self.max_depth - inst.frame.depth:
+            self.stats.level_plan_fallbacks += 1
+            return False
+        run = _SubtreeRun(lp, key, bindings, subgraph, inst)
+        self._pending_level_runs.append(run)
+        self.stats.level_plan_subtree_runs += 1
+        self._schedule_level_flush()
+        return True
 
     def _schedule_level_flush(self) -> None:
         """Arrange for pending compiled roots to execute.  Base backends
@@ -937,9 +1139,27 @@ class SchedulerCore:
             if values is not None:
                 self._complete_level_run(run, values)
 
+    def _execute_level_calls(self, lp, calls, entries, hist) -> None:
+        """Run one level's prepared kernel calls.  The base implementation
+        executes serially on the calling thread; pool-backed executors
+        override it to fan independent calls out to their workers with a
+        per-level completion barrier (completions always happen here on
+        the master, in original call order)."""
+        from .level_plan import complete_level_call, execute_level_call
+        for call in calls:
+            complete_level_call(self, lp, call, execute_level_call(call),
+                                entries, hist)
+
     def _complete_level_run(self, run, values) -> None:
         """Retire one compiled root (mirrors the dynamic ``frame_done``:
         bookkeeping and the completion callback under the master lock)."""
+        if run.is_subtree:
+            # sub-sweep boundary: hand the subtree outputs to the parent
+            # Invoke instance exactly like a dynamic child frame's
+            # on_complete (finish_async takes its own locks as needed)
+            run.done = True
+            self.finish_async(run.inst, values)
+            return
         lock = self._master_lock
         if lock is None:
             if run.cancelled or run.done:

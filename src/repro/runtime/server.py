@@ -586,7 +586,12 @@ class RecursiveServer:
           order, e.g. ``TreeBatch.profiles``): eligible requests take
           the compiled level-plan fast path, and concurrent
           same-profile requests merge into one wavefront; ineligible
-          ones fall back to the dynamic path transparently.
+          ones fall back to the dynamic path transparently.  Profiles
+          with ``None`` holes — or any profile when the session sets
+          ``level_canon_depth`` — admit a dynamic root spine that
+          launches compiled sub-sweeps per determined subtree, so
+          heavy-tailed shape streams share a small canonical plan set
+          (``RunStats.level_plan_cache_hit_rate``).
         """
         if deadline is not None and timeout is not None:
             raise ValueError("pass deadline= (absolute) or timeout= "

@@ -96,6 +96,15 @@ class Session:
             sheds it).  Values stay bit-identical.
         track_live_bytes: maintain the live-bytes estimate (and its
             ``RunStats.peak_live_bytes`` peak) even without a budget.
+        level_canon_depth: profile-canonicalization depth for the
+            compiled level-plan tier (``None`` = one compiled plan per
+            distinct shape profile).  With an integer ``d``, compiled
+            plans are capped at subtrees of node depth <= ``d`` — deeper
+            or partially-determined profiles run a dynamic root spine
+            with compiled sub-sweeps per determined subtree, bounding
+            the compile-cache footprint on heavy-tailed shape streams
+            (``RunStats.level_plan_cache_hit_rate``).  Shorthand for
+            setting the field on ``batch_policy``.
     """
 
     def __init__(self, graph: Optional[Graph] = None,
@@ -105,9 +114,20 @@ class Session:
                  max_depth: int = 5000, batching: bool = False,
                  batch_policy: Optional[BatchPolicy] = None,
                  memory_budget: Optional[int] = None,
-                 track_live_bytes: bool = False):
+                 track_live_bytes: bool = False,
+                 level_canon_depth: Optional[int] = None):
         self.graph = graph or get_default_graph()
         self.runtime = runtime or default_runtime()
+        if level_canon_depth is not None:
+            if batch_policy is None:
+                batch_policy = BatchPolicy(
+                    level_canon_depth=level_canon_depth)
+            else:
+                batch_policy.level_canon_depth = level_canon_depth
+                # revalidate: direct attribute set skips __post_init__
+                if level_canon_depth < 1:
+                    raise ValueError(
+                        "level_canon_depth must be >= 1 (or None)")
         executor_cls = resolve_executor(engine)
         self._engine = executor_cls(self.runtime, num_workers=num_workers,
                                     cost_model=cost_model, record=record,
@@ -134,7 +154,12 @@ class Session:
         (:mod:`repro.runtime.level_plan`): eligible roots execute as a
         fixed pre-bucketed wavefront schedule, bit-identical to the
         dynamic path; ineligible ones fall back transparently
-        (``last_stats.level_plan_fallbacks``).
+        (``last_stats.level_plan_fallbacks``).  Profiles with ``None``
+        holes (undetermined subtrees, e.g. behind a data-dependent
+        ``cond``) — or any profile when the session sets
+        ``level_canon_depth`` — run partially compiled: a dynamic root
+        spine launches compiled sub-sweeps for each fully-determined
+        subtree (``last_stats.level_plan_subtree_runs``).
         """
         single = isinstance(fetches, Tensor)
         fetch_list = [fetches] if single else list(fetches)

@@ -95,6 +95,20 @@ class RunStats:
     #: roots that carried a shape profile but fell back to dynamic
     #: execution (ineligible graph shape, depth cap, stale plan)
     level_plan_fallbacks: int = 0
+    #: roots admitted as a dynamic spine with compiled sub-sweeps (the
+    #: partial-compilation / canonicalization path — not fallbacks)
+    level_plan_partial_roots: int = 0
+    #: recursive subtrees executed as compiled sub-sweeps
+    level_plan_subtree_runs: int = 0
+    #: compiled-plan memo probes that found a valid plan (or a memoized
+    #: ineligible verdict) — the canonicalization hit-rate numerator
+    level_plan_cache_hits: int = 0
+    #: memo probes that had to compile (or re-verify a stale plan)
+    level_plan_cache_misses: int = 0
+    #: wall-clock milliseconds spent inside level-plan compilation
+    level_plan_compile_ms: float = 0.0
+    #: plan-memo entries evicted by the LRU caps
+    level_plan_evictions: int = 0
     #: per-level fused-dispatch width histograms for compiled sweeps:
     #: level index -> {width: count}.  The compiled-path analogue of
     #: ``batch_width_hist`` — see
@@ -274,6 +288,13 @@ class RunStats:
         """Mean members per fused kernel call (0.0 when nothing batched)."""
         return self.batched_ops / self.batches if self.batches else 0.0
 
+    @property
+    def level_plan_cache_hit_rate(self) -> float:
+        """Compiled-plan memo hit rate — the canonicalization /
+        amortization measurement (0.0 before any probe)."""
+        probes = self.level_plan_cache_hits + self.level_plan_cache_misses
+        return self.level_plan_cache_hits / probes if probes else 0.0
+
     def merge(self, other: "RunStats") -> None:
         """Accumulate another run's stats into this one (harness use)."""
         self.virtual_time += other.virtual_time
@@ -311,6 +332,12 @@ class RunStats:
                 into[width] = into.get(width, 0) + count
         self.level_plan_hits += other.level_plan_hits
         self.level_plan_fallbacks += other.level_plan_fallbacks
+        self.level_plan_partial_roots += other.level_plan_partial_roots
+        self.level_plan_subtree_runs += other.level_plan_subtree_runs
+        self.level_plan_cache_hits += other.level_plan_cache_hits
+        self.level_plan_cache_misses += other.level_plan_cache_misses
+        self.level_plan_compile_ms += other.level_plan_compile_ms
+        self.level_plan_evictions += other.level_plan_evictions
         self.peak_live_bytes = max(self.peak_live_bytes,
                                    other.peak_live_bytes)
         self.peak_rss_mb = max(self.peak_rss_mb, other.peak_rss_mb)
@@ -340,13 +367,26 @@ class RunStats:
             lines.append(
                 f"peak_live_bytes={self.peak_live_bytes}"
                 f" ({self.peak_live_bytes / 2**20:.1f} MiB)")
-        if self.level_plan_hits or self.level_plan_fallbacks:
+        if (self.level_plan_hits or self.level_plan_fallbacks
+                or self.level_plan_partial_roots):
             fused = sum(count for hist in self.level_width_hist.values()
                         for count in hist.values())
             lines.append(
                 f"level_plan_hits={self.level_plan_hits}  "
                 f"level_plan_fallbacks={self.level_plan_fallbacks}  "
                 f"level_dispatches={fused}")
+            if self.level_plan_partial_roots or self.level_plan_subtree_runs:
+                lines.append(
+                    f"level_partial_roots={self.level_plan_partial_roots}  "
+                    f"level_subtree_runs={self.level_plan_subtree_runs}")
+        if self.level_plan_cache_hits or self.level_plan_cache_misses:
+            lines.append(
+                f"level_compile_cache hit_rate="
+                f"{self.level_plan_cache_hit_rate:.3f} "
+                f"(hits={self.level_plan_cache_hits} "
+                f"misses={self.level_plan_cache_misses} "
+                f"evictions={self.level_plan_evictions})  "
+                f"compile={self.level_plan_compile_ms:.2f} ms")
         if self.requests:
             lat = self.latency_summary()["total"]
             lines.append(

@@ -180,7 +180,29 @@ class ThreadedEngine(SchedulerCore):
         self._coalescer = (Coalescer(self.batch_policy) if self.batching
                            else None)
         self._live_bytes = 0
+        self._pending_level_runs = []
+        self._level_flushing = False
+        self._level_flush_wanted = False
+        self._root_site_map = None
         self.stats = RunStats()
+
+    def _execute_level_group(self, lp, runs) -> None:
+        # Sweeps flush on the admitting thread (a submit_root caller, or
+        # a worker running an Invoke starter) while free-running workers
+        # mutate stats and frame state concurrently: serialize the sweep
+        # itself under the master lock (reentrant for the starter case)
+        # and leave completion/failure to the base paths, which manage
+        # the lock themselves.
+        from .level_plan import execute_level_plan
+        try:
+            with self._master_lock:
+                results = execute_level_plan(self, lp, runs)
+        except Exception as exc:  # noqa: BLE001 - session failure path
+            self._fail_level(exc)
+            return
+        for run, values in zip(runs, results):
+            if values is not None:
+                self._complete_level_run(run, values)
 
     def _worker(self) -> None:
         while True:

@@ -34,6 +34,7 @@ serving canary.
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
@@ -167,20 +168,23 @@ class WorkerPoolEngine(SchedulerCore):
             shape_profile=None) -> tuple[list, RunStats]:
         wall0 = time.perf_counter()
         self._begin_session()
-        if shape_profile is not None:
-            # compiled sweep runs on the calling thread; no pool needed
-            hit = self._try_level_run(graph, list(fetches), feed_map,
-                                      shape_profile)
-            if hit is not None:
-                values, _ = hit
-                self.stats.wall_time = time.perf_counter() - wall0
-                self.stats.virtual_time = self.stats.wall_time
-                self.stats.cache_stores = self.runtime.cache.stores
-                self.stats.cache_lookups = self.runtime.cache.lookups
-                return values, self.stats
         self._start_pool()
         done = threading.Event()
         try:
+            if shape_profile is not None:
+                # the pool is already up: a compiled sweep fans each
+                # level's independent buckets out to the kernel workers
+                # (see _execute_level_calls), with the master running
+                # the residue and the per-level barrier
+                hit = self._try_level_run(graph, list(fetches), feed_map,
+                                          shape_profile)
+                if hit is not None:
+                    values, _ = hit
+                    self.stats.wall_time = time.perf_counter() - wall0
+                    self.stats.virtual_time = self.stats.wall_time
+                    self.stats.cache_stores = self.runtime.cache.stores
+                    self.stats.cache_lookups = self.runtime.cache.lookups
+                    return values, self.stats
             plan = plan_for_fetches(graph, {t.op for t in fetches})
             with self._master_lock:
                 root = self._make_frame(plan, feed_map, key=ROOT_KEY, depth=0,
@@ -222,6 +226,15 @@ class WorkerPoolEngine(SchedulerCore):
         self._coalescer = (Coalescer(self.batch_policy) if self.batching
                            else None)
         self._live_bytes = 0
+        self._pending_level_runs = []
+        self._level_flushing = False
+        self._level_flush_wanted = False
+        self._root_site_map = None
+        #: fan compiled-sweep buckets out to the kernel pool (the
+        #: parallel path is bit-identical; the knob exists for paired
+        #: serial-vs-parallel benchmarking and as an escape hatch)
+        self._level_parallel = os.environ.get(
+            "REPRO_LEVEL_PARALLEL", "1") != "0"
         self.stats = RunStats()
 
     def _start_pool(self) -> None:
@@ -274,9 +287,22 @@ class WorkerPoolEngine(SchedulerCore):
             if not self._is_wake(item):
                 self._apply(item)
 
+    def _schedule_level_flush(self) -> None:
+        # Compiled-root admissions (submit_root) and subtree launches
+        # (Invoke starters) run under the master lock; the sweep itself
+        # must not — its per-level barrier applies interleaved pool
+        # completions, and a sweep error delivers to the serving error
+        # listener outside the lock.  Defer to the master loop.
+        self._level_flush_wanted = True
+        self._post_wake()
+
     def _master_step(self) -> bool:
         """Apply every queued completion, then dispatch ready work."""
         progressed = False
+        if self._level_flush_wanted:
+            self._level_flush_wanted = False
+            self._flush_level_runs()
+            progressed = True
         while True:
             try:
                 item = self._results.get_nowait()
@@ -371,8 +397,96 @@ class WorkerPoolEngine(SchedulerCore):
             return
         self._submit_bucket_task(bucket, fused)
 
+    # -- parallel compiled sweeps ---------------------------------------------
+
+    def _level_pool_open(self) -> bool:
+        """True when compiled-sweep calls may fan out to the pool."""
+        return self._level_parallel and bool(getattr(self, "_pool", None))
+
+    def _ship_level_call(self, call) -> bool:
+        """Hand one prepared level call to the pool; True if shipped.
+
+        Level tasks do not bump ``_inflight``: the per-level barrier in
+        :meth:`_execute_level_calls` accounts for them, and a sweep
+        never spans a serving idle check (the whole barrier runs inside
+        one master step).  Process pools override this with a
+        shippability check and shared-memory transport.
+        """
+        self._tasks.put((call, None))
+        return True
+
+    def _match_level_item(self, item):
+        """Decode a results-queue item as a level-call completion.
+
+        Returns ``(call, outputs_list, exc)``, or None when the item is
+        an ordinary dynamic-path completion.
+        """
+        if type(item) is tuple and item and item[0] == "lvl":
+            return item[1], item[2], item[3]
+        return None
+
+    def _execute_level_calls(self, lp, calls, entries, hist) -> None:
+        """Fan one level's independent calls out to the kernel pool.
+
+        All but the last call ship to the workers; the master executes
+        the last inline (it would otherwise idle at the barrier) plus
+        any call the transport rejects.  The barrier then collects the
+        shipped completions — applying interleaved dynamic-path items,
+        which is safe because the sweep runs outside the master lock —
+        and completes every call *on the master, in original call
+        order*, so scatter, stats and cache-store order are
+        bit-identical to the serial path.  The first failing call in
+        that order wins, exactly like serial execution.
+        """
+        if len(calls) < 2 or not self._level_pool_open():
+            super()._execute_level_calls(lp, calls, entries, hist)
+            return
+        from .level_plan import complete_level_call, execute_level_call
+        results: dict = {}
+        outstanding = 0
+        for call in calls[:-1]:
+            if self._ship_level_call(call):
+                outstanding += 1
+            else:
+                try:
+                    results[id(call)] = (execute_level_call(call), None)
+                except Exception as exc:  # noqa: BLE001
+                    results[id(call)] = (None, exc)
+        last = calls[-1]
+        try:
+            results[id(last)] = (execute_level_call(last), None)
+        except Exception as exc:  # noqa: BLE001
+            results[id(last)] = (None, exc)
+        while outstanding and self._error is None:
+            try:
+                item = self._results.get(timeout=0.05)
+            except queue.Empty:
+                self._check_health()
+                continue
+            matched = self._match_level_item(item)
+            if matched is not None:
+                call, outputs_list, exc = matched
+                results[id(call)] = (outputs_list, exc)
+                outstanding -= 1
+            elif not self._is_wake(item):
+                self._apply(item)
+        if outstanding:
+            # session failed under the barrier (dead worker, dynamic
+            # error): abort the sweep; stragglers are dropped by _apply
+            raise self._error
+        for call in calls:
+            outputs_list, exc = results[id(call)]
+            if exc is not None:
+                raise exc
+            complete_level_call(self, lp, call, outputs_list, entries,
+                                hist)
+
     def _apply(self, item) -> None:
         """Apply one pool completion to master state."""
+        if item[0] == "lvl":
+            # straggler from a sweep barrier the session error aborted;
+            # level tasks never bumped _inflight, so just drop it
+            return
         self._inflight -= 1
         kind = item[0]
         if kind == "error":
@@ -435,6 +549,15 @@ class WorkerPoolEngine(SchedulerCore):
         execution path a subclass adds.
         """
         runtime = self.runtime
+        if getattr(payload, "is_level_call", False):
+            # compiled-sweep call: pure kernel execution against
+            # master-prebuilt contexts; completion happens at the
+            # sweep barrier, never through _apply
+            from .level_plan import execute_level_call
+            try:
+                return ("lvl", payload, execute_level_call(payload), None)
+            except Exception as exc:  # noqa: BLE001
+                return ("lvl", payload, None, exc)
         if isinstance(payload, Instance):
             inst, inputs = payload, extra
             try:

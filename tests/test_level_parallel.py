@@ -1,0 +1,413 @@
+"""Parallel compiled sweeps + profile canonicalization (level-plan tier).
+
+Two perf features share one contract with the serial compiled path:
+*bit-identity*.  Parallel sweeps fan independent same-level buckets out
+to the pool workers behind a per-level barrier; canonicalization caps
+compiled plans at a depth bucket and runs deeper/partially-determined
+trees as a dynamic root spine launching compiled sub-sweeps.  Values,
+gradients and cache keys must match the dynamic scheduler exactly, and
+failures (lying profiles, uncompilable subtrees) must keep their serial
+semantics.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ops
+from repro.core.subgraph import SubGraph
+from repro.data import batch_trees, make_treebank
+from repro.models import ModelConfig, TreeRNNSentiment
+from repro.runtime.batching import BatchPolicy
+from repro.runtime.level_plan import level_plan_for
+from repro.runtime.plan import plan_for_fetches
+from repro.runtime.scheduler import available_executors
+from repro.runtime.stats import RunStats
+
+ENGINES = available_executors()
+POOL_ENGINES = [e for e in ENGINES if e in ("workerpool", "procpool")]
+
+CONFIG = ModelConfig(vocab_size=50, hidden=8, embed_dim=8)
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return make_treebank(num_train=16, num_val=4, vocab_size=50,
+                         max_words=12, mean_log_words=2.2, seed=11)
+
+
+def _run_model(engine, trees, train, profile=True, canon=None, workers=4):
+    """One fresh build + run; returns (values, grads, stats)."""
+    runtime = repro.Runtime()
+    model = TreeRNNSentiment(CONFIG, runtime)
+    built = model.build_recursive(len(trees))
+    batch = batch_trees(trees)
+    fetches = [built.loss, built.root_logits]
+    if train:
+        _, updates = repro.gradients(built.loss, [])
+        fetches += [op.outputs[-1] for op in updates]
+    session = repro.Session(built.graph, runtime, num_workers=workers,
+                            engine=engine, record=train,
+                            level_canon_depth=canon)
+    runtime.accumulators.zero()
+    kwargs = ({"shape_profile": built.shape_profiles(batch)}
+              if profile else {})
+    values = session.run(fetches, built.feed_dict(batch), **kwargs)
+    grads = ({name: np.copy(runtime.accumulators.read(name))
+              for name in runtime.accumulators.names()} if train else {})
+    return values, grads, session.last_stats
+
+
+def _assert_same_results(ref, got):
+    (ref_values, ref_grads, _), (values, grads, _) = ref, got
+    for a, b in zip(ref_values, values):
+        assert np.array_equal(a, b)
+    assert set(grads) == set(ref_grads)
+    for name in ref_grads:
+        assert np.array_equal(grads[name], ref_grads[name]), name
+
+
+def _tree_sum_graph(name):
+    """Array-backed binary reduction with a *fed* root index, so one
+    graph serves a whole stream of distinct tree shapes."""
+    graph = repro.Graph(name)
+    with graph.as_default():
+        values = ops.placeholder(repro.float32, (None,))
+        children = ops.placeholder(repro.int32, (None, 2))
+        is_leaf = ops.placeholder(repro.bool_, (None,))
+        root = ops.placeholder(repro.int32, ())
+        with SubGraph("tsum") as tsum:
+            idx = tsum.input(repro.int32, ())
+            tsum.declare_outputs([(repro.float32, ())])
+
+            def leaf():
+                return ops.gather(values, idx)
+
+            def internal():
+                pair = ops.gather(children, idx)
+                return ops.add(tsum(ops.gather(pair, 0)),
+                               tsum(ops.gather(pair, 1)))
+
+            tsum.output(ops.cond(ops.gather(is_leaf, idx), leaf, internal))
+        out = tsum(root)
+    return graph, out, (values, children, is_leaf, root)
+
+
+def _materialize(profile, rng):
+    """Post-order array encoding of a shape profile, random leaf values."""
+    nodes = []
+
+    def build(p):
+        if not p:
+            nodes.append((True, -1, -1))
+        else:
+            left = build(p[0])
+            right = build(p[1])
+            nodes.append((False, left, right))
+        return len(nodes) - 1
+
+    root = build(profile)
+    vals = rng.normal(size=len(nodes)).astype(np.float32)
+    children = np.array([[l, r] for _, l, r in nodes], dtype=np.int32)
+    leaf = np.array([f for f, _, _ in nodes])
+    return root, vals, children, leaf
+
+
+def _feeds(placeholders, profile, rng):
+    values, children, is_leaf, root = placeholders
+    root_idx, vals, kids, leaf = _materialize(profile, rng)
+    return {values: vals, children: kids, is_leaf: leaf, root: root_idx}
+
+
+def _rand_profile(rng, depth, force):
+    """Random binary shape; the top ``force`` levels are internal, so
+    the profile's depth is at least ``force + 1``."""
+    if depth <= 1:
+        return ()
+    if force <= 0 and rng.random() < 0.3:
+        return ()
+    return (_rand_profile(rng, depth - 1, force - 1),
+            _rand_profile(rng, depth - 1, force - 1))
+
+
+class TestParallelSweeps:
+    """REPRO_LEVEL_PARALLEL=1 must change wall-clock only: values,
+    gradients and level-plan stats stay identical to the serial sweep
+    and to the dynamic scheduler."""
+
+    @pytest.mark.parametrize("train", [False, True],
+                             ids=["forward", "train"])
+    @pytest.mark.parametrize("engine", POOL_ENGINES)
+    def test_parallel_matches_serial_and_dynamic(self, bank, engine, train,
+                                                 monkeypatch):
+        trees = bank.train[:3]
+        dynamic = _run_model(engine, trees, train, profile=False)
+        monkeypatch.setenv("REPRO_LEVEL_PARALLEL", "0")
+        serial = _run_model(engine, trees, train)
+        monkeypatch.setenv("REPRO_LEVEL_PARALLEL", "1")
+        parallel = _run_model(engine, trees, train)
+        for compiled in (serial, parallel):
+            assert compiled[2].level_plan_hits == 1
+            assert compiled[2].level_plan_fallbacks == 0
+            _assert_same_results(dynamic, compiled)
+
+    @pytest.mark.parametrize("engine", POOL_ENGINES)
+    def test_randomized_trees_parallel_identical(self, engine, monkeypatch):
+        monkeypatch.setenv("REPRO_LEVEL_PARALLEL", "1")
+        wide = make_treebank(num_train=8, num_val=0, vocab_size=50,
+                             max_words=18, mean_log_words=2.5, seed=37)
+        dynamic = _run_model(engine, wide.train[:4], train=True,
+                             profile=False)
+        parallel = _run_model(engine, wide.train[:4], train=True)
+        assert parallel[2].level_plan_hits == 1
+        assert parallel[2].level_plan_fallbacks == 0
+        _assert_same_results(dynamic, parallel)
+
+    @pytest.mark.parametrize("engine", POOL_ENGINES)
+    def test_nary_parallel_identical(self, engine, monkeypatch):
+        """The barrier is not binary-specific: 3-ary reductions too."""
+        monkeypatch.setenv("REPRO_LEVEL_PARALLEL", "1")
+        graph = repro.Graph(f"nary-par-{engine}")
+        with graph.as_default():
+            values = ops.placeholder(repro.float32, (None,))
+            children = ops.placeholder(repro.int32, (None, 3))
+            is_leaf = ops.placeholder(repro.bool_, (None,))
+            with SubGraph("tsum3") as tsum:
+                idx = tsum.input(repro.int32, ())
+                tsum.declare_outputs([(repro.float32, ())])
+
+                def leaf():
+                    return ops.gather(values, idx)
+
+                def internal():
+                    kids = ops.gather(children, idx)
+                    return ops.add(
+                        ops.add(tsum(ops.gather(kids, 0)),
+                                tsum(ops.gather(kids, 1))),
+                        ops.add(tsum(ops.gather(kids, 2)),
+                                ops.gather(values, idx)))
+
+                tsum.output(ops.cond(ops.gather(is_leaf, idx), leaf,
+                                     internal))
+            out = tsum(ops.constant(6))
+        feeds = {values: np.arange(7, dtype=np.float32),
+                 children: np.array([[-1] * 3] * 6 + [[0, 1, 2]],
+                                    dtype=np.int32),
+                 is_leaf: np.array([True] * 6 + [False])}
+        session = repro.Session(graph, repro.Runtime(), num_workers=4,
+                                engine=engine)
+        ref = session.run(out, feeds)
+        got = session.run(out, feeds, shape_profile=(((), (), ()),))
+        assert session.last_stats.level_plan_hits == 1
+        assert np.array_equal(ref, got)
+
+
+class TestCanonicalization:
+    """level_canon_depth trades one-plan-per-shape for a dynamic spine
+    over a small canonical plan set — values unchanged."""
+
+    @pytest.mark.parametrize("train", [False, True],
+                             ids=["forward", "train"])
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_canonicalized_equals_dynamic(self, bank, engine, train):
+        trees = [t for t in bank.train if t.depth > 2][:3]
+        assert len(trees) == 3
+        dynamic = _run_model(engine, trees, train, profile=False)
+        canon = _run_model(engine, trees, train, canon=2)
+        stats = canon[2]
+        assert stats.level_plan_partial_roots == 1
+        assert stats.level_plan_subtree_runs >= 1
+        assert stats.level_plan_fallbacks == 0
+        assert stats.level_plan_hits == 0
+        _assert_same_results(dynamic, canon)
+
+    def test_shallow_profile_still_compiles_fully(self, bank):
+        """Profiles within the canon bucket keep the whole-root path."""
+        trees = [t for t in bank.train if t.depth > 2][:2]
+        full = _run_model("event", trees, train=False, canon=64)
+        assert full[2].level_plan_hits == 1
+        assert full[2].level_plan_partial_roots == 0
+
+    def test_heavy_tailed_stream_bounded_compiles(self):
+        """50 distinct deep shapes, canon depth 3: the compile cache
+        converges onto the tiny canonical subtree set (there are only 5
+        binary shapes of depth <= 3), with no fallbacks."""
+        rng = np.random.default_rng(101)
+        graph, out, placeholders = _tree_sum_graph("stream")
+        session = repro.Session(graph, repro.Runtime(), num_workers=2,
+                                level_canon_depth=3)
+        profiles, seen = [], set()
+        while len(profiles) < 50:
+            p = _rand_profile(rng, int(rng.integers(5, 9)), force=3)
+            if p not in seen:
+                seen.add(p)
+                profiles.append(p)
+        hits = misses = fallbacks = subtree_runs = 0
+        for p in profiles:
+            feeds = _feeds(placeholders, p, rng)
+            ref = session.run(out, feeds)
+            got = session.run(out, feeds, shape_profile=(p,))
+            assert np.array_equal(ref, got)
+            stats = session.last_stats
+            hits += stats.level_plan_cache_hits
+            misses += stats.level_plan_cache_misses
+            fallbacks += stats.level_plan_fallbacks
+            subtree_runs += stats.level_plan_subtree_runs
+        assert fallbacks == 0
+        assert subtree_runs >= len(profiles)
+        # compiled-plan count <= 10% of distinct shapes in the stream
+        assert misses <= len(profiles) // 10
+        assert hits / (hits + misses) >= 0.9
+
+
+class TestPartialCompilation:
+    """Profiles with None holes run the determined subtrees compiled
+    and only the undetermined ones dynamically."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_hole_profile_runs_determined_subtrees(self, engine):
+        rng = np.random.default_rng(7)
+        graph, out, placeholders = _tree_sum_graph(f"holes-{engine}")
+        full = (((), ()), ())
+        feeds = _feeds(placeholders, full, rng)
+        session = repro.Session(graph, repro.Runtime(), num_workers=2,
+                                engine=engine)
+        ref = session.run(out, feeds)
+        got = session.run(out, feeds, shape_profile=((((), ()), None),))
+        stats = session.last_stats
+        assert np.array_equal(ref, got)
+        assert stats.level_plan_partial_roots == 1
+        assert stats.level_plan_subtree_runs >= 1
+        assert stats.level_plan_fallbacks == 0
+
+    def test_all_holes_profile_runs_dynamically(self):
+        """A root whose children are all undetermined still succeeds —
+        the spine spawns plain dynamic frames for the holes."""
+        rng = np.random.default_rng(13)
+        graph, out, placeholders = _tree_sum_graph("all-holes")
+        feeds = _feeds(placeholders, (((), ()), ()), rng)
+        session = repro.Session(graph, repro.Runtime(), num_workers=2)
+        ref = session.run(out, feeds)
+        got = session.run(out, feeds, shape_profile=((None, None),))
+        assert np.array_equal(ref, got)
+        assert session.last_stats.level_plan_partial_roots == 1
+        assert session.last_stats.level_plan_fallbacks == 0
+
+    def test_uncompilable_subtree_falls_back_per_subtree(self):
+        """A shape-invisible Cond inside the spine costs one per-subtree
+        fallback, not the whole admission."""
+        graph = repro.Graph("amb-spine")
+        with graph.as_default():
+            with SubGraph("amb") as amb:
+                n = amb.input(repro.int32, ())
+                amb.declare_outputs([(repro.int32, ())])
+
+                def base():
+                    return ops.identity(n)
+
+                def rec():
+                    return ops.cond(ops.less_equal(n, 3),
+                                    lambda: amb(n - 1),
+                                    lambda: amb(n - 2))
+
+                amb.output(ops.cond(ops.less_equal(n, 1), base, rec))
+            out = amb(ops.constant(3))
+        session = repro.Session(graph, repro.Runtime(), num_workers=2,
+                                level_canon_depth=2)
+        ref = session.run(out)
+        got = session.run(out, shape_profile=((((),),),))
+        stats = session.last_stats
+        assert got == ref
+        assert stats.level_plan_partial_roots == 1
+        assert stats.level_plan_fallbacks >= 1
+        assert stats.level_plan_hits == 0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_lying_canonical_profile_raises(self, engine):
+        """Spine mode keeps the verified-predicate contract: a compiled
+        sub-sweep launched from a lying canonical profile errors instead
+        of returning a wrong value."""
+        rng = np.random.default_rng(29)
+        graph, out, placeholders = _tree_sum_graph(f"liar-{engine}")
+        feeds = _feeds(placeholders, (((), ()), ()), rng)
+        session = repro.Session(graph, repro.Runtime(), num_workers=2,
+                                engine=engine, level_canon_depth=1)
+        session.run(out, feeds)  # sanity: the data itself is fine
+        # depth 2 > canon 1 forces the spine; both claimed children
+        # contradict the data (left is internal, right is a leaf)
+        with pytest.raises(repro.EngineError, match="shape profile"):
+            session.run(out, feeds, shape_profile=(((), ((), ())),))
+
+
+class TestPlanCacheLRU:
+    """Compiled plans and the ineligible-shape memo are LRU-bounded."""
+
+    def test_compiled_plans_evict_lru(self, monkeypatch):
+        from repro.runtime import level_plan
+        monkeypatch.setattr(level_plan, "LEVEL_PLAN_CAP", 2)
+        graph, out, _ = _tree_sum_graph("lru")
+        plan = plan_for_fetches(graph, {out.op})
+        stats = RunStats()
+        profiles = [(((), ()),), ((((), ()), ()),), (((), ((), ())),)]
+        plans = [level_plan_for(graph, plan, p, False, stats=stats)
+                 for p in profiles]
+        assert all(lp is not None for lp in plans)
+        assert stats.level_plan_evictions == 1
+        # the most-recent entries survived ...
+        assert level_plan_for(graph, plan, profiles[2], False,
+                              stats=stats) is plans[2]
+        # ... the oldest did not: recompiling it is a fresh miss
+        before = stats.level_plan_cache_misses
+        fresh = level_plan_for(graph, plan, profiles[0], False, stats=stats)
+        assert fresh is not plans[0]
+        assert stats.level_plan_cache_misses == before + 1
+
+    def test_recent_hit_refreshes_lru_order(self, monkeypatch):
+        from repro.runtime import level_plan
+        monkeypatch.setattr(level_plan, "LEVEL_PLAN_CAP", 2)
+        graph, out, _ = _tree_sum_graph("lru-touch")
+        plan = plan_for_fetches(graph, {out.op})
+        stats = RunStats()
+        a, b = (((), ()),), ((((), ()), ()),)
+        lp_a = level_plan_for(graph, plan, a, False, stats=stats)
+        level_plan_for(graph, plan, b, False, stats=stats)
+        # touch a: it becomes most-recent, so inserting c evicts b
+        assert level_plan_for(graph, plan, a, False, stats=stats) is lp_a
+        level_plan_for(graph, plan, (((), ((), ())),), False, stats=stats)
+        assert level_plan_for(graph, plan, a, False, stats=stats) is lp_a
+        assert stats.level_plan_evictions == 1
+
+    def test_ineligible_memo_evicts_lru(self, monkeypatch):
+        from repro.runtime import level_plan
+        monkeypatch.setattr(level_plan, "LEVEL_PLAN_INELIGIBLE_CAP", 1)
+        graph = repro.Graph("flat-lru")
+        with graph.as_default():
+            x = ops.constant(0.5)
+            y = ops.tanh(x)
+        plan = plan_for_fetches(graph, {y.op})
+        stats = RunStats()
+        assert level_plan_for(graph, plan, ((),), False, stats=stats) is None
+        assert level_plan_for(graph, plan, (((), ()),), False,
+                              stats=stats) is None
+        assert stats.level_plan_evictions == 1
+
+
+class TestKnobValidation:
+    def test_batch_policy_rejects_non_positive_depth(self):
+        with pytest.raises(ValueError, match="level_canon_depth"):
+            BatchPolicy(level_canon_depth=0)
+
+    def test_session_rejects_non_positive_depth(self):
+        with pytest.raises(ValueError, match="level_canon_depth"):
+            repro.Session(repro.Graph("bad-knob"), repro.Runtime(),
+                          level_canon_depth=0)
+
+    def test_session_rejects_depth_on_existing_policy(self):
+        with pytest.raises(ValueError, match="level_canon_depth"):
+            repro.Session(repro.Graph("bad-knob2"), repro.Runtime(),
+                          batch_policy=BatchPolicy(), level_canon_depth=-1)
+
+    def test_session_threads_depth_into_policy(self):
+        session = repro.Session(repro.Graph("knob"), repro.Runtime(),
+                                level_canon_depth=4)
+        assert session._engine.batch_policy.level_canon_depth == 4
